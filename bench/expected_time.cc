@@ -1,0 +1,132 @@
+// Experiment E10 — the paper's closing remark: "Hofri-Konheim-Willard
+// [HKW86] show that an expected time O(1) is possible under similar
+// procedures."
+//
+// LocalShift (padded-list nearest-gap shifting, no calibrator) is
+// compared against CONTROL 1 and CONTROL 2 in the two regimes the
+// literature distinguishes:
+//
+//  * the *stationary uniform* regime of [Fr79]/[IKR80]/[HKW86]: a file
+//    bulk-loaded at uniform density, then churned with uniformly placed
+//    insert/delete pairs — LocalShift's displacement is expected O(1),
+//    independent of M;
+//  * the *surge* regime of this paper: a burst into a narrow key band —
+//    LocalShift's region goes solid and a single insert shifts across
+//    it (worst case grows with the surge), while CONTROL 2 stays at its
+//    O(log^2 M/(D-d)) budget.
+//
+// Together they show exactly what the worst-case machinery buys.
+
+#include <memory>
+
+#include "bench_common.h"
+#include "core/dense_file.h"
+#include "util/check.h"
+#include "workload/workload.h"
+
+namespace dsf {
+namespace {
+
+struct PolicyRun {
+  double mean = 0;
+  int64_t max = 0;
+};
+
+PolicyRun RunPolicy(DenseFile::Policy policy, int64_t m, int64_t d,
+                    int64_t gap, bool surge, uint64_t seed) {
+  DenseFile::Options options;
+  options.num_pages = m;
+  options.d = d;
+  options.D = d + gap;
+  options.policy = policy;
+  std::unique_ptr<DenseFile> file = std::move(*DenseFile::Create(options));
+
+  Rng rng(seed);
+  // Base: uniform spread at 75% of capacity, even keys.
+  const int64_t base_n = file->capacity() * 3 / 4;
+  std::vector<Record> base =
+      MakeUniformRecords(base_n, static_cast<Key>(4 * file->capacity()), rng);
+  for (Record& r : base) {
+    r.key *= 2;
+    r.value = r.key;
+  }
+  DSF_CHECK(file->BulkLoad(base).ok());
+
+  if (!surge) {
+    // Stationary churn: insert a fresh uniform odd key, delete a random
+    // live odd key; the population stays at base_n + O(1).
+    std::vector<Key> live;
+    const int64_t ops = file->capacity();
+    for (int64_t i = 0; i < ops; ++i) {
+      const Key k = 2 * rng.Uniform(4 * file->capacity()) + 1;
+      if (file->Insert(k, k).ok()) live.push_back(k);
+      if (!live.empty() && static_cast<int64_t>(live.size()) > 4) {
+        const size_t victim = rng.Uniform(live.size());
+        if (file->Delete(live[victim]).ok()) {
+          live[victim] = live.back();
+          live.pop_back();
+        }
+      }
+    }
+  } else {
+    // Surge: 20% of capacity as distinct odd keys in a band just wide
+    // enough to hold them — a genuinely narrow hotspot.
+    const int64_t surge_n = file->capacity() / 5;
+    const Key band_lo = static_cast<Key>(2 * file->capacity());
+    Trace t = HotspotSurge(surge_n, band_lo, band_lo + 2 * surge_n, rng);
+    for (Op& op : t) op.record.key = 2 * op.record.key + 1;
+    for (const Op& op : t) {
+      const Status s = file->Insert(op.record);
+      DSF_CHECK(s.ok()) << s;
+    }
+  }
+  const Status invariants = file->ValidateInvariants();
+  DSF_CHECK(invariants.ok()) << invariants;
+  PolicyRun run;
+  run.mean = file->command_stats().MeanAccessesPerCommand();
+  run.max = file->command_stats().max_command_accesses;
+  return run;
+}
+
+void RunRegime(bool surge, const std::string& label) {
+  bench::Note(label);
+  bench::Table table({"M", "LS mean", "LS max", "C1 mean", "C1 max",
+                      "C2 mean", "C2 max"});
+  for (const int64_t m : {256, 1024, 4096}) {
+    // Tight geometry (pages half full at base load): the regime where the
+    // policies actually differ. D - d = 4 is below the gap condition, so
+    // CONTROL 1/2 run on auto-selected macro-blocks (Theorem 5.7);
+    // LocalShift needs no such machinery.
+    const int64_t d = 8;
+    const int64_t gap = 4;
+    const PolicyRun ls =
+        RunPolicy(DenseFile::Policy::kLocalShift, m, d, gap, surge, 9);
+    const PolicyRun c1 =
+        RunPolicy(DenseFile::Policy::kControl1, m, d, gap, surge, 9);
+    const PolicyRun c2 =
+        RunPolicy(DenseFile::Policy::kControl2, m, d, gap, surge, 9);
+    table.Row(m, ls.mean, ls.max, c1.mean, c1.max, c2.mean, c2.max);
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace dsf
+
+int main() {
+  dsf::bench::Section(
+      "E10: expected vs. worst-case time — LocalShift [Fr79/HKW86 style] "
+      "vs. CONTROL 1 vs. CONTROL 2 (uniform base at 75% of N = d*M)");
+  dsf::RunRegime(false,
+                 "\nStationary uniform churn (the [HKW86] regime):");
+  dsf::RunRegime(true,
+                 "\nInsertion surge into a narrow band (this paper's "
+                 "adversary):");
+  dsf::bench::Note(
+      "\nPaper context: [HKW86] gets expected O(1) with neighbor shifting "
+      "under\nstationary uniform updates; this paper buys a worst-case "
+      "guarantee instead.\nExpected shape: stationary churn — LocalShift "
+      "mean is small and flat in M;\nsurge — LocalShift max grows with the "
+      "hotspot while CONTROL 2's stays ~4J.");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Experiment E1 — Figures 1a/1b.
+//
+// The paper's first figure shows a 4-page dense file with d=2, D=3 holding
+// {3,2,1,2} records per page, and its calibrator annotated with the node
+// densities p(v). This bench rebuilds that file, prints the calibrator
+// with measured densities next to the figure's values, and verifies the
+// BALANCE(2,3) condition the figure illustrates.
+
+#include <array>
+
+#include "bench_common.h"
+#include "core/control2.h"
+#include "util/check.h"
+
+namespace dsf {
+namespace {
+
+void Run() {
+  bench::Section("E1: Figure 1a/1b — 4-page file, d=2, D=3, pages {3,2,1,2}");
+
+  Control2::Options options;
+  options.config.num_pages = 4;
+  options.config.d = 2;
+  options.config.D = 3;
+  options.config.block_size = 1;
+  // D-d = 1 <= 3*ceil(log 4): the figure is a static illustration, not a
+  // regime the maintenance theorem covers.
+  options.allow_gap_violation_for_testing = true;
+  std::unique_ptr<Control2> control = std::move(*Control2::Create(options));
+
+  const std::array<int64_t, 4> occupancy = {3, 2, 1, 2};
+  std::vector<std::vector<Record>> layout(4);
+  Key key = 1;
+  for (size_t p = 0; p < 4; ++p) {
+    for (int64_t i = 0; i < occupancy[p]; ++i) {
+      layout[p].push_back(Record{key++, 0});
+    }
+  }
+  DSF_CHECK(control->LoadLayout(layout).ok()) << "layout load failed";
+
+  const Calibrator& cal = control->calibrator();
+  const DensitySpec& spec = control->logical_spec();
+
+  // Figure 1b's densities, top-down left-to-right: root 2, internal 2.5
+  // and 1.5, leaves 3 2 1 2.
+  const std::array<double, 7> figure = {2.0, 2.5, 1.5, 3.0, 2.0, 1.0, 2.0};
+  std::vector<int> order = {cal.root(), cal.Left(cal.root()),
+                            cal.Right(cal.root())};
+  for (Address p = 1; p <= 4; ++p) order.push_back(cal.LeafOf(p));
+
+  bench::Table table({"node", "range", "depth", "p(v) paper", "p(v) measured",
+                      "g(v,1)", "p(v)<=g(v,1)"});
+  bool balanced = true;
+  for (size_t i = 0; i < order.size(); ++i) {
+    const int v = order[i];
+    const double p = static_cast<double>(cal.Count(v)) /
+                     static_cast<double>(cal.PagesIn(v));
+    const bool ok = spec.DensityAtMost(cal.Count(v), cal.PagesIn(v),
+                                       cal.Depth(v), kThirds1);
+    balanced &= ok;
+    table.Row("v" + std::to_string(i + 1),
+              "[" + std::to_string(cal.RangeLo(v)) + "," +
+                  std::to_string(cal.RangeHi(v)) + "]",
+              cal.Depth(v), figure[i], p, spec.G(cal.Depth(v), 1.0),
+              ok ? "yes" : "NO");
+    DSF_CHECK(p == figure[i]) << "density diverges from Figure 1b";
+  }
+  table.Print();
+  bench::Note(balanced
+                  ? "\nBALANCE(2,3) holds at every node, as Figure 1 shows."
+                  : "\nBALANCE violated — MISMATCH with the paper!");
+}
+
+}  // namespace
+}  // namespace dsf
+
+int main() {
+  dsf::Run();
+  return 0;
+}

@@ -1,0 +1,195 @@
+// CPU-time microbenchmarks (google-benchmark) for the core operations.
+// These complement the page-access experiments E1-E9: the paper's cost
+// model counts I/O, but a library user also cares that the in-memory
+// bookkeeping (calibrator updates, SHIFT bookkeeping, searches) is cheap.
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/btree.h"
+#include "core/calibrator.h"
+#include "core/control2.h"
+#include "core/dense_file.h"
+#include "util/check.h"
+#include "workload/workload.h"
+
+namespace dsf {
+namespace {
+
+DenseFile::Options FileOptions(int64_t num_pages) {
+  DenseFile::Options options;
+  options.num_pages = num_pages;
+  options.d = 8;
+  int64_t l = 1;
+  while ((1ll << l) < num_pages) ++l;
+  options.D = options.d + 4 * l + 1;
+  return options;
+}
+
+// Insert/delete pairs at random keys against a half-full file.
+void BM_DenseFileInsertDelete(benchmark::State& state) {
+  const int64_t num_pages = state.range(0);
+  std::unique_ptr<DenseFile> file =
+      std::move(*DenseFile::Create(FileOptions(num_pages)));
+  Rng rng(1);
+  DSF_CHECK(
+      file->BulkLoad(MakeAscendingRecords(file->capacity() / 2, 2, 2)).ok());
+  for (auto _ : state) {
+    const Key k = 2 * rng.Uniform(file->capacity()) + 1;  // odd: absent
+    benchmark::DoNotOptimize(file->Insert(k, k));
+    benchmark::DoNotOptimize(file->Delete(k));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_DenseFileInsertDelete)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_DenseFileGet(benchmark::State& state) {
+  std::unique_ptr<DenseFile> file =
+      std::move(*DenseFile::Create(FileOptions(1024)));
+  DSF_CHECK(file->BulkLoad(MakeAscendingRecords(file->capacity())).ok());
+  Rng rng(2);
+  for (auto _ : state) {
+    const Key k = rng.Uniform(file->capacity()) + 1;
+    benchmark::DoNotOptimize(file->Get(k));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DenseFileGet);
+
+void BM_DenseFileScan(benchmark::State& state) {
+  const int64_t span = state.range(0);
+  std::unique_ptr<DenseFile> file =
+      std::move(*DenseFile::Create(FileOptions(1024)));
+  DSF_CHECK(file->BulkLoad(MakeAscendingRecords(file->capacity())).ok());
+  DSF_CHECK(span < file->capacity()) << "scan span exceeds file population";
+  Rng rng(3);
+  for (auto _ : state) {
+    const Key lo = rng.Uniform(file->capacity() - span + 1) + 1;
+    std::vector<Record> out;
+    benchmark::DoNotOptimize(
+        file->Scan(lo, lo + static_cast<Key>(span) - 1, &out));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * span);
+}
+BENCHMARK(BM_DenseFileScan)->Arg(100)->Arg(4000);
+
+void BM_BTreeInsertDelete(benchmark::State& state) {
+  BTree::Options options;
+  options.leaf_capacity = 41;
+  options.internal_fanout = 32;
+  std::unique_ptr<BTree> tree = std::move(*BTree::Create(options));
+  DSF_CHECK(tree->BulkLoad(MakeAscendingRecords(100000, 2, 2)).ok());
+  Rng rng(4);
+  for (auto _ : state) {
+    const Key k = 2 * rng.Uniform(100000) + 1;
+    benchmark::DoNotOptimize(tree->Insert(Record{k, k}));
+    benchmark::DoNotOptimize(tree->Delete(k));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_BTreeInsertDelete);
+
+void BM_CalibratorSyncLeaf(benchmark::State& state) {
+  Calibrator cal(state.range(0));
+  Rng rng(5);
+  for (auto _ : state) {
+    const Address page = rng.Uniform(cal.num_pages()) + 1;
+    cal.SyncLeaf(page, static_cast<int64_t>(rng.Uniform(16)), 1, 2);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CalibratorSyncLeaf)->Arg(1024)->Arg(65536);
+
+void BM_CalibratorSearch(benchmark::State& state) {
+  Calibrator cal(65536);
+  Rng rng(6);
+  for (Address p = 1; p <= cal.num_pages(); p += 2) {
+    cal.SyncLeaf(p, 4, static_cast<Key>(p) * 10, static_cast<Key>(p) * 10 + 3);
+  }
+  for (auto _ : state) {
+    const Key k = rng.Uniform(655360) + 1;
+    benchmark::DoNotOptimize(cal.FirstNonEmptyPageWithMaxGE(k));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CalibratorSearch);
+
+// The adversarial command: descending inserts keep the hotspot leaf in a
+// warning state, so every command runs J real SHIFT cycles.
+void BM_Control2WorstCaseCommand(benchmark::State& state) {
+  Control2::Options options;
+  options.config.num_pages = 1024;
+  options.config.d = 8;
+  options.config.D = 8 + 41;
+  std::unique_ptr<Control2> control = std::move(*Control2::Create(options));
+  Key next = 1ull << 40;
+  for (auto _ : state) {
+    if (control->size() >= control->MaxRecords()) {
+      state.PauseTiming();
+      std::unique_ptr<Control2> fresh =
+          std::move(*Control2::Create(options));
+      control.swap(fresh);
+      next = 1ull << 40;
+      state.ResumeTiming();
+    }
+    DSF_CHECK(control->Insert(Record{next--, 0}).ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Control2WorstCaseCommand);
+
+void BM_LocalShiftStationaryChurn(benchmark::State& state) {
+  DenseFile::Options options = FileOptions(1024);
+  options.policy = DenseFile::Policy::kLocalShift;
+  std::unique_ptr<DenseFile> file =
+      std::move(*DenseFile::Create(options));
+  DSF_CHECK(
+      file->BulkLoad(MakeAscendingRecords(file->capacity() / 2, 2, 2)).ok());
+  Rng rng(7);
+  for (auto _ : state) {
+    const Key k = 2 * rng.Uniform(file->capacity()) + 1;
+    benchmark::DoNotOptimize(file->Insert(k, k));
+    benchmark::DoNotOptimize(file->Delete(k));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_LocalShiftStationaryChurn);
+
+void BM_CursorFullWalk(benchmark::State& state) {
+  std::unique_ptr<DenseFile> file =
+      std::move(*DenseFile::Create(FileOptions(1024)));
+  DSF_CHECK(file->BulkLoad(MakeAscendingRecords(file->capacity())).ok());
+  for (auto _ : state) {
+    int64_t seen = 0;
+    for (Cursor cur = file->NewCursor(); cur.Valid(); cur.Next()) {
+      benchmark::DoNotOptimize(cur.record());
+      ++seen;
+    }
+    DSF_CHECK(seen == file->size());
+  }
+  state.SetItemsProcessed(state.iterations() * file->size());
+}
+BENCHMARK(BM_CursorFullWalk);
+
+void BM_DeleteRangeTenth(benchmark::State& state) {
+  std::unique_ptr<DenseFile> file =
+      std::move(*DenseFile::Create(FileOptions(1024)));
+  const std::vector<Record> records =
+      MakeAscendingRecords(file->capacity());
+  const int64_t slice = file->capacity() / 10;
+  Key lo = 1;
+  for (auto _ : state) {
+    state.PauseTiming();
+    DSF_CHECK(file->BulkLoad(records).ok());
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        file->DeleteRange(lo, lo + static_cast<Key>(slice) - 1));
+  }
+  state.SetItemsProcessed(state.iterations() * slice);
+}
+BENCHMARK(BM_DeleteRangeTenth);
+
+}  // namespace
+}  // namespace dsf
+
+BENCHMARK_MAIN();

@@ -1,0 +1,134 @@
+// Experiment E7 — Section 1's motivation: overflow chaining is
+// "overwhelmed" by a surge of insertions into a small key range, while
+// CONTROL 2 keeps the file dense and the costs bounded.
+//
+// Both structures are loaded with the same uniform base and then hit with
+// surges of growing size confined to one primary page's key range. After
+// each surge we measure: the overflow file's longest chain, the cost of a
+// point lookup inside the surged range, and the seeks paid by a full
+// stream retrieval — against the dense file's same numbers. The shape to
+// check: every overflow metric grows linearly with the surge; every dense
+// file metric stays flat.
+
+#include <array>
+
+#include "baseline/overflow_file.h"
+#include "bench_common.h"
+#include "core/dense_file.h"
+#include "util/check.h"
+#include "workload/workload.h"
+
+namespace dsf {
+namespace {
+
+constexpr int64_t kNumPages = 256;
+constexpr int64_t kD = 8;
+constexpr int64_t kPageCap = 33;  // gap 25 > 3*8: K = 1, pages = blocks
+constexpr int64_t kBase = 512;    // base records (capacity d*M = 2048)
+
+void Run() {
+  bench::Section(
+      "E7: insertion surge into a narrow key range — overflow chaining vs. "
+      "CONTROL 2 (M = 256 pages, D = 32, base = 512 uniform records)");
+
+  bench::Table table({"surge", "chain max", "ovfl lookup", "dense lookup",
+                      "ovfl scan seeks", "dense scan seeks",
+                      "ovfl worst insert", "dense worst insert"});
+
+  for (const int64_t surge_size : {0ll, 128ll, 256ll, 512ll, 1024ll}) {
+    Rng rng(7);
+    // Base keys are even, surge keys odd: the surge never collides with
+    // the base no matter how the ranges overlap.
+    std::vector<Record> base = MakeUniformRecords(kBase, 1 << 20, rng);
+    for (Record& r : base) {
+      r.key *= 2;
+      r.value = r.key;
+    }
+
+    OverflowFile::Options ovfl_options;
+    ovfl_options.num_primary_pages = kNumPages;
+    ovfl_options.page_capacity = kPageCap;
+    std::unique_ptr<OverflowFile> ovfl =
+        std::move(*OverflowFile::Create(ovfl_options));
+    DSF_CHECK(ovfl->BulkLoad(base).ok());
+
+    DenseFile::Options dense_options;
+    dense_options.num_pages = kNumPages;
+    dense_options.d = kD;
+    dense_options.D = kPageCap;
+    std::unique_ptr<DenseFile> dense =
+        std::move(*DenseFile::Create(dense_options));
+    DSF_CHECK(dense->BulkLoad(base).ok());
+
+    // Surge into four narrow slices, interleaved round-robin, so the
+    // overflow chains of the hit buckets interleave in the overflow area
+    // (as any multi-hotspot workload produces).
+    const Key surge_lo = (1 << 20);
+    int64_t ovfl_worst_insert = 0;
+    int64_t dense_worst_insert = 0;
+    if (surge_size > 0) {
+      constexpr int kHotspots = 4;
+      std::array<Trace, kHotspots> spots;
+      for (int h = 0; h < kHotspots; ++h) {
+        const Key lo = (surge_lo + static_cast<Key>(h) * (1 << 18)) / 2;
+        spots[h] = HotspotSurge(surge_size / kHotspots, lo, lo + 8192, rng);
+        for (Op& op : spots[h]) {
+          op.record.key = 2 * op.record.key + 1;  // odd: disjoint from base
+          op.record.value = op.record.key;
+        }
+      }
+      Trace surge;
+      for (int64_t i = 0; i < surge_size / kHotspots; ++i) {
+        for (int h = 0; h < kHotspots; ++h) {
+          surge.push_back(spots[h][static_cast<size_t>(i)]);
+        }
+      }
+      for (const Op& op : surge) {
+        ovfl->ResetStats();
+        DSF_CHECK(ovfl->Insert(op.record).ok());
+        ovfl_worst_insert =
+            std::max(ovfl_worst_insert, ovfl->stats().TotalAccesses());
+        DSF_CHECK(dense->Insert(op.record).ok());
+      }
+      dense_worst_insert = dense->command_stats().max_command_accesses;
+    }
+
+    // Point lookup inside the surged range.
+    const Key probe = surge_lo + 2048;
+    ovfl->ResetStats();
+    (void)ovfl->Contains(probe);
+    const int64_t ovfl_lookup = ovfl->stats().TotalAccesses();
+    dense->ResetIoStats();
+    (void)dense->Contains(probe);
+    const int64_t dense_lookup = dense->io_stats().TotalAccesses();
+
+    // Full stream retrieval.
+    std::vector<Record> out;
+    ovfl->ResetStats();
+    DSF_CHECK(ovfl->Scan(1, 1 << 21, &out).ok());
+    const int64_t ovfl_seeks = ovfl->stats().seeks;
+    out.clear();
+    dense->ResetIoStats();
+    DSF_CHECK(dense->Scan(1, 1 << 21, &out).ok());
+    const int64_t dense_seeks = dense->io_stats().seeks;
+
+    table.Row(surge_size, ovfl->chain_stats().max_chain_length, ovfl_lookup,
+              dense_lookup, ovfl_seeks, dense_seeks, ovfl_worst_insert,
+              dense_worst_insert);
+  }
+  table.Print();
+  bench::Note(
+      "\nPaper claim (after Wiederhold): bursts of inserts into a small "
+      "region\noverwhelm overflow heuristics — chains, lookups and scan "
+      "seeks degrade\nlinearly with the surge — while shifting among "
+      "adjacent pages (CONTROL 2)\nkeeps all costs bounded. Expected shape: "
+      "'ovfl *' columns grow with the\nsurge; 'dense *' columns stay flat.");
+}
+
+}  // namespace
+}  // namespace dsf
+
+int main() {
+  dsf::Run();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Shared sweep driver for experiments E3/E4: fill a dense file to
+// capacity under a chosen workload and collect per-command page-access
+// statistics for either maintenance policy.
+
+#ifndef DSF_BENCH_SWEEP_UTIL_H_
+#define DSF_BENCH_SWEEP_UTIL_H_
+
+#include <memory>
+
+#include "core/control2.h"
+#include "core/dense_file.h"
+#include "util/check.h"
+#include "workload/workload.h"
+
+namespace dsf::bench {
+
+enum class FillKind {
+  kDescending,  // adversarial single-page hotspot
+  kUniform,     // random distinct keys
+};
+
+struct FillResult {
+  int64_t M = 0;
+  int64_t L = 0;
+  int64_t gap = 0;  // D - d
+  int64_t J = 0;    // 0 for CONTROL 1
+  int64_t commands = 0;
+  int64_t max_command_accesses = 0;
+  double mean_command_accesses = 0.0;
+  int64_t total_accesses = 0;
+};
+
+// Builds a DenseFile (M pages, d, D = d + gap) and inserts d*M records
+// under `kind`, returning the command statistics.
+inline FillResult RunFill(DenseFile::Policy policy, int64_t num_pages,
+                          int64_t d, int64_t gap, FillKind kind,
+                          uint64_t seed) {
+  DenseFile::Options options;
+  options.num_pages = num_pages;
+  options.d = d;
+  options.D = d + gap;
+  options.policy = policy;
+  std::unique_ptr<DenseFile> file = std::move(*DenseFile::Create(options));
+
+  Trace trace;
+  if (kind == FillKind::kDescending) {
+    trace = DescendingInserts(file->capacity(), 1ull << 40);
+  } else {
+    Rng rng(seed);
+    const std::vector<Record> records = MakeUniformRecords(
+        file->capacity(), static_cast<Key>(8 * file->capacity()), rng);
+    // Shuffle so the insertion order (not just the key set) is random.
+    std::vector<Record> shuffled = records;
+    for (size_t i = shuffled.size(); i > 1; --i) {
+      std::swap(shuffled[i - 1], shuffled[rng.Uniform(i)]);
+    }
+    for (const Record& r : shuffled) {
+      trace.push_back(Op{Op::Kind::kInsert, r, 0});
+    }
+  }
+  for (const Op& op : trace) {
+    const Status s = file->Insert(op.record);
+    DSF_CHECK(s.ok()) << s;
+  }
+  const Status invariants = file->ValidateInvariants();
+  DSF_CHECK(invariants.ok()) << invariants;
+
+  FillResult result;
+  result.M = num_pages;
+  result.L = file->control().logical_spec().L();
+  result.gap = gap;
+  if (policy == DenseFile::Policy::kControl2) {
+    result.J = static_cast<const Control2&>(file->control()).J();
+  }
+  const CommandStats& cs = file->command_stats();
+  result.commands = cs.commands;
+  result.max_command_accesses = cs.max_command_accesses;
+  result.mean_command_accesses = cs.MeanAccessesPerCommand();
+  result.total_accesses = cs.total_accesses;
+  return result;
+}
+
+}  // namespace dsf::bench
+
+#endif  // DSF_BENCH_SWEEP_UTIL_H_

@@ -1,0 +1,156 @@
+// Experiment E12 — variable-size records ([BCW85], the paper's Section 2
+// reference on variable record sizes).
+//
+// The amortized O(log^2 M/(D-d)) claim, re-measured when densities are
+// counted in units and records occupy 1..S units each. Sweeps the maximum
+// record size at fixed geometry and the file size at fixed S, reporting
+// mean accesses per insert and redistribution counts. Expected shape: the
+// normalized mean stays flat in M (same amortized rate as fixed-size
+// CONTROL 1), and grows only mildly with S (the widened thresholds absorb
+// record atomicity).
+
+#include <memory>
+
+#include "bench_common.h"
+#include "util/check.h"
+#include "util/random.h"
+#include "varsize/var_control2.h"
+#include "varsize/var_file.h"
+
+namespace dsf {
+namespace {
+
+struct RunResult {
+  double mean_accesses = 0;
+  int64_t rebalances = 0;
+  int64_t records = 0;
+};
+
+RunResult FillDescending(int64_t num_pages, int64_t d, int64_t gap,
+                         int64_t max_size, uint64_t seed) {
+  VarFile::Options options;
+  options.num_pages = num_pages;
+  options.d = d;
+  options.D = d + gap;
+  options.max_record_size = max_size;
+  std::unique_ptr<VarFile> file = std::move(*VarFile::Create(options));
+
+  Rng rng(seed);
+  Key key = 1ull << 40;
+  int64_t inserted = 0;
+  for (;;) {
+    const int64_t size = static_cast<int64_t>(rng.Uniform(max_size)) + 1;
+    const Status s = file->Insert(VarRecord{key--, size, 0});
+    if (s.IsCapacityExceeded()) break;
+    DSF_CHECK(s.ok()) << s;
+    ++inserted;
+  }
+  const Status invariants = file->ValidateInvariants();
+  DSF_CHECK(invariants.ok()) << invariants;
+
+  RunResult result;
+  result.mean_accesses = static_cast<double>(file->stats().TotalAccesses()) /
+                         static_cast<double>(inserted);
+  result.rebalances = file->maintenance_stats().rebalances;
+  result.records = inserted;
+  return result;
+}
+
+void Run() {
+  bench::Section(
+      "E12: variable-size records (amortized, units-based thresholds) — "
+      "descending fill with uniform sizes 1..S");
+
+  bench::Note("Sweep S at M = 256, d = 24:");
+  bench::Table by_size({"S", "D-d", "records", "mean acc/insert",
+                        "rebalances"});
+  for (const int64_t s : {1ll, 2ll, 4ll, 8ll}) {
+    int64_t l = 8;
+    const int64_t gap = (2 + s) * l + 9;
+    const RunResult r = FillDescending(256, 24, gap, s, 4);
+    by_size.Row(s, gap, r.records, r.mean_accesses, r.rebalances);
+  }
+  by_size.Print();
+
+  bench::Note("\nSweep M at S = 4, d = 24 (normalized by L^2/(D-d)):");
+  bench::Table by_m({"M", "L", "D-d", "records", "mean acc/insert",
+                     "mean normalized", "rebalances"});
+  for (const int64_t m : {64, 256, 1024}) {
+    int64_t l = 1;
+    while ((1ll << l) < m) ++l;
+    const int64_t gap = 6 * l + 9;
+    const double theory =
+        static_cast<double>(l * l) / static_cast<double>(gap);
+    const RunResult r = FillDescending(m, 24, gap, 4, 4);
+    by_m.Row(m, l, gap, r.records, r.mean_accesses,
+             r.mean_accesses / theory, r.rebalances);
+  }
+  by_m.Print();
+
+  // Deamortization also generalizes: the worst single command under the
+  // amortized VarFile (a redistribution spanning O(M) pages) vs. the
+  // worst-case VarControl2 (bounded by its J SHIFT cycles). This goes
+  // beyond both the paper (unit records) and [BCW85] (amortized only).
+  bench::Note("\nWorst single command, amortized vs. worst-case variable-"
+              "size maintenance\n(descending fill, S = 4, d = 24):");
+  bench::Table worst({"M", "L", "D-d", "VarFile worst", "VarControl2 worst",
+                      "VC2 J", "VC2 bound"});
+  for (const int64_t m : {64, 256, 1024}) {
+    int64_t l = 1;
+    while ((1ll << l) < m) ++l;
+    const int64_t gap = 12 * l + 9;  // > 3*S*L for S = 4
+
+    // Amortized: track per-insert worst manually.
+    VarFile::Options vf_options;
+    vf_options.num_pages = m;
+    vf_options.d = 24;
+    vf_options.D = 24 + gap;
+    vf_options.max_record_size = 4;
+    std::unique_ptr<VarFile> vf = std::move(*VarFile::Create(vf_options));
+    Rng rng_a(4);
+    Key key = 1ull << 40;
+    int64_t vf_worst = 0;
+    for (;;) {
+      const int64_t size = static_cast<int64_t>(rng_a.Uniform(4)) + 1;
+      const int64_t before = vf->stats().TotalAccesses();
+      const Status s = vf->Insert(VarRecord{key--, size, 0});
+      if (s.IsCapacityExceeded()) break;
+      DSF_CHECK(s.ok()) << s;
+      vf_worst = std::max(vf_worst, vf->stats().TotalAccesses() - before);
+    }
+
+    VarControl2::Options vc_options;
+    vc_options.num_pages = m;
+    vc_options.d = 24;
+    vc_options.D = 24 + gap;
+    vc_options.max_record_size = 4;
+    std::unique_ptr<VarControl2> vc =
+        std::move(*VarControl2::Create(vc_options));
+    Rng rng_b(4);
+    key = 1ull << 40;
+    for (;;) {
+      const int64_t size = static_cast<int64_t>(rng_b.Uniform(4)) + 1;
+      const Status s = vc->Insert(VarRecord{key--, size, 0});
+      if (s.IsCapacityExceeded()) break;
+      DSF_CHECK(s.ok()) << s;
+    }
+    DSF_CHECK(vc->ValidateInvariants().ok());
+    worst.Row(m, l, gap, vf_worst, vc->command_cost().max_accesses,
+              vc->J(), 4 * (vc->J() + 1) + 2);
+  }
+  worst.Print();
+  bench::Note(
+      "\n[BCW85] context: variable sizes keep the amortized rate; the "
+      "price is the\nwidened gap condition. Expected shapes: the "
+      "normalized mean stays flat in M\nand grows mildly with S; the "
+      "amortized worst command grows ~M while the\nworst-case variant "
+      "stays within its O(J) bound.");
+}
+
+}  // namespace
+}  // namespace dsf
+
+int main() {
+  dsf::Run();
+  return 0;
+}

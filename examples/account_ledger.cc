@@ -1,0 +1,118 @@
+// Account ledger: tail latency under online updates.
+//
+// A bank keeps its account master file sorted by account number for the
+// nightly batch sweep (the classic sequential-file workload the paper
+// cites Wiederhold for). During the day, accounts open and close online.
+// With CONTROL 1 (amortized maintenance), an unlucky account opening
+// occasionally triggers a redistribution spanning a large part of the
+// file — a latency spike exactly when a customer is waiting. CONTROL 2
+// (this paper) pins the worst case near the mean.
+//
+//   ./build/examples/account_ledger
+
+#include <algorithm>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "core/dense_file.h"
+#include "util/random.h"
+#include "workload/workload.h"
+
+namespace {
+
+constexpr int64_t kPages = 4096;    // capacity d*M = 32768 accounts
+constexpr int64_t kDLow = 8;
+constexpr int64_t kDHigh = 8 + 49;  // gap 49 > 3*12
+
+// One business day: 6000 openings (a hot branch allocates consecutive
+// account numbers — a burst into one key region) and 2000 closings.
+dsf::Trace BusinessDay(dsf::Rng& rng, dsf::Key hot_branch_base) {
+  dsf::Trace day;
+  dsf::Key next_hot = hot_branch_base;
+  for (int64_t i = 0; i < 6000; ++i) {
+    if (rng.Bernoulli(0.7)) {
+      day.push_back(dsf::Op{dsf::Op::Kind::kInsert,
+                            dsf::Record{next_hot++, 100}, 0});
+    } else {
+      const dsf::Key k = rng.Uniform(1u << 22) * 4 + 3;  // scattered branch
+      day.push_back(dsf::Op{dsf::Op::Kind::kInsert, dsf::Record{k, 100}, 0});
+    }
+    if (i % 3 == 0) {
+      const dsf::Key k = rng.Uniform(1u << 22) * 2;  // maybe-loaded account
+      day.push_back(dsf::Op{dsf::Op::Kind::kDelete, dsf::Record{k, 0}, 0});
+    }
+  }
+  return day;
+}
+
+struct DayReport {
+  double mean = 0;
+  int64_t p999 = 0;
+  int64_t worst = 0;
+};
+
+DayReport RunDay(dsf::DenseFile& ledger, const dsf::Trace& day) {
+  std::vector<int64_t> costs;
+  for (const dsf::Op& op : day) {
+    dsf::Status s;
+    if (op.kind == dsf::Op::Kind::kInsert) {
+      s = ledger.Insert(op.record);
+    } else {
+      s = ledger.Delete(op.record.key);
+    }
+    if (!s.ok() && !s.IsAlreadyExists() && !s.IsNotFound()) {
+      std::cerr << "ledger op failed: " << s << "\n";
+      std::exit(1);
+    }
+    costs.push_back(ledger.command_stats().last_command_accesses);
+  }
+  DayReport report;
+  int64_t total = 0;
+  for (const int64_t c : costs) total += c;
+  report.mean = static_cast<double>(total) / static_cast<double>(costs.size());
+  std::sort(costs.begin(), costs.end());
+  report.p999 = costs[costs.size() * 999 / 1000];
+  report.worst = costs.back();
+  return report;
+}
+
+}  // namespace
+
+int main() {
+  // 16k existing accounts, even numbers, spread over the key space.
+  dsf::Rng rng(2026);
+  std::vector<dsf::Record> accounts;
+  for (const dsf::Record& r : dsf::MakeUniformRecords(16000, 1u << 22, rng)) {
+    accounts.push_back(dsf::Record{r.key * 2, 100});
+  }
+
+  std::cout << "account ledger: 16000 accounts, one business day of "
+               "openings/closings\nper policy (same operations for "
+               "both)\n\n";
+  std::cout << "policy     mean/op   p99.9/op   worst op (page accesses)\n";
+  for (const auto policy : {dsf::DenseFile::Policy::kControl1,
+                            dsf::DenseFile::Policy::kControl2}) {
+    dsf::DenseFile::Options options;
+    options.num_pages = kPages;
+    options.d = kDLow;
+    options.D = kDHigh;
+    options.policy = policy;
+    std::unique_ptr<dsf::DenseFile> ledger =
+        std::move(*dsf::DenseFile::Create(options));
+    if (!ledger->BulkLoad(accounts).ok()) return 1;
+
+    dsf::Rng day_rng(7);
+    const dsf::Trace day = BusinessDay(day_rng, (1u << 23) + 1);
+    const DayReport report = RunDay(*ledger, day);
+    std::printf("%-9s %7.2f   %8lld   %8lld\n",
+                ledger->PolicyName().c_str(), report.mean,
+                static_cast<long long>(report.p999),
+                static_cast<long long>(report.worst));
+    if (!ledger->ValidateInvariants().ok()) return 1;
+  }
+  std::cout << "\nCONTROL 2 trades a slightly higher mean for a worst case "
+               "hundreds of times\nsmaller: no customer waits for a "
+               "file-wide redistribution.\n";
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Blob store: variable-size records in a dense sequential file.
+//
+// A document store keeps compressed articles keyed by id; sizes vary from
+// 1 to 8 "units" (think KB). The example runs the same ingest through the
+// amortized maintainer (VarFile, [BCW85]'s setting) and the worst-case
+// generalization (VarControl2), showing identical contents but very
+// different tail behavior — the variable-size analogue of the
+// account_ledger example.
+//
+//   ./build/examples/blob_store
+
+#include <algorithm>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "util/random.h"
+#include "varsize/var_control2.h"
+#include "varsize/var_file.h"
+
+namespace {
+
+constexpr int64_t kPages = 512;  // M
+constexpr int64_t kDLow = 32;    // units per page, floor
+constexpr int64_t kMaxSize = 8;  // largest article
+
+// Articles arrive in bursts per topic: consecutive ids from one topic
+// land in one key region — the hotspot pattern that separates the two
+// maintainers.
+std::vector<dsf::VarRecord> TopicBurst(dsf::Key topic_base, int64_t n,
+                                       dsf::Rng& rng) {
+  std::vector<dsf::VarRecord> burst;
+  for (int64_t i = 0; i < n; ++i) {
+    burst.push_back(dsf::VarRecord{
+        topic_base + static_cast<dsf::Key>(i),
+        static_cast<int64_t>(rng.Uniform(kMaxSize)) + 1,
+        topic_base});
+  }
+  return burst;
+}
+
+template <typename File>
+void Ingest(File& file, const char* name) {
+  dsf::Rng rng(5);
+  int64_t stored = 0;
+  int64_t worst = 0;
+  int64_t total_accesses = 0;
+  for (int topic = 0; topic < 40; ++topic) {
+    const dsf::Key base = (static_cast<dsf::Key>(topic) + 1) << 20;
+    for (const dsf::VarRecord& r : TopicBurst(base, 100, rng)) {
+      const int64_t before = file.stats().TotalAccesses();
+      const dsf::Status s = file.Insert(r);
+      if (s.IsCapacityExceeded()) break;
+      if (!s.ok()) {
+        std::cerr << "insert failed: " << s << "\n";
+        std::exit(1);
+      }
+      const int64_t cost = file.stats().TotalAccesses() - before;
+      worst = std::max(worst, cost);
+      total_accesses += cost;
+      ++stored;
+    }
+  }
+  std::printf("%-12s stored %5lld articles (%lld units), mean %.2f, "
+              "worst %lld page accesses/insert\n",
+              name, static_cast<long long>(stored),
+              static_cast<long long>(file.total_units()),
+              static_cast<double>(total_accesses) /
+                  static_cast<double>(stored),
+              static_cast<long long>(worst));
+  if (!file.ValidateInvariants().ok()) {
+    std::cerr << "invariants violated!\n";
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "blob store: 40 topic bursts of 100 variable-size articles "
+               "(1..8 units)\n\n";
+
+  dsf::VarFile::Options amortized;
+  amortized.num_pages = kPages;
+  amortized.d = kDLow;
+  amortized.D = kDLow + (2 + kMaxSize) * 9 + 9;  // widened gap, L = 9
+  amortized.max_record_size = kMaxSize;
+  auto var_file = std::move(*dsf::VarFile::Create(amortized));
+  Ingest(*var_file, "amortized");
+
+  dsf::VarControl2::Options worst_case;
+  worst_case.num_pages = kPages;
+  worst_case.d = kDLow;
+  worst_case.D = kDLow + 3 * kMaxSize * 9 + 9;  // (D-d) > 3*S*L
+  worst_case.max_record_size = kMaxSize;
+  auto var_c2 = std::move(*dsf::VarControl2::Create(worst_case));
+  Ingest(*var_c2, "worst-case");
+
+  // Both stores answer the same queries.
+  std::vector<dsf::VarRecord> a;
+  std::vector<dsf::VarRecord> b;
+  const dsf::Key lo = 5u << 20;
+  const dsf::Key hi = lo + 50;
+  if (!var_file->Scan(lo, hi, &a).ok() || !var_c2->Scan(lo, hi, &b).ok()) {
+    return 1;
+  }
+  std::cout << "\ntopic-5 window: " << a.size() << " articles from each "
+            << (a == b ? "(identical)" : "(DIVERGED!)") << "\n";
+  std::cout << "\nThe worst-case maintainer pins its tail at ~4(J+1)+2 "
+               "accesses; the\namortized one occasionally redistributes "
+               "hundreds of pages mid-burst.\n";
+  return a == b ? 0 : 1;
+}

@@ -1,0 +1,106 @@
+// Time-series archive: the stream-retrieval workload that motivates dense
+// sequential files.
+//
+// A metering system appends timestamped readings (mostly ascending keys,
+// with some late arrivals) and periodically runs windowed batch queries
+// ("all readings from the last hour"). The example maintains the same
+// data in a dense file and a B+-tree and reports, for each batch query,
+// the simulated disk latency under a 1986-style disk — demonstrating the
+// paper's claim that sequential placement wins when streams of
+// consecutive keys are read.
+//
+//   ./build/examples/time_series_archive
+
+#include <iostream>
+#include <memory>
+
+#include "baseline/btree.h"
+#include "core/dense_file.h"
+#include "storage/disk_model.h"
+#include "util/random.h"
+
+namespace {
+
+constexpr int64_t kReadings = 40000;
+constexpr dsf::Key kTickMs = 250;  // one reading every 250 ms
+
+}  // namespace
+
+int main() {
+  dsf::DenseFile::Options options;
+  options.num_pages = 1024;
+  options.d = 40;       // capacity 40960 readings, ~96% full at the end
+  options.D = 40 + 37;  // gap 37 > 3*ceil(log 1024) = 30
+  std::unique_ptr<dsf::DenseFile> archive =
+      std::move(*dsf::DenseFile::Create(options));
+
+  dsf::BTree::Options btree_options;
+  btree_options.leaf_capacity = 64;
+  btree_options.internal_fanout = 64;
+  std::unique_ptr<dsf::BTree> btree =
+      std::move(*dsf::BTree::Create(btree_options));
+
+  // Ingest: 64 sensors sample in lock-step but upload sensor-by-sensor in
+  // batches (each sensor flushes its buffer for the whole batch window at
+  // once). Timestamps therefore interleave across the key space within
+  // every batch — the arrival order any real collector sees — and the
+  // B+-tree's leaves for each window get built out of order.
+  dsf::Rng rng(11);
+  constexpr int64_t kSensors = 64;
+  constexpr int64_t kPerFlush = 64;  // readings per sensor per batch
+  constexpr int64_t kBatch = kSensors * kPerFlush;
+  int64_t ingested = 0;
+  for (int64_t batch = 0; batch * kBatch < kReadings; ++batch) {
+    const dsf::Key base = static_cast<dsf::Key>(batch) * kBatch * kTickMs;
+    for (int64_t sensor = 0; sensor < kSensors; ++sensor) {
+      for (int64_t k = 0; k < kPerFlush; ++k) {
+        const dsf::Key ts =
+            base + (static_cast<dsf::Key>(k) * kSensors +
+                    static_cast<dsf::Key>(sensor) + 1) *
+                       kTickMs;
+        const dsf::Value reading = rng.Uniform(1000);
+        if (archive->Insert(ts, reading).ok() &&
+            btree->Insert(dsf::Record{ts, reading}).ok()) {
+          ++ingested;
+        }
+      }
+    }
+  }
+  std::cout << "ingested " << ingested << " readings\n";
+  std::cout << "dense file worst ingest command: "
+            << archive->command_stats().max_command_accesses
+            << " page accesses (mean "
+            << archive->command_stats().MeanAccessesPerCommand() << ")\n\n";
+
+  // Batch windows: "give me the last W minutes of readings", W growing.
+  const dsf::DiskModel disk{30.0, 1.0};
+  std::cout << "window      records   dense ms   btree ms   speedup\n";
+  const dsf::Key end = kReadings * kTickMs;
+  for (const dsf::Key minutes : {1ull, 10ull, 60ull, 160ull}) {
+    const dsf::Key window = minutes * 60 * 1000;
+    const dsf::Key lo = window >= end ? 1 : end - window;
+
+    std::vector<dsf::Record> dense_out;
+    archive->ResetIoStats();
+    if (!archive->Scan(lo, end, &dense_out).ok()) return 1;
+    const double dense_ms = disk.LatencyMs(archive->io_stats());
+
+    std::vector<dsf::Record> btree_out;
+    btree->ResetStats();
+    if (!btree->Scan(lo, end, &btree_out).ok()) return 1;
+    const double btree_ms = disk.LatencyMs(btree->stats());
+
+    if (dense_out.size() != btree_out.size()) {
+      std::cerr << "scan results diverge!\n";
+      return 1;
+    }
+    std::printf("%4llu min   %7zu   %8.1f   %8.1f   %6.2fx\n",
+                static_cast<unsigned long long>(minutes), dense_out.size(),
+                dense_ms, btree_ms, btree_ms / dense_ms);
+  }
+
+  std::cout << "\nThe dense file reads each window as one sequential run "
+               "of pages; the\nB+-tree hops between scattered leaves, "
+               "paying a seek almost every page.\n";
+  return archive->ValidateInvariants().ok() ? 0 : 1;
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Builds the project and regenerates every experiment E1..E13 plus the
+# microbenchmarks, collecting output under results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+mkdir -p results
+for bench in build/bench/*; do
+  name="$(basename "$bench")"
+  [ -x "$bench" ] && [ -f "$bench" ] || continue
+  echo "== $name =="
+  "$bench" | tee "results/$name.txt"
+done
+echo "Outputs in results/"

@@ -1,0 +1,493 @@
+#include "baseline/btree.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+#include "util/math.h"
+
+namespace dsf {
+
+StatusOr<std::unique_ptr<BTree>> BTree::Create(const Options& options) {
+  if (options.leaf_capacity < 2) {
+    return Status::InvalidArgument("leaf_capacity must be >= 2");
+  }
+  if (options.internal_fanout < 3) {
+    return Status::InvalidArgument("internal_fanout must be >= 3");
+  }
+  return std::unique_ptr<BTree>(new BTree(options));
+}
+
+int64_t BTree::AllocNode(bool is_leaf) {
+  int64_t id;
+  if (!free_list_.empty()) {
+    id = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    id = static_cast<int64_t>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  Node& n = nodes_[static_cast<size_t>(id)];
+  n = Node{};
+  n.is_leaf = is_leaf;
+  return id;
+}
+
+void BTree::FreeNode(int64_t id) {
+  nodes_[static_cast<size_t>(id)] = Node{};
+  nodes_[static_cast<size_t>(id)].free = true;
+  free_list_.push_back(id);
+}
+
+BTree::Node& BTree::Access(int64_t id, bool is_write) {
+  tracker_.OnAccess(id, is_write);
+  return nodes_[static_cast<size_t>(id)];
+}
+
+int64_t BTree::DescendToLeaf(Key key, std::vector<int64_t>* path) {
+  DSF_CHECK(root_ >= 0) << "descend on empty tree";
+  int64_t cur = root_;
+  for (;;) {
+    const Node& n = Access(cur, /*is_write=*/false);
+    path->push_back(cur);
+    if (n.is_leaf) return cur;
+    const auto it = std::upper_bound(n.keys.begin(), n.keys.end(), key);
+    const size_t child_index =
+        static_cast<size_t>(it - n.keys.begin());
+    cur = n.children[child_index];
+  }
+}
+
+Status BTree::Insert(const Record& record) {
+  if (root_ < 0) {
+    root_ = AllocNode(/*is_leaf=*/true);
+    Node& leaf = Access(root_, /*is_write=*/true);
+    leaf.records.push_back(record);
+    ++size_;
+    return Status::OK();
+  }
+  std::vector<int64_t> path;
+  const int64_t leaf_id = DescendToLeaf(record.key, &path);
+  Node& leaf = Access(leaf_id, /*is_write=*/true);
+  const auto it = std::lower_bound(leaf.records.begin(), leaf.records.end(),
+                                   record, RecordKeyLess);
+  if (it != leaf.records.end() && it->key == record.key) {
+    return Status::AlreadyExists("key already present");
+  }
+  leaf.records.insert(it, record);
+  ++size_;
+  if (static_cast<int64_t>(leaf.records.size()) > options_.leaf_capacity) {
+    SplitUpward(path);
+  }
+  return Status::OK();
+}
+
+void BTree::SplitUpward(std::vector<int64_t>& path) {
+  int64_t cur = path.back();
+  path.pop_back();
+  for (;;) {
+    Node& n = nodes_[static_cast<size_t>(cur)];
+    const bool overflow =
+        n.is_leaf
+            ? static_cast<int64_t>(n.records.size()) > options_.leaf_capacity
+            : static_cast<int64_t>(n.children.size()) >
+                  options_.internal_fanout;
+    if (!overflow) return;
+
+    const int64_t right_id = AllocNode(n.is_leaf);
+    // AllocNode may reallocate nodes_; refetch.
+    Node& left = nodes_[static_cast<size_t>(cur)];
+    Node& right = Access(right_id, /*is_write=*/true);
+    Key separator;
+    if (left.is_leaf) {
+      const int64_t total = static_cast<int64_t>(left.records.size());
+      const int64_t keep = (total + 1) / 2;
+      right.records.assign(left.records.begin() + keep, left.records.end());
+      left.records.resize(static_cast<size_t>(keep));
+      separator = right.records.front().key;
+      // Stitch the leaf chain.
+      right.next_leaf = left.next_leaf;
+      right.prev_leaf = cur;
+      left.next_leaf = right_id;
+      if (right.next_leaf >= 0) {
+        Access(right.next_leaf, /*is_write=*/true).prev_leaf = right_id;
+      }
+    } else {
+      const int64_t total = static_cast<int64_t>(left.children.size());
+      const int64_t keep = (total + 1) / 2;
+      separator = left.keys[static_cast<size_t>(keep - 1)];
+      right.children.assign(left.children.begin() + keep,
+                            left.children.end());
+      right.keys.assign(left.keys.begin() + keep, left.keys.end());
+      left.children.resize(static_cast<size_t>(keep));
+      left.keys.resize(static_cast<size_t>(keep - 1));
+    }
+    Access(cur, /*is_write=*/true);  // left half rewritten
+
+    if (path.empty()) {
+      const int64_t new_root = AllocNode(/*is_leaf=*/false);
+      Node& root = Access(new_root, /*is_write=*/true);
+      root.is_leaf = false;
+      root.children = {cur, right_id};
+      root.keys = {separator};
+      root_ = new_root;
+      return;
+    }
+    const int64_t parent_id = path.back();
+    path.pop_back();
+    Node& parent = Access(parent_id, /*is_write=*/true);
+    const auto pos = std::find(parent.children.begin(),
+                               parent.children.end(), cur);
+    DSF_CHECK(pos != parent.children.end()) << "split lost its parent link";
+    const size_t index = static_cast<size_t>(pos - parent.children.begin());
+    parent.keys.insert(parent.keys.begin() + index, separator);
+    parent.children.insert(parent.children.begin() + index + 1, right_id);
+    cur = parent_id;
+  }
+}
+
+Status BTree::Delete(Key key) {
+  if (root_ < 0) return Status::NotFound("key absent");
+  std::vector<int64_t> path;
+  const int64_t leaf_id = DescendToLeaf(key, &path);
+  Node& leaf = nodes_[static_cast<size_t>(leaf_id)];
+  const auto it = std::lower_bound(leaf.records.begin(), leaf.records.end(),
+                                   Record{key, 0}, RecordKeyLess);
+  if (it == leaf.records.end() || it->key != key) {
+    return Status::NotFound("key absent");
+  }
+  Access(leaf_id, /*is_write=*/true).records.erase(it);
+  --size_;
+  if (leaf_id != root_ &&
+      static_cast<int64_t>(leaf.records.size()) < MinLeafRecords()) {
+    RebalanceUpward(path);
+  }
+  return Status::OK();
+}
+
+void BTree::RebalanceUpward(std::vector<int64_t>& path) {
+  int64_t cur = path.back();
+  path.pop_back();
+  for (;;) {
+    Node& n = nodes_[static_cast<size_t>(cur)];
+    if (path.empty()) {
+      // cur is the root: collapse an internal root with a single child.
+      if (!n.is_leaf && n.children.size() == 1) {
+        root_ = n.children[0];
+        FreeNode(cur);
+      }
+      return;
+    }
+    const bool underflow =
+        n.is_leaf ? static_cast<int64_t>(n.records.size()) < MinLeafRecords()
+                  : static_cast<int64_t>(n.children.size()) < MinChildren();
+    if (!underflow) return;
+
+    const int64_t parent_id = path.back();
+    path.pop_back();
+    Node& parent = Access(parent_id, /*is_write=*/true);
+    const auto pos =
+        std::find(parent.children.begin(), parent.children.end(), cur);
+    DSF_CHECK(pos != parent.children.end()) << "rebalance lost parent link";
+    const size_t index = static_cast<size_t>(pos - parent.children.begin());
+
+    // Try borrowing from the left, then the right sibling.
+    if (index > 0) {
+      const int64_t sib_id = parent.children[index - 1];
+      Node& sib = Access(sib_id, /*is_write=*/false);
+      const bool can_borrow =
+          n.is_leaf
+              ? static_cast<int64_t>(sib.records.size()) > MinLeafRecords()
+              : static_cast<int64_t>(sib.children.size()) > MinChildren();
+      if (can_borrow) {
+        Access(sib_id, /*is_write=*/true);
+        Access(cur, /*is_write=*/true);
+        if (n.is_leaf) {
+          n.records.insert(n.records.begin(), sib.records.back());
+          sib.records.pop_back();
+          parent.keys[index - 1] = n.records.front().key;
+        } else {
+          n.children.insert(n.children.begin(), sib.children.back());
+          n.keys.insert(n.keys.begin(), parent.keys[index - 1]);
+          parent.keys[index - 1] = sib.keys.back();
+          sib.keys.pop_back();
+          sib.children.pop_back();
+        }
+        return;
+      }
+    }
+    if (index + 1 < parent.children.size()) {
+      const int64_t sib_id = parent.children[index + 1];
+      Node& sib = Access(sib_id, /*is_write=*/false);
+      const bool can_borrow =
+          n.is_leaf
+              ? static_cast<int64_t>(sib.records.size()) > MinLeafRecords()
+              : static_cast<int64_t>(sib.children.size()) > MinChildren();
+      if (can_borrow) {
+        Access(sib_id, /*is_write=*/true);
+        Access(cur, /*is_write=*/true);
+        if (n.is_leaf) {
+          n.records.push_back(sib.records.front());
+          sib.records.erase(sib.records.begin());
+          parent.keys[index] = sib.records.front().key;
+        } else {
+          n.children.push_back(sib.children.front());
+          n.keys.push_back(parent.keys[index]);
+          parent.keys[index] = sib.keys.front();
+          sib.keys.erase(sib.keys.begin());
+          sib.children.erase(sib.children.begin());
+        }
+        return;
+      }
+    }
+
+    // Merge with a sibling: fold the right node of the pair into the left.
+    const size_t left_index = index > 0 ? index - 1 : index;
+    const int64_t left_id = parent.children[left_index];
+    const int64_t right_id = parent.children[left_index + 1];
+    Node& left = Access(left_id, /*is_write=*/true);
+    Node& right = Access(right_id, /*is_write=*/false);
+    if (left.is_leaf) {
+      left.records.insert(left.records.end(), right.records.begin(),
+                          right.records.end());
+      left.next_leaf = right.next_leaf;
+      if (right.next_leaf >= 0) {
+        Access(right.next_leaf, /*is_write=*/true).prev_leaf = left_id;
+      }
+    } else {
+      left.keys.push_back(parent.keys[left_index]);
+      left.keys.insert(left.keys.end(), right.keys.begin(),
+                       right.keys.end());
+      left.children.insert(left.children.end(), right.children.begin(),
+                           right.children.end());
+    }
+    parent.keys.erase(parent.keys.begin() + left_index);
+    parent.children.erase(parent.children.begin() + left_index + 1);
+    FreeNode(right_id);
+    cur = parent_id;
+  }
+}
+
+StatusOr<Record> BTree::Get(Key key) {
+  if (root_ < 0) return Status::NotFound("key absent");
+  std::vector<int64_t> path;
+  const int64_t leaf_id = DescendToLeaf(key, &path);
+  const Node& leaf = nodes_[static_cast<size_t>(leaf_id)];
+  const auto it = std::lower_bound(leaf.records.begin(), leaf.records.end(),
+                                   Record{key, 0}, RecordKeyLess);
+  if (it == leaf.records.end() || it->key != key) {
+    return Status::NotFound("key absent");
+  }
+  return *it;
+}
+
+bool BTree::Contains(Key key) { return Get(key).ok(); }
+
+Status BTree::Scan(Key lo, Key hi, std::vector<Record>* out) {
+  DSF_CHECK(out != nullptr) << "Scan output vector is null";
+  if (root_ < 0 || lo > hi) return Status::OK();
+  std::vector<int64_t> path;
+  int64_t leaf_id = DescendToLeaf(lo, &path);
+  while (leaf_id >= 0) {
+    const Node& leaf = Access(leaf_id, /*is_write=*/false);
+    for (const Record& r : leaf.records) {
+      if (r.key < lo) continue;
+      if (r.key > hi) return Status::OK();
+      out->push_back(r);
+    }
+    leaf_id = leaf.next_leaf;
+  }
+  return Status::OK();
+}
+
+std::vector<Record> BTree::ScanAll() {
+  std::vector<Record> out;
+  const Status s = Scan(0, std::numeric_limits<Key>::max(), &out);
+  DSF_CHECK(s.ok()) << "full scan failed";
+  return out;
+}
+
+Status BTree::BulkLoad(const std::vector<Record>& records) {
+  for (size_t i = 1; i < records.size(); ++i) {
+    if (records[i - 1].key >= records[i].key) {
+      return Status::InvalidArgument(
+          "bulk load records must be strictly ascending by key");
+    }
+  }
+  nodes_.clear();
+  free_list_.clear();
+  root_ = -1;
+  size_ = static_cast<int64_t>(records.size());
+  tracker_.Reset();
+  if (records.empty()) return Status::OK();
+
+  // Level 0: leaves with near-uniform fill, consecutive ids.
+  const int64_t n = static_cast<int64_t>(records.size());
+  const int64_t num_leaves = DivCeil(n, options_.leaf_capacity);
+  std::vector<int64_t> level;
+  std::vector<Key> level_min_keys;
+  int64_t offset = 0;
+  int64_t prev_leaf = -1;
+  for (int64_t i = 0; i < num_leaves; ++i) {
+    const int64_t end = (i + 1) * n / num_leaves;
+    const int64_t id = AllocNode(/*is_leaf=*/true);
+    Node& leaf = nodes_[static_cast<size_t>(id)];
+    leaf.records.assign(records.begin() + offset, records.begin() + end);
+    leaf.prev_leaf = prev_leaf;
+    if (prev_leaf >= 0) nodes_[static_cast<size_t>(prev_leaf)].next_leaf = id;
+    prev_leaf = id;
+    level.push_back(id);
+    level_min_keys.push_back(leaf.records.front().key);
+    offset = end;
+  }
+  // Upper levels.
+  while (level.size() > 1) {
+    const int64_t groups =
+        DivCeil(static_cast<int64_t>(level.size()), options_.internal_fanout);
+    std::vector<int64_t> next_level;
+    std::vector<Key> next_min_keys;
+    int64_t start = 0;
+    const int64_t total = static_cast<int64_t>(level.size());
+    for (int64_t g = 0; g < groups; ++g) {
+      const int64_t end = (g + 1) * total / groups;
+      const int64_t id = AllocNode(/*is_leaf=*/false);
+      Node& node = nodes_[static_cast<size_t>(id)];
+      node.is_leaf = false;
+      for (int64_t i = start; i < end; ++i) {
+        node.children.push_back(level[static_cast<size_t>(i)]);
+        if (i > start) {
+          node.keys.push_back(level_min_keys[static_cast<size_t>(i)]);
+        }
+      }
+      next_level.push_back(id);
+      next_min_keys.push_back(level_min_keys[static_cast<size_t>(start)]);
+      start = end;
+    }
+    level = std::move(next_level);
+    level_min_keys = std::move(next_min_keys);
+  }
+  root_ = level[0];
+  tracker_.Reset();
+  return Status::OK();
+}
+
+int64_t BTree::height() const {
+  if (root_ < 0) return 0;
+  int64_t h = 1;
+  int64_t cur = root_;
+  while (!nodes_[static_cast<size_t>(cur)].is_leaf) {
+    cur = nodes_[static_cast<size_t>(cur)].children[0];
+    ++h;
+  }
+  return h;
+}
+
+int64_t BTree::num_nodes() const {
+  return static_cast<int64_t>(nodes_.size()) -
+         static_cast<int64_t>(free_list_.size());
+}
+
+Status BTree::ValidateSubtree(int64_t id, int64_t depth, int64_t leaf_depth,
+                              bool is_root, Key* min_key,
+                              Key* max_key) const {
+  const Node& n = nodes_[static_cast<size_t>(id)];
+  if (n.free) return Status::Corruption("freed node reachable");
+  if (n.is_leaf) {
+    if (depth != leaf_depth) {
+      return Status::Corruption("leaves at unequal depth");
+    }
+    if (!is_root &&
+        static_cast<int64_t>(n.records.size()) < MinLeafRecords()) {
+      return Status::Corruption("leaf underflow");
+    }
+    if (static_cast<int64_t>(n.records.size()) > options_.leaf_capacity) {
+      return Status::Corruption("leaf overflow");
+    }
+    if (n.records.empty()) {
+      if (!is_root) return Status::Corruption("empty non-root leaf");
+      *min_key = 0;
+      *max_key = 0;
+      return Status::OK();
+    }
+    for (size_t i = 1; i < n.records.size(); ++i) {
+      if (n.records[i - 1].key >= n.records[i].key) {
+        return Status::Corruption("leaf records out of order");
+      }
+    }
+    *min_key = n.records.front().key;
+    *max_key = n.records.back().key;
+    return Status::OK();
+  }
+  if (!is_root && static_cast<int64_t>(n.children.size()) < MinChildren()) {
+    return Status::Corruption("internal underflow");
+  }
+  if (static_cast<int64_t>(n.children.size()) > options_.internal_fanout) {
+    return Status::Corruption("internal overflow");
+  }
+  if (is_root && n.children.size() < 2) {
+    return Status::Corruption("internal root with fewer than 2 children");
+  }
+  if (n.keys.size() + 1 != n.children.size()) {
+    return Status::Corruption("separator/child count mismatch");
+  }
+  Key subtree_min = 0;
+  Key subtree_max = 0;
+  for (size_t i = 0; i < n.children.size(); ++i) {
+    Key child_min;
+    Key child_max;
+    DSF_RETURN_IF_ERROR(ValidateSubtree(n.children[i], depth + 1, leaf_depth,
+                                        false, &child_min, &child_max));
+    if (i == 0) {
+      subtree_min = child_min;
+    } else {
+      if (n.keys[i - 1] > child_min || n.keys[i - 1] <= subtree_max) {
+        return Status::Corruption("separator outside child key ranges");
+      }
+    }
+    subtree_max = child_max;
+  }
+  *min_key = subtree_min;
+  *max_key = subtree_max;
+  return Status::OK();
+}
+
+Status BTree::ValidateInvariants() const {
+  if (root_ < 0) return Status::OK();
+  // Depth of the leftmost leaf is the reference depth.
+  const int64_t leaf_depth = height();
+  Key min_key;
+  Key max_key;
+  DSF_RETURN_IF_ERROR(
+      ValidateSubtree(root_, 1, leaf_depth, true, &min_key, &max_key));
+  // Leaf chain must enumerate exactly size_ records in ascending order.
+  int64_t cur = root_;
+  while (!nodes_[static_cast<size_t>(cur)].is_leaf) {
+    cur = nodes_[static_cast<size_t>(cur)].children[0];
+  }
+  int64_t chained = 0;
+  bool have_prev = false;
+  Key prev = 0;
+  int64_t prev_id = -1;
+  while (cur >= 0) {
+    const Node& leaf = nodes_[static_cast<size_t>(cur)];
+    if (leaf.prev_leaf != prev_id) {
+      return Status::Corruption("leaf chain prev pointer broken");
+    }
+    for (const Record& r : leaf.records) {
+      if (have_prev && r.key <= prev) {
+        return Status::Corruption("leaf chain keys out of order");
+      }
+      prev = r.key;
+      have_prev = true;
+      ++chained;
+    }
+    prev_id = cur;
+    cur = leaf.next_leaf;
+  }
+  if (chained != size_) {
+    return Status::Corruption("leaf chain record count mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace dsf

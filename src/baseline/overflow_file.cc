@@ -1,0 +1,264 @@
+#include "baseline/overflow_file.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace dsf {
+
+StatusOr<std::unique_ptr<OverflowFile>> OverflowFile::Create(
+    const Options& options) {
+  if (options.num_primary_pages < 1) {
+    return Status::InvalidArgument("need at least one primary page");
+  }
+  if (options.page_capacity < 1) {
+    return Status::InvalidArgument("page_capacity must be positive");
+  }
+  return std::unique_ptr<OverflowFile>(new OverflowFile(options));
+}
+
+OverflowFile::OverflowFile(const Options& options) : options_(options) {
+  buckets_.resize(static_cast<size_t>(options.num_primary_pages));
+  // Until a bulk load fixes real fences, everything routes to the last
+  // bucket (fences are "largest key handled by this bucket").
+  fences_.assign(static_cast<size_t>(options.num_primary_pages),
+                 std::numeric_limits<Key>::max());
+}
+
+Status OverflowFile::BulkLoad(const std::vector<Record>& records) {
+  const int64_t n = static_cast<int64_t>(records.size());
+  const int64_t m = options_.num_primary_pages;
+  for (size_t i = 1; i < records.size(); ++i) {
+    if (records[i - 1].key >= records[i].key) {
+      return Status::InvalidArgument(
+          "bulk load records must be strictly ascending by key");
+    }
+  }
+  if (n > m * options_.page_capacity) {
+    return Status::CapacityExceeded("bulk load exceeds primary capacity");
+  }
+  buckets_.assign(static_cast<size_t>(m), Bucket{});
+  overflow_pages_.clear();
+  int64_t offset = 0;
+  for (int64_t b = 0; b < m; ++b) {
+    const int64_t end = (b + 1) * n / m;
+    buckets_[static_cast<size_t>(b)].primary.assign(records.begin() + offset,
+                                                    records.begin() + end);
+    // Upper fence: the last key here; empty buckets inherit the previous
+    // fence so they receive nothing until the range splits around them.
+    if (end > offset) {
+      fences_[static_cast<size_t>(b)] = records[static_cast<size_t>(end - 1)].key;
+    } else {
+      fences_[static_cast<size_t>(b)] =
+          b > 0 ? fences_[static_cast<size_t>(b - 1)] : 0;
+    }
+    offset = end;
+  }
+  fences_[static_cast<size_t>(m - 1)] = std::numeric_limits<Key>::max();
+  size_ = n;
+  tracker_.Reset();
+  return Status::OK();
+}
+
+int64_t OverflowFile::BucketFor(Key key) const {
+  // First bucket whose upper fence is >= key.
+  const auto it = std::lower_bound(fences_.begin(), fences_.end(), key);
+  DSF_DCHECK(it != fences_.end()) << "fence table must end at Key max";
+  return static_cast<int64_t>(it - fences_.begin());
+}
+
+Status OverflowFile::Insert(const Record& record) {
+  const int64_t b = BucketFor(record.key);
+  Bucket& bucket = buckets_[static_cast<size_t>(b)];
+  tracker_.OnAccess(b + 1, /*is_write=*/false);
+  const auto primary_it =
+      std::lower_bound(bucket.primary.begin(), bucket.primary.end(), record,
+                       RecordKeyLess);
+  if (primary_it != bucket.primary.end() && primary_it->key == record.key) {
+    return Status::AlreadyExists("key already present");
+  }
+  // A duplicate may hide anywhere in the chain; check while also noting
+  // the first page with a free slot.
+  int64_t slot_page = -1;
+  for (const int64_t page_index : bucket.chain) {
+    const OverflowPage& page =
+        overflow_pages_[static_cast<size_t>(page_index)];
+    tracker_.OnAccess(OverflowAddress(page_index), /*is_write=*/false);
+    for (const Record& r : page.records) {
+      if (r.key == record.key) {
+        return Status::AlreadyExists("key already present");
+      }
+    }
+    if (slot_page < 0 && static_cast<int64_t>(page.records.size()) <
+                             options_.page_capacity) {
+      slot_page = page_index;
+    }
+  }
+
+  if (static_cast<int64_t>(bucket.primary.size()) < options_.page_capacity) {
+    bucket.primary.insert(primary_it, record);
+    tracker_.OnAccess(b + 1, /*is_write=*/true);
+  } else if (slot_page >= 0) {
+    OverflowPage& page = overflow_pages_[static_cast<size_t>(slot_page)];
+    const auto it = std::lower_bound(page.records.begin(), page.records.end(),
+                                     record, RecordKeyLess);
+    page.records.insert(it, record);
+    tracker_.OnAccess(OverflowAddress(slot_page), /*is_write=*/true);
+  } else {
+    const int64_t page_index = static_cast<int64_t>(overflow_pages_.size());
+    overflow_pages_.push_back(OverflowPage{{record}});
+    bucket.chain.push_back(page_index);
+    tracker_.OnAccess(OverflowAddress(page_index), /*is_write=*/true);
+  }
+  ++size_;
+  return Status::OK();
+}
+
+Status OverflowFile::Delete(Key key) {
+  const int64_t b = BucketFor(key);
+  Bucket& bucket = buckets_[static_cast<size_t>(b)];
+  tracker_.OnAccess(b + 1, /*is_write=*/false);
+  const auto primary_it =
+      std::lower_bound(bucket.primary.begin(), bucket.primary.end(),
+                       Record{key, 0}, RecordKeyLess);
+  if (primary_it != bucket.primary.end() && primary_it->key == key) {
+    bucket.primary.erase(primary_it);
+    tracker_.OnAccess(b + 1, /*is_write=*/true);
+    --size_;
+    return Status::OK();
+  }
+  for (const int64_t page_index : bucket.chain) {
+    OverflowPage& page = overflow_pages_[static_cast<size_t>(page_index)];
+    tracker_.OnAccess(OverflowAddress(page_index), /*is_write=*/false);
+    for (auto it = page.records.begin(); it != page.records.end(); ++it) {
+      if (it->key == key) {
+        page.records.erase(it);  // holes are never compacted
+        tracker_.OnAccess(OverflowAddress(page_index), /*is_write=*/true);
+        --size_;
+        return Status::OK();
+      }
+    }
+  }
+  return Status::NotFound("key absent");
+}
+
+StatusOr<Record> OverflowFile::Get(Key key) {
+  const int64_t b = BucketFor(key);
+  const Bucket& bucket = buckets_[static_cast<size_t>(b)];
+  tracker_.OnAccess(b + 1, /*is_write=*/false);
+  const auto it = std::lower_bound(bucket.primary.begin(),
+                                   bucket.primary.end(), Record{key, 0},
+                                   RecordKeyLess);
+  if (it != bucket.primary.end() && it->key == key) return *it;
+  for (const int64_t page_index : bucket.chain) {
+    const OverflowPage& page =
+        overflow_pages_[static_cast<size_t>(page_index)];
+    tracker_.OnAccess(OverflowAddress(page_index), /*is_write=*/false);
+    for (const Record& r : page.records) {
+      if (r.key == key) return r;
+    }
+  }
+  return Status::NotFound("key absent");
+}
+
+bool OverflowFile::Contains(Key key) { return Get(key).ok(); }
+
+std::vector<Record> OverflowFile::ReadBucket(int64_t b) {
+  const Bucket& bucket = buckets_[static_cast<size_t>(b)];
+  tracker_.OnAccess(b + 1, /*is_write=*/false);
+  std::vector<Record> merged = bucket.primary;
+  for (const int64_t page_index : bucket.chain) {
+    const OverflowPage& page =
+        overflow_pages_[static_cast<size_t>(page_index)];
+    tracker_.OnAccess(OverflowAddress(page_index), /*is_write=*/false);
+    merged.insert(merged.end(), page.records.begin(), page.records.end());
+  }
+  std::sort(merged.begin(), merged.end(), RecordKeyLess);
+  return merged;
+}
+
+Status OverflowFile::Scan(Key lo, Key hi, std::vector<Record>* out) {
+  DSF_CHECK(out != nullptr) << "Scan output vector is null";
+  if (lo > hi) return Status::OK();
+  for (int64_t b = BucketFor(lo); b < options_.num_primary_pages; ++b) {
+    if (b > 0 && fences_[static_cast<size_t>(b - 1)] > hi) break;
+    const Bucket& bucket = buckets_[static_cast<size_t>(b)];
+    if (bucket.primary.empty() && bucket.chain.empty()) continue;
+    for (const Record& r : ReadBucket(b)) {
+      if (r.key < lo) continue;
+      if (r.key > hi) return Status::OK();
+      out->push_back(r);
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<Record> OverflowFile::ScanAll() {
+  std::vector<Record> out;
+  const Status s = Scan(0, std::numeric_limits<Key>::max(), &out);
+  DSF_CHECK(s.ok()) << "full scan failed";
+  return out;
+}
+
+OverflowFile::ChainStats OverflowFile::chain_stats() const {
+  ChainStats cs;
+  cs.overflow_pages = static_cast<int64_t>(overflow_pages_.size());
+  int64_t total_chain = 0;
+  for (const Bucket& bucket : buckets_) {
+    const int64_t len = static_cast<int64_t>(bucket.chain.size());
+    total_chain += len;
+    cs.max_chain_length = std::max(cs.max_chain_length, len);
+  }
+  cs.mean_chain_length = static_cast<double>(total_chain) /
+                         static_cast<double>(buckets_.size());
+  for (const OverflowPage& page : overflow_pages_) {
+    cs.overflow_records += static_cast<int64_t>(page.records.size());
+  }
+  return cs;
+}
+
+Status OverflowFile::ValidateInvariants() const {
+  int64_t total = 0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    const Bucket& bucket = buckets_[b];
+    const Key upper = fences_[b];
+    const Key lower = b > 0 ? fences_[b - 1] : 0;
+    if (static_cast<int64_t>(bucket.primary.size()) >
+        options_.page_capacity) {
+      return Status::Corruption("primary page overflow");
+    }
+    for (size_t i = 1; i < bucket.primary.size(); ++i) {
+      if (bucket.primary[i - 1].key >= bucket.primary[i].key) {
+        return Status::Corruption("primary page out of order");
+      }
+    }
+    auto in_range = [&](Key k) {
+      return (b == 0 || k > lower) && k <= upper;
+    };
+    for (const Record& r : bucket.primary) {
+      if (!in_range(r.key)) {
+        return Status::Corruption("record outside its bucket's fences");
+      }
+    }
+    total += static_cast<int64_t>(bucket.primary.size());
+    for (const int64_t page_index : bucket.chain) {
+      const OverflowPage& page =
+          overflow_pages_[static_cast<size_t>(page_index)];
+      if (static_cast<int64_t>(page.records.size()) >
+          options_.page_capacity) {
+        return Status::Corruption("overflow page overfull");
+      }
+      for (const Record& r : page.records) {
+        if (!in_range(r.key)) {
+          return Status::Corruption("chained record outside fences");
+        }
+      }
+      total += static_cast<int64_t>(page.records.size());
+    }
+  }
+  if (total != size_) return Status::Corruption("size counter mismatch");
+  return Status::OK();
+}
+
+}  // namespace dsf

@@ -1,0 +1,99 @@
+// A sequential file maintained with overflow chaining — the conventional
+// technique the paper's introduction (after Wiederhold) argues is
+// unsuitable for dynamic sequential files.
+//
+// Layout: M primary pages, loaded in key order, plus an overflow area
+// whose pages are allocated on demand at addresses M+1, M+2, ... Each
+// primary page owns a chain of overflow pages. An insert that misses free
+// space in its primary page appends to the chain; nothing is ever
+// rebalanced, so a surge of inserts into a narrow key range grows one
+// chain without bound. Searches read the primary page plus its whole
+// chain; range scans must merge each bucket's chain — every chain hop is
+// a seek to the overflow area. Bench E7 measures exactly this decay
+// against CONTROL 2.
+
+#ifndef DSF_BASELINE_OVERFLOW_FILE_H_
+#define DSF_BASELINE_OVERFLOW_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "storage/io_stats.h"
+#include "storage/record.h"
+#include "util/status.h"
+
+namespace dsf {
+
+class OverflowFile {
+ public:
+  struct Options {
+    int64_t num_primary_pages = 0;  // M
+    int64_t page_capacity = 0;      // D, for both primary and overflow pages
+  };
+
+  struct ChainStats {
+    int64_t overflow_pages = 0;
+    int64_t max_chain_length = 0;   // in pages
+    double mean_chain_length = 0.0;
+    int64_t overflow_records = 0;
+  };
+
+  static StatusOr<std::unique_ptr<OverflowFile>> Create(
+      const Options& options);
+
+  // Distributes ascending records over the primary pages at uniform
+  // density (same precondition as the dense file). Unaccounted.
+  Status BulkLoad(const std::vector<Record>& records);
+
+  Status Insert(const Record& record);
+  Status Delete(Key key);
+  StatusOr<Record> Get(Key key);
+  bool Contains(Key key);
+
+  // In-order scan; each bucket merges its primary page with its chain.
+  Status Scan(Key lo, Key hi, std::vector<Record>* out);
+  std::vector<Record> ScanAll();
+
+  int64_t size() const { return size_; }
+  const IoStats& stats() const { return tracker_.stats(); }
+  void ResetStats() { tracker_.Reset(); }
+  ChainStats chain_stats() const;
+
+  Status ValidateInvariants() const;
+
+ private:
+  // A bucket: one primary page plus its overflow chain. Pages hold
+  // records sorted within the page; the chain as a whole is unsorted
+  // (classic overflow behaviour).
+  struct OverflowPage {
+    std::vector<Record> records;
+  };
+  struct Bucket {
+    std::vector<Record> primary;
+    std::vector<int64_t> chain;  // indices into overflow_pages_
+  };
+
+  explicit OverflowFile(const Options& options);
+
+  // Bucket whose key range covers `key` (via the in-memory fence array,
+  // mirroring the dense file's in-memory calibrator).
+  int64_t BucketFor(Key key) const;
+  int64_t OverflowAddress(int64_t overflow_index) const {
+    return options_.num_primary_pages + 1 + overflow_index;
+  }
+  // All records of a bucket, merged and sorted, with accounted reads.
+  std::vector<Record> ReadBucket(int64_t b);
+
+  Options options_;
+  std::vector<Bucket> buckets_;
+  std::vector<OverflowPage> overflow_pages_;
+  // fences_[b] = largest key routed to bucket b (upper fence).
+  std::vector<Key> fences_;
+  int64_t size_ = 0;
+  AccessTracker tracker_;
+};
+
+}  // namespace dsf
+
+#endif  // DSF_BASELINE_OVERFLOW_FILE_H_

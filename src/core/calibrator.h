@@ -1,0 +1,116 @@
+// The calibrator tree — Section 3.
+//
+// A binary tree over page addresses [1, M]: the root's range is the whole
+// file, an internal node with range [lo, hi] splits at mid = (lo+hi)/2
+// into [lo, mid] and [mid+1, hi], and leaves cover single pages. Each node
+// carries its rank counter N_v (the number of records addressed inside
+// RANGE(v)) plus min/max fence keys so key search costs zero page I/O
+// (the paper keeps the calibrator in main memory).
+//
+// The calibrator is shared by CONTROL 1 and CONTROL 2; algorithm-specific
+// per-node state (warning flags, DEST pointers) lives with the algorithms,
+// indexed by the node ids exposed here.
+
+#ifndef DSF_CORE_CALIBRATOR_H_
+#define DSF_CORE_CALIBRATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/record.h"
+#include "util/status.h"
+
+namespace dsf {
+
+class Calibrator {
+ public:
+  // Node ids are dense ints in [0, node_count()); kNoNode marks absence.
+  static constexpr int kNoNode = -1;
+
+  explicit Calibrator(int64_t num_pages);
+
+  int64_t num_pages() const { return num_pages_; }
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  int root() const { return 0; }
+
+  bool IsLeaf(int v) const { return nodes_[v].left == kNoNode; }
+  int Parent(int v) const { return nodes_[v].parent; }
+  int Left(int v) const { return nodes_[v].left; }
+  int Right(int v) const { return nodes_[v].right; }
+  Address RangeLo(int v) const { return nodes_[v].lo; }
+  Address RangeHi(int v) const { return nodes_[v].hi; }
+  int64_t PagesIn(int v) const { return nodes_[v].hi - nodes_[v].lo + 1; }
+  int64_t Depth(int v) const { return nodes_[v].depth; }
+  int64_t Count(int v) const { return nodes_[v].count; }
+  int64_t TotalRecords() const { return nodes_[0].count; }
+  // Fence keys; valid only when Count(v) > 0.
+  Key MinKeyOf(int v) const { return nodes_[v].min_key; }
+  Key MaxKeyOf(int v) const { return nodes_[v].max_key; }
+
+  // DIR(v): true iff v is the right son of its father. Root is neither;
+  // calling this on the root is an error.
+  bool IsRightChild(int v) const;
+
+  // The leaf whose range is exactly [page, page].
+  int LeafOf(Address page) const;
+
+  // Deepest node whose range contains both a and b (their LCA's id).
+  int LowestCommonAncestor(Address a, Address b) const;
+
+  // Refreshes a leaf's counter and fence keys after its page changed, and
+  // re-aggregates every ancestor. O(log M), zero page I/O.
+  void SyncLeaf(Address page, int64_t count, Key min_key, Key max_key);
+
+  // --- Key search (all in-memory) ---
+
+  // First page p (smallest address) that is non-empty and whose max key is
+  // >= key; 0 if no such page. This is the unique page that can contain
+  // `key`.
+  Address FirstNonEmptyPageWithMaxGE(Key key) const;
+
+  // First / last non-empty page with address in [lo, hi]; 0 if none.
+  // These implement SHIFT's SOURCE determination.
+  Address FirstNonEmptyPageIn(Address lo, Address hi) const;
+  Address LastNonEmptyPageIn(Address lo, Address hi) const;
+
+  // Number of records addressed in [lo, hi].
+  int64_t CountInRange(Address lo, Address hi) const;
+
+  // Node ids on the path root -> leaf(page), root first.
+  std::vector<int> PathToLeaf(Address page) const;
+
+  // Internal consistency: every internal node's count/fences equal the
+  // aggregate of its children.
+  Status ValidateAggregates() const;
+
+  std::string DebugString() const;
+
+ private:
+  struct Node {
+    Address lo = 0;
+    Address hi = 0;
+    int parent = kNoNode;
+    int left = kNoNode;
+    int right = kNoNode;
+    int64_t depth = 0;
+    int64_t count = 0;
+    Key min_key = 0;  // valid only when count > 0
+    Key max_key = 0;  // valid only when count > 0
+  };
+
+  int Build(Address lo, Address hi, int parent, int64_t depth);
+  void Reaggregate(int v);
+
+  Address FirstNonEmptyIn(int v, Address lo, Address hi) const;
+  Address LastNonEmptyIn(int v, Address lo, Address hi) const;
+  int64_t CountIn(int v, Address lo, Address hi) const;
+
+  int64_t num_pages_;
+  std::vector<Node> nodes_;
+  std::vector<int> leaf_of_page_;  // page-1 -> node id
+};
+
+}  // namespace dsf
+
+#endif  // DSF_CORE_CALIBRATOR_H_

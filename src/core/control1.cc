@@ -1,0 +1,114 @@
+#include "core/control1.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dsf {
+
+StatusOr<std::unique_ptr<Control1>> Control1::Create(const Config& config) {
+  StatusOr<DensitySpec> spec = MakeLogicalSpec(config);
+  if (!spec.ok()) return spec.status();
+  if (!spec->SatisfiesGapCondition()) {
+    return Status::InvalidArgument(
+        "CONTROL 1 requires D - d > 3*ceil(log M); raise block_size "
+        "(Theorem 5.7) to lift a small gap above the threshold");
+  }
+  return std::unique_ptr<Control1>(new Control1(config, *spec));
+}
+
+Status Control1::Insert(const Record& record) {
+  if (size() >= MaxRecords()) {
+    return Status::CapacityExceeded("file already holds N = d*M records");
+  }
+  BeginCommand();
+  // Step A: locate the target block and insert. If the key is already
+  // present it necessarily lives in the target block (the block whose key
+  // interval covers it), so one read doubles as the duplicate probe.
+  const Address target = TargetBlockForInsert(record.key);
+  std::vector<Record> records = ReadBlock(target);
+  const auto pos = std::lower_bound(records.begin(), records.end(), record,
+                                    RecordKeyLess);
+  if (pos != records.end() && pos->key == record.key) {
+    EndCommand();
+    return Status::AlreadyExists("key already present");
+  }
+  records.insert(pos, record);
+  WriteBlock(target, records);
+
+  // Step B: fix the highest BALANCE violation, if the insert caused one.
+  const int violator = HighestViolatorOnPath(target);
+  if (violator != Calibrator::kNoNode) {
+    const int father = calibrator_.Parent(violator);
+    DSF_CHECK(father != Calibrator::kNoNode)
+        << "root violated BALANCE despite the capacity check";
+    Redistribute(father);
+  }
+  EndCommand();
+  return Status::OK();
+}
+
+Status Control1::Delete(Key key) {
+  const Address block = BlockPossiblyContaining(key);
+  if (block == 0) return Status::NotFound("key absent");
+  BeginCommand();
+  std::vector<Record> records = ReadBlock(block);
+  const auto it = std::lower_bound(records.begin(), records.end(),
+                                   Record{key, 0}, RecordKeyLess);
+  if (it == records.end() || it->key != key) {
+    EndCommand();
+    return Status::NotFound("key absent");
+  }
+  records.erase(it);
+  WriteBlock(block, records);
+  // Deletions only lower densities; BALANCE cannot newly fail.
+  EndCommand();
+  return Status::OK();
+}
+
+Status Control1::ValidateInvariants() const {
+  DSF_RETURN_IF_ERROR(ControlBase::ValidateInvariants());
+  return ValidateBalance();
+}
+
+int Control1::HighestViolatorOnPath(Address block) const {
+  for (const int v : calibrator_.PathToLeaf(block)) {
+    if (!logical_spec_.DensityAtMost(calibrator_.Count(v),
+                                     calibrator_.PagesIn(v),
+                                     calibrator_.Depth(v), kThirds1)) {
+      return v;
+    }
+  }
+  return Calibrator::kNoNode;
+}
+
+void Control1::Redistribute(int f) {
+  const Address lo = calibrator_.RangeLo(f);
+  const Address hi = calibrator_.RangeHi(f);
+  ++stats_.rebalances;
+  stats_.pages_redistributed += calibrator_.PagesIn(f);
+
+  // Gather every record under f in order (reading only non-empty blocks).
+  std::vector<Record> all;
+  all.reserve(static_cast<size_t>(calibrator_.Count(f)));
+  for (Address b = calibrator_.FirstNonEmptyPageIn(lo, hi); b != 0;
+       b = calibrator_.FirstNonEmptyPageIn(b + 1, hi)) {
+    const std::vector<Record> part = ReadBlock(b);
+    all.insert(all.end(), part.begin(), part.end());
+  }
+
+  // Spread evenly: block j of the m in range gets
+  // floor((j+1)n/m) - floor(jn/m) records, so every aligned subrange sits
+  // within one record per block of the average and p(w) <= p(f) + 1.
+  const int64_t m = hi - lo + 1;
+  const int64_t n = static_cast<int64_t>(all.size());
+  int64_t offset = 0;
+  for (int64_t j = 0; j < m; ++j) {
+    const int64_t end = (j + 1) * n / m;
+    WriteBlock(lo + j,
+               std::vector<Record>(all.begin() + offset, all.begin() + end));
+    offset = end;
+  }
+}
+
+}  // namespace dsf

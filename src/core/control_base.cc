@@ -1,0 +1,444 @@
+#include "core/control_base.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+#include "util/math.h"
+
+namespace dsf {
+
+StatusOr<DensitySpec> ControlBase::MakeLogicalSpec(const Config& config) {
+  if (config.num_pages < 1) {
+    return Status::InvalidArgument("num_pages must be >= 1");
+  }
+  if (config.block_size < 1) {
+    return Status::InvalidArgument("block_size must be >= 1");
+  }
+  if (config.num_pages % config.block_size != 0) {
+    return Status::InvalidArgument(
+        "num_pages must be a multiple of block_size");
+  }
+  if (config.d < 1 || config.D <= config.d) {
+    return Status::InvalidArgument("need 1 <= d < D");
+  }
+  return DensitySpec::Create(config.num_pages / config.block_size,
+                             config.block_size * config.d,
+                             config.block_size * config.D);
+}
+
+ControlBase::ControlBase(const Config& config, DensitySpec logical_spec)
+    : logical_spec_(logical_spec),
+      smart_placement_(config.smart_placement),
+      block_size_(config.block_size),
+      num_blocks_(config.num_pages / config.block_size),
+      page_d_(config.d),
+      page_D_(config.D),
+      // Physical capacity D+1: one record may transiently exceed D inside
+      // a command before the maintenance steps drain it.
+      file_(config.num_pages, config.D + 1),
+      calibrator_(num_blocks_) {}
+
+int64_t ControlBase::PagesUsed(int64_t count) const {
+  if (count == 0) return 0;
+  return std::min(block_size_, DivCeil(count, page_D_));
+}
+
+std::vector<Record> ControlBase::ReadBlock(Address block) {
+  const int64_t count = calibrator_.Count(calibrator_.LeafOf(block));
+  const int64_t used = PagesUsed(count);
+  std::vector<Record> out;
+  out.reserve(static_cast<size_t>(count));
+  const Address first = FirstPhysicalPage(block);
+  for (int64_t i = 0; i < used; ++i) {
+    const Page& p = file_.Read(first + i);
+    out.insert(out.end(), p.records().begin(), p.records().end());
+  }
+  DSF_DCHECK(static_cast<int64_t>(out.size()) == count)
+      << "block " << block << " layout out of sync";
+  return out;
+}
+
+void ControlBase::WriteBlock(Address block,
+                             const std::vector<Record>& records) {
+  const int64_t old_count = calibrator_.Count(calibrator_.LeafOf(block));
+  const int64_t old_used = PagesUsed(old_count);
+  const int64_t n = static_cast<int64_t>(records.size());
+  const int64_t used = PagesUsed(n);
+  DSF_CHECK(n <= block_size_ * page_D_ + 1)
+      << "block overfull beyond the one-record transient";
+
+  const Address first = FirstPhysicalPage(block);
+  int64_t offset = 0;
+  for (int64_t i = 0; i < used; ++i) {
+    // Pages before the last take exactly D; the last takes the remainder
+    // (up to D+1 in the transient case).
+    const int64_t take =
+        (i + 1 < used) ? page_D_ : n - offset;
+    Page& p = file_.Write(first + i);
+    p.TakeAll();
+    std::vector<Record> slice(records.begin() + offset,
+                              records.begin() + offset + take);
+    p.AppendHigh(slice);
+    offset += take;
+  }
+  // Pages that fall out of the used prefix become free. A real system
+  // records this in metadata; clearing them here is bookkeeping, not I/O.
+  for (int64_t i = used; i < old_used; ++i) {
+    file_.RawPage(first + i).TakeAll();
+  }
+  SyncBlock(block, records);
+}
+
+void ControlBase::SyncBlock(Address block,
+                            const std::vector<Record>& records) {
+  if (records.empty()) {
+    calibrator_.SyncLeaf(block, 0, 0, 0);
+  } else {
+    calibrator_.SyncLeaf(block, static_cast<int64_t>(records.size()),
+                         records.front().key, records.back().key);
+  }
+}
+
+Address ControlBase::BlockPossiblyContaining(Key key) const {
+  return calibrator_.FirstNonEmptyPageWithMaxGE(key);
+}
+
+Address ControlBase::TargetBlockForInsert(Key key) const {
+  const Address successor_block = calibrator_.FirstNonEmptyPageWithMaxGE(key);
+  if (successor_block == 0) {
+    // Larger than every stored key: extend the last non-empty block, or
+    // start in the middle of an empty file.
+    const Address last = calibrator_.LastNonEmptyPageIn(1, num_blocks_);
+    if (last == 0) return (num_blocks_ + 1) / 2;
+    return MaybeSpillAfter(last, num_blocks_);
+  }
+  const int leaf = calibrator_.LeafOf(successor_block);
+  if (calibrator_.MinKeyOf(leaf) <= key) return successor_block;
+  // The key precedes everything in successor_block: it belongs with its
+  // predecessor record's block when one exists.
+  const Address predecessor_block =
+      calibrator_.LastNonEmptyPageIn(1, successor_block - 1);
+  if (predecessor_block == 0) return successor_block;
+  return MaybeSpillAfter(predecessor_block, successor_block - 1);
+}
+
+Address ControlBase::MaybeSpillAfter(Address block, Address limit) const {
+  if (!smart_placement_) return block;
+  // The new key follows every record in `block`; an empty block right
+  // after it (but before `limit`) is an equally legal home. Taking it
+  // whenever the insert would push `block` into the warning band g(v,2/3)
+  // spares the maintenance machinery an activation.
+  const int leaf = calibrator_.LeafOf(block);
+  if (!logical_spec_.DensityAtLeast(calibrator_.Count(leaf) + 1,
+                                    calibrator_.PagesIn(leaf),
+                                    calibrator_.Depth(leaf), kThirds2Of3)) {
+    return block;
+  }
+  if (block + 1 <= limit &&
+      calibrator_.Count(calibrator_.LeafOf(block + 1)) == 0) {
+    return block + 1;
+  }
+  return block;
+}
+
+StatusOr<Record> ControlBase::Get(Key key) {
+  const Address block = BlockPossiblyContaining(key);
+  if (block == 0) return Status::NotFound("key absent");
+  const std::vector<Record> records = ReadBlock(block);
+  const auto it =
+      std::lower_bound(records.begin(), records.end(), Record{key, 0},
+                       RecordKeyLess);
+  if (it == records.end() || it->key != key) {
+    return Status::NotFound("key absent");
+  }
+  return *it;
+}
+
+bool ControlBase::Contains(Key key) { return Get(key).ok(); }
+
+Status ControlBase::Scan(Key lo, Key hi, std::vector<Record>* out) {
+  DSF_CHECK(out != nullptr) << "Scan output vector is null";
+  if (lo > hi) return Status::OK();
+  Address block = calibrator_.FirstNonEmptyPageWithMaxGE(lo);
+  if (block == 0) return Status::OK();
+  for (; block <= num_blocks_; ++block) {
+    const int leaf = calibrator_.LeafOf(block);
+    if (calibrator_.Count(leaf) == 0) continue;
+    if (calibrator_.MinKeyOf(leaf) > hi) break;
+    const std::vector<Record> records = ReadBlock(block);
+    for (const Record& r : records) {
+      if (r.key < lo) continue;
+      if (r.key > hi) return Status::OK();
+      out->push_back(r);
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<Record> ControlBase::ScanAll() {
+  std::vector<Record> out;
+  const Status s =
+      Scan(0, std::numeric_limits<Key>::max(), &out);
+  DSF_CHECK(s.ok()) << "full scan failed: " << s.ToString();
+  return out;
+}
+
+Cursor ControlBase::NewCursor(Key start) { return Cursor(this, start); }
+
+StatusOr<int64_t> ControlBase::DeleteRange(Key lo, Key hi) {
+  if (lo > hi) return static_cast<int64_t>(0);
+  BeginCommand();
+  int64_t removed = 0;
+  Address first_touched = 0;
+  Address last_touched = 0;
+  Address block = calibrator_.FirstNonEmptyPageWithMaxGE(lo);
+  while (block != 0 && block <= num_blocks_) {
+    const int leaf = calibrator_.LeafOf(block);
+    if (calibrator_.Count(leaf) == 0 || calibrator_.MinKeyOf(leaf) > hi) {
+      break;
+    }
+    std::vector<Record> records = ReadBlock(block);
+    const auto begin = std::lower_bound(records.begin(), records.end(),
+                                        Record{lo, 0}, RecordKeyLess);
+    const auto end = std::upper_bound(records.begin(), records.end(),
+                                      Record{hi, 0}, RecordKeyLess);
+    if (begin != end) {
+      removed += end - begin;
+      records.erase(begin, end);
+      WriteBlock(block, records);
+      if (first_touched == 0) first_touched = block;
+      last_touched = block;
+    }
+    block = calibrator_.FirstNonEmptyPageIn(block + 1, num_blocks_);
+  }
+  if (removed > 0) AfterRangeDeletion(first_touched, last_touched);
+  EndCommand();
+  return removed;
+}
+
+Status ControlBase::InsertBatch(const std::vector<Record>& records) {
+  for (size_t i = 1; i < records.size(); ++i) {
+    if (records[i - 1].key >= records[i].key) {
+      return Status::InvalidArgument(
+          "batch records must be strictly ascending by key");
+    }
+  }
+  if (size() + static_cast<int64_t>(records.size()) > MaxRecords()) {
+    return Status::CapacityExceeded("batch would exceed N = d*M records");
+  }
+  for (const Record& r : records) {
+    DSF_RETURN_IF_ERROR(Insert(r));
+  }
+  return Status::OK();
+}
+
+Status ControlBase::Compact() {
+  BeginCommand();
+  std::vector<Record> all;
+  all.reserve(static_cast<size_t>(size()));
+  for (Address b = calibrator_.FirstNonEmptyPageIn(1, num_blocks_); b != 0;
+       b = calibrator_.FirstNonEmptyPageIn(b + 1, num_blocks_)) {
+    const std::vector<Record> part = ReadBlock(b);
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  const int64_t n = static_cast<int64_t>(all.size());
+  int64_t offset = 0;
+  for (Address block = 1; block <= num_blocks_; ++block) {
+    const int64_t end = block * n / num_blocks_;
+    WriteBlock(block,
+               std::vector<Record>(all.begin() + offset, all.begin() + end));
+    offset = end;
+  }
+  AfterWholesaleReorganization();
+  EndCommand();
+  return Status::OK();
+}
+
+double ControlBase::ScanEfficiency() const {
+  int64_t pages_touched = 0;
+  for (Address b = 1; b <= num_blocks_; ++b) {
+    pages_touched += PagesUsed(calibrator_.Count(calibrator_.LeafOf(b)));
+  }
+  if (pages_touched == 0) return 0.0;
+  return static_cast<double>(size()) / static_cast<double>(pages_touched);
+}
+
+void ControlBase::BeginCommand() {
+  DSF_DCHECK(!in_command_) << "nested command";
+  in_command_ = true;
+  command_start_accesses_ = file_.stats().TotalAccesses();
+}
+
+void ControlBase::EndCommand() {
+  DSF_DCHECK(in_command_) << "EndCommand without BeginCommand";
+  in_command_ = false;
+  const int64_t used = file_.stats().TotalAccesses() - command_start_accesses_;
+  ++command_stats_.commands;
+  command_stats_.last_command_accesses = used;
+  command_stats_.max_command_accesses =
+      std::max(command_stats_.max_command_accesses, used);
+  command_stats_.total_accesses += used;
+}
+
+void ControlBase::ResetCommandStats() { command_stats_ = CommandStats(); }
+
+Status ControlBase::ValidateBalance() const {
+  for (int v = 0; v < calibrator_.node_count(); ++v) {
+    if (!logical_spec_.DensityAtMost(calibrator_.Count(v),
+                                     calibrator_.PagesIn(v),
+                                     calibrator_.Depth(v), kThirds1)) {
+      return Status::Corruption(
+          "BALANCE(d,D) violated at node " + std::to_string(v) + ": N=" +
+          std::to_string(calibrator_.Count(v)) + " over " +
+          std::to_string(calibrator_.PagesIn(v)) + " blocks at depth " +
+          std::to_string(calibrator_.Depth(v)));
+    }
+  }
+  return Status::OK();
+}
+
+Status ControlBase::ValidateInvariants() const {
+  // I1: cardinality bound.
+  if (calibrator_.TotalRecords() > MaxRecords()) {
+    return Status::Corruption("file exceeds N = d*M records");
+  }
+  // I2: no physical page above D records (outside a command).
+  for (Address p = 1; p <= file_.num_pages(); ++p) {
+    if (file_.Peek(p).size() > page_D_) {
+      return Status::Corruption("page " + std::to_string(p) +
+                                " holds more than D records");
+    }
+  }
+  // I3: global key order.
+  if (!file_.GloballyOrdered()) {
+    return Status::Corruption("records out of sequential order");
+  }
+  // I5: calibrator leaves mirror the true block contents, and each block
+  // is packed into a prefix of its pages.
+  for (Address block = 1; block <= num_blocks_; ++block) {
+    const Address first = FirstPhysicalPage(block);
+    int64_t count = 0;
+    Key min_key = 0;
+    Key max_key = 0;
+    bool saw_empty = false;
+    for (int64_t i = 0; i < block_size_; ++i) {
+      const Page& page = file_.Peek(first + i);
+      if (page.empty()) {
+        saw_empty = true;
+        continue;
+      }
+      if (saw_empty) {
+        return Status::Corruption("block " + std::to_string(block) +
+                                  " is not prefix-packed");
+      }
+      if (count == 0) min_key = page.MinKey();
+      max_key = page.MaxKey();
+      count += page.size();
+    }
+    const int leaf = calibrator_.LeafOf(block);
+    if (calibrator_.Count(leaf) != count) {
+      return Status::Corruption("rank counter stale for block " +
+                                std::to_string(block));
+    }
+    if (count > 0 && (calibrator_.MinKeyOf(leaf) != min_key ||
+                      calibrator_.MaxKeyOf(leaf) != max_key)) {
+      return Status::Corruption("fence keys stale for block " +
+                                std::to_string(block));
+    }
+  }
+  return calibrator_.ValidateAggregates();
+}
+
+Status ControlBase::BulkLoad(const std::vector<Record>& records) {
+  const int64_t n = static_cast<int64_t>(records.size());
+  if (n > MaxRecords()) {
+    return Status::CapacityExceeded("bulk load exceeds N = d*M records");
+  }
+  for (size_t i = 1; i < records.size(); ++i) {
+    if (records[i - 1].key >= records[i].key) {
+      return Status::InvalidArgument(
+          "bulk load records must be strictly ascending by key");
+    }
+  }
+  // Uniform-density spread (Theorem 5.5's initial condition): block j of
+  // B gets floor((j+1)n/B) - floor(jn/B) records, so any aligned range is
+  // within one record per block of the global average.
+  int64_t offset = 0;
+  for (Address block = 1; block <= num_blocks_; ++block) {
+    const int64_t end = block * n / num_blocks_;
+    std::vector<Record> slice(records.begin() + offset,
+                              records.begin() + end);
+    // Lay out unaccounted: loading is setup, not a measured command.
+    const Address first = FirstPhysicalPage(block);
+    int64_t written = 0;
+    for (int64_t i = 0; i < block_size_; ++i) {
+      Page& page = file_.RawPage(first + i);
+      page.TakeAll();
+      const int64_t take =
+          std::min(page_D_, static_cast<int64_t>(slice.size()) - written);
+      if (take > 0) {
+        std::vector<Record> part(slice.begin() + written,
+                                 slice.begin() + written + take);
+        page.AppendHigh(part);
+        written += take;
+      }
+    }
+    SyncBlock(block, slice);
+    offset = end;
+  }
+  file_.ResetStats();
+  ResetCommandStats();
+  AfterBulkLoad();
+  return Status::OK();
+}
+
+Status ControlBase::LoadLayout(const std::vector<std::vector<Record>>& per_block) {
+  if (static_cast<int64_t>(per_block.size()) != num_blocks_) {
+    return Status::InvalidArgument("LoadLayout needs one entry per block");
+  }
+  int64_t total = 0;
+  bool have_prev = false;
+  Key prev = 0;
+  for (const auto& block : per_block) {
+    if (static_cast<int64_t>(block.size()) > block_size_ * page_D_) {
+      return Status::InvalidArgument("block exceeds D# records");
+    }
+    total += static_cast<int64_t>(block.size());
+    for (const Record& r : block) {
+      if (have_prev && r.key <= prev) {
+        return Status::InvalidArgument("LoadLayout keys must ascend");
+      }
+      prev = r.key;
+      have_prev = true;
+    }
+  }
+  if (total > MaxRecords()) {
+    return Status::CapacityExceeded("LoadLayout exceeds N = d*M records");
+  }
+  for (Address block = 1; block <= num_blocks_; ++block) {
+    const std::vector<Record>& slice =
+        per_block[static_cast<size_t>(block - 1)];
+    const Address first = FirstPhysicalPage(block);
+    int64_t written = 0;
+    for (int64_t i = 0; i < block_size_; ++i) {
+      Page& page = file_.RawPage(first + i);
+      page.TakeAll();
+      const int64_t take =
+          std::min(page_D_, static_cast<int64_t>(slice.size()) - written);
+      if (take > 0) {
+        std::vector<Record> part(slice.begin() + written,
+                                 slice.begin() + written + take);
+        page.AppendHigh(part);
+        written += take;
+      }
+    }
+    SyncBlock(block, slice);
+  }
+  file_.ResetStats();
+  ResetCommandStats();
+  AfterBulkLoad();
+  return Status::OK();
+}
+
+}  // namespace dsf

@@ -1,0 +1,215 @@
+// Shared machinery for the density-control algorithms.
+//
+// ControlBase owns the physical page file and the calibrator and provides
+// everything CONTROL 1 and CONTROL 2 have in common: key search through
+// the in-memory calibrator, block (macro-page) reads/writes with honest
+// page-access accounting, stream retrieval, per-command cost tracking and
+// the structural (d,D)-density validators.
+//
+// Blocks. To support Theorem 5.7's macro-block extension with one code
+// path, the algorithms operate on *logical pages* ("blocks") of
+// `block_size` = K consecutive physical pages (K = 1 in the ordinary
+// case). The calibrator and the density spec cover the M# = M/K blocks
+// with thresholds d# = K*d, D# = K*D. Within a block, records are packed
+// into a prefix of its physical pages, at most D per page, so physical
+// (d,D)-density conditions (ii) and (iii) hold whenever the logical file
+// is (d#,D#)-dense.
+
+#ifndef DSF_CORE_CONTROL_BASE_H_
+#define DSF_CORE_CONTROL_BASE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/calibrator.h"
+#include "core/cursor.h"
+#include "core/density.h"
+#include "storage/page_file.h"
+#include "storage/record.h"
+#include "util/status.h"
+
+namespace dsf {
+
+// Per-command page-access bookkeeping.
+struct CommandStats {
+  int64_t commands = 0;
+  int64_t last_command_accesses = 0;
+  int64_t max_command_accesses = 0;
+  int64_t total_accesses = 0;
+
+  double MeanAccessesPerCommand() const {
+    return commands == 0
+               ? 0.0
+               : static_cast<double>(total_accesses) /
+                     static_cast<double>(commands);
+  }
+};
+
+class ControlBase {
+ public:
+  struct Config {
+    int64_t num_pages = 0;   // physical M; must be a multiple of block_size
+    int64_t d = 0;           // per-page lower density parameter
+    int64_t D = 0;           // per-page upper density parameter (page cap)
+    int64_t block_size = 1;  // K; 1 = ordinary pages, >1 = macro-blocks
+
+    // Ablation E9c. The paper's step 1 inserts into the page holding the
+    // record's predecessor. With smart placement, a key that follows
+    // everything in a saturated predecessor block is placed into the
+    // empty block just after it instead (when one exists before the
+    // successor block), trading paper fidelity for less SHIFT pressure.
+    bool smart_placement = false;
+  };
+
+  virtual ~ControlBase() = default;
+
+  ControlBase(const ControlBase&) = delete;
+  ControlBase& operator=(const ControlBase&) = delete;
+
+  // --- The update commands (implemented by CONTROL 1 / CONTROL 2) ---
+  virtual Status Insert(const Record& record) = 0;
+  virtual Status Delete(Key key) = 0;
+  virtual std::string Name() const = 0;
+
+  // --- Queries (shared) ---
+  StatusOr<Record> Get(Key key);
+  bool Contains(Key key);
+
+  // Stream retrieval: appends all records with lo <= key <= hi in key
+  // order. This is the access pattern the paper argues sequential files
+  // win at: the touched pages are consecutive addresses.
+  Status Scan(Key lo, Key hi, std::vector<Record>* out);
+
+  // All records in key order (O(N) accounted reads).
+  std::vector<Record> ScanAll();
+
+  // Streaming alternative to Scan: yields records with key >= start one
+  // at a time, buffering a block per step. See core/cursor.h.
+  Cursor NewCursor(Key start = 0);
+
+  // Removes every record with lo <= key <= hi; returns how many. Counted
+  // as a single command; its cost is proportional to the blocks touched
+  // (range commands are outside the paper's per-command bound).
+  StatusOr<int64_t> DeleteRange(Key lo, Key hi);
+
+  // Inserts a batch of strictly-ascending records one command at a time
+  // (each insert keeps the worst-case bound). Stops at the first error.
+  Status InsertBatch(const std::vector<Record>& records);
+
+  // Rewrites the whole file at uniform density, with accounted I/O — an
+  // explicit O(M) reorganization restoring Theorem 5.5's initial
+  // condition: insert headroom spread evenly, so no region is primed to
+  // trigger maintenance storms after skewed deletions.
+  Status Compact();
+
+  // Mean records per page over the pages a full scan touches (a packing
+  // diagnostic: D would be a fully packed file; clustering raises it,
+  // uniform spreading lowers it). 0 for an empty file.
+  double ScanEfficiency() const;
+
+  // --- Introspection ---
+  int64_t size() const { return calibrator_.TotalRecords(); }
+  int64_t MaxRecords() const { return logical_spec_.MaxRecords(); }
+  const DensitySpec& logical_spec() const { return logical_spec_; }
+  int64_t block_size() const { return block_size_; }
+  int64_t num_blocks() const { return num_blocks_; }
+  PageFile& file() { return file_; }
+  const PageFile& file() const { return file_; }
+  const Calibrator& calibrator() const { return calibrator_; }
+  const CommandStats& command_stats() const { return command_stats_; }
+  void ResetCommandStats();
+
+  // Structural invariants I1-I3 and I5. Subclasses extend with their
+  // algorithm-specific checks — BALANCE(d,D) for CONTROL 1/2 (Theorem
+  // 5.5), flag/pointer sanity for CONTROL 2. O(M); for tests/debugging.
+  virtual Status ValidateInvariants() const;
+
+  // Loads `records` (strictly ascending keys, size <= d*M) spread with
+  // uniform density over the whole file — the initial condition of
+  // Theorem 5.5. Unaccounted; resets I/O and command statistics.
+  Status BulkLoad(const std::vector<Record>& records);
+
+  // Loads an explicit per-block distribution (per_block[i] goes to block
+  // i+1; keys must ascend across the concatenation and each block must
+  // fit in D# records). Unaccounted. Used by tests and by the Example 5.2
+  // replay, whose initial state is deliberately non-uniform.
+  Status LoadLayout(const std::vector<std::vector<Record>>& per_block);
+
+ protected:
+  explicit ControlBase(const Config& config, DensitySpec logical_spec);
+
+  // Factory-time validation shared by subclasses.
+  static StatusOr<DensitySpec> MakeLogicalSpec(const Config& config);
+
+  // Hook for subclasses to reset algorithm state after BulkLoad replaced
+  // the file contents (e.g. CONTROL 2 clears its warning flags — valid
+  // because a uniform-density load leaves every node below g(v,2/3)).
+  virtual void AfterBulkLoad() {}
+
+  // Hook after an in-place wholesale reorganization (Compact): state tied
+  // to the old layout (warning flags, DEST pointers) must be rebuilt.
+  virtual void AfterWholesaleReorganization() {}
+
+  // Hook after DeleteRange lowered densities in [lo_block, hi_block]
+  // (e.g. CONTROL 2 lowers calmed warning flags on the affected paths).
+  virtual void AfterRangeDeletion(Address lo_block, Address hi_block) {
+    (void)lo_block;
+    (void)hi_block;
+  }
+
+  // --- Block I/O (accounted) ---
+  // All records of block b (address in [1, num_blocks]) in key order.
+  std::vector<Record> ReadBlock(Address block);
+  // Replaces block b's contents; packs D per physical page.
+  void WriteBlock(Address block, const std::vector<Record>& records);
+
+  // --- Key -> block mapping (in-memory, free) ---
+  // The unique block that can contain `key`; 0 if none.
+  Address BlockPossiblyContaining(Key key) const;
+  // Where an insert of `key` should land: the predecessor's block, else
+  // the successor's block, else the middle block of an empty file.
+  Address TargetBlockForInsert(Key key) const;
+  // smart_placement helper: spill past a saturated block into an empty
+  // successor when the key order allows it (no-op otherwise).
+  Address MaybeSpillAfter(Address block, Address limit) const;
+
+  // Wraps a user command for cost accounting; call at entry/exit of
+  // Insert/Delete implementations.
+  void BeginCommand();
+  void EndCommand();
+
+  // BALANCE(d,D) over the calibrator (every node p(v) <= g(v,1)).
+  Status ValidateBalance() const;
+
+  DensitySpec logical_spec_;  // over blocks: (M#, K*d, K*D)
+  bool smart_placement_;
+  int64_t block_size_;
+  int64_t num_blocks_;
+  int64_t page_d_;  // physical per-page d
+  int64_t page_D_;  // physical per-page D
+  PageFile file_;
+  Calibrator calibrator_;
+  CommandStats command_stats_;
+
+ private:
+  friend class Cursor;
+  // Cursor's accounted block read (same as ReadBlock; narrow interface).
+  std::vector<Record> ReadBlockForCursor(Address block) {
+    return ReadBlock(block);
+  }
+
+  // Physical pages used by a block holding `count` records.
+  int64_t PagesUsed(int64_t count) const;
+  Address FirstPhysicalPage(Address block) const {
+    return (block - 1) * block_size_ + 1;
+  }
+  void SyncBlock(Address block, const std::vector<Record>& records);
+
+  int64_t command_start_accesses_ = 0;
+  bool in_command_ = false;
+};
+
+}  // namespace dsf
+
+#endif  // DSF_CORE_CONTROL_BASE_H_

@@ -1,0 +1,42 @@
+#include "core/cursor.h"
+
+#include <algorithm>
+
+#include "core/control_base.h"
+#include "util/check.h"
+
+namespace dsf {
+
+Cursor::Cursor(ControlBase* control, Key start) : control_(control) {
+  const Address first = control_->calibrator().FirstNonEmptyPageWithMaxGE(start);
+  if (first != 0) LoadFrom(first, start);
+}
+
+const Record& Cursor::record() const {
+  DSF_CHECK(Valid()) << "record() on exhausted cursor";
+  return buffer_[index_];
+}
+
+void Cursor::Next() {
+  DSF_CHECK(Valid()) << "Next() on exhausted cursor";
+  ++index_;
+  if (index_ < buffer_.size()) return;
+  // Buffer exhausted: move to the next non-empty block.
+  const Address next = control_->calibrator().FirstNonEmptyPageIn(
+      block_ + 1, control_->num_blocks());
+  buffer_.clear();
+  index_ = 0;
+  if (next != 0) LoadFrom(next, 0);
+}
+
+void Cursor::LoadFrom(Address block, Key min_key) {
+  block_ = block;
+  buffer_ = control_->ReadBlockForCursor(block);
+  const auto it = std::lower_bound(buffer_.begin(), buffer_.end(),
+                                   Record{min_key, 0}, RecordKeyLess);
+  index_ = static_cast<size_t>(it - buffer_.begin());
+  DSF_DCHECK(index_ < buffer_.size())
+      << "cursor landed on a block without qualifying records";
+}
+
+}  // namespace dsf

@@ -1,0 +1,54 @@
+// Cursor: incremental stream retrieval without materializing the result.
+//
+// A cursor buffers one block at a time (accounted reads, sequential
+// addresses) and yields records in ascending key order. It is a read
+// snapshot of each block at the moment the block is loaded; mutating the
+// file while a cursor is open invalidates it (no crash, but records may
+// be skipped or repeated — the usual database iterator contract without
+// MVCC).
+//
+//   for (dsf::Cursor cur = file.NewCursor(1000); cur.Valid(); cur.Next())
+//     Use(cur.record());
+
+#ifndef DSF_CORE_CURSOR_H_
+#define DSF_CORE_CURSOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "storage/record.h"
+
+namespace dsf {
+
+class ControlBase;
+
+class Cursor {
+ public:
+  // True while the cursor points at a record.
+  bool Valid() const { return index_ < buffer_.size(); }
+
+  // The current record; cursor must be Valid().
+  const Record& record() const;
+
+  // Advances to the next record in key order (loading the next non-empty
+  // block when the buffer is exhausted).
+  void Next();
+
+ private:
+  friend class ControlBase;
+  Cursor(ControlBase* control, Key start);
+
+  // Loads the first non-empty block at or after `block` whose records
+  // reach `min_key`, filling buffer_ from min_key on.
+  void LoadFrom(Address block, Key min_key);
+
+  ControlBase* control_;
+  Address block_ = 0;  // block currently buffered
+  std::vector<Record> buffer_;
+  size_t index_ = 0;
+};
+
+}  // namespace dsf
+
+#endif  // DSF_CORE_CURSOR_H_

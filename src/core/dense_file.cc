@@ -1,0 +1,81 @@
+#include "core/dense_file.h"
+
+#include "core/control1.h"
+#include "core/control2.h"
+#include "core/local_shift.h"
+#include "util/math.h"
+
+namespace dsf {
+
+StatusOr<int64_t> DenseFile::AutoBlockSize(int64_t num_pages, int64_t d,
+                                           int64_t D) {
+  if (num_pages < 1 || d < 1 || D <= d) {
+    return Status::InvalidArgument("need num_pages >= 1 and 1 <= d < D");
+  }
+  for (int64_t k = 1; k <= num_pages; ++k) {
+    if (num_pages % k != 0) continue;
+    const int64_t blocks = num_pages / k;
+    const int64_t L = std::max<int64_t>(1, CeilLog2(blocks));
+    if (k * (D - d) > 3 * L) return k;
+  }
+  return Status::InvalidArgument(
+      "no divisor of num_pages satisfies K*(D-d) > 3*ceil(log(M/K))");
+}
+
+StatusOr<std::unique_ptr<DenseFile>> DenseFile::Create(
+    const Options& options) {
+  int64_t block_size = options.block_size;
+  if (block_size == 0) {
+    if (options.policy == Policy::kLocalShift) {
+      block_size = 1;  // needs no gap condition, hence no macro-blocks
+    } else {
+      StatusOr<int64_t> k =
+          AutoBlockSize(options.num_pages, options.d, options.D);
+      if (!k.ok()) return k.status();
+      block_size = *k;
+    }
+  }
+  ControlBase::Config config;
+  config.num_pages = options.num_pages;
+  config.d = options.d;
+  config.D = options.D;
+  config.block_size = block_size;
+  config.smart_placement = options.smart_placement;
+
+  std::unique_ptr<ControlBase> control;
+  switch (options.policy) {
+    case Policy::kControl1: {
+      StatusOr<std::unique_ptr<Control1>> c = Control1::Create(config);
+      if (!c.ok()) return c.status();
+      control = std::move(*c);
+      break;
+    }
+    case Policy::kControl2: {
+      Control2::Options c2;
+      c2.config = config;
+      c2.J = options.J;
+      StatusOr<std::unique_ptr<Control2>> c = Control2::Create(c2);
+      if (!c.ok()) return c.status();
+      control = std::move(*c);
+      break;
+    }
+    case Policy::kLocalShift: {
+      StatusOr<std::unique_ptr<LocalShift>> c = LocalShift::Create(config);
+      if (!c.ok()) return c.status();
+      control = std::move(*c);
+      break;
+    }
+  }
+  Options resolved = options;
+  resolved.block_size = block_size;
+  return std::unique_ptr<DenseFile>(
+      new DenseFile(resolved, std::move(control)));
+}
+
+StatusOr<Value> DenseFile::Get(Key key) {
+  StatusOr<Record> r = control_->Get(key);
+  if (!r.ok()) return r.status();
+  return r->value;
+}
+
+}  // namespace dsf

@@ -1,0 +1,143 @@
+// DenseFile — the public entry point of libdsf.
+//
+// A (d,D)-dense sequential file over M pages: at most d*M records total,
+// at most D records per page, all records in ascending key order across
+// consecutive page addresses. Point updates are maintained by Willard's
+// CONTROL 2 (worst-case O(log^2 M / (D-d)) page accesses per command) or,
+// optionally, by the amortized CONTROL 1.
+//
+// Quick start:
+//
+//   dsf::DenseFile::Options options;
+//   options.num_pages = 1024;   // M
+//   options.d = 16;             // min headroom: file holds <= d*M records
+//   options.D = 64;             // page capacity
+//   auto file = dsf::DenseFile::Create(options).value();
+//   file->Insert(42, 420).ok();
+//   std::vector<dsf::Record> out;
+//   file->Scan(0, 100, &out).ok();          // stream retrieval, in order
+//   file->io_stats().page_reads;            // accounted page accesses
+//
+// When D - d <= 3*ceil(log M) the gap condition (5.1) fails; Create()
+// automatically selects a macro-block size K per Theorem 5.7 (or honors an
+// explicit Options::block_size).
+
+#ifndef DSF_CORE_DENSE_FILE_H_
+#define DSF_CORE_DENSE_FILE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/control_base.h"
+#include "util/status.h"
+
+namespace dsf {
+
+class DenseFile {
+ public:
+  enum class Policy {
+    kControl2,    // worst-case maintenance (the paper's contribution)
+    kControl1,    // amortized maintenance (Section 3 baseline)
+    kLocalShift,  // padded-list neighbor shifting: expected O(1) under
+                  // uniform updates ([Fr79]/[HKW86]), worst-case O(M)
+  };
+
+  struct Options {
+    int64_t num_pages = 0;  // M
+    int64_t d = 0;          // density floor parameter (capacity = d*M)
+    int64_t D = 0;          // page capacity
+    Policy policy = Policy::kControl2;
+    // SHIFT cycles per command for CONTROL 2; 0 = recommended default.
+    int64_t J = 0;
+    // Macro-block size K; 0 = choose automatically (1 when the gap
+    // condition D-d > 3*ceil(log(M/K)) already holds).
+    int64_t block_size = 0;
+    // Non-paper insert placement heuristic (see ControlBase::Config).
+    bool smart_placement = false;
+  };
+
+  // Validates options and builds the file. All pages start empty.
+  static StatusOr<std::unique_ptr<DenseFile>> Create(const Options& options);
+
+  // Picks the smallest K >= 1 dividing num_pages with
+  // K*(D-d) > 3*ceil(log2(num_pages/K)) — Theorem 5.7's macro-block size.
+  // Fails if no divisor of num_pages qualifies.
+  static StatusOr<int64_t> AutoBlockSize(int64_t num_pages, int64_t d,
+                                         int64_t D);
+
+  // --- Updates ---
+  Status Insert(Key key, Value value) { return Insert(Record{key, value}); }
+  Status Insert(const Record& record) { return control_->Insert(record); }
+  Status Delete(Key key) { return control_->Delete(key); }
+
+  // --- Queries ---
+  StatusOr<Value> Get(Key key);
+  bool Contains(Key key) { return control_->Contains(key); }
+  // Stream retrieval: all records with lo <= key <= hi, in key order,
+  // touching consecutive page addresses.
+  Status Scan(Key lo, Key hi, std::vector<Record>* out) {
+    return control_->Scan(lo, hi, out);
+  }
+  std::vector<Record> ScanAll() { return control_->ScanAll(); }
+  // Streaming retrieval: records with key >= start, one block buffered at
+  // a time (see core/cursor.h for the iterator contract).
+  Cursor NewCursor(Key start = 0) { return control_->NewCursor(start); }
+
+  // --- Range / bulk operations ---
+  // Removes all records in [lo, hi]; returns how many. One command, cost
+  // proportional to the blocks touched.
+  StatusOr<int64_t> DeleteRange(Key lo, Key hi) {
+    return control_->DeleteRange(lo, hi);
+  }
+  // Inserts strictly-ascending records one command at a time.
+  Status InsertBatch(const std::vector<Record>& records) {
+    return control_->InsertBatch(records);
+  }
+  // Explicit O(M) reorganization to uniform density — Theorem 5.5's
+  // initial condition, restoring even insert headroom after skew.
+  Status Compact() { return control_->Compact(); }
+  // Packing diagnostic: mean records per scan-touched page.
+  double ScanEfficiency() const { return control_->ScanEfficiency(); }
+
+  // --- Loading ---
+  // Records must ascend strictly by key; spread at uniform density.
+  Status BulkLoad(const std::vector<Record>& records) {
+    return control_->BulkLoad(records);
+  }
+
+  // --- Introspection ---
+  int64_t size() const { return control_->size(); }
+  bool empty() const { return size() == 0; }
+  int64_t capacity() const { return control_->MaxRecords(); }  // d*M
+  int64_t num_pages() const { return control_->file().num_pages(); }
+  int64_t block_size() const { return control_->block_size(); }
+  const IoStats& io_stats() const { return control_->file().stats(); }
+  void ResetIoStats() { control_->file().ResetStats(); }
+  const CommandStats& command_stats() const {
+    return control_->command_stats();
+  }
+  void ResetCommandStats() { control_->ResetCommandStats(); }
+  std::string PolicyName() const { return control_->Name(); }
+
+  // Full structural + algorithmic invariant sweep (O(M); for tests).
+  Status ValidateInvariants() const { return control_->ValidateInvariants(); }
+
+  // The options the file was created with (block_size resolved).
+  const Options& options() const { return options_; }
+
+  // Escape hatch for benches and tests needing algorithm internals.
+  ControlBase& control() { return *control_; }
+  const ControlBase& control() const { return *control_; }
+
+ private:
+  DenseFile(const Options& options, std::unique_ptr<ControlBase> control)
+      : options_(options), control_(std::move(control)) {}
+
+  Options options_;
+  std::unique_ptr<ControlBase> control_;
+};
+
+}  // namespace dsf
+
+#endif  // DSF_CORE_DENSE_FILE_H_

@@ -1,0 +1,69 @@
+#include "core/density.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/math.h"
+
+namespace dsf {
+
+StatusOr<DensitySpec> DensitySpec::Create(int64_t num_pages, int64_t d,
+                                          int64_t D) {
+  if (num_pages < 1) {
+    return Status::InvalidArgument("num_pages must be >= 1");
+  }
+  if (d < 1) {
+    return Status::InvalidArgument("d must be >= 1");
+  }
+  if (D <= d) {
+    return Status::InvalidArgument("D must exceed d");
+  }
+  const int64_t L = std::max<int64_t>(1, CeilLog2(num_pages));
+  return DensitySpec(num_pages, d, D, L);
+}
+
+int64_t DensitySpec::Lhs(int64_t count) const { return 3 * L_ * count; }
+
+int64_t DensitySpec::Rhs(int64_t pages, int64_t depth, int r3) const {
+  DSF_DCHECK(r3 >= 0 && r3 <= 3) << "r3 out of range";
+  return (3 * L_ * d_ + (3 * depth + r3 - 3) * (D_ - d_)) * pages;
+}
+
+bool DensitySpec::DensityAtLeast(int64_t count, int64_t pages, int64_t depth,
+                                 int r3) const {
+  return Lhs(count) >= Rhs(pages, depth, r3);
+}
+
+bool DensitySpec::DensityAtMost(int64_t count, int64_t pages, int64_t depth,
+                                int r3) const {
+  return Lhs(count) <= Rhs(pages, depth, r3);
+}
+
+int64_t DensitySpec::MovesUntilAtLeast(int64_t count, int64_t pages,
+                                       int64_t depth, int r3) const {
+  const int64_t deficit = Rhs(pages, depth, r3) - Lhs(count);
+  if (deficit <= 0) return 0;
+  return DivCeil(deficit, 3 * L_);
+}
+
+double DensitySpec::G(int64_t depth, double r) const {
+  return static_cast<double>(d_) +
+         (static_cast<double>(depth) + r - 1.0) /
+             static_cast<double>(L_) * static_cast<double>(D_ - d_);
+}
+
+int64_t DensitySpec::RecommendedJ(double safety) const {
+  const double j = safety * static_cast<double>(L_ * L_) /
+                   static_cast<double>(D_ - d_);
+  return std::max<int64_t>(1, static_cast<int64_t>(std::ceil(j)));
+}
+
+std::string DensitySpec::ToString() const {
+  std::ostringstream os;
+  os << "DensitySpec(M=" << num_pages_ << ", d=" << d_ << ", D=" << D_
+     << ", L=" << L_ << ")";
+  return os.str();
+}
+
+}  // namespace dsf

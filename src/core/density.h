@@ -1,0 +1,93 @@
+// Density thresholds g(v,r) and the BALANCE(d,D) predicate — Section 3.
+//
+// The paper defines, for a calibrator node v at depth Depth(v) (root has
+// depth 0) in a file of M pages with L = ceil(log2 M):
+//
+//     g(v,r) = d + (Depth(v) + r - 1) / L * (D - d)
+//     p(v)   = N_v / M_v
+//
+// and BALANCE(d,D) requires p(v) <= g(v,1) for every node. CONTROL 2 also
+// compares p(v) against g(v,0), g(v,1/3) and g(v,2/3). Every r used by the
+// algorithms is a multiple of 1/3, so all comparisons are carried out in
+// exact integer arithmetic: with r = r3/3,
+//
+//     p(v) >= g(v, r3/3)
+//       <=>  3*L*N_v >= (3*L*d + (3*Depth(v) + r3 - 3) * (D-d)) * M_v.
+//
+// DensitySpec packages (M, d, D, L) and exposes these comparisons.
+
+#ifndef DSF_CORE_DENSITY_H_
+#define DSF_CORE_DENSITY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace dsf {
+
+// Thirds used as the r argument of g(v,r).
+inline constexpr int kThirds0 = 0;       // r = 0
+inline constexpr int kThirds1Of3 = 1;    // r = 1/3
+inline constexpr int kThirds2Of3 = 2;    // r = 2/3
+inline constexpr int kThirds1 = 3;       // r = 1
+
+class DensitySpec {
+ public:
+  // M >= 1 pages, 1 <= d < D. Does not require the gap condition (5.1);
+  // callers that need it check SatisfiesGapCondition().
+  static StatusOr<DensitySpec> Create(int64_t num_pages, int64_t d,
+                                      int64_t D);
+
+  int64_t num_pages() const { return num_pages_; }
+  int64_t d() const { return d_; }
+  int64_t D() const { return D_; }
+  // L = ceil(log2 M), floored at 1 so g stays defined for M = 1.
+  int64_t L() const { return L_; }
+  int64_t MaxRecords() const { return d_ * num_pages_; }  // N = d*M
+
+  // Equation (5.1): D - d > 3 * ceil(log M).
+  bool SatisfiesGapCondition() const { return D_ - d_ > 3 * L_; }
+
+  // p >= g(depth, r3/3), i.e. count/pages >= g, exactly.
+  bool DensityAtLeast(int64_t count, int64_t pages, int64_t depth,
+                      int r3) const;
+
+  // p <= g(depth, r3/3), exactly.
+  bool DensityAtMost(int64_t count, int64_t pages, int64_t depth,
+                     int r3) const;
+
+  // The smallest k >= 0 such that (count + k) / pages >= g(depth, r3/3);
+  // i.e. how many records may stream into the region before SHIFT's stop
+  // condition p(x) >= g(x,0) (or any other threshold) fires.
+  int64_t MovesUntilAtLeast(int64_t count, int64_t pages, int64_t depth,
+                            int r3) const;
+
+  // g(depth, r) as a double, for reporting only — never for decisions.
+  double G(int64_t depth, double r) const;
+
+  // A J satisfying (5.2): ceil(safety * L^2 / (D - d)), at least 1.
+  // The paper proves safety = 90 adequate and remarks that ~18 suffices
+  // in practice; benches E5 measures the true threshold.
+  int64_t RecommendedJ(double safety) const;
+
+  std::string ToString() const;
+
+ private:
+  DensitySpec(int64_t num_pages, int64_t d, int64_t D, int64_t L)
+      : num_pages_(num_pages), d_(d), D_(D), L_(L) {}
+
+  // 3*L*N on the left, (3*L*d + (3*depth + r3 - 3)*(D-d)) * pages on the
+  // right; both fit easily in int64 for any laptop-scale file.
+  int64_t Lhs(int64_t count) const;
+  int64_t Rhs(int64_t pages, int64_t depth, int r3) const;
+
+  int64_t num_pages_;
+  int64_t d_;
+  int64_t D_;
+  int64_t L_;
+};
+
+}  // namespace dsf
+
+#endif  // DSF_CORE_DENSITY_H_

@@ -1,0 +1,120 @@
+#include "core/local_shift.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace dsf {
+
+StatusOr<std::unique_ptr<LocalShift>> LocalShift::Create(
+    const Config& config) {
+  StatusOr<DensitySpec> spec = MakeLogicalSpec(config);
+  if (!spec.ok()) return spec.status();
+  return std::unique_ptr<LocalShift>(new LocalShift(config, *spec));
+}
+
+Address LocalShift::NearestBlockWithSpace(Address from) const {
+  const int64_t full = block_size_ * page_D_;
+  for (int64_t dist = 0; dist < num_blocks_; ++dist) {
+    const Address left = from - dist;
+    if (left >= 1 && calibrator_.Count(calibrator_.LeafOf(left)) < full) {
+      return left;
+    }
+    const Address right = from + dist;
+    if (right <= num_blocks_ &&
+        calibrator_.Count(calibrator_.LeafOf(right)) < full) {
+      return right;
+    }
+  }
+  return 0;
+}
+
+void LocalShift::ShiftTowards(Address target, Address gap,
+                              std::vector<Record> overfull) {
+  // `overfull` is the target block's contents including the new record
+  // (one above capacity). Ripple the extreme record block-by-block toward
+  // the gap: every intermediate block sheds one boundary record and
+  // absorbs the carry, preserving global key order throughout.
+  if (gap < target) {
+    Record carry = overfull.front();
+    overfull.erase(overfull.begin());
+    WriteBlock(target, overfull);
+    for (Address b = target - 1; b >= gap; --b) {
+      std::vector<Record> records = ReadBlock(b);
+      records.push_back(carry);
+      if (b > gap) {
+        carry = records.front();
+        records.erase(records.begin());
+      }
+      WriteBlock(b, records);
+    }
+  } else {
+    Record carry = overfull.back();
+    overfull.pop_back();
+    WriteBlock(target, overfull);
+    for (Address b = target + 1; b <= gap; ++b) {
+      std::vector<Record> records = ReadBlock(b);
+      records.insert(records.begin(), carry);
+      if (b < gap) {
+        carry = records.back();
+        records.pop_back();
+      }
+      WriteBlock(b, records);
+    }
+  }
+}
+
+Status LocalShift::Insert(const Record& record) {
+  if (size() >= MaxRecords()) {
+    return Status::CapacityExceeded("file already holds N = d*M records");
+  }
+  BeginCommand();
+  const Address target = TargetBlockForInsert(record.key);
+  std::vector<Record> records = ReadBlock(target);
+  const auto pos = std::lower_bound(records.begin(), records.end(), record,
+                                    RecordKeyLess);
+  if (pos != records.end() && pos->key == record.key) {
+    EndCommand();
+    return Status::AlreadyExists("key already present");
+  }
+  const int64_t full = block_size_ * page_D_;
+  if (static_cast<int64_t>(records.size()) < full) {
+    records.insert(pos, record);
+    WriteBlock(target, records);
+    EndCommand();
+    return Status::OK();
+  }
+  // Target is solid: place the record anyway (one-over-capacity, within
+  // the page store's transient slack) and ripple the boundary record to
+  // the nearest gap. The capacity check above guarantees a gap exists.
+  const Address gap = NearestBlockWithSpace(target);
+  DSF_CHECK(gap != 0) << "no free slot despite N < d*M";
+  ++stats_.displaced_inserts;
+  const int64_t distance = std::abs(gap - target);
+  stats_.blocks_traversed += distance;
+  stats_.max_distance = std::max(stats_.max_distance, distance);
+  records.insert(pos, record);
+  ShiftTowards(target, gap, std::move(records));
+  EndCommand();
+  return Status::OK();
+}
+
+Status LocalShift::Delete(Key key) {
+  const Address block = BlockPossiblyContaining(key);
+  if (block == 0) return Status::NotFound("key absent");
+  BeginCommand();
+  std::vector<Record> records = ReadBlock(block);
+  const auto it = std::lower_bound(records.begin(), records.end(),
+                                   Record{key, 0}, RecordKeyLess);
+  if (it == records.end() || it->key != key) {
+    EndCommand();
+    return Status::NotFound("key absent");
+  }
+  records.erase(it);
+  WriteBlock(block, records);
+  EndCommand();
+  return Status::OK();
+}
+
+}  // namespace dsf

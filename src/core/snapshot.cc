@@ -1,0 +1,190 @@
+#include "core/snapshot.h"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace dsf {
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'S', 'F', '\1'};
+constexpr uint32_t kVersion = 1;
+
+// FNV-1a over a byte buffer.
+uint64_t Fnv1a(const std::string& bytes) {
+  uint64_t hash = 1469598103934665603ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+void PutU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+void PutI64(std::string& out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+void PutU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+// Borrows the byte buffer; the caller keeps it alive.
+class Reader {
+ public:
+  explicit Reader(const std::string& bytes) : bytes_(bytes) {}
+
+  bool Take(void* out, size_t n) {
+    if (pos_ + n > bytes_.size()) return false;
+    std::memcpy(out, bytes_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  bool TakeU64(uint64_t* v) {
+    uint8_t raw[8] = {0};
+    if (!Take(raw, 8)) return false;
+    *v = 0;
+    for (int i = 7; i >= 0; --i) *v = (*v << 8) | raw[i];
+    return true;
+  }
+  bool TakeI64(int64_t* v) {
+    uint64_t u;
+    if (!TakeU64(&u)) return false;
+    *v = static_cast<int64_t>(u);
+    return true;
+  }
+  bool TakeU32(uint32_t* v) {
+    uint8_t raw[4] = {0};
+    if (!Take(raw, 4)) return false;
+    *v = 0;
+    for (int i = 3; i >= 0; --i) *v = (*v << 8) | raw[i];
+    return true;
+  }
+
+  size_t position() const { return pos_; }
+  const std::string& bytes() const { return bytes_; }
+
+ private:
+  const std::string& bytes_;
+  size_t pos_ = 0;
+};
+
+uint8_t PolicyTag(DenseFile::Policy policy) {
+  switch (policy) {
+    case DenseFile::Policy::kControl2: return 0;
+    case DenseFile::Policy::kControl1: return 1;
+    case DenseFile::Policy::kLocalShift: return 2;
+  }
+  return 255;
+}
+
+StatusOr<DenseFile::Policy> PolicyFromTag(uint8_t tag) {
+  switch (tag) {
+    case 0: return DenseFile::Policy::kControl2;
+    case 1: return DenseFile::Policy::kControl1;
+    case 2: return DenseFile::Policy::kLocalShift;
+    default:
+      return Status::Corruption("unknown policy tag in snapshot");
+  }
+}
+
+}  // namespace
+
+Status SaveSnapshot(DenseFile& file, const std::string& path) {
+  const DenseFile::Options& options = file.options();
+  std::string payload;
+  payload.append(kMagic, sizeof(kMagic));
+  PutU32(payload, kVersion);
+  PutI64(payload, options.num_pages);
+  PutI64(payload, options.d);
+  PutI64(payload, options.D);
+  PutI64(payload, options.J);
+  PutI64(payload, options.block_size);
+  payload.push_back(static_cast<char>(PolicyTag(options.policy)));
+  payload.push_back(options.smart_placement ? 1 : 0);
+
+  const std::vector<Record> records = file.ScanAll();
+  PutI64(payload, static_cast<int64_t>(records.size()));
+  for (const Record& r : records) {
+    PutU64(payload, r.key);
+    PutU64(payload, r.value);
+  }
+  PutU64(payload, Fnv1a(payload));
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::InvalidArgument("cannot open " + path);
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (!out) return Status::Internal("short write to " + path);
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<DenseFile>> OpenSnapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::InvalidArgument("cannot open " + path);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (bytes.size() < sizeof(kMagic) + 4 + 8) {
+    return Status::Corruption("snapshot truncated");
+  }
+  // Verify the trailing checksum over everything before it.
+  uint64_t stored_hash = 0;
+  for (int i = 7; i >= 0; --i) {
+    stored_hash = (stored_hash << 8) |
+                  static_cast<uint8_t>(bytes[bytes.size() - 8 +
+                                             static_cast<size_t>(i)]);
+  }
+  if (stored_hash != Fnv1a(bytes.substr(0, bytes.size() - 8))) {
+    return Status::Corruption("snapshot checksum mismatch");
+  }
+
+  Reader reader(bytes);
+  char magic[4];
+  if (!reader.Take(magic, 4) || std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::InvalidArgument("not a dsf snapshot");
+  }
+  uint32_t version = 0;
+  if (!reader.TakeU32(&version)) return Status::Corruption("truncated");
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported snapshot version " +
+                                   std::to_string(version));
+  }
+  DenseFile::Options options;
+  uint8_t policy_tag = 0;
+  uint8_t smart = 0;
+  int64_t record_count = 0;
+  if (!reader.TakeI64(&options.num_pages) || !reader.TakeI64(&options.d) ||
+      !reader.TakeI64(&options.D) || !reader.TakeI64(&options.J) ||
+      !reader.TakeI64(&options.block_size) ||
+      !reader.Take(&policy_tag, 1) || !reader.Take(&smart, 1) ||
+      !reader.TakeI64(&record_count)) {
+    return Status::Corruption("snapshot header truncated");
+  }
+  StatusOr<DenseFile::Policy> policy = PolicyFromTag(policy_tag);
+  if (!policy.ok()) return policy.status();
+  options.policy = *policy;
+  options.smart_placement = smart != 0;
+  if (record_count < 0) return Status::Corruption("negative record count");
+
+  std::vector<Record> records;
+  records.reserve(static_cast<size_t>(record_count));
+  for (int64_t i = 0; i < record_count; ++i) {
+    Record r;
+    if (!reader.TakeU64(&r.key) || !reader.TakeU64(&r.value)) {
+      return Status::Corruption("snapshot records truncated");
+    }
+    records.push_back(r);
+  }
+
+  StatusOr<std::unique_ptr<DenseFile>> file = DenseFile::Create(options);
+  if (!file.ok()) return file.status();
+  DSF_RETURN_IF_ERROR((*file)->BulkLoad(records));
+  return std::move(*file);
+}
+
+}  // namespace dsf

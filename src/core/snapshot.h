@@ -1,0 +1,35 @@
+// Snapshot persistence for dense files.
+//
+// SaveSnapshot serializes a file's configuration and logical contents
+// (not its physical layout) to a single binary image; OpenSnapshot
+// reconstructs the file and bulk-loads the records at uniform density —
+// the freshly compacted state, which is also Theorem 5.5's initial
+// condition. An FNV-1a checksum over the payload catches truncation and
+// bit rot; OpenSnapshot rejects damaged or foreign files with Corruption
+// / InvalidArgument rather than loading garbage.
+//
+// Format (little-endian, fixed width):
+//   magic "DSF\1" | u32 version | i64 num_pages, d, D, J, block_size |
+//   u8 policy | u8 smart_placement | i64 record_count |
+//   record_count * (u64 key, u64 value) | u64 fnv1a(payload)
+
+#ifndef DSF_CORE_SNAPSHOT_H_
+#define DSF_CORE_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+
+#include "core/dense_file.h"
+#include "util/status.h"
+
+namespace dsf {
+
+// Writes `file`'s configuration and records to `path` (overwrites).
+Status SaveSnapshot(DenseFile& file, const std::string& path);
+
+// Reconstructs a dense file from a snapshot written by SaveSnapshot.
+StatusOr<std::unique_ptr<DenseFile>> OpenSnapshot(const std::string& path);
+
+}  // namespace dsf
+
+#endif  // DSF_CORE_SNAPSHOT_H_

@@ -1,0 +1,99 @@
+#include "repro/example52.h"
+
+#include "core/control2.h"
+#include "util/check.h"
+
+namespace dsf::repro {
+
+namespace {
+
+// Node with RANGE(v) == [lo, hi], or kNoNode.
+int FindNode(const Calibrator& cal, Address lo, Address hi) {
+  for (int v = 0; v < cal.node_count(); ++v) {
+    if (cal.RangeLo(v) == lo && cal.RangeHi(v) == hi) return v;
+  }
+  return Calibrator::kNoNode;
+}
+
+Example52Snapshot Snapshot(const Control2& control, int l1, int l8, int v3) {
+  Example52Snapshot snap;
+  const Calibrator& cal = control.calibrator();
+  for (Address p = 1; p <= 8; ++p) {
+    snap.occupancy[static_cast<size_t>(p - 1)] = cal.Count(cal.LeafOf(p));
+  }
+  snap.warn_l1 = control.warning(l1);
+  snap.warn_l8 = control.warning(l8);
+  snap.warn_v3 = control.warning(v3);
+  snap.dest_v3 = control.warning(v3) ? control.dest(v3) : 0;
+  return snap;
+}
+
+}  // namespace
+
+const std::array<std::array<int64_t, 8>, 9>& Figure4Expected() {
+  static const std::array<std::array<int64_t, 8>, 9> kRows = {{
+      {16, 1, 0, 1, 9, 9, 9, 16},   // t0
+      {16, 1, 0, 1, 9, 9, 9, 17},   // t1
+      {16, 1, 0, 1, 9, 9, 15, 11},  // t2
+      {16, 1, 0, 1, 9, 9, 15, 11},  // t3
+      {16, 2, 0, 0, 9, 9, 15, 11},  // t4
+      {17, 2, 0, 0, 9, 9, 15, 11},  // t5
+      {4, 15, 0, 0, 9, 9, 15, 11},  // t6
+      {15, 4, 0, 0, 9, 9, 15, 11},  // t7
+      {15, 9, 0, 0, 4, 9, 15, 11},  // t8
+  }};
+  return kRows;
+}
+
+StatusOr<Example52Result> RunExample52() {
+  Control2::Options options;
+  options.config.num_pages = 8;
+  options.config.d = 9;
+  options.config.D = 18;
+  options.config.block_size = 1;
+  options.J = 3;
+  options.allow_gap_violation_for_testing = true;  // D-d = 3*ceil(log M)
+  StatusOr<std::unique_ptr<Control2>> made = Control2::Create(options);
+  if (!made.ok()) return made.status();
+  Control2& control = **made;
+
+  // Initial distribution of Figure 4's t0 row. Keys ascend across pages;
+  // page p gets keys p*1000, p*1000+1, ...
+  const std::array<int64_t, 8>& t0 = Figure4Expected()[0];
+  std::vector<std::vector<Record>> layout(8);
+  for (Address p = 1; p <= 8; ++p) {
+    for (int64_t i = 0; i < t0[static_cast<size_t>(p - 1)]; ++i) {
+      layout[static_cast<size_t>(p - 1)].push_back(
+          Record{static_cast<Key>(p * 1000 + i), 0});
+    }
+  }
+  DSF_RETURN_IF_ERROR(control.LoadLayout(layout));
+
+  const Calibrator& cal = control.calibrator();
+  const int l1 = cal.LeafOf(1);
+  const int l8 = cal.LeafOf(8);
+  const int v3 = FindNode(cal, 5, 8);
+  DSF_CHECK(v3 != Calibrator::kNoNode) << "node [5,8] missing";
+
+  Example52Result result;
+  result.moments.push_back(Snapshot(control, l1, l8, v3));  // t0
+
+  control.SetStepCallback(
+      [&](Control2::StablePoint, int64_t) {
+        result.moments.push_back(Snapshot(control, l1, l8, v3));
+      });
+
+  // Z1: insert a record whose key exceeds everything, landing in page 8.
+  DSF_RETURN_IF_ERROR(control.Insert(Record{8999, 0}));  // t1..t4
+  // Z2: insert a record whose key precedes everything, landing in page 1.
+  DSF_RETURN_IF_ERROR(control.Insert(Record{1, 0}));  // t5..t8
+  control.SetStepCallback(nullptr);
+
+  if (result.moments.size() != 9) {
+    return Status::Internal("expected 9 flag-stable moments, saw " +
+                            std::to_string(result.moments.size()));
+  }
+  return result;
+}
+
+}  // namespace dsf::repro

@@ -1,0 +1,48 @@
+// Machine-checkable replay of the paper's Example 5.2 / Figure 4.
+//
+// The example runs CONTROL 2 on an 8-page file with d=9, D=18, J=3,
+// starting from occupancies {16,1,0,1,9,9,9,16}, and issues two insertion
+// commands: Z1 into page 8, then Z2 into page 1. Figure 4 tabulates the
+// per-page record counts at the nine flag-stable moments t0..t8. This
+// module replays the example through the real Control2 implementation and
+// returns the observed table, so both the unit test and bench E2 can diff
+// it against the paper.
+//
+// Note: the example sits exactly on the gap-condition boundary
+// (D - d = 9 = 3*ceil(log 8)), so the replay constructs Control2 with
+// allow_gap_violation_for_testing.
+
+#ifndef DSF_REPRO_EXAMPLE52_H_
+#define DSF_REPRO_EXAMPLE52_H_
+
+#include <array>
+#include <vector>
+
+#include "storage/record.h"
+#include "util/status.h"
+
+namespace dsf::repro {
+
+// One flag-stable moment t_i.
+struct Example52Snapshot {
+  std::array<int64_t, 8> occupancy{};  // N_{L_1} .. N_{L_8}
+  bool warn_l1 = false;
+  bool warn_l8 = false;
+  bool warn_v3 = false;  // the node with RANGE [5,8]
+  Address dest_v3 = 0;   // meaningful only while warn_v3
+};
+
+struct Example52Result {
+  std::vector<Example52Snapshot> moments;  // t0..t8
+};
+
+// Figure 4 as printed in the paper: rows t0..t8 of page occupancies.
+const std::array<std::array<int64_t, 8>, 9>& Figure4Expected();
+
+// Replays the example through Control2; moments has exactly 9 entries on
+// success.
+StatusOr<Example52Result> RunExample52();
+
+}  // namespace dsf::repro
+
+#endif  // DSF_REPRO_EXAMPLE52_H_

@@ -1,0 +1,23 @@
+#include "storage/disk_model.h"
+
+#include <sstream>
+
+namespace dsf {
+
+double DiskModel::LatencyMs(const IoStats& stats) const {
+  return LatencyMs(stats.seeks, stats.TotalAccesses());
+}
+
+double DiskModel::LatencyMs(int64_t seeks, int64_t total_accesses) const {
+  return static_cast<double>(seeks) * seek_ms +
+         static_cast<double>(total_accesses) * transfer_ms;
+}
+
+std::string DiskModel::ToString() const {
+  std::ostringstream os;
+  os << "DiskModel(seek=" << seek_ms << "ms, transfer=" << transfer_ms
+     << "ms)";
+  return os.str();
+}
+
+}  // namespace dsf

@@ -1,0 +1,54 @@
+#include "storage/io_stats.h"
+
+#include <sstream>
+
+namespace dsf {
+
+IoStats IoStats::operator-(const IoStats& other) const {
+  IoStats out;
+  out.page_reads = page_reads - other.page_reads;
+  out.page_writes = page_writes - other.page_writes;
+  out.seeks = seeks - other.seeks;
+  out.sequential_accesses = sequential_accesses - other.sequential_accesses;
+  return out;
+}
+
+IoStats& IoStats::operator+=(const IoStats& other) {
+  page_reads += other.page_reads;
+  page_writes += other.page_writes;
+  seeks += other.seeks;
+  sequential_accesses += other.sequential_accesses;
+  return *this;
+}
+
+void IoStats::Reset() { *this = IoStats(); }
+
+void AccessTracker::OnAccess(int64_t address, bool is_write) {
+  if (is_write) {
+    ++stats_.page_writes;
+  } else {
+    ++stats_.page_reads;
+  }
+  if (last_address_ >= 0 &&
+      (address == last_address_ || address == last_address_ + 1 ||
+       address == last_address_ - 1)) {
+    ++stats_.sequential_accesses;
+  } else {
+    ++stats_.seeks;
+  }
+  last_address_ = address;
+}
+
+void AccessTracker::Reset() {
+  stats_.Reset();
+  last_address_ = -1;
+}
+
+std::string IoStats::ToString() const {
+  std::ostringstream os;
+  os << "reads=" << page_reads << " writes=" << page_writes
+     << " seeks=" << seeks << " sequential=" << sequential_accesses;
+  return os.str();
+}
+
+}  // namespace dsf

@@ -1,0 +1,50 @@
+// Page-access accounting.
+//
+// The paper's cost model counts auxiliary page accesses (the calibrator is
+// assumed to live in main memory). IoStats tallies page reads and writes,
+// and additionally classifies each access as *sequential* (same or adjacent
+// address as the previous access) or a *seek*. The seek/sequential split
+// feeds the disk-arm-movement comparison against B-trees (Section 4's
+// remark that CONTROL 2 "accesses consecutive pages in one fell swoop").
+
+#ifndef DSF_STORAGE_IO_STATS_H_
+#define DSF_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dsf {
+
+struct IoStats {
+  int64_t page_reads = 0;
+  int64_t page_writes = 0;
+  int64_t seeks = 0;              // accesses that moved the arm
+  int64_t sequential_accesses = 0;  // accesses adjacent to the previous one
+
+  int64_t TotalAccesses() const { return page_reads + page_writes; }
+
+  IoStats operator-(const IoStats& other) const;
+  IoStats& operator+=(const IoStats& other);
+
+  void Reset();
+  std::string ToString() const;
+};
+
+// Classifies a stream of addressed accesses into IoStats. Shared by the
+// dense-file page store and the baseline structures so all experiments
+// use one cost model: same/adjacent address = sequential, else a seek.
+class AccessTracker {
+ public:
+  void OnAccess(int64_t address, bool is_write);
+
+  const IoStats& stats() const { return stats_; }
+  void Reset();
+
+ private:
+  IoStats stats_;
+  int64_t last_address_ = -1;
+};
+
+}  // namespace dsf
+
+#endif  // DSF_STORAGE_IO_STATS_H_

@@ -1,0 +1,74 @@
+#include "storage/page_file.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace dsf {
+
+PageFile::PageFile(int64_t num_pages, int64_t page_capacity)
+    : num_pages_(num_pages), page_capacity_(page_capacity) {
+  DSF_CHECK(num_pages >= 1) << "PageFile needs at least one page";
+  DSF_CHECK(page_capacity >= 1) << "PageFile needs positive page capacity";
+  pages_.reserve(static_cast<size_t>(num_pages));
+  for (int64_t i = 0; i < num_pages; ++i) pages_.emplace_back(page_capacity);
+}
+
+const Page& PageFile::Read(Address address) {
+  DSF_CHECK(address >= 1 && address <= num_pages_)
+      << "Read address " << address << " outside [1," << num_pages_ << "]";
+  tracker_.OnAccess(address, /*is_write=*/false);
+  return pages_[static_cast<size_t>(address - 1)];
+}
+
+Page& PageFile::Write(Address address) {
+  DSF_CHECK(address >= 1 && address <= num_pages_)
+      << "Write address " << address << " outside [1," << num_pages_ << "]";
+  tracker_.OnAccess(address, /*is_write=*/true);
+  return pages_[static_cast<size_t>(address - 1)];
+}
+
+Page& PageFile::RawPage(Address address) {
+  DSF_CHECK(address >= 1 && address <= num_pages_)
+      << "RawPage address " << address << " outside [1," << num_pages_
+      << "]";
+  return pages_[static_cast<size_t>(address - 1)];
+}
+
+const Page& PageFile::Peek(Address address) const {
+  DSF_CHECK(address >= 1 && address <= num_pages_)
+      << "Peek address " << address << " outside [1," << num_pages_ << "]";
+  return pages_[static_cast<size_t>(address - 1)];
+}
+
+void PageFile::ResetStats() { tracker_.Reset(); }
+
+int64_t PageFile::TotalRecords() const {
+  int64_t total = 0;
+  for (const Page& p : pages_) total += p.size();
+  return total;
+}
+
+bool PageFile::GloballyOrdered() const {
+  bool have_previous = false;
+  Key previous_max = 0;
+  for (const Page& p : pages_) {
+    if (!p.WellFormed()) return false;
+    if (p.empty()) continue;
+    if (have_previous && p.MinKey() <= previous_max) return false;
+    previous_max = p.MaxKey();
+    have_previous = true;
+  }
+  return true;
+}
+
+std::string PageFile::DebugString() const {
+  std::ostringstream os;
+  for (int64_t i = 0; i < num_pages_; ++i) {
+    os << (i + 1) << ": " << pages_[static_cast<size_t>(i)].DebugString()
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dsf

@@ -1,0 +1,67 @@
+// PageFile: M consecutive pages of simulated auxiliary memory with full
+// page-access accounting.
+//
+// Every algorithm in libdsf (the dense-file controls and all baselines)
+// goes through Read()/Write() so that experiments can compare page-access
+// counts. Read() charges a page read, Write() charges a page write and
+// returns a mutable page. Peek() is free and reserved for validators,
+// tests and debug printing — never for algorithm logic.
+//
+// Addresses are 1-based (pages 1..M), matching the paper.
+
+#ifndef DSF_STORAGE_PAGE_FILE_H_
+#define DSF_STORAGE_PAGE_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/io_stats.h"
+#include "storage/page.h"
+#include "storage/record.h"
+
+namespace dsf {
+
+class PageFile {
+ public:
+  // Creates `num_pages` empty pages, each with `page_capacity` slots.
+  PageFile(int64_t num_pages, int64_t page_capacity);
+
+  int64_t num_pages() const { return num_pages_; }
+  int64_t page_capacity() const { return page_capacity_; }
+
+  // Accounted access. `address` in [1, num_pages].
+  const Page& Read(Address address);
+  Page& Write(Address address);
+
+  // Unaccounted access for validators / tests / printing only.
+  const Page& Peek(Address address) const;
+
+  // Unaccounted mutable access. Reserved for (a) initial loading in tests
+  // and benches, and (b) layout bookkeeping that a real system would do in
+  // metadata (e.g. marking a tail page of a shrunken macro-block free).
+  // Algorithm logic must use Read()/Write().
+  Page& RawPage(Address address);
+
+  const IoStats& stats() const { return tracker_.stats(); }
+  void ResetStats();
+
+  // Total records across all pages (O(M); for validation and loading).
+  int64_t TotalRecords() const;
+
+  // True iff every page is well-formed and keys ascend globally across
+  // pages (condition (iii) of (d,D)-density).
+  bool GloballyOrdered() const;
+
+  std::string DebugString() const;
+
+ private:
+  int64_t num_pages_;
+  int64_t page_capacity_;
+  std::vector<Page> pages_;
+  AccessTracker tracker_;
+};
+
+}  // namespace dsf
+
+#endif  // DSF_STORAGE_PAGE_FILE_H_

@@ -1,0 +1,37 @@
+// The record type stored in dense sequential files.
+//
+// The paper treats records abstractly as (key, contents) pairs ordered by
+// key; we fix a concrete 16-byte record: a 64-bit key and a 64-bit value.
+// Keys are unique within a file (map semantics).
+
+#ifndef DSF_STORAGE_RECORD_H_
+#define DSF_STORAGE_RECORD_H_
+
+#include <cstdint>
+
+namespace dsf {
+
+using Key = uint64_t;
+using Value = uint64_t;
+
+// Page addresses are 1-based, matching the paper's convention that the
+// file occupies pages 1..M.
+using Address = int64_t;
+
+struct Record {
+  Key key = 0;
+  Value value = 0;
+
+  friend bool operator==(const Record& a, const Record& b) {
+    return a.key == b.key && a.value == b.value;
+  }
+};
+
+// Records are ordered by key alone; values are payload.
+inline bool RecordKeyLess(const Record& a, const Record& b) {
+  return a.key < b.key;
+}
+
+}  // namespace dsf
+
+#endif  // DSF_STORAGE_RECORD_H_

@@ -1,0 +1,64 @@
+// Fatal assertion macros.
+//
+// DSF_CHECK is always on; DSF_DCHECK compiles away in NDEBUG builds.
+// Both support a streamed trailing message: DSF_CHECK(x > 0) << "got " << x;
+// On failure the condition, location and message are printed to stderr and
+// the process aborts. These guard internal invariants only; user-facing
+// errors are reported through Status.
+
+#ifndef DSF_UTIL_CHECK_H_
+#define DSF_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace dsf {
+namespace internal_check {
+
+// Accumulates the streamed message and aborts in the destructor.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "DSF_CHECK failed: " << condition << " at " << file << ":"
+            << line << " ";
+  }
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailureStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Makes the ternary in DSF_CHECK type-check: `Voidify() & stream` has type
+// void, matching the `(void)0` of the passing branch.
+class Voidify {
+ public:
+  // const& binds both the bare temporary stream and the lvalue returned
+  // by a chained operator<<.
+  void operator&(const CheckFailureStream&) {}
+};
+
+}  // namespace internal_check
+}  // namespace dsf
+
+#define DSF_CHECK(cond)                                \
+  (cond) ? (void)0                                     \
+         : ::dsf::internal_check::Voidify() &          \
+               ::dsf::internal_check::CheckFailureStream(#cond, __FILE__, \
+                                                         __LINE__)
+
+#ifdef NDEBUG
+#define DSF_DCHECK(cond) DSF_CHECK(true)
+#else
+#define DSF_DCHECK(cond) DSF_CHECK(cond)
+#endif
+
+#endif  // DSF_UTIL_CHECK_H_

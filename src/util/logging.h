@@ -1,0 +1,51 @@
+// Minimal leveled logging to stderr.
+//
+// DSF_LOG(kInfo) << "loaded " << n << " records";
+// The global level defaults to kWarning so library internals stay quiet;
+// benches and examples raise it explicitly.
+
+#ifndef DSF_UTIL_LOGGING_H_
+#define DSF_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace dsf {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+// Process-wide minimum level actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_log {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_log
+}  // namespace dsf
+
+#define DSF_LOG(level)                                        \
+  ::dsf::internal_log::LogMessage(::dsf::LogLevel::level,     \
+                                  __FILE__, __LINE__)
+
+#endif  // DSF_UTIL_LOGGING_H_

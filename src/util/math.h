@@ -1,0 +1,49 @@
+// Small integer-math helpers used throughout the density machinery.
+//
+// All density-threshold comparisons in libdsf are done in exact integer
+// arithmetic (see core/density.h); these helpers keep that code readable.
+
+#ifndef DSF_UTIL_MATH_H_
+#define DSF_UTIL_MATH_H_
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace dsf {
+
+// ceil(log2(x)) for x >= 1. CeilLog2(1) == 0.
+inline int64_t CeilLog2(int64_t x) {
+  DSF_CHECK(x >= 1) << "CeilLog2 domain";
+  int64_t log = 0;
+  int64_t value = 1;
+  while (value < x) {
+    value <<= 1;
+    ++log;
+  }
+  return log;
+}
+
+// floor(log2(x)) for x >= 1.
+inline int64_t FloorLog2(int64_t x) {
+  DSF_CHECK(x >= 1) << "FloorLog2 domain";
+  int64_t log = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++log;
+  }
+  return log;
+}
+
+// ceil(a / b) for a >= 0, b > 0.
+inline int64_t DivCeil(int64_t a, int64_t b) {
+  DSF_CHECK(a >= 0 && b > 0) << "DivCeil domain";
+  return (a + b - 1) / b;
+}
+
+// True iff x is a power of two (x >= 1).
+inline bool IsPowerOfTwo(int64_t x) { return x >= 1 && (x & (x - 1)) == 0; }
+
+}  // namespace dsf
+
+#endif  // DSF_UTIL_MATH_H_

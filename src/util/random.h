@@ -1,0 +1,57 @@
+// Deterministic pseudo-random number generation for workloads and tests.
+//
+// Rng wraps SplitMix64/xoshiro-style generation with convenience draws;
+// ZipfGenerator produces skewed key choices for hotspot workloads. Both are
+// fully deterministic given the seed so experiments are reproducible.
+
+#ifndef DSF_UTIL_RANDOM_H_
+#define DSF_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dsf {
+
+// A small, fast, seedable PRNG (xoshiro256** seeded via SplitMix64).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform over all 64-bit values.
+  uint64_t Next();
+
+  // Uniform in [0, bound), bound > 0. Uses rejection to avoid modulo bias.
+  uint64_t Uniform(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive, lo <= hi.
+  int64_t UniformInRange(int64_t lo, int64_t hi);
+
+  // Uniform real in [0, 1).
+  double NextDouble();
+
+  // True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+ private:
+  uint64_t state_[4];
+};
+
+// Samples ranks in [0, n) with P(rank k) proportional to 1/(k+1)^theta.
+// Precomputes the CDF once; each Sample() is a binary search.
+class ZipfGenerator {
+ public:
+  // n >= 1; theta >= 0 (theta == 0 is uniform).
+  ZipfGenerator(uint64_t n, double theta);
+
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace dsf
+
+#endif  // DSF_UTIL_RANDOM_H_

@@ -1,0 +1,451 @@
+#include "varsize/var_control2.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace dsf {
+
+namespace {
+
+bool VarKeyLess(const VarRecord& a, const VarRecord& b) {
+  return a.key < b.key;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<VarControl2>> VarControl2::Create(
+    const Options& options) {
+  StatusOr<DensitySpec> spec =
+      DensitySpec::Create(options.num_pages, options.d, options.D);
+  if (!spec.ok()) return spec.status();
+  if (options.max_record_size < 1) {
+    return Status::InvalidArgument("max_record_size must be >= 1");
+  }
+  // Threshold spacing (D-d)/(3L) must absorb a whole-record overshoot.
+  const int64_t required = 3 * options.max_record_size * spec->L();
+  if (options.D - options.d <= required) {
+    return Status::InvalidArgument(
+        "variable-size CONTROL 2 needs D - d > 3 * max_record_size * "
+        "ceil(log M) = " +
+        std::to_string(required));
+  }
+  if (options.J < 0) return Status::InvalidArgument("J must be >= 0");
+  const int64_t j = options.J > 0
+                        ? options.J
+                        : spec->RecommendedJ(8.0);
+  return std::unique_ptr<VarControl2>(new VarControl2(options, *spec, j));
+}
+
+VarControl2::VarControl2(const Options& options, DensitySpec spec,
+                         int64_t j)
+    : options_(options),
+      spec_(spec),
+      j_(j),
+      calibrator_(options.num_pages) {
+  pages_.resize(static_cast<size_t>(options.num_pages));
+  const size_t n = static_cast<size_t>(calibrator_.node_count());
+  warning_.assign(n, 0);
+  dest_.assign(n, 0);
+  warn_count_subtree_.assign(n, 0);
+  warn_max_depth_subtree_.assign(n, -1);
+}
+
+std::vector<VarRecord>& VarControl2::TouchPage(Address page, bool write) {
+  tracker_.OnAccess(page, write);
+  return pages_[static_cast<size_t>(page - 1)];
+}
+
+void VarControl2::SyncPage(Address page) {
+  const std::vector<VarRecord>& p = pages_[static_cast<size_t>(page - 1)];
+  int64_t units = 0;
+  for (const VarRecord& r : p) units += r.size;
+  if (p.empty()) {
+    calibrator_.SyncLeaf(page, 0, 0, 0);
+  } else {
+    calibrator_.SyncLeaf(page, units, p.front().key, p.back().key);
+  }
+}
+
+Address VarControl2::TargetPageForInsert(Key key) const {
+  const Address successor = calibrator_.FirstNonEmptyPageWithMaxGE(key);
+  if (successor == 0) {
+    const Address last =
+        calibrator_.LastNonEmptyPageIn(1, options_.num_pages);
+    return last != 0 ? last : (options_.num_pages + 1) / 2;
+  }
+  if (calibrator_.MinKeyOf(calibrator_.LeafOf(successor)) <= key) {
+    return successor;
+  }
+  const Address predecessor =
+      calibrator_.LastNonEmptyPageIn(1, successor - 1);
+  return predecessor != 0 ? predecessor : successor;
+}
+
+void VarControl2::BeginCommand() {
+  command_start_accesses_ = tracker_.stats().TotalAccesses();
+}
+
+void VarControl2::EndCommand() {
+  const int64_t used =
+      tracker_.stats().TotalAccesses() - command_start_accesses_;
+  ++command_cost_.commands;
+  command_cost_.total_accesses += used;
+  command_cost_.max_accesses = std::max(command_cost_.max_accesses, used);
+}
+
+void VarControl2::SetWarning(int v, bool on) {
+  if ((warning_[v] != 0) == on) return;
+  warning_[v] = on ? 1 : 0;
+  for (int a = v; a != Calibrator::kNoNode; a = calibrator_.Parent(a)) {
+    int64_t count = warning_[a] ? 1 : 0;
+    int64_t max_depth = warning_[a] ? calibrator_.Depth(a) : -1;
+    if (!calibrator_.IsLeaf(a)) {
+      const int l = calibrator_.Left(a);
+      const int r = calibrator_.Right(a);
+      count += warn_count_subtree_[l] + warn_count_subtree_[r];
+      max_depth = std::max({max_depth, warn_max_depth_subtree_[l],
+                            warn_max_depth_subtree_[r]});
+    }
+    warn_count_subtree_[a] = count;
+    warn_max_depth_subtree_[a] = max_depth;
+  }
+}
+
+void VarControl2::LowerIfCalm(int v) {
+  if (warning_[v] == 0) return;
+  if (spec_.DensityAtMost(calibrator_.Count(v), calibrator_.PagesIn(v),
+                          calibrator_.Depth(v), kThirds1Of3)) {
+    SetWarning(v, false);
+    ++maintenance_stats_.warnings_lowered;
+  }
+}
+
+void VarControl2::CheckLowerOnPath(Address page) {
+  for (const int v : calibrator_.PathToLeaf(page)) LowerIfCalm(v);
+}
+
+void VarControl2::CheckRaiseOnPath(Address page) {
+  for (const int v : calibrator_.PathToLeaf(page)) {
+    if (v == calibrator_.root()) continue;
+    if (warning_[v] == 0 &&
+        spec_.DensityAtLeast(calibrator_.Count(v), calibrator_.PagesIn(v),
+                             calibrator_.Depth(v), kThirds2Of3)) {
+      Activate(v);
+    }
+  }
+}
+
+void VarControl2::Activate(int w) {
+  ++maintenance_stats_.activations;
+  SetWarning(w, true);
+  const int fw = calibrator_.Parent(w);
+  const Address fw_lo = calibrator_.RangeLo(fw);
+  const Address fw_hi = calibrator_.RangeHi(fw);
+  dest_[w] = calibrator_.IsRightChild(w) ? fw_lo : fw_hi;
+  // Roll-back rules, unchanged from the fixed-size algorithm.
+  for (int fy = calibrator_.Parent(fw); fy != Calibrator::kNoNode;
+       fy = calibrator_.Parent(fy)) {
+    const int children[2] = {calibrator_.Left(fy), calibrator_.Right(fy)};
+    for (const int y : children) {
+      if (y == Calibrator::kNoNode || warning_[y] == 0) continue;
+      if (calibrator_.IsRightChild(y)) {
+        if (dest_[y] >= fw_lo + 1 && dest_[y] <= fw_hi) dest_[y] = fw_lo;
+      } else {
+        if (dest_[y] >= fw_lo && dest_[y] <= fw_hi - 1) dest_[y] = fw_hi;
+      }
+    }
+  }
+}
+
+int VarControl2::SelectNode(Address leaf_page) const {
+  const int leaf = calibrator_.LeafOf(leaf_page);
+  int alpha = Calibrator::kNoNode;
+  for (int a = calibrator_.Parent(leaf); a != Calibrator::kNoNode;
+       a = calibrator_.Parent(a)) {
+    if (warn_count_subtree_[a] - (warning_[a] ? 1 : 0) > 0) {
+      alpha = a;
+      break;
+    }
+  }
+  if (alpha == Calibrator::kNoNode) return Calibrator::kNoNode;
+  const int64_t target_depth = warn_max_depth_subtree_[alpha];
+  int v = alpha;
+  while (!(warning_[v] != 0 && calibrator_.Depth(v) == target_depth)) {
+    const int l = calibrator_.Left(v);
+    v = (warn_max_depth_subtree_[l] == target_depth) ? l
+                                                     : calibrator_.Right(v);
+  }
+  return v;
+}
+
+void VarControl2::Shift(int v) {
+  ++maintenance_stats_.shifts;
+  const int f = calibrator_.Parent(v);
+  const bool moves_left = calibrator_.IsRightChild(v);
+  const Address dest = dest_[v];
+
+  Address source;
+  if (moves_left) {
+    source =
+        calibrator_.FirstNonEmptyPageIn(dest + 1, calibrator_.RangeHi(f));
+  } else {
+    source =
+        calibrator_.LastNonEmptyPageIn(calibrator_.RangeLo(f), dest - 1);
+  }
+  if (source == 0) return;  // defensively idle, as in the fixed-size code
+
+  std::vector<int> up;
+  for (const int x : calibrator_.PathToLeaf(dest)) {
+    if (source < calibrator_.RangeLo(x) || source > calibrator_.RangeHi(x)) {
+      up.push_back(x);
+    }
+  }
+
+  int64_t budget_units = std::numeric_limits<int64_t>::max();
+  for (const int x : up) {
+    budget_units = std::min(
+        budget_units,
+        spec_.MovesUntilAtLeast(calibrator_.Count(x), calibrator_.PagesIn(x),
+                                calibrator_.Depth(x), kThirds0));
+  }
+
+  if (budget_units > 0) {
+    std::vector<VarRecord>& src = TouchPage(source, /*write=*/false);
+    std::vector<VarRecord>& dst = TouchPage(dest, /*write=*/false);
+    TouchPage(source, /*write=*/true);
+    TouchPage(dest, /*write=*/true);
+    int64_t moved_units = 0;
+    // Move whole records until a threshold is reached or crossed (the
+    // final record may overshoot by up to S-1 units) or SOURCE empties.
+    while (moved_units < budget_units && !src.empty()) {
+      if (moves_left) {
+        moved_units += src.front().size;
+        dst.push_back(src.front());
+        src.erase(src.begin());
+      } else {
+        moved_units += src.back().size;
+        dst.insert(dst.begin(), src.back());
+        src.pop_back();
+      }
+      ++maintenance_stats_.records_shifted;
+    }
+    maintenance_stats_.units_shifted += moved_units;
+    SyncPage(source);
+    SyncPage(dest);
+  }
+
+  for (const int x : up) {
+    if (spec_.DensityAtLeast(calibrator_.Count(x), calibrator_.PagesIn(x),
+                             calibrator_.Depth(x), kThirds0)) {
+      dest_[v] = moves_left ? calibrator_.RangeHi(x) + 1
+                            : calibrator_.RangeLo(x) - 1;
+      break;
+    }
+  }
+  if (budget_units > 0) CheckLowerOnPath(source);
+}
+
+void VarControl2::RunMaintenance(Address leaf_page) {
+  for (int64_t cycle = 0; cycle < j_; ++cycle) {
+    const int v = SelectNode(leaf_page);
+    if (v == Calibrator::kNoNode) break;
+    Shift(v);
+  }
+}
+
+Status VarControl2::Insert(const VarRecord& record) {
+  if (record.size < 1 || record.size > options_.max_record_size) {
+    return Status::InvalidArgument("record size outside [1, max]");
+  }
+  const Address target = TargetPageForInsert(record.key);
+  BeginCommand();
+  std::vector<VarRecord>& page = TouchPage(target, /*write=*/false);
+  const auto pos =
+      std::lower_bound(page.begin(), page.end(), record, VarKeyLess);
+  if (pos != page.end() && pos->key == record.key) {
+    EndCommand();
+    return Status::AlreadyExists("key already present");
+  }
+  if (total_units() + record.size > MaxUnits()) {
+    EndCommand();
+    return Status::CapacityExceeded("file already holds d*M units");
+  }
+  TouchPage(target, /*write=*/true);
+  page.insert(pos, record);
+  SyncPage(target);
+  ++record_count_;
+
+  CheckLowerOnPath(target);
+  CheckRaiseOnPath(target);
+  RunMaintenance(target);
+  EndCommand();
+  return Status::OK();
+}
+
+Status VarControl2::Delete(Key key) {
+  const Address page_address = calibrator_.FirstNonEmptyPageWithMaxGE(key);
+  if (page_address == 0) return Status::NotFound("key absent");
+  BeginCommand();
+  std::vector<VarRecord>& page = TouchPage(page_address, /*write=*/false);
+  const auto it = std::lower_bound(page.begin(), page.end(),
+                                   VarRecord{key, 1, 0}, VarKeyLess);
+  if (it == page.end() || it->key != key) {
+    EndCommand();
+    return Status::NotFound("key absent");
+  }
+  TouchPage(page_address, /*write=*/true);
+  page.erase(it);
+  SyncPage(page_address);
+  --record_count_;
+
+  CheckLowerOnPath(page_address);
+  RunMaintenance(page_address);
+  EndCommand();
+  return Status::OK();
+}
+
+StatusOr<VarRecord> VarControl2::Get(Key key) {
+  const Address page_address = calibrator_.FirstNonEmptyPageWithMaxGE(key);
+  if (page_address == 0) return Status::NotFound("key absent");
+  const std::vector<VarRecord>& page =
+      TouchPage(page_address, /*write=*/false);
+  const auto it = std::lower_bound(page.begin(), page.end(),
+                                   VarRecord{key, 1, 0}, VarKeyLess);
+  if (it == page.end() || it->key != key) {
+    return Status::NotFound("key absent");
+  }
+  return *it;
+}
+
+Status VarControl2::Scan(Key lo, Key hi, std::vector<VarRecord>* out) {
+  DSF_CHECK(out != nullptr) << "Scan output vector is null";
+  if (lo > hi) return Status::OK();
+  Address page_address = calibrator_.FirstNonEmptyPageWithMaxGE(lo);
+  if (page_address == 0) return Status::OK();
+  for (; page_address <= options_.num_pages; ++page_address) {
+    const int leaf = calibrator_.LeafOf(page_address);
+    if (calibrator_.Count(leaf) == 0) continue;
+    if (calibrator_.MinKeyOf(leaf) > hi) break;
+    for (const VarRecord& r : TouchPage(page_address, /*write=*/false)) {
+      if (r.key < lo) continue;
+      if (r.key > hi) return Status::OK();
+      out->push_back(r);
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<VarRecord> VarControl2::ScanAll() {
+  std::vector<VarRecord> out;
+  const Status s = Scan(0, std::numeric_limits<Key>::max(), &out);
+  DSF_CHECK(s.ok()) << "full scan failed";
+  return out;
+}
+
+Status VarControl2::BulkLoad(const std::vector<VarRecord>& records) {
+  int64_t units = 0;
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (records[i].size < 1 || records[i].size > options_.max_record_size) {
+      return Status::InvalidArgument("record size outside [1, max]");
+    }
+    if (i > 0 && records[i - 1].key >= records[i].key) {
+      return Status::InvalidArgument("bulk load keys must ascend");
+    }
+    units += records[i].size;
+  }
+  if (units > MaxUnits()) {
+    return Status::CapacityExceeded("bulk load exceeds d*M units");
+  }
+  for (auto& page : pages_) page.clear();
+  size_t next = 0;
+  int64_t assigned = 0;
+  for (Address page = 1; page <= options_.num_pages; ++page) {
+    const int64_t target = page * units / options_.num_pages;
+    while (next < records.size() && assigned < target) {
+      pages_[static_cast<size_t>(page - 1)].push_back(records[next]);
+      assigned += records[next].size;
+      ++next;
+    }
+    SyncPage(page);
+  }
+  record_count_ = static_cast<int64_t>(records.size());
+  tracker_.Reset();
+  command_cost_ = CommandCost();
+  // Rebuild warning state for the fresh layout.
+  std::fill(warning_.begin(), warning_.end(), 0);
+  std::fill(dest_.begin(), dest_.end(), 0);
+  std::fill(warn_count_subtree_.begin(), warn_count_subtree_.end(), 0);
+  std::fill(warn_max_depth_subtree_.begin(), warn_max_depth_subtree_.end(),
+            -1);
+  for (int v = 1; v < calibrator_.node_count(); ++v) {
+    if (spec_.DensityAtLeast(calibrator_.Count(v), calibrator_.PagesIn(v),
+                             calibrator_.Depth(v), kThirds2Of3)) {
+      Activate(v);
+    }
+  }
+  maintenance_stats_ = Stats();
+  return Status::OK();
+}
+
+Status VarControl2::ValidateInvariants() const {
+  int64_t records = 0;
+  bool have_prev = false;
+  Key prev = 0;
+  for (Address p = 1; p <= options_.num_pages; ++p) {
+    const std::vector<VarRecord>& page = pages_[static_cast<size_t>(p - 1)];
+    int64_t units = 0;
+    for (const VarRecord& r : page) {
+      if (have_prev && r.key <= prev) {
+        return Status::Corruption("keys out of order");
+      }
+      prev = r.key;
+      have_prev = true;
+      units += r.size;
+      ++records;
+    }
+    if (units > options_.D) {
+      return Status::Corruption("page above D units at a command boundary");
+    }
+    if (units != calibrator_.Count(calibrator_.LeafOf(p))) {
+      return Status::Corruption("stale unit counter");
+    }
+  }
+  if (records != record_count_) {
+    return Status::Corruption("record count mismatch");
+  }
+  DSF_RETURN_IF_ERROR(calibrator_.ValidateAggregates());
+  for (int v = 0; v < calibrator_.node_count(); ++v) {
+    const int64_t count = calibrator_.Count(v);
+    const int64_t pages = calibrator_.PagesIn(v);
+    const int64_t depth = calibrator_.Depth(v);
+    if (!spec_.DensityAtMost(count, pages, depth, kThirds1)) {
+      return Status::Corruption("BALANCE(d,D) violated in units at node " +
+                                std::to_string(v));
+    }
+    if (warning_[v] != 0 &&
+        spec_.DensityAtMost(count, pages, depth, kThirds1Of3)) {
+      return Status::Corruption("Fact 5.1a violated at node " +
+                                std::to_string(v));
+    }
+    if (v != calibrator_.root() && warning_[v] == 0 &&
+        spec_.DensityAtLeast(count, pages, depth, kThirds2Of3)) {
+      return Status::Corruption("Fact 5.1b violated at node " +
+                                std::to_string(v));
+    }
+    if (warning_[v] != 0) {
+      const int f = calibrator_.Parent(v);
+      if (f == Calibrator::kNoNode) {
+        return Status::Corruption("root in warning state");
+      }
+      if (dest_[v] < calibrator_.RangeLo(f) ||
+          dest_[v] > calibrator_.RangeHi(f)) {
+        return Status::Corruption("DEST outside RANGE(father)");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace dsf

@@ -1,0 +1,124 @@
+// VarControl2 — CONTROL 2's worst-case maintenance generalized to
+// variable-size records. An extension beyond the paper: Willard's 1986
+// algorithm assumes unit records, and [BCW85] covers variable sizes only
+// with amortized bounds (see varsize/var_file.h). Here the full warning /
+// DEST / SHIFT / SELECT / ACTIVATE machinery runs over unit-based
+// densities, so every command costs O(J) page accesses even when records
+// occupy 1..S units.
+//
+// What changes versus the fixed-size CONTROL 2:
+//   * Records are atomic, so SHIFT's stop condition ("move until some UP
+//     node reaches p(x) >= g(x,0)") can overshoot a threshold by up to
+//     S-1 units on the final record.
+//   * The safety spacing between consecutive thresholds is (D-d)/(3L)
+//     units; it must absorb that overshoot, so Create() enforces the
+//     widened gap condition (D-d) > 3*S*ceil(log M).
+//   * A page may transiently hold up to D + S - 1 units inside a command.
+
+#ifndef DSF_VARSIZE_VAR_CONTROL2_H_
+#define DSF_VARSIZE_VAR_CONTROL2_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/calibrator.h"
+#include "core/density.h"
+#include "storage/io_stats.h"
+#include "util/status.h"
+#include "varsize/var_file.h"
+
+namespace dsf {
+
+class VarControl2 {
+ public:
+  struct Options {
+    int64_t num_pages = 0;
+    int64_t d = 0;                // units per page, density floor
+    int64_t D = 0;                // units per page, capacity
+    int64_t max_record_size = 1;  // S
+    int64_t J = 0;                // 0 = ceil(8 L^2/(D-d))
+  };
+
+  struct Stats {
+    int64_t activations = 0;
+    int64_t shifts = 0;
+    int64_t units_shifted = 0;
+    int64_t records_shifted = 0;
+    int64_t warnings_lowered = 0;
+  };
+
+  struct CommandCost {
+    int64_t commands = 0;
+    int64_t max_accesses = 0;
+    int64_t total_accesses = 0;
+    double Mean() const {
+      return commands == 0 ? 0.0
+                           : static_cast<double>(total_accesses) /
+                                 static_cast<double>(commands);
+    }
+  };
+
+  static StatusOr<std::unique_ptr<VarControl2>> Create(
+      const Options& options);
+
+  Status Insert(const VarRecord& record);
+  Status Delete(Key key);
+  StatusOr<VarRecord> Get(Key key);
+  bool Contains(Key key) { return Get(key).ok(); }
+  Status Scan(Key lo, Key hi, std::vector<VarRecord>* out);
+  std::vector<VarRecord> ScanAll();
+  Status BulkLoad(const std::vector<VarRecord>& records);
+
+  int64_t record_count() const { return record_count_; }
+  int64_t total_units() const { return calibrator_.TotalRecords(); }
+  int64_t MaxUnits() const { return spec_.MaxRecords(); }
+  int64_t J() const { return j_; }
+  const IoStats& stats() const { return tracker_.stats(); }
+  void ResetStats() { tracker_.Reset(); }
+  const Stats& maintenance_stats() const { return maintenance_stats_; }
+  const CommandCost& command_cost() const { return command_cost_; }
+
+  // Order, unit accounting, page bounds, BALANCE in units, Fact 5.1
+  // flag consistency, DEST containment.
+  Status ValidateInvariants() const;
+
+ private:
+  VarControl2(const Options& options, DensitySpec spec, int64_t j);
+
+  std::vector<VarRecord>& TouchPage(Address page, bool write);
+  void SyncPage(Address page);
+  Address TargetPageForInsert(Key key) const;
+
+  void SetWarning(int v, bool on);
+  void LowerIfCalm(int v);
+  void CheckLowerOnPath(Address page);
+  void CheckRaiseOnPath(Address page);
+  void Activate(int w);
+  int SelectNode(Address leaf_page) const;
+  void Shift(int v);
+  void RunMaintenance(Address leaf_page);
+
+  void BeginCommand();
+  void EndCommand();
+
+  Options options_;
+  DensitySpec spec_;  // in units
+  int64_t j_;
+  Calibrator calibrator_;  // counters hold units
+  std::vector<std::vector<VarRecord>> pages_;
+  AccessTracker tracker_;
+  int64_t record_count_ = 0;
+  Stats maintenance_stats_;
+  CommandCost command_cost_;
+  int64_t command_start_accesses_ = 0;
+
+  std::vector<char> warning_;
+  std::vector<Address> dest_;
+  std::vector<int64_t> warn_count_subtree_;
+  std::vector<int64_t> warn_max_depth_subtree_;
+};
+
+}  // namespace dsf
+
+#endif  // DSF_VARSIZE_VAR_CONTROL2_H_

@@ -1,0 +1,286 @@
+#include "varsize/var_file.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace dsf {
+
+namespace {
+
+bool VarKeyLess(const VarRecord& a, const VarRecord& b) {
+  return a.key < b.key;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<VarFile>> VarFile::Create(const Options& options) {
+  StatusOr<DensitySpec> spec =
+      DensitySpec::Create(options.num_pages, options.d, options.D);
+  if (!spec.ok()) return spec.status();
+  if (options.max_record_size < 1) {
+    return Status::InvalidArgument("max_record_size must be >= 1");
+  }
+  // Widened gap condition: redistribution balances pages only to within
+  // max_record_size - 1 units, so the per-level threshold step (D-d)/L
+  // must absorb that plus the fixed-size algorithm's own slack.
+  const int64_t required = (2 + options.max_record_size) * spec->L();
+  if (options.D - options.d <= required) {
+    return Status::InvalidArgument(
+        "variable-size maintenance needs D - d > (2 + max_record_size) * "
+        "ceil(log M) = " +
+        std::to_string(required));
+  }
+  return std::unique_ptr<VarFile>(new VarFile(options, *spec));
+}
+
+VarFile::VarFile(const Options& options, DensitySpec spec)
+    : options_(options), spec_(spec), calibrator_(options.num_pages) {
+  pages_.resize(static_cast<size_t>(options.num_pages));
+}
+
+int64_t VarFile::PageUnits(Address page) const {
+  return calibrator_.Count(calibrator_.LeafOf(page));
+}
+
+std::vector<VarRecord>& VarFile::TouchPage(Address page, bool write) {
+  tracker_.OnAccess(page, write);
+  return pages_[static_cast<size_t>(page - 1)];
+}
+
+void VarFile::SyncPage(Address page) {
+  const std::vector<VarRecord>& p = pages_[static_cast<size_t>(page - 1)];
+  int64_t units = 0;
+  for (const VarRecord& r : p) units += r.size;
+  if (p.empty()) {
+    calibrator_.SyncLeaf(page, 0, 0, 0);
+  } else {
+    calibrator_.SyncLeaf(page, units, p.front().key, p.back().key);
+  }
+}
+
+Address VarFile::TargetPageForInsert(Key key) const {
+  const Address successor = calibrator_.FirstNonEmptyPageWithMaxGE(key);
+  if (successor == 0) {
+    const Address last =
+        calibrator_.LastNonEmptyPageIn(1, options_.num_pages);
+    return last != 0 ? last : (options_.num_pages + 1) / 2;
+  }
+  if (calibrator_.MinKeyOf(calibrator_.LeafOf(successor)) <= key) {
+    return successor;
+  }
+  const Address predecessor =
+      calibrator_.LastNonEmptyPageIn(1, successor - 1);
+  return predecessor != 0 ? predecessor : successor;
+}
+
+Status VarFile::Insert(const VarRecord& record) {
+  if (record.size < 1 || record.size > options_.max_record_size) {
+    return Status::InvalidArgument("record size outside [1, max]");
+  }
+  const Address target = TargetPageForInsert(record.key);
+  std::vector<VarRecord>& page = TouchPage(target, /*write=*/false);
+  const auto pos =
+      std::lower_bound(page.begin(), page.end(), record, VarKeyLess);
+  if (pos != page.end() && pos->key == record.key) {
+    return Status::AlreadyExists("key already present");
+  }
+  if (total_units() + record.size > MaxUnits()) {
+    return Status::CapacityExceeded("file already holds d*M units");
+  }
+  TouchPage(target, /*write=*/true);
+  page.insert(pos, record);
+  SyncPage(target);
+  ++record_count_;
+
+  const int violator = HighestViolatorOnPath(target);
+  if (violator != Calibrator::kNoNode) {
+    const int father = calibrator_.Parent(violator);
+    DSF_CHECK(father != Calibrator::kNoNode)
+        << "root violated BALANCE despite the capacity check";
+    Redistribute(father);
+  }
+  return Status::OK();
+}
+
+Status VarFile::Delete(Key key) {
+  const Address page_address = calibrator_.FirstNonEmptyPageWithMaxGE(key);
+  if (page_address == 0) return Status::NotFound("key absent");
+  std::vector<VarRecord>& page = TouchPage(page_address, /*write=*/false);
+  const auto it = std::lower_bound(page.begin(), page.end(),
+                                   VarRecord{key, 1, 0}, VarKeyLess);
+  if (it == page.end() || it->key != key) {
+    return Status::NotFound("key absent");
+  }
+  TouchPage(page_address, /*write=*/true);
+  page.erase(it);
+  SyncPage(page_address);
+  --record_count_;
+  return Status::OK();
+}
+
+StatusOr<VarRecord> VarFile::Get(Key key) {
+  const Address page_address = calibrator_.FirstNonEmptyPageWithMaxGE(key);
+  if (page_address == 0) return Status::NotFound("key absent");
+  const std::vector<VarRecord>& page =
+      TouchPage(page_address, /*write=*/false);
+  const auto it = std::lower_bound(page.begin(), page.end(),
+                                   VarRecord{key, 1, 0}, VarKeyLess);
+  if (it == page.end() || it->key != key) {
+    return Status::NotFound("key absent");
+  }
+  return *it;
+}
+
+bool VarFile::Contains(Key key) { return Get(key).ok(); }
+
+Status VarFile::Scan(Key lo, Key hi, std::vector<VarRecord>* out) {
+  DSF_CHECK(out != nullptr) << "Scan output vector is null";
+  if (lo > hi) return Status::OK();
+  Address page_address = calibrator_.FirstNonEmptyPageWithMaxGE(lo);
+  if (page_address == 0) return Status::OK();
+  for (; page_address <= options_.num_pages; ++page_address) {
+    const int leaf = calibrator_.LeafOf(page_address);
+    if (calibrator_.Count(leaf) == 0) continue;
+    if (calibrator_.MinKeyOf(leaf) > hi) break;
+    for (const VarRecord& r : TouchPage(page_address, /*write=*/false)) {
+      if (r.key < lo) continue;
+      if (r.key > hi) return Status::OK();
+      out->push_back(r);
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<VarRecord> VarFile::ScanAll() {
+  std::vector<VarRecord> out;
+  const Status s = Scan(0, std::numeric_limits<Key>::max(), &out);
+  DSF_CHECK(s.ok()) << "full scan failed";
+  return out;
+}
+
+Status VarFile::BulkLoad(const std::vector<VarRecord>& records) {
+  int64_t units = 0;
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (records[i].size < 1 || records[i].size > options_.max_record_size) {
+      return Status::InvalidArgument("record size outside [1, max]");
+    }
+    if (i > 0 && records[i - 1].key >= records[i].key) {
+      return Status::InvalidArgument("bulk load keys must ascend");
+    }
+    units += records[i].size;
+  }
+  if (units > MaxUnits()) {
+    return Status::CapacityExceeded("bulk load exceeds d*M units");
+  }
+  // Uniform unit density: page j targets cumulative (j+1)*units/M.
+  for (auto& page : pages_) page.clear();
+  size_t next = 0;
+  int64_t assigned = 0;
+  for (Address page = 1; page <= options_.num_pages; ++page) {
+    const int64_t target = page * units / options_.num_pages;
+    while (next < records.size() && assigned < target) {
+      pages_[static_cast<size_t>(page - 1)].push_back(records[next]);
+      assigned += records[next].size;
+      ++next;
+    }
+    SyncPage(page);
+  }
+  DSF_CHECK(next == records.size()) << "bulk load left records behind";
+  record_count_ = static_cast<int64_t>(records.size());
+  tracker_.Reset();
+  return Status::OK();
+}
+
+int VarFile::HighestViolatorOnPath(Address page) const {
+  for (const int v : calibrator_.PathToLeaf(page)) {
+    if (!spec_.DensityAtMost(calibrator_.Count(v), calibrator_.PagesIn(v),
+                             calibrator_.Depth(v), kThirds1)) {
+      return v;
+    }
+  }
+  return Calibrator::kNoNode;
+}
+
+void VarFile::Redistribute(int father) {
+  const Address lo = calibrator_.RangeLo(father);
+  const Address hi = calibrator_.RangeHi(father);
+  ++maintenance_stats_.rebalances;
+  maintenance_stats_.pages_redistributed += calibrator_.PagesIn(father);
+
+  std::vector<VarRecord> all;
+  int64_t units = 0;
+  for (Address p = lo; p <= hi; ++p) {
+    if (PageUnits(p) == 0) continue;
+    const std::vector<VarRecord>& page = TouchPage(p, /*write=*/false);
+    for (const VarRecord& r : page) units += r.size;
+    all.insert(all.end(), page.begin(), page.end());
+  }
+  // Even spread by units: page j fills until the cumulative target; each
+  // page ends within max_record_size - 1 units of the exact quota.
+  const int64_t m = hi - lo + 1;
+  size_t next = 0;
+  int64_t assigned = 0;
+  for (Address p = lo; p <= hi; ++p) {
+    std::vector<VarRecord>& page = TouchPage(p, /*write=*/true);
+    page.clear();
+    const int64_t target = (p - lo + 1) * units / m;
+    while (next < all.size() && assigned < target) {
+      page.push_back(all[next]);
+      assigned += all[next].size;
+      ++next;
+    }
+    SyncPage(p);
+  }
+  DSF_CHECK(next == all.size()) << "redistribution left records behind";
+}
+
+Status VarFile::ValidateInvariants() const {
+  int64_t records = 0;
+  bool have_prev = false;
+  Key prev = 0;
+  for (Address p = 1; p <= options_.num_pages; ++p) {
+    const std::vector<VarRecord>& page = pages_[static_cast<size_t>(p - 1)];
+    int64_t units = 0;
+    for (const VarRecord& r : page) {
+      if (r.size < 1 || r.size > options_.max_record_size) {
+        return Status::Corruption("record size out of bounds");
+      }
+      if (have_prev && r.key <= prev) {
+        return Status::Corruption("keys out of order");
+      }
+      prev = r.key;
+      have_prev = true;
+      units += r.size;
+      ++records;
+    }
+    if (units > options_.D) {
+      return Status::Corruption("page above D units at a command boundary");
+    }
+    if (units != calibrator_.Count(calibrator_.LeafOf(p))) {
+      return Status::Corruption("stale unit counter");
+    }
+    if (!page.empty()) {
+      const int leaf = calibrator_.LeafOf(p);
+      if (calibrator_.MinKeyOf(leaf) != page.front().key ||
+          calibrator_.MaxKeyOf(leaf) != page.back().key) {
+        return Status::Corruption("stale fence keys");
+      }
+    }
+  }
+  if (records != record_count_) {
+    return Status::Corruption("record count mismatch");
+  }
+  DSF_RETURN_IF_ERROR(calibrator_.ValidateAggregates());
+  for (int v = 0; v < calibrator_.node_count(); ++v) {
+    if (!spec_.DensityAtMost(calibrator_.Count(v), calibrator_.PagesIn(v),
+                             calibrator_.Depth(v), kThirds1)) {
+      return Status::Corruption("BALANCE(d,D) violated in units at node " +
+                                std::to_string(v));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace dsf

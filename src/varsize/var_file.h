@@ -1,0 +1,110 @@
+// Variable-size records in a dense sequential file — the setting of the
+// paper's reference [BCW85] (Baker-Coffman-Willard, "A Dynamic Storage
+// Allocation Algorithm Designed for Badly Fragmented Memory"), which
+// studies amortized maintenance when record sizes vary. [BCW85] drops the
+// sequential-order condition; this module keeps it (condition (iii) of
+// (d,D)-density) and generalizes the CONTROL 1 machinery: densities,
+// thresholds and page capacities are measured in *units* (think bytes),
+// each record occupying size(r) in [1, max_record_size] units.
+//
+// Differences from the fixed-size file, and their consequences:
+//   * A page may transiently exceed D by up to max_record_size - 1 units
+//     inside a command (records are atomic).
+//   * Even redistribution can only balance pages to within
+//     max_record_size - 1 units, so restoring BALANCE after a violation
+//     needs (D-d) > (2 + max_record_size) * ceil(log M); Create()
+//     enforces this widened gap condition.
+//
+// Maintenance is CONTROL 1 style (amortized), matching [BCW85]'s scope; a
+// worst-case CONTROL 2 for variable sizes is future work the 1986 paper
+// does not claim.
+
+#ifndef DSF_VARSIZE_VAR_FILE_H_
+#define DSF_VARSIZE_VAR_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/calibrator.h"
+#include "core/density.h"
+#include "storage/io_stats.h"
+#include "storage/record.h"
+#include "util/status.h"
+
+namespace dsf {
+
+struct VarRecord {
+  Key key = 0;
+  int64_t size = 1;  // units occupied, in [1, max_record_size]
+  Value value = 0;
+
+  friend bool operator==(const VarRecord& a, const VarRecord& b) {
+    return a.key == b.key && a.size == b.size && a.value == b.value;
+  }
+};
+
+class VarFile {
+ public:
+  struct Options {
+    int64_t num_pages = 0;        // M
+    int64_t d = 0;                // density floor, in units per page
+    int64_t D = 0;                // page capacity, in units
+    int64_t max_record_size = 1;  // largest legal record, in units
+  };
+
+  struct Stats {
+    int64_t rebalances = 0;
+    int64_t pages_redistributed = 0;
+  };
+
+  static StatusOr<std::unique_ptr<VarFile>> Create(const Options& options);
+
+  // Fails with InvalidArgument when size is outside [1, max_record_size],
+  // AlreadyExists on a duplicate key, CapacityExceeded when the file
+  // already holds d*M units.
+  Status Insert(const VarRecord& record);
+  Status Delete(Key key);
+  StatusOr<VarRecord> Get(Key key);
+  bool Contains(Key key);
+  Status Scan(Key lo, Key hi, std::vector<VarRecord>* out);
+  std::vector<VarRecord> ScanAll();
+
+  // Ascending keys, total units <= d*M; spread at uniform unit density.
+  Status BulkLoad(const std::vector<VarRecord>& records);
+
+  int64_t record_count() const { return record_count_; }
+  int64_t total_units() const { return calibrator_.TotalRecords(); }
+  int64_t MaxUnits() const { return spec_.MaxRecords(); }  // d*M
+  const IoStats& stats() const { return tracker_.stats(); }
+  void ResetStats() { tracker_.Reset(); }
+  const Stats& maintenance_stats() const { return maintenance_stats_; }
+
+  // Order, unit accounting, page bounds (<= D at command boundaries),
+  // calibrator consistency, BALANCE(d,D) in units.
+  Status ValidateInvariants() const;
+
+ private:
+  VarFile(const Options& options, DensitySpec spec);
+
+  int64_t PageUnits(Address page) const;
+  Address TargetPageForInsert(Key key) const;
+  void SyncPage(Address page);
+  // Accounted page access.
+  std::vector<VarRecord>& TouchPage(Address page, bool write);
+
+  int HighestViolatorOnPath(Address page) const;
+  void Redistribute(int father);
+
+  Options options_;
+  DensitySpec spec_;
+  Calibrator calibrator_;  // rank counters hold units, fences hold keys
+  std::vector<std::vector<VarRecord>> pages_;
+  AccessTracker tracker_;
+  int64_t record_count_ = 0;
+  Stats maintenance_stats_;
+};
+
+}  // namespace dsf
+
+#endif  // DSF_VARSIZE_VAR_FILE_H_

@@ -1,0 +1,50 @@
+#include "workload/reference_model.h"
+
+namespace dsf {
+
+Status ReferenceModel::Insert(const Record& record) {
+  if (size() >= capacity_) {
+    return Status::CapacityExceeded("model at capacity");
+  }
+  const auto [it, inserted] = map_.emplace(record.key, record.value);
+  (void)it;
+  if (!inserted) return Status::AlreadyExists("key already present");
+  return Status::OK();
+}
+
+Status ReferenceModel::Delete(Key key) {
+  if (map_.erase(key) == 0) return Status::NotFound("key absent");
+  return Status::OK();
+}
+
+StatusOr<Record> ReferenceModel::Get(Key key) const {
+  const auto it = map_.find(key);
+  if (it == map_.end()) return Status::NotFound("key absent");
+  return Record{it->first, it->second};
+}
+
+std::vector<Record> ReferenceModel::Scan(Key lo, Key hi) const {
+  std::vector<Record> out;
+  for (auto it = map_.lower_bound(lo); it != map_.end() && it->first <= hi;
+       ++it) {
+    out.push_back(Record{it->first, it->second});
+  }
+  return out;
+}
+
+std::vector<Record> ReferenceModel::ScanAll() const {
+  std::vector<Record> out;
+  out.reserve(map_.size());
+  for (const auto& [k, v] : map_) out.push_back(Record{k, v});
+  return out;
+}
+
+Status ReferenceModel::Load(const std::vector<Record>& records) {
+  for (const Record& r : records) {
+    const Status s = Insert(r);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+}  // namespace dsf

@@ -1,0 +1,48 @@
+// An in-memory oracle for differential testing.
+//
+// ReferenceModel mirrors the dense file's map semantics with a plain
+// std::map. Property tests replay the same Trace against a structure and
+// the model, asserting identical Status codes, lookup results and scan
+// contents after every operation.
+
+#ifndef DSF_WORKLOAD_REFERENCE_MODEL_H_
+#define DSF_WORKLOAD_REFERENCE_MODEL_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "storage/record.h"
+#include "util/status.h"
+#include "workload/workload.h"
+
+namespace dsf {
+
+class ReferenceModel {
+ public:
+  // Same contracts as DenseFile: AlreadyExists on duplicate insert,
+  // NotFound on absent delete/get, CapacityExceeded above `capacity`
+  // (pass INT64_MAX for structures without a hard cap).
+  explicit ReferenceModel(int64_t capacity = INT64_MAX)
+      : capacity_(capacity) {}
+
+  Status Insert(const Record& record);
+  Status Delete(Key key);
+  StatusOr<Record> Get(Key key) const;
+  bool Contains(Key key) const { return map_.count(key) > 0; }
+
+  std::vector<Record> Scan(Key lo, Key hi) const;
+  std::vector<Record> ScanAll() const;
+
+  int64_t size() const { return static_cast<int64_t>(map_.size()); }
+
+  Status Load(const std::vector<Record>& records);
+
+ private:
+  int64_t capacity_;
+  std::map<Key, Value> map_;
+};
+
+}  // namespace dsf
+
+#endif  // DSF_WORKLOAD_REFERENCE_MODEL_H_

@@ -1,0 +1,86 @@
+#include "workload/trace.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace dsf {
+
+std::string SerializeTrace(const Trace& trace) {
+  std::ostringstream os;
+  for (const Op& op : trace) {
+    switch (op.kind) {
+      case Op::Kind::kInsert:
+        os << "I " << op.record.key << " " << op.record.value << "\n";
+        break;
+      case Op::Kind::kDelete:
+        os << "D " << op.record.key << "\n";
+        break;
+      case Op::Kind::kGet:
+        os << "G " << op.record.key << "\n";
+        break;
+      case Op::Kind::kScan:
+        os << "S " << op.record.key << " " << op.scan_hi << "\n";
+        break;
+    }
+  }
+  return os.str();
+}
+
+StatusOr<Trace> ParseTrace(const std::string& text) {
+  Trace trace;
+  std::istringstream is(text);
+  std::string line;
+  int64_t line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    Op op;
+    auto fail = [&](const char* what) {
+      return Status::InvalidArgument("trace line " +
+                                     std::to_string(line_number) + ": " +
+                                     what);
+    };
+    if (tag == "I") {
+      op.kind = Op::Kind::kInsert;
+      if (!(ls >> op.record.key >> op.record.value)) {
+        return fail("expected 'I <key> <value>'");
+      }
+    } else if (tag == "D") {
+      op.kind = Op::Kind::kDelete;
+      if (!(ls >> op.record.key)) return fail("expected 'D <key>'");
+    } else if (tag == "G") {
+      op.kind = Op::Kind::kGet;
+      if (!(ls >> op.record.key)) return fail("expected 'G <key>'");
+    } else if (tag == "S") {
+      op.kind = Op::Kind::kScan;
+      if (!(ls >> op.record.key >> op.scan_hi)) {
+        return fail("expected 'S <lo> <hi>'");
+      }
+    } else {
+      return fail("unknown op tag");
+    }
+    trace.push_back(op);
+  }
+  return trace;
+}
+
+Status WriteTraceFile(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::InvalidArgument("cannot open " + path);
+  out << SerializeTrace(trace);
+  if (!out) return Status::Internal("short write to " + path);
+  return Status::OK();
+}
+
+StatusOr<Trace> ReadTraceFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::InvalidArgument("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseTrace(buffer.str());
+}
+
+}  // namespace dsf

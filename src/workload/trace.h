@@ -1,0 +1,30 @@
+// Plain-text serialization of operation traces.
+//
+// One line per op: "I <key> <value>", "D <key>", "G <key>",
+// "S <lo> <hi>". Lets a failing fuzz run be saved and replayed as a
+// deterministic regression input, and lets benches share workloads with
+// external tools.
+
+#ifndef DSF_WORKLOAD_TRACE_H_
+#define DSF_WORKLOAD_TRACE_H_
+
+#include <string>
+
+#include "util/status.h"
+#include "workload/workload.h"
+
+namespace dsf {
+
+// Renders a trace in the one-line-per-op format.
+std::string SerializeTrace(const Trace& trace);
+
+// Parses text produced by SerializeTrace. Blank lines and lines starting
+// with '#' are skipped.
+StatusOr<Trace> ParseTrace(const std::string& text);
+
+Status WriteTraceFile(const Trace& trace, const std::string& path);
+StatusOr<Trace> ReadTraceFile(const std::string& path);
+
+}  // namespace dsf
+
+#endif  // DSF_WORKLOAD_TRACE_H_

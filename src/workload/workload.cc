@@ -1,0 +1,121 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace dsf {
+
+std::vector<Record> MakeAscendingRecords(int64_t n, Key start, Key stride) {
+  std::vector<Record> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const Key k = start + static_cast<Key>(i) * stride;
+    out.push_back(Record{k, k});
+  }
+  return out;
+}
+
+std::vector<Record> MakeUniformRecords(int64_t n, Key key_space, Rng& rng) {
+  DSF_CHECK(static_cast<uint64_t>(n) <= key_space)
+      << "cannot draw " << n << " distinct keys from " << key_space;
+  std::unordered_set<Key> seen;
+  std::vector<Record> out;
+  out.reserve(static_cast<size_t>(n));
+  while (static_cast<int64_t>(out.size()) < n) {
+    const Key k = rng.Uniform(key_space) + 1;
+    if (seen.insert(k).second) out.push_back(Record{k, k});
+  }
+  std::sort(out.begin(), out.end(), RecordKeyLess);
+  return out;
+}
+
+Trace UniformMix(int64_t num_ops, double insert_fraction,
+                 double delete_fraction, Key key_space, Rng& rng) {
+  Trace trace;
+  trace.reserve(static_cast<size_t>(num_ops));
+  for (int64_t i = 0; i < num_ops; ++i) {
+    const double roll = rng.NextDouble();
+    Op op;
+    const Key k = rng.Uniform(key_space) + 1;
+    op.record = Record{k, k};
+    if (roll < insert_fraction) {
+      op.kind = Op::Kind::kInsert;
+    } else if (roll < insert_fraction + delete_fraction) {
+      op.kind = Op::Kind::kDelete;
+    } else {
+      op.kind = Op::Kind::kGet;
+    }
+    trace.push_back(op);
+  }
+  return trace;
+}
+
+Trace AscendingInserts(int64_t num_ops, Key start, Key stride) {
+  Trace trace;
+  trace.reserve(static_cast<size_t>(num_ops));
+  for (const Record& r : MakeAscendingRecords(num_ops, start, stride)) {
+    trace.push_back(Op{Op::Kind::kInsert, r, 0});
+  }
+  return trace;
+}
+
+Trace DescendingInserts(int64_t num_ops, Key start) {
+  DSF_CHECK(static_cast<uint64_t>(num_ops) <= start)
+      << "descending run would underflow key 0";
+  Trace trace;
+  trace.reserve(static_cast<size_t>(num_ops));
+  for (int64_t i = 0; i < num_ops; ++i) {
+    const Key k = start - static_cast<Key>(i);
+    trace.push_back(Op{Op::Kind::kInsert, Record{k, k}, 0});
+  }
+  return trace;
+}
+
+Trace HotspotSurge(int64_t num_ops, Key lo, Key hi, Rng& rng) {
+  DSF_CHECK(lo <= hi) << "empty surge range";
+  DSF_CHECK(static_cast<uint64_t>(num_ops) <= hi - lo + 1)
+      << "surge range too small for distinct keys";
+  std::unordered_set<Key> seen;
+  Trace trace;
+  trace.reserve(static_cast<size_t>(num_ops));
+  while (static_cast<int64_t>(trace.size()) < num_ops) {
+    const Key k = lo + rng.Uniform(hi - lo + 1);
+    if (seen.insert(k).second) {
+      trace.push_back(Op{Op::Kind::kInsert, Record{k, k}, 0});
+    }
+  }
+  return trace;
+}
+
+Trace ZipfInserts(int64_t num_ops, Key key_space, double theta, Rng& rng) {
+  const ZipfGenerator zipf(key_space, theta);
+  Trace trace;
+  trace.reserve(static_cast<size_t>(num_ops));
+  for (int64_t i = 0; i < num_ops; ++i) {
+    const Key k = zipf.Sample(rng) + 1;
+    trace.push_back(Op{Op::Kind::kInsert, Record{k, k}, 0});
+  }
+  return trace;
+}
+
+Trace HotspotChurn(int64_t num_batches, int64_t batch_size, Key pivot) {
+  DSF_CHECK(static_cast<uint64_t>(batch_size) < pivot)
+      << "churn batch would underflow key 0";
+  Trace trace;
+  trace.reserve(static_cast<size_t>(2 * num_batches * batch_size));
+  for (int64_t b = 0; b < num_batches; ++b) {
+    for (int64_t i = 0; i < batch_size; ++i) {
+      const Key k = pivot - static_cast<Key>(i) - 1;
+      trace.push_back(Op{Op::Kind::kInsert, Record{k, k}, 0});
+    }
+    for (int64_t i = 0; i < batch_size; ++i) {
+      const Key k = pivot - static_cast<Key>(i) - 1;
+      trace.push_back(Op{Op::Kind::kDelete, Record{k, 0}, 0});
+    }
+  }
+  return trace;
+}
+
+}  // namespace dsf

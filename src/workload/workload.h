@@ -1,0 +1,66 @@
+// Workload generation for tests and benches.
+//
+// A workload is a Trace: a flat vector of operations replayable against
+// any of the structures (dense file, B+-tree, overflow file, naive
+// sequential file) and against the ReferenceModel. Generators cover the
+// paper's scenarios: uniform churn (the stationary regime of [Fr79,
+// IKR80]), ascending batch appends, Zipf-skewed updates, and the hotspot
+// *insertion surge* into a narrow key range that Section 1 argues breaks
+// overflow chaining.
+
+#ifndef DSF_WORKLOAD_WORKLOAD_H_
+#define DSF_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/record.h"
+#include "util/random.h"
+
+namespace dsf {
+
+struct Op {
+  enum class Kind { kInsert, kDelete, kGet, kScan };
+  Kind kind = Kind::kInsert;
+  Record record;   // kInsert: full record; kDelete/kGet: key; kScan: lo key
+  Key scan_hi = 0; // kScan only
+};
+
+using Trace = std::vector<Op>;
+
+// n records with keys start, start+stride, ... (value = key).
+std::vector<Record> MakeAscendingRecords(int64_t n, Key start = 1,
+                                         Key stride = 1);
+
+// n records with distinct uniform keys in [1, key_space], ascending.
+std::vector<Record> MakeUniformRecords(int64_t n, Key key_space, Rng& rng);
+
+// Mixed point operations over [1, key_space]: fractions of inserts and
+// deletes, remainder lookups. Keys uniform; duplicate inserts / missing
+// deletes are legal no-ops for the drivers.
+Trace UniformMix(int64_t num_ops, double insert_fraction,
+                 double delete_fraction, Key key_space, Rng& rng);
+
+// Pure ascending inserts (append workload).
+Trace AscendingInserts(int64_t num_ops, Key start = 1, Key stride = 1);
+
+// Pure descending inserts: every record lands at the current left
+// frontier — a single-page hotspot, the harshest densifying pattern.
+Trace DescendingInserts(int64_t num_ops, Key start);
+
+// An insertion surge: num_ops inserts with distinct keys confined to the
+// narrow range [lo, hi] (Section 1's overflow-killer).
+Trace HotspotSurge(int64_t num_ops, Key lo, Key hi, Rng& rng);
+
+// Inserts with Zipf(theta)-skewed keys over [1, key_space]; hot keys
+// repeat, so drivers must tolerate AlreadyExists.
+Trace ZipfInserts(int64_t num_ops, Key key_space, double theta, Rng& rng);
+
+// Alternating insert/delete churn at a single hotspot: inserts a batch of
+// descending keys below `pivot`, deletes it, repeats — maximal pressure
+// on one calibrator region with zero net growth.
+Trace HotspotChurn(int64_t num_batches, int64_t batch_size, Key pivot);
+
+}  // namespace dsf
+
+#endif  // DSF_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,133 @@
+// Differential testing of the calibrator: every query is compared against
+// a brute-force reference over plain arrays, across random page-count
+// shapes and random SyncLeaf sequences.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/calibrator.h"
+#include "util/random.h"
+
+namespace dsf {
+namespace {
+
+// Plain-array mirror of the calibrator's leaf state.
+struct Reference {
+  std::vector<int64_t> count;
+  std::vector<Key> min_key;
+  std::vector<Key> max_key;
+
+  explicit Reference(int64_t pages)
+      : count(pages, 0), min_key(pages, 0), max_key(pages, 0) {}
+
+  Address FirstNonEmptyWithMaxGE(Key key) const {
+    for (size_t i = 0; i < count.size(); ++i) {
+      if (count[i] > 0 && max_key[i] >= key) {
+        return static_cast<Address>(i + 1);
+      }
+    }
+    return 0;
+  }
+  Address FirstNonEmptyIn(Address lo, Address hi) const {
+    for (Address p = std::max<Address>(lo, 1);
+         p <= std::min<Address>(hi, static_cast<Address>(count.size()));
+         ++p) {
+      if (count[static_cast<size_t>(p - 1)] > 0) return p;
+    }
+    return 0;
+  }
+  Address LastNonEmptyIn(Address lo, Address hi) const {
+    for (Address p = std::min<Address>(hi, static_cast<Address>(count.size()));
+         p >= std::max<Address>(lo, 1); --p) {
+      if (count[static_cast<size_t>(p - 1)] > 0) return p;
+    }
+    return 0;
+  }
+  int64_t CountInRange(Address lo, Address hi) const {
+    int64_t total = 0;
+    for (Address p = std::max<Address>(lo, 1);
+         p <= std::min<Address>(hi, static_cast<Address>(count.size()));
+         ++p) {
+      total += count[static_cast<size_t>(p - 1)];
+    }
+    return total;
+  }
+};
+
+class CalibratorPropertyTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(CalibratorPropertyTest, AllQueriesMatchBruteForce) {
+  const int64_t pages = GetParam();
+  Calibrator cal(pages);
+  Reference ref(pages);
+  Rng rng(static_cast<uint64_t>(pages) * 7919);
+
+  for (int step = 0; step < 400; ++step) {
+    // Mutate a random leaf. Keys are chosen so that per-page key windows
+    // never overlap (page p owns [p*1000, p*1000+999]), keeping the file
+    // logically ordered as real usage would.
+    const Address page = static_cast<Address>(rng.Uniform(pages)) + 1;
+    const int64_t new_count = static_cast<int64_t>(rng.Uniform(6));
+    if (new_count == 0) {
+      cal.SyncLeaf(page, 0, 0, 0);
+      ref.count[static_cast<size_t>(page - 1)] = 0;
+    } else {
+      const Key lo = static_cast<Key>(page) * 1000 + rng.Uniform(100);
+      const Key hi = lo + rng.Uniform(100) + 1;
+      cal.SyncLeaf(page, new_count, lo, hi);
+      ref.count[static_cast<size_t>(page - 1)] = new_count;
+      ref.min_key[static_cast<size_t>(page - 1)] = lo;
+      ref.max_key[static_cast<size_t>(page - 1)] = hi;
+    }
+
+    ASSERT_TRUE(cal.ValidateAggregates().ok());
+
+    // Probe with random queries.
+    const Key probe = rng.Uniform(static_cast<uint64_t>(pages + 2) * 1000);
+    ASSERT_EQ(cal.FirstNonEmptyPageWithMaxGE(probe),
+              ref.FirstNonEmptyWithMaxGE(probe))
+        << "probe " << probe << " at step " << step;
+
+    const Address a = static_cast<Address>(rng.Uniform(pages)) + 1;
+    const Address b = static_cast<Address>(rng.Uniform(pages)) + 1;
+    const Address lo = std::min(a, b);
+    const Address hi = std::max(a, b);
+    ASSERT_EQ(cal.FirstNonEmptyPageIn(lo, hi), ref.FirstNonEmptyIn(lo, hi));
+    ASSERT_EQ(cal.LastNonEmptyPageIn(lo, hi), ref.LastNonEmptyIn(lo, hi));
+    ASSERT_EQ(cal.CountInRange(lo, hi), ref.CountInRange(lo, hi));
+
+    // Structural queries.
+    const Address page_probe = static_cast<Address>(rng.Uniform(pages)) + 1;
+    const std::vector<int> path = cal.PathToLeaf(page_probe);
+    ASSERT_EQ(path.back(), cal.LeafOf(page_probe));
+    for (const int v : path) {
+      ASSERT_GE(page_probe, cal.RangeLo(v));
+      ASSERT_LE(page_probe, cal.RangeHi(v));
+    }
+    const int lca = cal.LowestCommonAncestor(lo, hi);
+    ASSERT_LE(cal.RangeLo(lca), lo);
+    ASSERT_GE(cal.RangeHi(lca), hi);
+    if (!cal.IsLeaf(lca)) {
+      // Deepest: one child must exclude lo or hi.
+      const int left = cal.Left(lca);
+      ASSERT_TRUE(hi > cal.RangeHi(left) || lo < cal.RangeLo(left));
+    }
+  }
+
+  // Total record count agrees at the end.
+  int64_t total = 0;
+  for (const int64_t c : ref.count) total += c;
+  EXPECT_EQ(cal.TotalRecords(), total);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, CalibratorPropertyTest,
+                         ::testing::Values(1, 2, 3, 7, 8, 13, 16, 31, 64,
+                                           100, 127, 255),
+                         [](const ::testing::TestParamInfo<int64_t>& param_info) {
+                           return "M" + std::to_string(param_info.param);
+                         });
+
+}  // namespace
+}  // namespace dsf

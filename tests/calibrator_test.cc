@@ -1,0 +1,182 @@
+#include "core/calibrator.h"
+
+#include <gtest/gtest.h>
+
+namespace dsf {
+namespace {
+
+TEST(Calibrator, EightPageStructureMatchesFigure3) {
+  Calibrator cal(8);
+  EXPECT_EQ(cal.num_pages(), 8);
+  EXPECT_EQ(cal.node_count(), 15);
+  const int root = cal.root();
+  EXPECT_EQ(cal.RangeLo(root), 1);
+  EXPECT_EQ(cal.RangeHi(root), 8);
+  EXPECT_EQ(cal.Depth(root), 0);
+  const int v2 = cal.Left(root);
+  const int v3 = cal.Right(root);
+  EXPECT_EQ(cal.RangeLo(v2), 1);
+  EXPECT_EQ(cal.RangeHi(v2), 4);
+  EXPECT_EQ(cal.RangeLo(v3), 5);
+  EXPECT_EQ(cal.RangeHi(v3), 8);
+  EXPECT_EQ(cal.Depth(v3), 1);
+  EXPECT_FALSE(cal.IsRightChild(v2));
+  EXPECT_TRUE(cal.IsRightChild(v3));
+  // Leaves cover single pages at depth 3.
+  for (Address p = 1; p <= 8; ++p) {
+    const int leaf = cal.LeafOf(p);
+    EXPECT_TRUE(cal.IsLeaf(leaf));
+    EXPECT_EQ(cal.RangeLo(leaf), p);
+    EXPECT_EQ(cal.RangeHi(leaf), p);
+    EXPECT_EQ(cal.Depth(leaf), 3);
+    EXPECT_EQ(cal.PagesIn(leaf), 1);
+  }
+}
+
+TEST(Calibrator, NonPowerOfTwoSplitsPerPaperRule) {
+  // [1,5] -> [1,3] + [4,5]; [1,3] -> [1,2] + [3,3].
+  Calibrator cal(5);
+  EXPECT_EQ(cal.node_count(), 9);
+  const int left = cal.Left(cal.root());
+  const int right = cal.Right(cal.root());
+  EXPECT_EQ(cal.RangeHi(left), 3);
+  EXPECT_EQ(cal.RangeLo(right), 4);
+  const int ll = cal.Left(left);
+  const int lr = cal.Right(left);
+  EXPECT_EQ(cal.RangeHi(ll), 2);
+  EXPECT_EQ(cal.RangeLo(lr), 3);
+  EXPECT_TRUE(cal.IsLeaf(lr));
+}
+
+TEST(Calibrator, SinglePageIsRootLeaf) {
+  Calibrator cal(1);
+  EXPECT_EQ(cal.node_count(), 1);
+  EXPECT_TRUE(cal.IsLeaf(cal.root()));
+  EXPECT_EQ(cal.LeafOf(1), cal.root());
+}
+
+TEST(Calibrator, SyncLeafPropagatesCounts) {
+  Calibrator cal(8);
+  cal.SyncLeaf(3, 5, 30, 34);
+  cal.SyncLeaf(7, 2, 70, 71);
+  EXPECT_EQ(cal.TotalRecords(), 7);
+  EXPECT_EQ(cal.Count(cal.LeafOf(3)), 5);
+  const int v2 = cal.Left(cal.root());
+  const int v3 = cal.Right(cal.root());
+  EXPECT_EQ(cal.Count(v2), 5);
+  EXPECT_EQ(cal.Count(v3), 2);
+  EXPECT_TRUE(cal.ValidateAggregates().ok());
+  // Update in place.
+  cal.SyncLeaf(3, 1, 30, 30);
+  EXPECT_EQ(cal.TotalRecords(), 3);
+  EXPECT_EQ(cal.Count(v2), 1);
+}
+
+TEST(Calibrator, FenceKeysAggregateMinAndMax) {
+  Calibrator cal(8);
+  cal.SyncLeaf(2, 3, 20, 25);
+  cal.SyncLeaf(6, 4, 60, 66);
+  const int root = cal.root();
+  EXPECT_EQ(cal.MinKeyOf(root), 20u);
+  EXPECT_EQ(cal.MaxKeyOf(root), 66u);
+  cal.SyncLeaf(2, 0, 0, 0);  // empty page 2
+  EXPECT_EQ(cal.MinKeyOf(root), 60u);
+  EXPECT_TRUE(cal.ValidateAggregates().ok());
+}
+
+TEST(Calibrator, FirstNonEmptyPageWithMaxGE) {
+  Calibrator cal(8);
+  cal.SyncLeaf(2, 3, 20, 25);
+  cal.SyncLeaf(5, 2, 50, 55);
+  cal.SyncLeaf(8, 1, 80, 80);
+  EXPECT_EQ(cal.FirstNonEmptyPageWithMaxGE(1), 2);
+  EXPECT_EQ(cal.FirstNonEmptyPageWithMaxGE(25), 2);
+  EXPECT_EQ(cal.FirstNonEmptyPageWithMaxGE(26), 5);
+  EXPECT_EQ(cal.FirstNonEmptyPageWithMaxGE(55), 5);
+  EXPECT_EQ(cal.FirstNonEmptyPageWithMaxGE(56), 8);
+  EXPECT_EQ(cal.FirstNonEmptyPageWithMaxGE(81), 0);
+}
+
+TEST(Calibrator, FirstAndLastNonEmptyInRange) {
+  Calibrator cal(8);
+  cal.SyncLeaf(2, 1, 20, 20);
+  cal.SyncLeaf(5, 1, 50, 50);
+  cal.SyncLeaf(6, 1, 60, 60);
+  EXPECT_EQ(cal.FirstNonEmptyPageIn(1, 8), 2);
+  EXPECT_EQ(cal.FirstNonEmptyPageIn(3, 8), 5);
+  EXPECT_EQ(cal.FirstNonEmptyPageIn(3, 4), 0);
+  EXPECT_EQ(cal.LastNonEmptyPageIn(1, 8), 6);
+  EXPECT_EQ(cal.LastNonEmptyPageIn(1, 5), 5);
+  EXPECT_EQ(cal.LastNonEmptyPageIn(1, 4), 2);
+  EXPECT_EQ(cal.LastNonEmptyPageIn(3, 4), 0);
+  EXPECT_EQ(cal.FirstNonEmptyPageIn(7, 3), 0);  // inverted range
+}
+
+TEST(Calibrator, CountInRange) {
+  Calibrator cal(8);
+  cal.SyncLeaf(1, 4, 10, 13);
+  cal.SyncLeaf(4, 2, 40, 41);
+  cal.SyncLeaf(8, 7, 80, 86);
+  EXPECT_EQ(cal.CountInRange(1, 8), 13);
+  EXPECT_EQ(cal.CountInRange(1, 4), 6);
+  EXPECT_EQ(cal.CountInRange(2, 7), 2);
+  EXPECT_EQ(cal.CountInRange(5, 7), 0);
+  EXPECT_EQ(cal.CountInRange(8, 8), 7);
+}
+
+TEST(Calibrator, PathToLeafWalksRootDown) {
+  Calibrator cal(8);
+  const std::vector<int> path = cal.PathToLeaf(6);
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path.front(), cal.root());
+  EXPECT_EQ(path.back(), cal.LeafOf(6));
+  for (size_t i = 1; i < path.size(); ++i) {
+    EXPECT_EQ(cal.Parent(path[i]), path[i - 1]);
+    EXPECT_GE(6, cal.RangeLo(path[i]));
+    EXPECT_LE(6, cal.RangeHi(path[i]));
+  }
+}
+
+TEST(Calibrator, LowestCommonAncestor) {
+  Calibrator cal(8);
+  EXPECT_EQ(cal.LowestCommonAncestor(1, 8), cal.root());
+  EXPECT_EQ(cal.LowestCommonAncestor(5, 8), cal.Right(cal.root()));
+  EXPECT_EQ(cal.LowestCommonAncestor(3, 3), cal.LeafOf(3));
+  const int lca12 = cal.LowestCommonAncestor(1, 2);
+  EXPECT_EQ(cal.RangeLo(lca12), 1);
+  EXPECT_EQ(cal.RangeHi(lca12), 2);
+}
+
+TEST(Calibrator, DepthsAndParentsConsistentForLargeTrees) {
+  Calibrator cal(100);
+  EXPECT_EQ(cal.node_count(), 199);
+  for (int v = 1; v < cal.node_count(); ++v) {
+    const int p = cal.Parent(v);
+    EXPECT_EQ(cal.Depth(v), cal.Depth(p) + 1);
+    EXPECT_GE(cal.RangeLo(v), cal.RangeLo(p));
+    EXPECT_LE(cal.RangeHi(v), cal.RangeHi(p));
+    if (!cal.IsLeaf(v)) {
+      EXPECT_EQ(cal.Parent(cal.Left(v)), v);
+      EXPECT_EQ(cal.Parent(cal.Right(v)), v);
+      // Children partition the parent's range.
+      EXPECT_EQ(cal.RangeHi(cal.Left(v)) + 1, cal.RangeLo(cal.Right(v)));
+    }
+  }
+}
+
+TEST(Calibrator, SearchQueriesScanCorrectlyOnBigSparseFile) {
+  Calibrator cal(97);
+  // Populate a few scattered pages.
+  cal.SyncLeaf(13, 1, 130, 130);
+  cal.SyncLeaf(55, 1, 550, 550);
+  cal.SyncLeaf(96, 1, 960, 960);
+  EXPECT_EQ(cal.FirstNonEmptyPageIn(1, 97), 13);
+  EXPECT_EQ(cal.FirstNonEmptyPageIn(14, 97), 55);
+  EXPECT_EQ(cal.LastNonEmptyPageIn(1, 95), 55);
+  EXPECT_EQ(cal.FirstNonEmptyPageWithMaxGE(131), 55);
+  EXPECT_EQ(cal.FirstNonEmptyPageWithMaxGE(961), 0);
+  EXPECT_EQ(cal.CountInRange(13, 55), 2);
+}
+
+}  // namespace
+}  // namespace dsf

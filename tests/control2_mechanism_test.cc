@@ -1,0 +1,195 @@
+// Mechanism-level tests of CONTROL 2's subroutines, driven through
+// LoadLayout-constructed states on the paper's 8-page geometry
+// (d=9, D=18, L=3 — thresholds: g(leaf,0)=15, g(leaf,2/3)=17,
+// g(depth1,2/3)=11 per 4 pages).
+//
+// Example 5.2 (tests/example52_test.cc) exercises ACTIVATE's roll-back
+// rule 1; the mirrored scenario here exercises rule 0. Further scenarios
+// pin SELECT's deepest-first order, SHIFT's stop conditions, initial DEST
+// placement, and the transient page overflow drain.
+
+#include <gtest/gtest.h>
+
+#include "core/control2.h"
+
+namespace dsf {
+namespace {
+
+std::unique_ptr<Control2> MakeExampleGeometry(int64_t j) {
+  Control2::Options options;
+  options.config.num_pages = 8;
+  options.config.d = 9;
+  options.config.D = 18;
+  options.J = j;
+  options.allow_gap_violation_for_testing = true;  // D-d == 3*ceil(log M)
+  StatusOr<std::unique_ptr<Control2>> c = Control2::Create(options);
+  EXPECT_TRUE(c.ok()) << c.status();
+  return std::move(*c);
+}
+
+// Loads per-page occupancies with keys p*1000+i.
+void Load(Control2& control, const std::array<int64_t, 8>& occupancy) {
+  std::vector<std::vector<Record>> layout(8);
+  for (Address p = 1; p <= 8; ++p) {
+    for (int64_t i = 0; i < occupancy[static_cast<size_t>(p - 1)]; ++i) {
+      layout[static_cast<size_t>(p - 1)].push_back(
+          Record{static_cast<Key>(p * 1000 + i), 0});
+    }
+  }
+  ASSERT_TRUE(control.LoadLayout(layout).ok());
+}
+
+int NodeWithRange(const Calibrator& cal, Address lo, Address hi) {
+  for (int v = 0; v < cal.node_count(); ++v) {
+    if (cal.RangeLo(v) == lo && cal.RangeHi(v) == hi) return v;
+  }
+  ADD_FAILURE() << "no node with range [" << lo << "," << hi << "]";
+  return Calibrator::kNoNode;
+}
+
+std::array<int64_t, 8> Occupancies(const Control2& control) {
+  std::array<int64_t, 8> out{};
+  const Calibrator& cal = control.calibrator();
+  for (Address p = 1; p <= 8; ++p) {
+    out[static_cast<size_t>(p - 1)] = cal.Count(cal.LeafOf(p));
+  }
+  return out;
+}
+
+// The mirror image of Example 5.2: occupancies reversed, inserts at the
+// low end first, then the high end — exercising DIR=0 nodes, leftward
+// DEST walks, and roll-back rule 0.
+TEST(Control2Mechanism, MirroredExampleFiresRollbackRule0) {
+  std::unique_ptr<Control2> control = MakeExampleGeometry(3);
+  Load(*control, {16, 9, 9, 9, 1, 0, 1, 16});
+  const Calibrator& cal = control->calibrator();
+  const int v2 = NodeWithRange(cal, 1, 4);   // left son of root, DIR=0
+  const int l8 = cal.LeafOf(8);
+
+  // Z1': insert below every key -> page 1. Mirrors Z1: raises L1 and v2.
+  ASSERT_TRUE(control->Insert(Record{1, 0}).ok());
+  EXPECT_TRUE(control->warning(v2));
+  // DIR(v2)=0: DEST starts at the right end of the root's range and has
+  // walked left past the saturated far end during this command's cycles.
+  EXPECT_LE(control->dest(v2), 8);
+  EXPECT_EQ(control->stats().rollbacks, 0);
+
+  // Z2': insert above every key -> page 8: ACTIVATE(L8) must roll
+  // DEST(v2) back to the right end of RANGE(father(L8)) = [7,8] if the
+  // pointer sits inside [7,7] (roll-back rule 0).
+  const Address dest_before = control->dest(v2);
+  ASSERT_EQ(dest_before, 7);  // mirror of the paper's t4 state
+  ASSERT_TRUE(control->Insert(Record{9999, 0}).ok());
+  EXPECT_EQ(control->stats().rollbacks, 1);
+  EXPECT_FALSE(control->warning(l8));  // drained within the command
+  EXPECT_TRUE(control->ValidateInvariants().ok());
+}
+
+TEST(Control2Mechanism, MirroredExampleMirrorsFigure4Occupancies) {
+  std::unique_ptr<Control2> control = MakeExampleGeometry(3);
+  Load(*control, {16, 9, 9, 9, 1, 0, 1, 16});
+  ASSERT_TRUE(control->Insert(Record{1, 0}).ok());
+  // Mirror of Figure 4's t4 row {16,2,0,0,9,9,15,11}.
+  const std::array<int64_t, 8> t4 = Occupancies(*control);
+  const std::array<int64_t, 8> expected = {11, 15, 9, 9, 0, 0, 2, 16};
+  EXPECT_EQ(t4, expected);
+  ASSERT_TRUE(control->Insert(Record{9999, 0}).ok());
+  // Mirror of Figure 4's t8 row {15,9,0,0,4,9,15,11}.
+  const std::array<int64_t, 8> t8 = Occupancies(*control);
+  const std::array<int64_t, 8> mirrored_t8 = {11, 15, 9, 4, 0, 0, 9, 15};
+  EXPECT_EQ(t8, mirrored_t8);
+}
+
+TEST(Control2Mechanism, ActivateInitialDestIsFarEndOfFathersRange) {
+  std::unique_ptr<Control2> control = MakeExampleGeometry(0);
+  // J=0 would be rejected; use J=1 but observe state after step 3 via the
+  // callback instead.
+  control = MakeExampleGeometry(1);
+  Load(*control, {16, 1, 0, 1, 9, 9, 9, 16});
+  const Calibrator& cal = control->calibrator();
+  const int l8 = cal.LeafOf(8);
+  const int v3 = NodeWithRange(cal, 5, 8);
+
+  Address dest_l8_at_step3 = -1;
+  Address dest_v3_at_step3 = -1;
+  control->SetStepCallback([&](Control2::StablePoint point, int64_t) {
+    if (point == Control2::StablePoint::kAfterStep3) {
+      dest_l8_at_step3 = control->warning(l8) ? control->dest(l8) : -1;
+      dest_v3_at_step3 = control->warning(v3) ? control->dest(v3) : -1;
+    }
+  });
+  ASSERT_TRUE(control->Insert(Record{8999, 0}).ok());
+  // DIR(L8)=1 (right son of [7,8]): DEST starts at RangeLo([7,8]) = 7.
+  EXPECT_EQ(dest_l8_at_step3, 7);
+  // DIR(v3)=1 (right son of root): DEST starts at RangeLo(root) = 1.
+  EXPECT_EQ(dest_v3_at_step3, 1);
+}
+
+TEST(Control2Mechanism, SelectServesDeepestWarningsFirst) {
+  std::unique_ptr<Control2> control = MakeExampleGeometry(4);
+  // L2 and L3 both warn at load (17 >= g(leaf,2/3) = 17); pages 1 and 4
+  // are empty so each can drain into its neighbor.
+  Load(*control, {0, 17, 17, 0, 9, 0, 0, 0});
+  const Calibrator& cal = control->calibrator();
+  const int l2 = cal.LeafOf(2);
+  const int l3 = cal.LeafOf(3);
+  ASSERT_TRUE(control->warning(l2));
+  ASSERT_TRUE(control->warning(l3));
+
+  // A command far away: its J=4 cycles must still serve the deepest
+  // warning nodes (the two leaves), draining both.
+  ASSERT_TRUE(control->Delete(5000).ok());
+  EXPECT_FALSE(control->warning(l2));
+  EXPECT_FALSE(control->warning(l3));
+  // L2 drained leftward into page 1 (DIR=1), L3 rightward into page 4.
+  const std::array<int64_t, 8> occ = Occupancies(*control);
+  EXPECT_GT(occ[0], 0);
+  EXPECT_GT(occ[3], 0);
+  EXPECT_TRUE(control->ValidateInvariants().ok());
+}
+
+TEST(Control2Mechanism, ShiftStopsExactlyAtGZeroOfTheTightestUpNode) {
+  std::unique_ptr<Control2> control = MakeExampleGeometry(1);
+  // L8 warns after one insert; its SHIFT moves records into L7 and must
+  // stop exactly when L7 reaches g(L7,0) = 15.
+  Load(*control, {1, 1, 1, 1, 1, 1, 9, 16});
+  ASSERT_TRUE(control->Insert(Record{8999, 0}).ok());
+  const std::array<int64_t, 8> occ = Occupancies(*control);
+  EXPECT_EQ(occ[6], 15);  // filled to the threshold, not beyond
+  EXPECT_EQ(occ[7], 11);  // 17 - 6 moved
+}
+
+TEST(Control2Mechanism, TransientOverflowIsDrainedWithinTheCommand) {
+  std::unique_ptr<Control2> control = MakeExampleGeometry(8);
+  // Page 4 is exactly at D = 18 (legal at a command boundary); a 19th
+  // record targeted at it overflows into the physical slack page slot and
+  // the same command's SHIFT cycles must restore p <= D.
+  Load(*control, {9, 9, 1, 18, 0, 9, 9, 9});
+  ASSERT_TRUE(control->Insert(Record{4500, 0}).ok());
+  const Calibrator& cal = control->calibrator();
+  EXPECT_LE(cal.Count(cal.LeafOf(4)), 18);
+  EXPECT_TRUE(control->ValidateInvariants().ok());
+}
+
+TEST(Control2Mechanism, NoWarningsMeansIdleMaintenanceCycles) {
+  std::unique_ptr<Control2> control = MakeExampleGeometry(5);
+  Load(*control, {4, 4, 4, 4, 4, 4, 4, 4});
+  ASSERT_TRUE(control->Insert(Record{4500, 0}).ok());
+  EXPECT_EQ(control->stats().shifts, 0);
+  EXPECT_EQ(control->stats().idle_cycles, 5);
+}
+
+TEST(Control2Mechanism, DeletionLowersWarningOnItsPath) {
+  std::unique_ptr<Control2> control = MakeExampleGeometry(1);
+  Load(*control, {0, 0, 0, 0, 0, 0, 0, 17});
+  const Calibrator& cal = control->calibrator();
+  const int l8 = cal.LeafOf(8);
+  ASSERT_TRUE(control->warning(l8));
+  // One deletion brings p(L8) to 16 = g(L8,1/3): step 2 lowers the flag
+  // before any SHIFT runs.
+  ASSERT_TRUE(control->Delete(8000).ok());
+  EXPECT_FALSE(control->warning(l8));
+}
+
+}  // namespace
+}  // namespace dsf

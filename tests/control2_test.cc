@@ -1,0 +1,266 @@
+#include "core/control2.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/reference_model.h"
+#include "workload/workload.h"
+
+namespace dsf {
+namespace {
+
+Control2::Options SmallOptions() {
+  Control2::Options options;
+  options.config.num_pages = 64;  // L = 6
+  options.config.d = 4;
+  options.config.D = 44;  // D - d = 40 > 18 = 3L
+  options.config.block_size = 1;
+  return options;
+}
+
+std::unique_ptr<Control2> Make(const Control2::Options& options) {
+  StatusOr<std::unique_ptr<Control2>> c = Control2::Create(options);
+  EXPECT_TRUE(c.ok()) << c.status();
+  return std::move(*c);
+}
+
+TEST(Control2, CreateRejectsNarrowGapUnlessOverridden) {
+  Control2::Options options = SmallOptions();
+  options.config.D = options.config.d + 18;  // == 3L
+  EXPECT_TRUE(Control2::Create(options).status().IsInvalidArgument());
+  options.allow_gap_violation_for_testing = true;
+  EXPECT_TRUE(Control2::Create(options).ok());
+}
+
+TEST(Control2, CreateValidatesJAndThreshold) {
+  Control2::Options options = SmallOptions();
+  options.J = -1;
+  EXPECT_FALSE(Control2::Create(options).ok());
+  options = SmallOptions();
+  options.lower_threshold_thirds = kThirds1;
+  EXPECT_FALSE(Control2::Create(options).ok());
+}
+
+TEST(Control2, DefaultJFollowsRecommendation) {
+  Control2::Options options = SmallOptions();
+  std::unique_ptr<Control2> c = Make(options);
+  // ceil(8 * 6^2 / 40) = 8.
+  EXPECT_EQ(c->J(), 8);
+  options.J = 21;
+  std::unique_ptr<Control2> explicit_j = Make(options);
+  EXPECT_EQ(explicit_j->J(), 21);
+}
+
+TEST(Control2, InsertGetDeleteRoundtrip) {
+  std::unique_ptr<Control2> c = Make(SmallOptions());
+  EXPECT_TRUE(c->Insert(Record{10, 100}).ok());
+  EXPECT_TRUE(c->Insert(Record{20, 200}).ok());
+  EXPECT_TRUE(c->Insert(Record{15, 150}).ok());
+  EXPECT_EQ(c->size(), 3);
+  StatusOr<Record> r = c->Get(15);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->value, 150u);
+  EXPECT_TRUE(c->Delete(15).ok());
+  EXPECT_TRUE(c->Get(15).status().IsNotFound());
+  EXPECT_TRUE(c->ValidateInvariants().ok());
+}
+
+TEST(Control2, StatusContracts) {
+  std::unique_ptr<Control2> c = Make(SmallOptions());
+  EXPECT_TRUE(c->Delete(1).IsNotFound());           // empty file
+  EXPECT_TRUE(c->Get(1).status().IsNotFound());
+  ASSERT_TRUE(c->Insert(Record{1, 1}).ok());
+  EXPECT_TRUE(c->Insert(Record{1, 2}).IsAlreadyExists());
+  EXPECT_EQ(c->size(), 1);
+}
+
+TEST(Control2, CapacityBoundAtDTimesM) {
+  Control2::Options options;
+  options.config.num_pages = 16;  // L = 4
+  options.config.d = 2;
+  options.config.D = 2 + 13;
+  std::unique_ptr<Control2> c = Make(options);
+  for (int64_t i = 0; i < c->MaxRecords(); ++i) {
+    ASSERT_TRUE(c->Insert(Record{static_cast<Key>(i + 1), 0}).ok()) << i;
+    ASSERT_TRUE(c->ValidateInvariants().ok()) << "after insert " << i;
+  }
+  EXPECT_TRUE(c->Insert(Record{9999, 0}).IsCapacityExceeded());
+}
+
+TEST(Control2, HotspotRaisesWarningsAndShifts) {
+  std::unique_ptr<Control2> c = Make(SmallOptions());
+  const Trace trace = DescendingInserts(150, 1 << 20);
+  for (const Op& op : trace) {
+    ASSERT_TRUE(c->Insert(op.record).ok());
+    ASSERT_TRUE(c->ValidateInvariants().ok());
+  }
+  EXPECT_GT(c->stats().activations, 0);
+  EXPECT_GT(c->stats().shifts, 0);
+  EXPECT_GT(c->stats().records_shifted, 0);
+  EXPECT_GT(c->stats().warnings_lowered, 0);
+}
+
+TEST(Control2, WorstCaseCommandCostIsBoundedByJ) {
+  // The headline property: unlike CONTROL 1, no single command exceeds
+  // a few block accesses per SHIFT cycle.
+  Control2::Options options;
+  options.config.num_pages = 256;  // L = 8
+  options.config.d = 4;
+  options.config.D = 4 + 25;
+  std::unique_ptr<Control2> c = Make(options);
+  const Trace trace = DescendingInserts(c->MaxRecords(), 1 << 30);
+  for (const Op& op : trace) {
+    ASSERT_TRUE(c->Insert(op.record).ok());
+  }
+  ASSERT_TRUE(c->ValidateInvariants().ok());
+  const int64_t k = c->block_size();
+  EXPECT_LE(c->command_stats().max_command_accesses,
+            4 * k * (c->J() + 1) + 2);
+}
+
+TEST(Control2, MatchesReferenceModelOnUniformMix) {
+  std::unique_ptr<Control2> c = Make(SmallOptions());
+  ReferenceModel model(c->MaxRecords());
+  Rng rng(123);
+  const Trace trace = UniformMix(2000, 0.55, 0.25, 500, rng);
+  for (const Op& op : trace) {
+    switch (op.kind) {
+      case Op::Kind::kInsert:
+        EXPECT_EQ(c->Insert(op.record).code(),
+                  model.Insert(op.record).code());
+        break;
+      case Op::Kind::kDelete:
+        EXPECT_EQ(c->Delete(op.record.key).code(),
+                  model.Delete(op.record.key).code());
+        break;
+      default:
+        EXPECT_EQ(c->Contains(op.record.key), model.Contains(op.record.key));
+        break;
+    }
+  }
+  EXPECT_EQ(c->ScanAll(), model.ScanAll());
+  EXPECT_TRUE(c->ValidateInvariants().ok());
+}
+
+TEST(Control2, ScanReturnsOrderedSlice) {
+  std::unique_ptr<Control2> c = Make(SmallOptions());
+  ASSERT_TRUE(c->BulkLoad(MakeAscendingRecords(128, 2, 2)).ok());
+  std::vector<Record> out;
+  ASSERT_TRUE(c->Scan(10, 20, &out).ok());
+  ASSERT_EQ(out.size(), 6u);  // 10,12,...,20
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].key, 10 + 2 * i);
+  }
+  out.clear();
+  ASSERT_TRUE(c->Scan(1000, 2000, &out).ok());
+  EXPECT_TRUE(out.empty());
+  out.clear();
+  ASSERT_TRUE(c->Scan(20, 10, &out).ok());  // inverted range: empty
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Control2, ScanTouchesConsecutiveAddresses) {
+  std::unique_ptr<Control2> c = Make(SmallOptions());
+  ASSERT_TRUE(c->BulkLoad(MakeAscendingRecords(c->MaxRecords())).ok());
+  c->file().ResetStats();
+  std::vector<Record> out;
+  ASSERT_TRUE(c->Scan(1, static_cast<Key>(c->MaxRecords()), &out).ok());
+  EXPECT_EQ(static_cast<int64_t>(out.size()), c->MaxRecords());
+  // Stream retrieval from a dense file: at most one real seek.
+  EXPECT_LE(c->file().stats().seeks, 1);
+  EXPECT_GT(c->file().stats().sequential_accesses, 0);
+}
+
+TEST(Control2, MacroBlockModeOperatesBelowGapCondition) {
+  Control2::Options options;
+  options.config.num_pages = 64;
+  options.config.d = 4;
+  options.config.D = 6;  // D - d = 2 <= 3*ceil(log 64): needs blocks
+  options.config.block_size = 8;  // K*(D-d) = 16 > 3*ceil(log 8) = 9
+  std::unique_ptr<Control2> c = Make(options);
+  EXPECT_EQ(c->num_blocks(), 8);
+  ReferenceModel model(c->MaxRecords());
+  Rng rng(5);
+  const Trace trace = UniformMix(1200, 0.6, 0.2, 300, rng);
+  for (const Op& op : trace) {
+    switch (op.kind) {
+      case Op::Kind::kInsert:
+        ASSERT_EQ(c->Insert(op.record).code(),
+                  model.Insert(op.record).code());
+        break;
+      case Op::Kind::kDelete:
+        ASSERT_EQ(c->Delete(op.record.key).code(),
+                  model.Delete(op.record.key).code());
+        break;
+      default:
+        ASSERT_EQ(c->Contains(op.record.key), model.Contains(op.record.key));
+        break;
+    }
+    ASSERT_TRUE(c->ValidateInvariants().ok());
+  }
+  EXPECT_EQ(c->ScanAll(), model.ScanAll());
+}
+
+TEST(Control2, StepCallbackFiresAtFlagStableMoments) {
+  Control2::Options options = SmallOptions();
+  options.J = 4;
+  std::unique_ptr<Control2> c = Make(options);
+  int after_step3 = 0;
+  int after_cycle = 0;
+  c->SetStepCallback([&](Control2::StablePoint point, int64_t) {
+    if (point == Control2::StablePoint::kAfterStep3) {
+      ++after_step3;
+    } else {
+      ++after_cycle;
+    }
+  });
+  ASSERT_TRUE(c->Insert(Record{1, 1}).ok());
+  EXPECT_EQ(after_step3, 1);
+  EXPECT_LE(after_cycle, 4);  // cycles stop early when nothing warns
+}
+
+TEST(Control2, DeleteDrainsWarnings) {
+  std::unique_ptr<Control2> c = Make(SmallOptions());
+  // Build a hotspot, then delete it all; warnings must clear and the file
+  // must stay valid throughout.
+  const Trace inserts = DescendingInserts(120, 1 << 16);
+  for (const Op& op : inserts) ASSERT_TRUE(c->Insert(op.record).ok());
+  for (const Op& op : inserts) {
+    ASSERT_TRUE(c->Delete(op.record.key).ok());
+    ASSERT_TRUE(c->ValidateInvariants().ok());
+  }
+  EXPECT_EQ(c->size(), 0);
+  for (int v = 0; v < c->calibrator().node_count(); ++v) {
+    EXPECT_FALSE(c->warning(v)) << "node " << v << " warns on empty file";
+  }
+}
+
+TEST(Control2, SinglePageFileDegenerateCase) {
+  Control2::Options options;
+  options.config.num_pages = 1;
+  options.config.d = 4;
+  options.config.D = 16;  // L = 1; gap 12 > 3
+  std::unique_ptr<Control2> c = Make(options);
+  for (Key k = 1; k <= 4; ++k) {
+    ASSERT_TRUE(c->Insert(Record{k, k}).ok());
+  }
+  EXPECT_TRUE(c->Insert(Record{5, 5}).IsCapacityExceeded());  // d*M = 4
+  EXPECT_TRUE(c->Delete(2).ok());
+  EXPECT_TRUE(c->ValidateInvariants().ok());
+}
+
+TEST(Control2, ChurnAtHotspotStaysValid) {
+  std::unique_ptr<Control2> c = Make(SmallOptions());
+  const Trace trace = HotspotChurn(30, 20, 1 << 20);
+  for (const Op& op : trace) {
+    if (op.kind == Op::Kind::kInsert) {
+      ASSERT_TRUE(c->Insert(op.record).ok());
+    } else {
+      ASSERT_TRUE(c->Delete(op.record.key).ok());
+    }
+    ASSERT_TRUE(c->ValidateInvariants().ok());
+  }
+  EXPECT_EQ(c->size(), 0);
+}
+
+}  // namespace
+}  // namespace dsf

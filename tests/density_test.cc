@@ -1,0 +1,144 @@
+// DensitySpec is the exact-arithmetic heart of the algorithms; these
+// tests pin its thresholds to the concrete numbers the paper's Example
+// 5.2 narrates (g values for d=9, D=18, M=8, L=3).
+
+#include "core/density.h"
+
+#include <gtest/gtest.h>
+
+namespace dsf {
+namespace {
+
+DensitySpec Example52Spec() {
+  StatusOr<DensitySpec> s = DensitySpec::Create(8, 9, 18);
+  EXPECT_TRUE(s.ok());
+  return *s;
+}
+
+TEST(DensitySpec, CreateValidatesArguments) {
+  EXPECT_FALSE(DensitySpec::Create(0, 1, 2).ok());
+  EXPECT_FALSE(DensitySpec::Create(8, 0, 2).ok());
+  EXPECT_FALSE(DensitySpec::Create(8, 5, 5).ok());
+  EXPECT_FALSE(DensitySpec::Create(8, 5, 4).ok());
+  EXPECT_TRUE(DensitySpec::Create(1, 1, 2).ok());
+}
+
+TEST(DensitySpec, BasicAccessors) {
+  const DensitySpec s = Example52Spec();
+  EXPECT_EQ(s.num_pages(), 8);
+  EXPECT_EQ(s.d(), 9);
+  EXPECT_EQ(s.D(), 18);
+  EXPECT_EQ(s.L(), 3);  // ceil(log2 8)
+  EXPECT_EQ(s.MaxRecords(), 72);
+}
+
+TEST(DensitySpec, LIsFlooredAtOneForSinglePage) {
+  StatusOr<DensitySpec> s = DensitySpec::Create(1, 2, 9);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->L(), 1);
+}
+
+TEST(DensitySpec, GapCondition) {
+  // Example 5.2: D-d = 9 = 3L exactly — the strict inequality fails.
+  EXPECT_FALSE(Example52Spec().SatisfiesGapCondition());
+  StatusOr<DensitySpec> wide = DensitySpec::Create(8, 9, 19);
+  ASSERT_TRUE(wide.ok());
+  EXPECT_TRUE(wide->SatisfiesGapCondition());
+}
+
+TEST(DensitySpec, GMatchesPaperValuesAtLeaves) {
+  const DensitySpec s = Example52Spec();
+  // Leaf depth 3, L=3: g(leaf,0) = 9 + (2/3)*9 = 15; g(leaf,1/3) = 16;
+  // g(leaf,2/3) = 17; g(leaf,1) = 18 = D.
+  EXPECT_DOUBLE_EQ(s.G(3, 0.0), 15.0);
+  EXPECT_DOUBLE_EQ(s.G(3, 1.0 / 3.0), 16.0);
+  EXPECT_DOUBLE_EQ(s.G(3, 2.0 / 3.0), 17.0);
+  EXPECT_DOUBLE_EQ(s.G(3, 1.0), 18.0);
+  // Root: g(0,1) = d.
+  EXPECT_DOUBLE_EQ(s.G(0, 1.0), 9.0);
+}
+
+TEST(DensitySpec, ExactLeafThresholdsFromExample52) {
+  const DensitySpec s = Example52Spec();
+  // p(L8)=17 >= g(L8,2/3)=17 raised L8's warning in the paper.
+  EXPECT_TRUE(s.DensityAtLeast(17, 1, 3, kThirds2Of3));
+  EXPECT_FALSE(s.DensityAtLeast(16, 1, 3, kThirds2Of3));
+  // p(L8)=11 <= g(L8,1/3)=16 lowered it after the first SHIFT.
+  EXPECT_TRUE(s.DensityAtMost(11, 1, 3, kThirds1Of3));
+  EXPECT_TRUE(s.DensityAtMost(16, 1, 3, kThirds1Of3));
+  EXPECT_FALSE(s.DensityAtMost(17, 1, 3, kThirds1Of3));
+}
+
+TEST(DensitySpec, ExactInternalThresholdsFromExample52) {
+  const DensitySpec s = Example52Spec();
+  // v3: depth 1, 4 pages. g(v3,2/3) = 11, g(v3,1/3) = 10, g(v3,1) = 12.
+  EXPECT_TRUE(s.DensityAtLeast(44, 4, 1, kThirds2Of3));   // p = 11
+  EXPECT_FALSE(s.DensityAtLeast(43, 4, 1, kThirds2Of3));  // p = 10.75
+  EXPECT_TRUE(s.DensityAtMost(40, 4, 1, kThirds1Of3));    // p = 10
+  EXPECT_FALSE(s.DensityAtMost(41, 4, 1, kThirds1Of3));   // p = 10.25
+  EXPECT_TRUE(s.DensityAtMost(48, 4, 1, kThirds1));       // p = 12 = g(v3,1)
+  EXPECT_FALSE(s.DensityAtMost(49, 4, 1, kThirds1));
+}
+
+TEST(DensitySpec, RootBalanceBoundIsD) {
+  const DensitySpec s = Example52Spec();
+  // Root depth 0: g(root,1) = d = 9 => N <= 72 over 8 pages.
+  EXPECT_TRUE(s.DensityAtMost(72, 8, 0, kThirds1));
+  EXPECT_FALSE(s.DensityAtMost(73, 8, 0, kThirds1));
+}
+
+TEST(DensitySpec, MovesUntilAtLeastMatchesExample52Shifts) {
+  const DensitySpec s = Example52Spec();
+  // SHIFT(L8) moved 6 records into L7 (9 -> 15 = g(leaf,0)).
+  EXPECT_EQ(s.MovesUntilAtLeast(9, 1, 3, kThirds0), 6);
+  // SHIFT(L1) moved 13 into L2 (2 -> 15).
+  EXPECT_EQ(s.MovesUntilAtLeast(2, 1, 3, kThirds0), 13);
+  // SHIFT(v3) stopped after 5 because p(v4) hit g(v4,0) = 12 (N 19 -> 24
+  // over 2 pages at depth 2).
+  EXPECT_EQ(s.MovesUntilAtLeast(19, 2, 2, kThirds0), 5);
+  // Already at/above the threshold: zero moves allowed.
+  EXPECT_EQ(s.MovesUntilAtLeast(16, 1, 3, kThirds0), 0);
+  EXPECT_EQ(s.MovesUntilAtLeast(15, 1, 3, kThirds0), 0);
+}
+
+TEST(DensitySpec, ThresholdsAreMonotoneInR) {
+  StatusOr<DensitySpec> s = DensitySpec::Create(64, 4, 40);
+  ASSERT_TRUE(s.ok());
+  for (int64_t depth = 0; depth <= s->L(); ++depth) {
+    for (int64_t count = 0; count <= 40; ++count) {
+      // If p >= g(r) for larger r, then certainly for smaller r.
+      if (s->DensityAtLeast(count, 1, depth, kThirds1)) {
+        EXPECT_TRUE(s->DensityAtLeast(count, 1, depth, kThirds2Of3));
+        EXPECT_TRUE(s->DensityAtLeast(count, 1, depth, kThirds1Of3));
+        EXPECT_TRUE(s->DensityAtLeast(count, 1, depth, kThirds0));
+      }
+    }
+  }
+}
+
+TEST(DensitySpec, AtLeastAndAtMostAgreeOnBoundary) {
+  StatusOr<DensitySpec> s = DensitySpec::Create(16, 3, 30);
+  ASSERT_TRUE(s.ok());
+  for (int64_t depth = 0; depth <= 4; ++depth) {
+    for (int r3 : {kThirds0, kThirds1Of3, kThirds2Of3, kThirds1}) {
+      for (int64_t count = 0; count <= 60; ++count) {
+        const bool ge = s->DensityAtLeast(count, 2, depth, r3);
+        const bool le = s->DensityAtMost(count, 2, depth, r3);
+        // p is either < g, == g (both true), or > g.
+        EXPECT_TRUE(ge || le);
+      }
+    }
+  }
+}
+
+TEST(DensitySpec, RecommendedJScaling) {
+  StatusOr<DensitySpec> s = DensitySpec::Create(1024, 10, 10 + 31);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->L(), 10);
+  // ceil(90 * 100 / 31) = 291.
+  EXPECT_EQ(s->RecommendedJ(90.0), 291);
+  EXPECT_GE(s->RecommendedJ(0.001), 1);  // floored at 1
+}
+
+}  // namespace
+}  // namespace dsf

@@ -1,0 +1,73 @@
+// The keystone correctness test: replays the paper's Example 5.2 through
+// the real CONTROL 2 implementation and diffs every flag-stable moment
+// against Figure 4, plus the flag/pointer narration in the prose
+// (activation of L8 and v3, the DEST(v3) roll-back, the final all-calm
+// state).
+
+#include "repro/example52.h"
+
+#include <gtest/gtest.h>
+
+namespace dsf::repro {
+namespace {
+
+TEST(Example52, Figure4RowsMatchExactly) {
+  StatusOr<Example52Result> run = RunExample52();
+  ASSERT_TRUE(run.ok()) << run.status();
+  const auto& expected = Figure4Expected();
+  ASSERT_EQ(run->moments.size(), expected.size());
+  for (size_t t = 0; t < expected.size(); ++t) {
+    EXPECT_EQ(run->moments[t].occupancy, expected[t])
+        << "occupancies diverge from Figure 4 at t" << t;
+  }
+}
+
+TEST(Example52, FlagAndPointerNarrationMatchesPaper) {
+  StatusOr<Example52Result> run = RunExample52();
+  ASSERT_TRUE(run.ok()) << run.status();
+  const std::vector<Example52Snapshot>& m = run->moments;
+
+  // t0: "all calibration tree nodes are in a non-warning state".
+  EXPECT_FALSE(m[0].warn_l1);
+  EXPECT_FALSE(m[0].warn_l8);
+  EXPECT_FALSE(m[0].warn_v3);
+
+  // t1: "step 3 will raise L8 and v3 into warning states and assign
+  // DEST(L8) and DEST(v3) the initial values of 7 and 1".
+  EXPECT_TRUE(m[1].warn_l8);
+  EXPECT_TRUE(m[1].warn_v3);
+  EXPECT_EQ(m[1].dest_v3, 1);
+
+  // t2: SHIFT(L8) moved six records and L8 left the warning state.
+  EXPECT_FALSE(m[2].warn_l8);
+  EXPECT_TRUE(m[2].warn_v3);
+
+  // t3: SHIFT(v3) moved nothing but "sets DEST(v3) = 2".
+  EXPECT_EQ(m[3].dest_v3, 2);
+
+  // t4: command Z1 complete; v3 still warning with DEST(v3) = 2.
+  EXPECT_TRUE(m[4].warn_v3);
+  EXPECT_EQ(m[4].dest_v3, 2);
+
+  // t5: ACTIVATE(L1) raised L1 and roll-back rule 1 "sets DEST(v3) = 1" —
+  // the example's first roll-back.
+  EXPECT_TRUE(m[5].warn_l1);
+  EXPECT_EQ(m[5].dest_v3, 1);
+
+  // t6: thirteen records moved 1 -> 2 and L1 calmed down.
+  EXPECT_FALSE(m[6].warn_l1);
+
+  // t7: eleven records moved 2 -> 1; "a second action of SHIFT(v3)
+  // consists of setting DEST(v3) = 2".
+  EXPECT_TRUE(m[7].warn_v3);
+  EXPECT_EQ(m[7].dest_v3, 2);
+
+  // t8: "all nodes in the calibration tree have returned to a
+  // non-warning state".
+  EXPECT_FALSE(m[8].warn_l1);
+  EXPECT_FALSE(m[8].warn_l8);
+  EXPECT_FALSE(m[8].warn_v3);
+}
+
+}  // namespace
+}  // namespace dsf::repro

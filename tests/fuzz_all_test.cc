@@ -1,0 +1,143 @@
+// Long-trace multi-seed differential fuzz across every structure in the
+// repository: dense file under all three policies, B+-tree, overflow
+// file, naive sequential file — each replaying the same randomized trace
+// against the oracle, with invariant audits at checkpoints. This is the
+// heavyweight companion to tests/property_dense_file_test.cc (which
+// audits after every command on shorter traces).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baseline/btree.h"
+#include "baseline/naive_sequential.h"
+#include "baseline/overflow_file.h"
+#include "core/dense_file.h"
+#include "workload/reference_model.h"
+#include "workload/workload.h"
+
+namespace dsf {
+namespace {
+
+constexpr int64_t kPages = 128;
+constexpr int64_t kDLow = 4;
+constexpr int64_t kDHigh = 4 + 33;  // gap 33 > 21
+constexpr int64_t kOps = 12000;
+constexpr int64_t kAuditEvery = 500;
+
+// Mixed trace phases: churn, surge, drain, ascending run, churn again.
+Trace FuzzTrace(uint64_t seed, int64_t capacity) {
+  // Key budget: churn over capacity/2 distinct keys plus two bursts of
+  // capacity/16 each keeps the population well below the dense file's
+  // hard cap, so all structures see identical status codes.
+  Rng rng(seed);
+  Trace trace = UniformMix(kOps / 3, 0.55, 0.3,
+                           static_cast<Key>(capacity / 2), rng);
+  const Trace surge =
+      HotspotSurge(capacity / 16, 1u << 24, (1u << 24) + capacity, rng);
+  trace.insert(trace.end(), surge.begin(), surge.end());
+  for (const Op& op : surge) {
+    Op del = op;
+    del.kind = Op::Kind::kDelete;
+    trace.push_back(del);
+  }
+  const Trace run = AscendingInserts(capacity / 16, 1u << 26, 3);
+  trace.insert(trace.end(), run.begin(), run.end());
+  const Trace tail = UniformMix(kOps / 3, 0.35, 0.45,
+                                static_cast<Key>(capacity / 2), rng);
+  trace.insert(trace.end(), tail.begin(), tail.end());
+  return trace;
+}
+
+class FuzzAllTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzAllTest, EveryStructureTracksTheOracle) {
+  DenseFile::Options options;
+  options.num_pages = kPages;
+  options.d = kDLow;
+  options.D = kDHigh;
+  options.policy = DenseFile::Policy::kControl2;
+  std::unique_ptr<DenseFile> c2 = std::move(*DenseFile::Create(options));
+  options.policy = DenseFile::Policy::kControl1;
+  std::unique_ptr<DenseFile> c1 = std::move(*DenseFile::Create(options));
+  options.policy = DenseFile::Policy::kLocalShift;
+  std::unique_ptr<DenseFile> ls = std::move(*DenseFile::Create(options));
+
+  BTree::Options btree_options;
+  btree_options.leaf_capacity = kDHigh;
+  btree_options.internal_fanout = 16;
+  std::unique_ptr<BTree> btree = std::move(*BTree::Create(btree_options));
+
+  OverflowFile::Options ovfl_options;
+  ovfl_options.num_primary_pages = kPages;
+  ovfl_options.page_capacity = kDHigh;
+  std::unique_ptr<OverflowFile> ovfl =
+      std::move(*OverflowFile::Create(ovfl_options));
+
+  NaiveSequentialFile::Options naive_options;
+  naive_options.num_pages = kPages;
+  naive_options.page_capacity = kDHigh;
+  std::unique_ptr<NaiveSequentialFile> naive =
+      std::move(*NaiveSequentialFile::Create(naive_options));
+
+  ReferenceModel model(c2->capacity());
+  const Trace trace = FuzzTrace(GetParam(), c2->capacity());
+
+  int64_t step = 0;
+  for (const Op& op : trace) {
+    switch (op.kind) {
+      case Op::Kind::kInsert: {
+        const StatusCode expected = model.Insert(op.record).code();
+        ASSERT_EQ(c2->Insert(op.record).code(), expected) << step;
+        ASSERT_EQ(c1->Insert(op.record).code(), expected) << step;
+        ASSERT_EQ(ls->Insert(op.record).code(), expected) << step;
+        ASSERT_EQ(btree->Insert(op.record).code(), expected) << step;
+        ASSERT_EQ(ovfl->Insert(op.record).code(), expected) << step;
+        ASSERT_EQ(naive->Insert(op.record).code(), expected) << step;
+        break;
+      }
+      case Op::Kind::kDelete: {
+        const StatusCode expected = model.Delete(op.record.key).code();
+        ASSERT_EQ(c2->Delete(op.record.key).code(), expected) << step;
+        ASSERT_EQ(c1->Delete(op.record.key).code(), expected) << step;
+        ASSERT_EQ(ls->Delete(op.record.key).code(), expected) << step;
+        ASSERT_EQ(btree->Delete(op.record.key).code(), expected) << step;
+        ASSERT_EQ(ovfl->Delete(op.record.key).code(), expected) << step;
+        ASSERT_EQ(naive->Delete(op.record.key).code(), expected) << step;
+        break;
+      }
+      default: {
+        const bool expected = model.Contains(op.record.key);
+        ASSERT_EQ(c2->Contains(op.record.key), expected) << step;
+        ASSERT_EQ(btree->Contains(op.record.key), expected) << step;
+        break;
+      }
+    }
+    if (step % kAuditEvery == 0) {
+      ASSERT_TRUE(c2->ValidateInvariants().ok()) << step;
+      ASSERT_TRUE(c1->ValidateInvariants().ok()) << step;
+      ASSERT_TRUE(ls->ValidateInvariants().ok()) << step;
+      ASSERT_TRUE(btree->ValidateInvariants().ok()) << step;
+      ASSERT_TRUE(ovfl->ValidateInvariants().ok()) << step;
+      ASSERT_TRUE(naive->ValidateInvariants().ok()) << step;
+    }
+    ++step;
+  }
+
+  const std::vector<Record> expected = model.ScanAll();
+  EXPECT_EQ(c2->ScanAll(), expected);
+  EXPECT_EQ(c1->ScanAll(), expected);
+  EXPECT_EQ(ls->ScanAll(), expected);
+  EXPECT_EQ(btree->ScanAll(), expected);
+  EXPECT_EQ(ovfl->ScanAll(), expected);
+  EXPECT_EQ(naive->ScanAll(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzAllTest,
+                         ::testing::Values(1u, 42u, 777u, 31337u, 999983u),
+                         [](const ::testing::TestParamInfo<uint64_t>& param_info) {
+                           return "seed" + std::to_string(param_info.param);
+                         });
+
+}  // namespace
+}  // namespace dsf

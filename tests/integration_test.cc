@@ -1,0 +1,172 @@
+// Cross-structure integration: the same workload driven through every
+// structure in the repository — dense file under both controls, B+-tree,
+// overflow file, naive sequential file — must end in identical logical
+// contents, and each structure's own invariants must hold throughout.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baseline/btree.h"
+#include "baseline/naive_sequential.h"
+#include "baseline/overflow_file.h"
+#include "core/dense_file.h"
+#include "workload/reference_model.h"
+#include "workload/workload.h"
+
+namespace dsf {
+namespace {
+
+class Fixture {
+ public:
+  Fixture() {
+    DenseFile::Options dense;
+    dense.num_pages = 64;
+    dense.d = 4;
+    dense.D = 44;
+    dense.policy = DenseFile::Policy::kControl2;
+    control2_ = std::move(*DenseFile::Create(dense));
+    dense.policy = DenseFile::Policy::kControl1;
+    control1_ = std::move(*DenseFile::Create(dense));
+
+    BTree::Options btree;
+    btree.leaf_capacity = 44;
+    btree.internal_fanout = 16;
+    btree_ = std::move(*BTree::Create(btree));
+
+    OverflowFile::Options overflow;
+    overflow.num_primary_pages = 64;
+    overflow.page_capacity = 44;
+    overflow_ = std::move(*OverflowFile::Create(overflow));
+
+    NaiveSequentialFile::Options naive;
+    naive.num_pages = 64;
+    naive.page_capacity = 44;
+    naive_ = std::move(*NaiveSequentialFile::Create(naive));
+
+    model_ = std::make_unique<ReferenceModel>(control2_->capacity());
+  }
+
+  void Load(const std::vector<Record>& records) {
+    ASSERT_TRUE(control2_->BulkLoad(records).ok());
+    ASSERT_TRUE(control1_->BulkLoad(records).ok());
+    ASSERT_TRUE(btree_->BulkLoad(records).ok());
+    ASSERT_TRUE(overflow_->BulkLoad(records).ok());
+    ASSERT_TRUE(naive_->BulkLoad(records).ok());
+    ASSERT_TRUE(model_->Load(records).ok());
+  }
+
+  void Apply(const Op& op) {
+    switch (op.kind) {
+      case Op::Kind::kInsert: {
+        const StatusCode expected = model_->Insert(op.record).code();
+        ASSERT_EQ(control2_->Insert(op.record).code(), expected);
+        ASSERT_EQ(control1_->Insert(op.record).code(), expected);
+        ASSERT_EQ(btree_->Insert(op.record).code(), expected);
+        ASSERT_EQ(overflow_->Insert(op.record).code(), expected);
+        ASSERT_EQ(naive_->Insert(op.record).code(), expected);
+        break;
+      }
+      case Op::Kind::kDelete: {
+        const StatusCode expected = model_->Delete(op.record.key).code();
+        ASSERT_EQ(control2_->Delete(op.record.key).code(), expected);
+        ASSERT_EQ(control1_->Delete(op.record.key).code(), expected);
+        ASSERT_EQ(btree_->Delete(op.record.key).code(), expected);
+        ASSERT_EQ(overflow_->Delete(op.record.key).code(), expected);
+        ASSERT_EQ(naive_->Delete(op.record.key).code(), expected);
+        break;
+      }
+      default: {
+        const bool expected = model_->Contains(op.record.key);
+        ASSERT_EQ(control2_->Contains(op.record.key), expected);
+        ASSERT_EQ(control1_->Contains(op.record.key), expected);
+        ASSERT_EQ(btree_->Contains(op.record.key), expected);
+        ASSERT_EQ(overflow_->Contains(op.record.key), expected);
+        ASSERT_EQ(naive_->Contains(op.record.key), expected);
+        break;
+      }
+    }
+  }
+
+  void CheckAllStructuresAgree() {
+    const std::vector<Record> expected = model_->ScanAll();
+    EXPECT_EQ(control2_->ScanAll(), expected);
+    EXPECT_EQ(control1_->ScanAll(), expected);
+    EXPECT_EQ(btree_->ScanAll(), expected);
+    EXPECT_EQ(overflow_->ScanAll(), expected);
+    EXPECT_EQ(naive_->ScanAll(), expected);
+    EXPECT_TRUE(control2_->ValidateInvariants().ok());
+    EXPECT_TRUE(control1_->ValidateInvariants().ok());
+    EXPECT_TRUE(btree_->ValidateInvariants().ok());
+    EXPECT_TRUE(overflow_->ValidateInvariants().ok());
+    EXPECT_TRUE(naive_->ValidateInvariants().ok());
+  }
+
+  void CheckRangeScansAgree(Key lo, Key hi) {
+    const std::vector<Record> expected = model_->Scan(lo, hi);
+    std::vector<Record> got;
+    ASSERT_TRUE(control2_->Scan(lo, hi, &got).ok());
+    EXPECT_EQ(got, expected);
+    got.clear();
+    ASSERT_TRUE(btree_->Scan(lo, hi, &got).ok());
+    EXPECT_EQ(got, expected);
+    got.clear();
+    ASSERT_TRUE(overflow_->Scan(lo, hi, &got).ok());
+    EXPECT_EQ(got, expected);
+    got.clear();
+    ASSERT_TRUE(naive_->Scan(lo, hi, &got).ok());
+    EXPECT_EQ(got, expected);
+  }
+
+  std::unique_ptr<DenseFile> control2_;
+  std::unique_ptr<DenseFile> control1_;
+  std::unique_ptr<BTree> btree_;
+  std::unique_ptr<OverflowFile> overflow_;
+  std::unique_ptr<NaiveSequentialFile> naive_;
+  std::unique_ptr<ReferenceModel> model_;
+};
+
+TEST(Integration, MixedChurnAfterBulkLoad) {
+  Fixture fx;
+  Rng rng(2024);
+  fx.Load(MakeUniformRecords(100, 2000, rng));
+  // Churn keys drawn from a 150-key space: with the 100 loaded records the
+  // population stays below the dense file's hard d*M = 256 capacity, so
+  // every structure sees identical status codes.
+  const Trace trace = UniformMix(1200, 0.45, 0.35, 150, rng);
+  for (const Op& op : trace) fx.Apply(op);
+  fx.CheckAllStructuresAgree();
+  fx.CheckRangeScansAgree(500, 1500);
+  fx.CheckRangeScansAgree(1, 10);
+  fx.CheckRangeScansAgree(5000, 9000);  // empty range
+}
+
+TEST(Integration, SurgeThenDrain) {
+  Fixture fx;
+  Rng rng(7);
+  fx.Load(MakeAscendingRecords(96, 1000, 1000));
+  const Trace surge = HotspotSurge(120, 50001, 52000, rng);
+  for (const Op& op : surge) fx.Apply(op);
+  fx.CheckAllStructuresAgree();
+  // Drain the surge again.
+  for (const Op& op : surge) {
+    Op del = op;
+    del.kind = Op::Kind::kDelete;
+    fx.Apply(del);
+  }
+  fx.CheckAllStructuresAgree();
+}
+
+TEST(Integration, AppendHeavyPhaseThenPointChurn) {
+  Fixture fx;
+  Rng rng(99);
+  for (const Op& op : AscendingInserts(150, 10, 10)) fx.Apply(op);
+  fx.CheckAllStructuresAgree();
+  const Trace churn = UniformMix(600, 0.3, 0.5, 100, rng);
+  for (const Op& op : churn) fx.Apply(op);
+  fx.CheckAllStructuresAgree();
+  fx.CheckRangeScansAgree(100, 900);
+}
+
+}  // namespace
+}  // namespace dsf

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "util/math.h"
+#include "util/random.h"
+
+namespace dsf {
+namespace {
+
+TEST(Math, CeilLog2) {
+  EXPECT_EQ(CeilLog2(1), 0);
+  EXPECT_EQ(CeilLog2(2), 1);
+  EXPECT_EQ(CeilLog2(3), 2);
+  EXPECT_EQ(CeilLog2(4), 2);
+  EXPECT_EQ(CeilLog2(5), 3);
+  EXPECT_EQ(CeilLog2(8), 3);
+  EXPECT_EQ(CeilLog2(9), 4);
+  EXPECT_EQ(CeilLog2(1 << 20), 20);
+  EXPECT_EQ(CeilLog2((1 << 20) + 1), 21);
+}
+
+TEST(Math, FloorLog2) {
+  EXPECT_EQ(FloorLog2(1), 0);
+  EXPECT_EQ(FloorLog2(2), 1);
+  EXPECT_EQ(FloorLog2(3), 1);
+  EXPECT_EQ(FloorLog2(4), 2);
+  EXPECT_EQ(FloorLog2(1023), 9);
+  EXPECT_EQ(FloorLog2(1024), 10);
+}
+
+TEST(Math, DivCeil) {
+  EXPECT_EQ(DivCeil(0, 5), 0);
+  EXPECT_EQ(DivCeil(1, 5), 1);
+  EXPECT_EQ(DivCeil(5, 5), 1);
+  EXPECT_EQ(DivCeil(6, 5), 2);
+  EXPECT_EQ(DivCeil(10, 3), 4);
+}
+
+TEST(Math, IsPowerOfTwo) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_TRUE(IsPowerOfTwo(64));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_FALSE(IsPowerOfTwo(96));
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 90);
+}
+
+TEST(Rng, UniformStaysInBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(Rng, UniformCoversAllResidues) {
+  Rng rng(11);
+  std::array<int, 8> hits{};
+  for (int i = 0; i < 8000; ++i) ++hits[rng.Uniform(8)];
+  for (const int h : hits) {
+    EXPECT_GT(h, 800);  // expectation 1000; crude uniformity bound
+    EXPECT_LT(h, 1200);
+  }
+}
+
+TEST(Rng, UniformInRangeInclusive) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(9);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(Zipf, ThetaZeroIsUniform) {
+  Rng rng(13);
+  ZipfGenerator zipf(10, 0.0);
+  std::array<int, 10> hits{};
+  for (int i = 0; i < 20000; ++i) ++hits[zipf.Sample(rng)];
+  for (const int h : hits) {
+    EXPECT_GT(h, 1600);
+    EXPECT_LT(h, 2400);
+  }
+}
+
+TEST(Zipf, HighThetaConcentratesOnSmallRanks) {
+  Rng rng(17);
+  ZipfGenerator zipf(1000, 1.2);
+  int64_t head = 0;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (zipf.Sample(rng) < 10) ++head;
+  }
+  // Under uniform the head would get ~1%; Zipf(1.2) concentrates hard.
+  EXPECT_GT(head, kDraws / 3);
+}
+
+TEST(Zipf, SampleAlwaysBelowN) {
+  Rng rng(23);
+  ZipfGenerator zipf(5, 0.8);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.Sample(rng), 5u);
+}
+
+}  // namespace
+}  // namespace dsf

@@ -1,0 +1,117 @@
+#include "baseline/naive_sequential.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/reference_model.h"
+#include "workload/workload.h"
+
+namespace dsf {
+namespace {
+
+std::unique_ptr<NaiveSequentialFile> Make(int64_t pages = 16,
+                                          int64_t capacity = 8) {
+  NaiveSequentialFile::Options options;
+  options.num_pages = pages;
+  options.page_capacity = capacity;
+  StatusOr<std::unique_ptr<NaiveSequentialFile>> f =
+      NaiveSequentialFile::Create(options);
+  EXPECT_TRUE(f.ok()) << f.status();
+  return std::move(*f);
+}
+
+TEST(NaiveSequential, BasicLifecycle) {
+  std::unique_ptr<NaiveSequentialFile> f = Make();
+  EXPECT_EQ(f->size(), 0);
+  EXPECT_TRUE(f->Get(1).status().IsNotFound());
+  EXPECT_TRUE(f->Delete(1).IsNotFound());
+  ASSERT_TRUE(f->Insert(Record{5, 50}).ok());
+  ASSERT_TRUE(f->Insert(Record{3, 30}).ok());
+  StatusOr<Record> r = f->Get(3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->value, 30u);
+  EXPECT_TRUE(f->Insert(Record{3, 1}).IsAlreadyExists());
+  EXPECT_TRUE(f->Delete(3).ok());
+  EXPECT_EQ(f->size(), 1);
+  EXPECT_TRUE(f->ValidateInvariants().ok());
+}
+
+TEST(NaiveSequential, MaintainsFullPackingUnderChurn) {
+  std::unique_ptr<NaiveSequentialFile> f = Make(8, 4);
+  ReferenceModel model(8 * 4);
+  Rng rng(19);
+  const Trace trace = UniformMix(1500, 0.55, 0.35, 60, rng);
+  for (const Op& op : trace) {
+    switch (op.kind) {
+      case Op::Kind::kInsert:
+        ASSERT_EQ(f->Insert(op.record).code(),
+                  model.Insert(op.record).code());
+        break;
+      case Op::Kind::kDelete:
+        ASSERT_EQ(f->Delete(op.record.key).code(),
+                  model.Delete(op.record.key).code());
+        break;
+      default:
+        ASSERT_EQ(f->Contains(op.record.key), model.Contains(op.record.key));
+        break;
+    }
+    ASSERT_TRUE(f->ValidateInvariants().ok());
+  }
+  EXPECT_EQ(f->ScanAll(), model.ScanAll());
+}
+
+TEST(NaiveSequential, CapacityIsMTimesD) {
+  std::unique_ptr<NaiveSequentialFile> f = Make(2, 3);
+  for (Key k = 1; k <= 6; ++k) {
+    ASSERT_TRUE(f->Insert(Record{k, k}).ok());
+  }
+  EXPECT_TRUE(f->Insert(Record{7, 7}).IsCapacityExceeded());
+}
+
+TEST(NaiveSequential, FrontInsertRipplesAcrossWholeFile) {
+  std::unique_ptr<NaiveSequentialFile> f = Make(16, 8);
+  ASSERT_TRUE(f->BulkLoad(MakeAscendingRecords(100, 10, 1)).ok());
+  f->ResetStats();
+  // Inserting below every existing key rewrites the entire packed prefix.
+  ASSERT_TRUE(f->Insert(Record{1, 1}).ok());
+  const int64_t used_pages = (101 + 7) / 8;
+  EXPECT_GE(f->stats().page_writes, used_pages);
+  EXPECT_TRUE(f->ValidateInvariants().ok());
+}
+
+TEST(NaiveSequential, BackInsertIsCheap) {
+  std::unique_ptr<NaiveSequentialFile> f = Make(16, 8);
+  ASSERT_TRUE(f->BulkLoad(MakeAscendingRecords(100)).ok());
+  f->ResetStats();
+  ASSERT_TRUE(f->Insert(Record{1000, 0}).ok());
+  EXPECT_LE(f->stats().page_writes, 2);
+}
+
+TEST(NaiveSequential, ScanIsPerfectlySequential) {
+  std::unique_ptr<NaiveSequentialFile> f = Make(16, 8);
+  ASSERT_TRUE(f->BulkLoad(MakeAscendingRecords(128)).ok());
+  f->ResetStats();
+  std::vector<Record> out;
+  ASSERT_TRUE(f->Scan(1, 128, &out).ok());
+  EXPECT_EQ(out.size(), 128u);
+  EXPECT_LE(f->stats().seeks, 1);
+}
+
+TEST(NaiveSequential, BulkLoadValidation) {
+  std::unique_ptr<NaiveSequentialFile> f = Make(2, 2);
+  EXPECT_TRUE(f->BulkLoad(MakeAscendingRecords(5)).IsCapacityExceeded());
+  EXPECT_TRUE(f->BulkLoad({Record{2, 0}, Record{1, 0}}).IsInvalidArgument());
+}
+
+TEST(NaiveSequential, DeleteFromFrontPullsRecordsLeft) {
+  std::unique_ptr<NaiveSequentialFile> f = Make(4, 2);
+  ASSERT_TRUE(f->BulkLoad(MakeAscendingRecords(8)).ok());
+  ASSERT_TRUE(f->Delete(1).ok());
+  EXPECT_TRUE(f->ValidateInvariants().ok());
+  const std::vector<Record> all = f->ScanAll();
+  ASSERT_EQ(all.size(), 7u);
+  EXPECT_EQ(all.front().key, 2u);
+  EXPECT_EQ(all.back().key, 8u);
+}
+
+}  // namespace
+}  // namespace dsf

@@ -1,0 +1,138 @@
+#include "baseline/overflow_file.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/reference_model.h"
+#include "workload/workload.h"
+
+namespace dsf {
+namespace {
+
+std::unique_ptr<OverflowFile> Make(int64_t pages = 8, int64_t capacity = 8) {
+  OverflowFile::Options options;
+  options.num_primary_pages = pages;
+  options.page_capacity = capacity;
+  StatusOr<std::unique_ptr<OverflowFile>> f = OverflowFile::Create(options);
+  EXPECT_TRUE(f.ok()) << f.status();
+  return std::move(*f);
+}
+
+TEST(OverflowFile, CreateValidatesOptions) {
+  OverflowFile::Options options;
+  options.num_primary_pages = 0;
+  options.page_capacity = 4;
+  EXPECT_FALSE(OverflowFile::Create(options).ok());
+  options.num_primary_pages = 4;
+  options.page_capacity = 0;
+  EXPECT_FALSE(OverflowFile::Create(options).ok());
+}
+
+TEST(OverflowFile, InsertGetDeleteWithoutOverflow) {
+  std::unique_ptr<OverflowFile> f = Make();
+  ASSERT_TRUE(f->BulkLoad(MakeAscendingRecords(32, 10, 10)).ok());
+  EXPECT_EQ(f->size(), 32);
+  ASSERT_TRUE(f->Insert(Record{15, 150}).ok());
+  StatusOr<Record> r = f->Get(15);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->value, 150u);
+  EXPECT_TRUE(f->Insert(Record{15, 1}).IsAlreadyExists());
+  EXPECT_TRUE(f->Delete(15).ok());
+  EXPECT_TRUE(f->Delete(15).IsNotFound());
+  EXPECT_TRUE(f->ValidateInvariants().ok());
+  EXPECT_EQ(f->chain_stats().overflow_pages, 0);
+}
+
+TEST(OverflowFile, SurgeGrowsOneChain) {
+  std::unique_ptr<OverflowFile> f = Make(8, 8);
+  ASSERT_TRUE(f->BulkLoad(MakeAscendingRecords(48, 1000, 1000)).ok());
+  // Surge 64 inserts into one bucket's key range.
+  Rng rng(3);
+  const Trace surge = HotspotSurge(64, 8001, 8800, rng);
+  for (const Op& op : surge) {
+    ASSERT_TRUE(f->Insert(op.record).ok());
+  }
+  const OverflowFile::ChainStats cs = f->chain_stats();
+  EXPECT_GE(cs.max_chain_length, 8);   // 64 records / 8 per page
+  EXPECT_GT(cs.overflow_records, 0);
+  EXPECT_TRUE(f->ValidateInvariants().ok());
+  // Lookups in the surged bucket now walk the chain.
+  f->ResetStats();
+  ASSERT_TRUE(f->Contains(surge.back().record.key));
+  EXPECT_GE(f->stats().page_reads, 1);
+}
+
+TEST(OverflowFile, ChainedRecordsRemainFindableAndScannable) {
+  std::unique_ptr<OverflowFile> f = Make(4, 4);
+  ReferenceModel model;
+  ASSERT_TRUE(f->BulkLoad(MakeAscendingRecords(12, 100, 100)).ok());
+  ASSERT_TRUE(model.Load(MakeAscendingRecords(12, 100, 100)).ok());
+  // Push 20 extra records into bucket ranges.
+  for (Key k = 101; k <= 120; ++k) {
+    ASSERT_TRUE(f->Insert(Record{k, k}).ok());
+    ASSERT_TRUE(model.Insert(Record{k, k}).ok());
+  }
+  EXPECT_EQ(f->ScanAll(), model.ScanAll());
+  std::vector<Record> got;
+  ASSERT_TRUE(f->Scan(105, 115, &got).ok());
+  EXPECT_EQ(got, model.Scan(105, 115));
+  for (Key k = 101; k <= 120; ++k) EXPECT_TRUE(f->Contains(k));
+}
+
+TEST(OverflowFile, DeleteFromChainLeavesHole) {
+  std::unique_ptr<OverflowFile> f = Make(2, 2);
+  ASSERT_TRUE(f->BulkLoad(MakeAscendingRecords(4, 10, 10)).ok());
+  for (Key k = 11; k <= 16; ++k) {
+    ASSERT_TRUE(f->Insert(Record{k, k}).ok());
+  }
+  EXPECT_GT(f->chain_stats().overflow_pages, 0);
+  ASSERT_TRUE(f->Delete(12).ok());
+  EXPECT_FALSE(f->Contains(12));
+  // Chain pages are never reclaimed (classic overflow decay).
+  EXPECT_GT(f->chain_stats().overflow_pages, 0);
+  EXPECT_TRUE(f->ValidateInvariants().ok());
+}
+
+TEST(OverflowFile, RandomizedChurnMatchesModel) {
+  std::unique_ptr<OverflowFile> f = Make(16, 8);
+  ReferenceModel model;
+  Rng rng(29);
+  const std::vector<Record> base = MakeUniformRecords(64, 1000, rng);
+  ASSERT_TRUE(f->BulkLoad(base).ok());
+  ASSERT_TRUE(model.Load(base).ok());
+  const Trace trace = UniformMix(2000, 0.5, 0.3, 1000, rng);
+  for (const Op& op : trace) {
+    switch (op.kind) {
+      case Op::Kind::kInsert:
+        ASSERT_EQ(f->Insert(op.record).code(),
+                  model.Insert(op.record).code());
+        break;
+      case Op::Kind::kDelete:
+        ASSERT_EQ(f->Delete(op.record.key).code(),
+                  model.Delete(op.record.key).code());
+        break;
+      default:
+        ASSERT_EQ(f->Contains(op.record.key), model.Contains(op.record.key));
+        break;
+    }
+  }
+  ASSERT_TRUE(f->ValidateInvariants().ok());
+  EXPECT_EQ(f->ScanAll(), model.ScanAll());
+}
+
+TEST(OverflowFile, ScanOverChainsPaysSeeks) {
+  std::unique_ptr<OverflowFile> f = Make(8, 8);
+  ASSERT_TRUE(f->BulkLoad(MakeAscendingRecords(48, 1000, 1000)).ok());
+  Rng rng(7);
+  for (const Op& op : HotspotSurge(64, 8001, 8800, rng)) {
+    ASSERT_TRUE(f->Insert(op.record).ok());
+  }
+  f->ResetStats();
+  std::vector<Record> out;
+  ASSERT_TRUE(f->Scan(1, 1 << 20, &out).ok());
+  EXPECT_EQ(out.size(), 48u + 64u);
+  // The surged bucket's chain forces jumps into the overflow area.
+  EXPECT_GT(f->stats().seeks, 2);
+}
+
+}  // namespace
+}  // namespace dsf

@@ -1,0 +1,118 @@
+#include "storage/page_file.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/disk_model.h"
+
+namespace dsf {
+namespace {
+
+TEST(PageFile, ConstructsEmptyPages) {
+  PageFile f(4, 8);
+  EXPECT_EQ(f.num_pages(), 4);
+  EXPECT_EQ(f.page_capacity(), 8);
+  for (Address a = 1; a <= 4; ++a) {
+    EXPECT_TRUE(f.Peek(a).empty());
+  }
+  EXPECT_EQ(f.TotalRecords(), 0);
+}
+
+TEST(PageFile, ReadAndWriteAreAccounted) {
+  PageFile f(4, 8);
+  f.Read(1);
+  f.Read(2);
+  f.Write(3);
+  EXPECT_EQ(f.stats().page_reads, 2);
+  EXPECT_EQ(f.stats().page_writes, 1);
+  EXPECT_EQ(f.stats().TotalAccesses(), 3);
+}
+
+TEST(PageFile, PeekAndRawPageAreFree) {
+  PageFile f(4, 8);
+  f.Peek(1);
+  f.RawPage(2);
+  EXPECT_EQ(f.stats().TotalAccesses(), 0);
+}
+
+TEST(PageFile, SeekVersusSequentialClassification) {
+  PageFile f(10, 4);
+  f.Read(5);   // first access: seek
+  f.Read(6);   // adjacent: sequential
+  f.Read(6);   // same: sequential
+  f.Read(5);   // adjacent (backward): sequential
+  f.Read(9);   // jump: seek
+  f.Write(9);  // same: sequential
+  EXPECT_EQ(f.stats().seeks, 2);
+  EXPECT_EQ(f.stats().sequential_accesses, 4);
+}
+
+TEST(PageFile, ResetStatsClearsAndRestartsSeekTracking) {
+  PageFile f(4, 4);
+  f.Read(1);
+  f.Read(2);
+  f.ResetStats();
+  EXPECT_EQ(f.stats().TotalAccesses(), 0);
+  f.Read(3);  // first access after reset counts as a seek again
+  EXPECT_EQ(f.stats().seeks, 1);
+}
+
+TEST(PageFile, GloballyOrderedAcceptsGapsAndOrder) {
+  PageFile f(4, 4);
+  ASSERT_TRUE(f.RawPage(1).Insert(Record{1, 0}).ok());
+  ASSERT_TRUE(f.RawPage(1).Insert(Record{5, 0}).ok());
+  // page 2 left empty
+  ASSERT_TRUE(f.RawPage(3).Insert(Record{7, 0}).ok());
+  EXPECT_TRUE(f.GloballyOrdered());
+  EXPECT_EQ(f.TotalRecords(), 3);
+}
+
+TEST(PageFile, GloballyOrderedRejectsInversionAcrossPages) {
+  PageFile f(3, 4);
+  ASSERT_TRUE(f.RawPage(1).Insert(Record{10, 0}).ok());
+  ASSERT_TRUE(f.RawPage(2).Insert(Record{3, 0}).ok());
+  EXPECT_FALSE(f.GloballyOrdered());
+}
+
+TEST(PageFile, GloballyOrderedRejectsEqualBoundaryKeys) {
+  PageFile f(3, 4);
+  ASSERT_TRUE(f.RawPage(1).Insert(Record{10, 0}).ok());
+  ASSERT_TRUE(f.RawPage(2).Insert(Record{10, 1}).ok());
+  EXPECT_FALSE(f.GloballyOrdered());
+}
+
+TEST(IoStats, DifferenceAndAccumulate) {
+  IoStats a;
+  a.page_reads = 10;
+  a.page_writes = 4;
+  a.seeks = 3;
+  a.sequential_accesses = 11;
+  IoStats b;
+  b.page_reads = 6;
+  b.page_writes = 1;
+  b.seeks = 2;
+  b.sequential_accesses = 5;
+  const IoStats d = a - b;
+  EXPECT_EQ(d.page_reads, 4);
+  EXPECT_EQ(d.page_writes, 3);
+  EXPECT_EQ(d.seeks, 1);
+  EXPECT_EQ(d.sequential_accesses, 6);
+  IoStats c = b;
+  c += d;
+  EXPECT_EQ(c.page_reads, a.page_reads);
+  EXPECT_EQ(c.TotalAccesses(), a.TotalAccesses());
+}
+
+TEST(DiskModel, LatencyChargesSeeksAndTransfers) {
+  DiskModel disk;
+  disk.seek_ms = 30.0;
+  disk.transfer_ms = 1.0;
+  IoStats s;
+  s.page_reads = 10;   // 10 total accesses
+  s.seeks = 2;
+  s.sequential_accesses = 8;
+  EXPECT_DOUBLE_EQ(disk.LatencyMs(s), 2 * 30.0 + 10 * 1.0);
+  EXPECT_DOUBLE_EQ(disk.LatencyMs(0, 5), 5.0);
+}
+
+}  // namespace
+}  // namespace dsf

@@ -1,0 +1,227 @@
+// Property-based sweeps: for a grid of file geometries, policies and
+// workload shapes, replay a trace against the dense file and the
+// reference model, checking after every command
+//
+//   * identical Status codes and contents (differential correctness),
+//   * the full invariant battery I1-I7 (ValidateInvariants), which
+//     includes BALANCE(d,D) at command end — Theorem 5.5 —
+//   * and, for CONTROL 2, the worst-case per-command page-access bound
+//     max <= 4*K*(J+1) + 2 (Corollary 5.6's O(J) cost).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/control2.h"
+#include "core/dense_file.h"
+#include "workload/reference_model.h"
+#include "workload/workload.h"
+
+namespace dsf {
+namespace {
+
+struct Geometry {
+  int64_t num_pages;
+  int64_t d;
+  int64_t D;
+  int64_t block_size;  // 0 = auto
+};
+
+enum class Shape {
+  kUniformMix,
+  kDescending,
+  kAscending,
+  kSurge,
+  kChurn,
+  kZipf,
+};
+
+// Non-default algorithm knobs under test. Both trade performance, never
+// correctness — the sweep must hold every invariant for them too. (The
+// collapsed-hysteresis variant drops Fact 5.1's flag guarantee by design;
+// Control2::ValidateInvariants skips that one check for it.)
+enum class Variant {
+  kDefault,
+  kSmartPlacement,
+  kCollapsedHysteresis,  // CONTROL 2 only
+};
+
+struct Case {
+  Geometry geometry;
+  DenseFile::Policy policy;
+  Shape shape;
+  uint64_t seed;
+  Variant variant = Variant::kDefault;
+};
+
+std::string ShapeName(Shape shape) {
+  switch (shape) {
+    case Shape::kUniformMix: return "UniformMix";
+    case Shape::kDescending: return "Descending";
+    case Shape::kAscending: return "Ascending";
+    case Shape::kSurge: return "Surge";
+    case Shape::kChurn: return "Churn";
+    case Shape::kZipf: return "Zipf";
+  }
+  return "?";
+}
+
+std::string PolicyTag(DenseFile::Policy policy) {
+  switch (policy) {
+    case DenseFile::Policy::kControl2: return "C2";
+    case DenseFile::Policy::kControl1: return "C1";
+    case DenseFile::Policy::kLocalShift: return "LS";
+  }
+  return "??";
+}
+
+std::string CaseName(const ::testing::TestParamInfo<Case>& info) {
+  const Case& c = info.param;
+  std::string name = PolicyTag(c.policy);
+  name += "_M" + std::to_string(c.geometry.num_pages);
+  name += "d" + std::to_string(c.geometry.d);
+  name += "D" + std::to_string(c.geometry.D);
+  if (c.geometry.block_size > 1) {
+    name += "K" + std::to_string(c.geometry.block_size);
+  }
+  name += "_" + ShapeName(c.shape);
+  if (c.variant == Variant::kSmartPlacement) name += "_Smart";
+  if (c.variant == Variant::kCollapsedHysteresis) name += "_NoHyst";
+  return name;
+}
+
+Trace MakeTrace(Shape shape, int64_t capacity, uint64_t seed) {
+  Rng rng(seed);
+  const int64_t ops = std::min<int64_t>(800, 3 * capacity);
+  switch (shape) {
+    case Shape::kUniformMix:
+      return UniformMix(ops, 0.5, 0.3, static_cast<Key>(2 * capacity), rng);
+    case Shape::kDescending:
+      return DescendingInserts(std::min<int64_t>(ops, capacity), 1 << 28);
+    case Shape::kAscending:
+      return AscendingInserts(std::min<int64_t>(ops, capacity), 1000, 7);
+    case Shape::kSurge:
+      return HotspotSurge(std::min<int64_t>(ops, capacity), 1 << 20,
+                          (1 << 20) + 8 * capacity, rng);
+    case Shape::kChurn:
+      return HotspotChurn(ops / 40, 20, 1 << 24);
+    case Shape::kZipf:
+      return ZipfInserts(ops, static_cast<Key>(4 * capacity), 0.9, rng);
+  }
+  return {};
+}
+
+class DenseFilePropertyTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(DenseFilePropertyTest, TraceReplayKeepsAllInvariants) {
+  const Case& c = GetParam();
+  std::unique_ptr<DenseFile> dense_file;
+  std::unique_ptr<Control2> raw_control2;
+  ControlBase* control = nullptr;
+  if (c.variant == Variant::kCollapsedHysteresis) {
+    // The hysteresis knob lives on Control2 directly.
+    Control2::Options options;
+    options.config.num_pages = c.geometry.num_pages;
+    options.config.d = c.geometry.d;
+    options.config.D = c.geometry.D;
+    options.config.block_size =
+        c.geometry.block_size == 0 ? 1 : c.geometry.block_size;
+    options.lower_threshold_thirds = kThirds2Of3;
+    StatusOr<std::unique_ptr<Control2>> made = Control2::Create(options);
+    ASSERT_TRUE(made.ok()) << made.status();
+    raw_control2 = std::move(*made);
+    control = raw_control2.get();
+  } else {
+    DenseFile::Options options;
+    options.num_pages = c.geometry.num_pages;
+    options.d = c.geometry.d;
+    options.D = c.geometry.D;
+    options.block_size = c.geometry.block_size;
+    options.policy = c.policy;
+    options.smart_placement = c.variant == Variant::kSmartPlacement;
+    StatusOr<std::unique_ptr<DenseFile>> made = DenseFile::Create(options);
+    ASSERT_TRUE(made.ok()) << made.status();
+    dense_file = std::move(*made);
+    control = &dense_file->control();
+  }
+  ControlBase& file = *control;
+  ReferenceModel model(file.MaxRecords());
+
+  const Trace trace = MakeTrace(c.shape, file.MaxRecords(), c.seed);
+  int64_t step = 0;
+  for (const Op& op : trace) {
+    switch (op.kind) {
+      case Op::Kind::kInsert:
+        ASSERT_EQ(file.Insert(op.record).code(),
+                  model.Insert(op.record).code())
+            << "insert key " << op.record.key << " at step " << step;
+        break;
+      case Op::Kind::kDelete:
+        ASSERT_EQ(file.Delete(op.record.key).code(),
+                  model.Delete(op.record.key).code())
+            << "delete key " << op.record.key << " at step " << step;
+        break;
+      case Op::Kind::kGet:
+        ASSERT_EQ(file.Contains(op.record.key),
+                  model.Contains(op.record.key))
+            << "get key " << op.record.key << " at step " << step;
+        break;
+      case Op::Kind::kScan:
+        break;
+    }
+    const Status invariants = file.ValidateInvariants();
+    ASSERT_TRUE(invariants.ok())
+        << invariants << " at step " << step << " ("
+        << ShapeName(c.shape) << ")";
+    ++step;
+  }
+  EXPECT_EQ(file.ScanAll(), model.ScanAll());
+  EXPECT_EQ(file.size(), model.size());
+
+  if (c.policy == DenseFile::Policy::kControl2) {
+    const auto& c2 = static_cast<const Control2&>(file);
+    const int64_t bound = 4 * file.block_size() * (c2.J() + 1) + 2;
+    EXPECT_LE(file.command_stats().max_command_accesses, bound)
+        << "worst-case command cost exceeds the O(J) bound";
+  }
+}
+
+constexpr Geometry kWide{64, 4, 44, 0};        // gap 40 > 18, K = 1
+constexpr Geometry kTight{128, 3, 3 + 22, 0};  // gap 22 > 21, K = 1
+constexpr Geometry kMacro{64, 4, 6, 8};        // gap 2: macro-blocks K = 8
+constexpr Geometry kOdd{96, 2, 2 + 32, 0};     // non-power-of-two M
+
+std::vector<Case> AllCases() {
+  std::vector<Case> cases;
+  uint64_t seed = 1000;
+  constexpr Shape kAllShapes[] = {Shape::kUniformMix, Shape::kDescending,
+                                  Shape::kAscending,  Shape::kSurge,
+                                  Shape::kChurn,      Shape::kZipf};
+  for (const Geometry& g : {kWide, kTight, kMacro, kOdd}) {
+    for (const DenseFile::Policy policy :
+         {DenseFile::Policy::kControl2, DenseFile::Policy::kControl1,
+          DenseFile::Policy::kLocalShift}) {
+      for (const Shape shape : kAllShapes) {
+        cases.push_back(Case{g, policy, shape, ++seed, Variant::kDefault});
+      }
+    }
+  }
+  // Ablation variants on the wide geometry: they must preserve every
+  // correctness invariant across all workload shapes.
+  for (const Shape shape : kAllShapes) {
+    cases.push_back(Case{kWide, DenseFile::Policy::kControl2, shape, ++seed,
+                         Variant::kSmartPlacement});
+    cases.push_back(Case{kWide, DenseFile::Policy::kControl2, shape, ++seed,
+                         Variant::kCollapsedHysteresis});
+    cases.push_back(Case{kWide, DenseFile::Policy::kLocalShift, shape,
+                         ++seed, Variant::kSmartPlacement});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DenseFilePropertyTest,
+                         ::testing::ValuesIn(AllCases()), CaseName);
+
+}  // namespace
+}  // namespace dsf

@@ -1,0 +1,123 @@
+#include "core/snapshot.h"
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "workload/workload.h"
+
+namespace dsf {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+DenseFile::Options SmallOptions() {
+  DenseFile::Options options;
+  options.num_pages = 64;
+  options.d = 4;
+  options.D = 44;
+  return options;
+}
+
+TEST(Snapshot, RoundTripPreservesContentsAndConfig) {
+  std::unique_ptr<DenseFile> file =
+      std::move(*DenseFile::Create(SmallOptions()));
+  Rng rng(5);
+  for (const Record& r : MakeUniformRecords(150, 5000, rng)) {
+    ASSERT_TRUE(file->Insert(r).ok());
+  }
+  const std::vector<Record> before = file->ScanAll();
+  const std::string path = TempPath("dsf_snapshot_roundtrip.bin");
+  ASSERT_TRUE(SaveSnapshot(*file, path).ok());
+
+  StatusOr<std::unique_ptr<DenseFile>> reopened = OpenSnapshot(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ((*reopened)->ScanAll(), before);
+  EXPECT_EQ((*reopened)->num_pages(), 64);
+  EXPECT_EQ((*reopened)->capacity(), file->capacity());
+  EXPECT_EQ((*reopened)->PolicyName(), "CONTROL2");
+  EXPECT_TRUE((*reopened)->ValidateInvariants().ok());
+  // The reopened file accepts further updates.
+  ASSERT_TRUE((*reopened)->Insert(Record{999999, 1}).ok());
+}
+
+TEST(Snapshot, RoundTripEmptyFile) {
+  std::unique_ptr<DenseFile> file =
+      std::move(*DenseFile::Create(SmallOptions()));
+  const std::string path = TempPath("dsf_snapshot_empty.bin");
+  ASSERT_TRUE(SaveSnapshot(*file, path).ok());
+  StatusOr<std::unique_ptr<DenseFile>> reopened = OpenSnapshot(path);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->size(), 0);
+}
+
+TEST(Snapshot, PreservesPolicyAndBlockSize) {
+  DenseFile::Options options;
+  options.num_pages = 64;
+  options.d = 4;
+  options.D = 6;  // forces macro-blocks
+  options.policy = DenseFile::Policy::kControl1;
+  std::unique_ptr<DenseFile> file =
+      std::move(*DenseFile::Create(options));
+  ASSERT_TRUE(file->Insert(7, 70).ok());
+  const std::string path = TempPath("dsf_snapshot_policy.bin");
+  ASSERT_TRUE(SaveSnapshot(*file, path).ok());
+  StatusOr<std::unique_ptr<DenseFile>> reopened = OpenSnapshot(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ((*reopened)->PolicyName(), "CONTROL1");
+  EXPECT_EQ((*reopened)->block_size(), file->block_size());
+  StatusOr<Value> v = (*reopened)->Get(7);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 70u);
+}
+
+TEST(Snapshot, RejectsMissingFile) {
+  EXPECT_FALSE(OpenSnapshot("/nonexistent/dir/snap.bin").ok());
+}
+
+TEST(Snapshot, RejectsForeignFile) {
+  const std::string path = TempPath("dsf_snapshot_foreign.bin");
+  std::ofstream(path) << "definitely not a snapshot, but long enough to "
+                         "pass the size check........";
+  const Status s = OpenSnapshot(path).status();
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(Snapshot, RejectsTruncation) {
+  std::unique_ptr<DenseFile> file =
+      std::move(*DenseFile::Create(SmallOptions()));
+  for (Key k = 1; k <= 50; ++k) ASSERT_TRUE(file->Insert(k, k).ok());
+  const std::string path = TempPath("dsf_snapshot_trunc.bin");
+  ASSERT_TRUE(SaveSnapshot(*file, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  out.close();
+  EXPECT_EQ(OpenSnapshot(path).status().code(), StatusCode::kCorruption);
+}
+
+TEST(Snapshot, RejectsBitFlip) {
+  std::unique_ptr<DenseFile> file =
+      std::move(*DenseFile::Create(SmallOptions()));
+  for (Key k = 1; k <= 50; ++k) ASSERT_TRUE(file->Insert(k, k).ok());
+  const std::string path = TempPath("dsf_snapshot_flip.bin");
+  ASSERT_TRUE(SaveSnapshot(*file, path).ok());
+  std::fstream io(path,
+                  std::ios::binary | std::ios::in | std::ios::out);
+  io.seekp(64);
+  char byte;
+  io.seekg(64);
+  io.get(byte);
+  io.seekp(64);
+  io.put(static_cast<char>(byte ^ 0x40));
+  io.close();
+  EXPECT_EQ(OpenSnapshot(path).status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace dsf

@@ -1,0 +1,133 @@
+#include "varsize/var_control2.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace dsf {
+namespace {
+
+VarControl2::Options SmallOptions() {
+  VarControl2::Options options;
+  options.num_pages = 32;  // L = 5
+  options.d = 16;
+  options.D = 16 + 61;  // gap 61 > 3*4*5 = 60
+  options.max_record_size = 4;
+  return options;
+}
+
+std::unique_ptr<VarControl2> Make(const VarControl2::Options& options) {
+  StatusOr<std::unique_ptr<VarControl2>> c = VarControl2::Create(options);
+  EXPECT_TRUE(c.ok()) << c.status();
+  return std::move(*c);
+}
+
+TEST(VarControl2, CreateEnforcesWidenedGap) {
+  VarControl2::Options options = SmallOptions();
+  options.D = options.d + 60;  // == 3*S*L
+  EXPECT_TRUE(VarControl2::Create(options).status().IsInvalidArgument());
+  options.D = options.d + 61;
+  EXPECT_TRUE(VarControl2::Create(options).ok());
+}
+
+TEST(VarControl2, BasicRoundtrip) {
+  std::unique_ptr<VarControl2> c = Make(SmallOptions());
+  ASSERT_TRUE(c->Insert(VarRecord{10, 3, 100}).ok());
+  ASSERT_TRUE(c->Insert(VarRecord{20, 1, 200}).ok());
+  EXPECT_EQ(c->record_count(), 2);
+  EXPECT_EQ(c->total_units(), 4);
+  StatusOr<VarRecord> r = c->Get(10);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size, 3);
+  EXPECT_TRUE(c->Insert(VarRecord{10, 1, 0}).IsAlreadyExists());
+  EXPECT_TRUE(c->Delete(11).IsNotFound());
+  EXPECT_TRUE(c->Delete(10).ok());
+  EXPECT_TRUE(c->ValidateInvariants().ok());
+}
+
+TEST(VarControl2, DescendingHotspotKeepsAllInvariants) {
+  std::unique_ptr<VarControl2> c = Make(SmallOptions());
+  Rng rng(8);
+  Key key = 1ull << 30;
+  int64_t step = 0;
+  for (;;) {
+    const int64_t size = static_cast<int64_t>(rng.Uniform(4)) + 1;
+    const Status s = c->Insert(VarRecord{key--, size, 0});
+    if (s.IsCapacityExceeded()) break;
+    ASSERT_TRUE(s.ok()) << s;
+    ASSERT_TRUE(c->ValidateInvariants().ok()) << "step " << step;
+    ++step;
+  }
+  EXPECT_GT(c->maintenance_stats().shifts, 0);
+  EXPECT_GT(c->maintenance_stats().units_shifted, 0);
+}
+
+TEST(VarControl2, WorstCaseCommandCostBoundedByJ) {
+  VarControl2::Options options;
+  options.num_pages = 256;  // L = 8
+  options.d = 16;
+  options.D = 16 + 97;  // gap 97 > 96
+  options.max_record_size = 4;
+  std::unique_ptr<VarControl2> c = Make(options);
+  Rng rng(9);
+  Key key = 1ull << 30;
+  for (;;) {
+    const int64_t size = static_cast<int64_t>(rng.Uniform(4)) + 1;
+    const Status s = c->Insert(VarRecord{key--, size, 0});
+    if (s.IsCapacityExceeded()) break;
+    ASSERT_TRUE(s.ok()) << s;
+  }
+  ASSERT_TRUE(c->ValidateInvariants().ok());
+  // Each command: 1 read + 1 write for the insert, <= 4 accesses per
+  // SHIFT cycle.
+  EXPECT_LE(c->command_cost().max_accesses, 4 * (c->J() + 1) + 2);
+}
+
+TEST(VarControl2, RandomizedChurnMatchesModel) {
+  std::unique_ptr<VarControl2> c = Make(SmallOptions());
+  std::map<Key, VarRecord> model;
+  Rng rng(44);
+  for (int step = 0; step < 3000; ++step) {
+    const Key k = rng.Uniform(400) + 1;
+    if (rng.Bernoulli(0.6)) {
+      const VarRecord r{k, static_cast<int64_t>(rng.Uniform(4)) + 1, k};
+      const Status s = c->Insert(r);
+      if (model.count(k) > 0) {
+        ASSERT_TRUE(s.IsAlreadyExists()) << s;
+      } else if (s.ok()) {
+        model.emplace(k, r);
+      } else {
+        ASSERT_TRUE(s.IsCapacityExceeded()) << s;
+      }
+    } else {
+      const Status s = c->Delete(k);
+      ASSERT_EQ(s.ok(), model.erase(k) > 0);
+    }
+    ASSERT_TRUE(c->ValidateInvariants().ok()) << "step " << step;
+  }
+  const std::vector<VarRecord> contents = c->ScanAll();
+  ASSERT_EQ(contents.size(), model.size());
+  size_t i = 0;
+  for (const auto& [k, r] : model) {
+    EXPECT_EQ(contents[i++], r);
+  }
+}
+
+TEST(VarControl2, BulkLoadThenScan) {
+  std::unique_ptr<VarControl2> c = Make(SmallOptions());
+  std::vector<VarRecord> records;
+  for (Key k = 10; k <= 800; k += 10) {
+    records.push_back(VarRecord{k, 1 + static_cast<int64_t>(k % 4), k});
+  }
+  ASSERT_TRUE(c->BulkLoad(records).ok());
+  ASSERT_TRUE(c->ValidateInvariants().ok());
+  std::vector<VarRecord> out;
+  ASSERT_TRUE(c->Scan(100, 300, &out).ok());
+  EXPECT_EQ(out.size(), 21u);
+  EXPECT_EQ(c->ScanAll(), records);
+}
+
+}  // namespace
+}  // namespace dsf

@@ -1,0 +1,168 @@
+#include "varsize/var_file.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace dsf {
+namespace {
+
+VarFile::Options SmallOptions() {
+  VarFile::Options options;
+  options.num_pages = 32;  // L = 5
+  options.d = 16;
+  options.D = 16 + 36;  // gap 36 > (2 + 4) * 5 = 30
+  options.max_record_size = 4;
+  return options;
+}
+
+std::unique_ptr<VarFile> Make(const VarFile::Options& options) {
+  StatusOr<std::unique_ptr<VarFile>> f = VarFile::Create(options);
+  EXPECT_TRUE(f.ok()) << f.status();
+  return std::move(*f);
+}
+
+TEST(VarFile, CreateEnforcesWidenedGapCondition) {
+  VarFile::Options options = SmallOptions();
+  options.D = options.d + 30;  // == (2 + max) * L: strict inequality fails
+  EXPECT_TRUE(VarFile::Create(options).status().IsInvalidArgument());
+  options.D = options.d + 31;
+  EXPECT_TRUE(VarFile::Create(options).ok());
+  options = SmallOptions();
+  options.max_record_size = 0;
+  EXPECT_FALSE(VarFile::Create(options).ok());
+}
+
+TEST(VarFile, BasicRoundtripWithMixedSizes) {
+  std::unique_ptr<VarFile> f = Make(SmallOptions());
+  ASSERT_TRUE(f->Insert(VarRecord{10, 3, 100}).ok());
+  ASSERT_TRUE(f->Insert(VarRecord{20, 1, 200}).ok());
+  ASSERT_TRUE(f->Insert(VarRecord{15, 4, 150}).ok());
+  EXPECT_EQ(f->record_count(), 3);
+  EXPECT_EQ(f->total_units(), 8);
+  StatusOr<VarRecord> r = f->Get(15);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size, 4);
+  EXPECT_EQ(r->value, 150u);
+  EXPECT_TRUE(f->Delete(15).ok());
+  EXPECT_EQ(f->total_units(), 4);
+  EXPECT_TRUE(f->ValidateInvariants().ok());
+}
+
+TEST(VarFile, RejectsBadSizesAndDuplicates) {
+  std::unique_ptr<VarFile> f = Make(SmallOptions());
+  EXPECT_TRUE(f->Insert(VarRecord{1, 0, 0}).IsInvalidArgument());
+  EXPECT_TRUE(f->Insert(VarRecord{1, 5, 0}).IsInvalidArgument());
+  ASSERT_TRUE(f->Insert(VarRecord{1, 2, 0}).ok());
+  EXPECT_TRUE(f->Insert(VarRecord{1, 1, 0}).IsAlreadyExists());
+  EXPECT_TRUE(f->Delete(2).IsNotFound());
+}
+
+TEST(VarFile, CapacityIsMeasuredInUnits) {
+  VarFile::Options options = SmallOptions();
+  std::unique_ptr<VarFile> f = Make(options);
+  const int64_t max_units = f->MaxUnits();
+  // Fill with 4-unit records until no 4-unit record fits.
+  Key k = 1;
+  while (f->total_units() + 4 <= max_units) {
+    ASSERT_TRUE(f->Insert(VarRecord{k++, 4, 0}).ok());
+  }
+  EXPECT_TRUE(f->Insert(VarRecord{k, 4, 0}).IsCapacityExceeded());
+  // A smaller record can still fit if units remain.
+  const int64_t slack = max_units - f->total_units();
+  if (slack >= 1) {
+    EXPECT_TRUE(f->Insert(VarRecord{k, slack, 0}).ok());
+  }
+  EXPECT_TRUE(f->ValidateInvariants().ok());
+}
+
+TEST(VarFile, HotspotTriggersRedistribution) {
+  std::unique_ptr<VarFile> f = Make(SmallOptions());
+  Key k = 1u << 20;
+  for (int i = 0; i < 150; ++i) {
+    ASSERT_TRUE(f->Insert(VarRecord{k--, 1 + (i % 4), 0}).ok());
+    ASSERT_TRUE(f->ValidateInvariants().ok()) << "after insert " << i;
+  }
+  EXPECT_GT(f->maintenance_stats().rebalances, 0);
+}
+
+TEST(VarFile, ScanReturnsSliceInOrder) {
+  std::unique_ptr<VarFile> f = Make(SmallOptions());
+  std::vector<VarRecord> records;
+  for (Key k = 10; k <= 400; k += 10) {
+    records.push_back(VarRecord{k, 1 + static_cast<int64_t>(k % 4), k});
+  }
+  ASSERT_TRUE(f->BulkLoad(records).ok());
+  EXPECT_TRUE(f->ValidateInvariants().ok());
+  std::vector<VarRecord> out;
+  ASSERT_TRUE(f->Scan(100, 200, &out).ok());
+  ASSERT_EQ(out.size(), 11u);
+  EXPECT_EQ(out.front().key, 100u);
+  EXPECT_EQ(out.back().key, 200u);
+  EXPECT_EQ(f->ScanAll(), records);
+}
+
+TEST(VarFile, BulkLoadValidation) {
+  std::unique_ptr<VarFile> f = Make(SmallOptions());
+  EXPECT_TRUE(f->BulkLoad({VarRecord{2, 1, 0}, VarRecord{1, 1, 0}})
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      f->BulkLoad({VarRecord{1, 9, 0}}).IsInvalidArgument());
+  std::vector<VarRecord> too_big;
+  for (Key k = 1; k <= static_cast<Key>(f->MaxUnits()) / 4 + 1; ++k) {
+    too_big.push_back(VarRecord{k, 4, 0});
+  }
+  EXPECT_TRUE(f->BulkLoad(too_big).IsCapacityExceeded());
+}
+
+TEST(VarFile, RandomizedChurnMatchesModel) {
+  std::unique_ptr<VarFile> f = Make(SmallOptions());
+  std::map<Key, VarRecord> model;
+  Rng rng(99);
+  for (int step = 0; step < 3000; ++step) {
+    const Key k = rng.Uniform(500) + 1;
+    if (rng.Bernoulli(0.6)) {
+      const VarRecord r{k, static_cast<int64_t>(rng.Uniform(4)) + 1, k};
+      const Status s = f->Insert(r);
+      if (model.count(k) > 0) {
+        EXPECT_TRUE(s.IsAlreadyExists());
+      } else if (s.ok()) {
+        model.emplace(k, r);
+      } else {
+        EXPECT_TRUE(s.IsCapacityExceeded()) << s;
+      }
+    } else {
+      const Status s = f->Delete(k);
+      EXPECT_EQ(s.ok(), model.erase(k) > 0);
+    }
+    ASSERT_TRUE(f->ValidateInvariants().ok()) << "step " << step;
+  }
+  const std::vector<VarRecord> contents = f->ScanAll();
+  ASSERT_EQ(contents.size(), model.size());
+  size_t i = 0;
+  for (const auto& [k, r] : model) {
+    EXPECT_EQ(contents[i], r) << "index " << i;
+    ++i;
+  }
+}
+
+TEST(VarFile, LargeRecordsTransientOverflowIsRepaired) {
+  // Hammer one key neighbourhood with max-size records: pages around the
+  // hotspot repeatedly exceed D mid-command and must end every command
+  // back at or below D (checked by ValidateInvariants).
+  std::unique_ptr<VarFile> f = Make(SmallOptions());
+  std::vector<VarRecord> base;
+  for (Key k = 1; k <= 100; ++k) base.push_back(VarRecord{k * 10, 4, 0});
+  ASSERT_TRUE(f->BulkLoad(base).ok());
+  // 25 * 4 = 100 extra units on top of the 400 loaded stay under the
+  // 512-unit capacity.
+  for (Key k = 0; k < 25; ++k) {
+    ASSERT_TRUE(f->Insert(VarRecord{505 + 10 * k, 4, 0}).ok()) << k;
+    ASSERT_TRUE(f->ValidateInvariants().ok()) << "after insert " << k;
+  }
+}
+
+}  // namespace
+}  // namespace dsf

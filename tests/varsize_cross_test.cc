@@ -1,0 +1,88 @@
+// Cross-validation of the two variable-size maintainers: the amortized
+// VarFile and the worst-case VarControl2 must hold identical logical
+// contents after any shared operation sequence, and VarControl2 must
+// additionally respect its per-command access bound.
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+#include "varsize/var_control2.h"
+#include "varsize/var_file.h"
+
+namespace dsf {
+namespace {
+
+constexpr int64_t kPages = 64;  // L = 6
+constexpr int64_t kMaxSize = 3;
+
+std::unique_ptr<VarFile> MakeAmortized() {
+  VarFile::Options options;
+  options.num_pages = kPages;
+  options.d = 12;
+  options.D = 12 + (2 + kMaxSize) * 6 + 7;  // widened gap for VarFile
+  options.max_record_size = kMaxSize;
+  StatusOr<std::unique_ptr<VarFile>> f = VarFile::Create(options);
+  EXPECT_TRUE(f.ok()) << f.status();
+  return std::move(*f);
+}
+
+std::unique_ptr<VarControl2> MakeWorstCase() {
+  VarControl2::Options options;
+  options.num_pages = kPages;
+  options.d = 12;
+  options.D = 12 + 3 * kMaxSize * 6 + 7;  // (D-d) > 3*S*L
+  options.max_record_size = kMaxSize;
+  StatusOr<std::unique_ptr<VarControl2>> f = VarControl2::Create(options);
+  EXPECT_TRUE(f.ok()) << f.status();
+  return std::move(*f);
+}
+
+TEST(VarsizeCross, IdenticalContentsUnderSharedChurn) {
+  std::unique_ptr<VarFile> amortized = MakeAmortized();
+  std::unique_ptr<VarControl2> worst_case = MakeWorstCase();
+  // Capacities differ (different D); churn keys are bounded so neither
+  // file ever hits its cap and status codes stay comparable.
+  Rng rng(123);
+  for (int step = 0; step < 4000; ++step) {
+    const Key k = rng.Uniform(300) + 1;
+    if (rng.Bernoulli(0.55)) {
+      const VarRecord r{k, static_cast<int64_t>(rng.Uniform(kMaxSize)) + 1,
+                        k * 7};
+      const Status a = amortized->Insert(r);
+      const Status b = worst_case->Insert(r);
+      ASSERT_EQ(a.code(), b.code()) << "step " << step;
+    } else {
+      const Status a = amortized->Delete(k);
+      const Status b = worst_case->Delete(k);
+      ASSERT_EQ(a.code(), b.code()) << "step " << step;
+    }
+    if (step % 200 == 0) {
+      ASSERT_TRUE(amortized->ValidateInvariants().ok()) << step;
+      ASSERT_TRUE(worst_case->ValidateInvariants().ok()) << step;
+    }
+  }
+  EXPECT_EQ(amortized->ScanAll(), worst_case->ScanAll());
+  EXPECT_EQ(amortized->record_count(), worst_case->record_count());
+  EXPECT_EQ(amortized->total_units(), worst_case->total_units());
+}
+
+TEST(VarsizeCross, HotspotContentsAgreeAndBoundHolds) {
+  std::unique_ptr<VarFile> amortized = MakeAmortized();
+  std::unique_ptr<VarControl2> worst_case = MakeWorstCase();
+  Rng rng(7);
+  Key key = 1 << 20;
+  for (int i = 0; i < 250; ++i) {
+    const VarRecord r{key--, static_cast<int64_t>(rng.Uniform(kMaxSize)) + 1,
+                      0};
+    ASSERT_TRUE(amortized->Insert(r).ok());
+    ASSERT_TRUE(worst_case->Insert(r).ok());
+  }
+  EXPECT_EQ(amortized->ScanAll(), worst_case->ScanAll());
+  EXPECT_LE(worst_case->command_cost().max_accesses,
+            4 * (worst_case->J() + 1) + 2);
+  EXPECT_TRUE(amortized->ValidateInvariants().ok());
+  EXPECT_TRUE(worst_case->ValidateInvariants().ok());
+}
+
+}  // namespace
+}  // namespace dsf

@@ -1,0 +1,157 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "workload/reference_model.h"
+#include "workload/trace.h"
+
+namespace dsf {
+namespace {
+
+TEST(Workload, AscendingRecordsShape) {
+  const std::vector<Record> r = MakeAscendingRecords(5, 10, 3);
+  ASSERT_EQ(r.size(), 5u);
+  EXPECT_EQ(r.front().key, 10u);
+  EXPECT_EQ(r.back().key, 22u);
+  for (size_t i = 1; i < r.size(); ++i) {
+    EXPECT_EQ(r[i].key - r[i - 1].key, 3u);
+  }
+}
+
+TEST(Workload, UniformRecordsDistinctSortedInRange) {
+  Rng rng(1);
+  const std::vector<Record> r = MakeUniformRecords(200, 1000, rng);
+  ASSERT_EQ(r.size(), 200u);
+  std::set<Key> keys;
+  for (const Record& rec : r) {
+    EXPECT_GE(rec.key, 1u);
+    EXPECT_LE(rec.key, 1000u);
+    keys.insert(rec.key);
+  }
+  EXPECT_EQ(keys.size(), 200u);
+  EXPECT_TRUE(std::is_sorted(r.begin(), r.end(), RecordKeyLess));
+}
+
+TEST(Workload, UniformMixRespectsFractions) {
+  Rng rng(2);
+  const Trace t = UniformMix(10000, 0.5, 0.3, 100, rng);
+  int64_t inserts = 0;
+  int64_t deletes = 0;
+  int64_t gets = 0;
+  for (const Op& op : t) {
+    switch (op.kind) {
+      case Op::Kind::kInsert: ++inserts; break;
+      case Op::Kind::kDelete: ++deletes; break;
+      default: ++gets; break;
+    }
+  }
+  EXPECT_NEAR(inserts / 10000.0, 0.5, 0.03);
+  EXPECT_NEAR(deletes / 10000.0, 0.3, 0.03);
+  EXPECT_NEAR(gets / 10000.0, 0.2, 0.03);
+}
+
+TEST(Workload, DescendingInsertsDescend) {
+  const Trace t = DescendingInserts(4, 100);
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t[0].record.key, 100u);
+  EXPECT_EQ(t[3].record.key, 97u);
+  for (const Op& op : t) EXPECT_EQ(op.kind, Op::Kind::kInsert);
+}
+
+TEST(Workload, HotspotSurgeStaysInRangeAndDistinct) {
+  Rng rng(3);
+  const Trace t = HotspotSurge(50, 200, 400, rng);
+  ASSERT_EQ(t.size(), 50u);
+  std::set<Key> keys;
+  for (const Op& op : t) {
+    EXPECT_EQ(op.kind, Op::Kind::kInsert);
+    EXPECT_GE(op.record.key, 200u);
+    EXPECT_LE(op.record.key, 400u);
+    keys.insert(op.record.key);
+  }
+  EXPECT_EQ(keys.size(), 50u);
+}
+
+TEST(Workload, ZipfInsertsSkewTowardSmallKeys) {
+  Rng rng(4);
+  const Trace t = ZipfInserts(5000, 10000, 1.1, rng);
+  int64_t head = 0;
+  for (const Op& op : t) {
+    if (op.record.key <= 100) ++head;
+  }
+  EXPECT_GT(head, 1500);  // uniform would give ~50
+}
+
+TEST(Workload, HotspotChurnBalancesInsertsAndDeletes) {
+  const Trace t = HotspotChurn(3, 5, 1000);
+  ASSERT_EQ(t.size(), 30u);
+  ReferenceModel model;
+  for (const Op& op : t) {
+    if (op.kind == Op::Kind::kInsert) {
+      ASSERT_TRUE(model.Insert(op.record).ok());
+    } else {
+      ASSERT_TRUE(model.Delete(op.record.key).ok());
+    }
+  }
+  EXPECT_EQ(model.size(), 0);
+}
+
+TEST(Trace, SerializeParseRoundTrip) {
+  Trace t;
+  t.push_back(Op{Op::Kind::kInsert, Record{1, 10}, 0});
+  t.push_back(Op{Op::Kind::kDelete, Record{2, 0}, 0});
+  t.push_back(Op{Op::Kind::kGet, Record{3, 0}, 0});
+  t.push_back(Op{Op::Kind::kScan, Record{4, 0}, 9});
+  const std::string text = SerializeTrace(t);
+  StatusOr<Trace> parsed = ParseTrace(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->size(), t.size());
+  for (size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ((*parsed)[i].kind, t[i].kind);
+    EXPECT_EQ((*parsed)[i].record.key, t[i].record.key);
+  }
+  EXPECT_EQ((*parsed)[0].record.value, 10u);
+  EXPECT_EQ((*parsed)[3].scan_hi, 9u);
+}
+
+TEST(Trace, ParseSkipsCommentsAndBlanks) {
+  StatusOr<Trace> parsed = ParseTrace("# header\n\nI 5 50\n# tail\nD 5\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 2u);
+}
+
+TEST(Trace, ParseRejectsGarbage) {
+  EXPECT_FALSE(ParseTrace("X 1 2\n").ok());
+  EXPECT_FALSE(ParseTrace("I 1\n").ok());
+  EXPECT_FALSE(ParseTrace("S 1\n").ok());
+}
+
+TEST(Trace, FileRoundTrip) {
+  const Trace t = AscendingInserts(10);
+  const std::string path = ::testing::TempDir() + "/dsf_trace_test.txt";
+  ASSERT_TRUE(WriteTraceFile(t, path).ok());
+  StatusOr<Trace> parsed = ReadTraceFile(path);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), t.size());
+  EXPECT_FALSE(ReadTraceFile("/nonexistent/dir/trace.txt").ok());
+}
+
+TEST(ReferenceModel, ContractMirrorsDenseFile) {
+  ReferenceModel model(2);
+  EXPECT_TRUE(model.Insert(Record{1, 1}).ok());
+  EXPECT_TRUE(model.Insert(Record{1, 2}).IsAlreadyExists());
+  EXPECT_TRUE(model.Insert(Record{2, 2}).ok());
+  EXPECT_TRUE(model.Insert(Record{3, 3}).IsCapacityExceeded());
+  EXPECT_TRUE(model.Delete(9).IsNotFound());
+  EXPECT_TRUE(model.Delete(1).ok());
+  StatusOr<Record> r = model.Get(2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->value, 2u);
+  EXPECT_EQ(model.Scan(0, 10).size(), 1u);
+}
+
+}  // namespace
+}  // namespace dsf
