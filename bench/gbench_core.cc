@@ -100,6 +100,37 @@ void BM_CalibratorSyncLeaf(benchmark::State& state) {
 }
 BENCHMARK(BM_CalibratorSyncLeaf)->Arg(1024)->Arg(65536);
 
+// The BulkLoad/Compact refresh pattern: every leaf resynced in address
+// order. Per-leaf SyncLeaf re-aggregates the full root path each time
+// (O(M log M) total); the batched SyncLeaves below does one bottom-up
+// pass (O(M)).
+void BM_CalibratorSyncLeafLoop(benchmark::State& state) {
+  Calibrator cal(state.range(0));
+  for (auto _ : state) {
+    for (Address p = 1; p <= cal.num_pages(); ++p) {
+      cal.SyncLeaf(p, 4, static_cast<Key>(p) * 10,
+                   static_cast<Key>(p) * 10 + 3);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * cal.num_pages());
+}
+BENCHMARK(BM_CalibratorSyncLeafLoop)->Arg(1024)->Arg(65536);
+
+void BM_CalibratorSyncLeaves(benchmark::State& state) {
+  Calibrator cal(state.range(0));
+  std::vector<Calibrator::LeafUpdate> updates(
+      static_cast<size_t>(cal.num_pages()));
+  for (Address p = 1; p <= cal.num_pages(); ++p) {
+    updates[static_cast<size_t>(p - 1)] = {4, static_cast<Key>(p) * 10,
+                                           static_cast<Key>(p) * 10 + 3};
+  }
+  for (auto _ : state) {
+    cal.SyncLeaves(1, updates);
+  }
+  state.SetItemsProcessed(state.iterations() * cal.num_pages());
+}
+BENCHMARK(BM_CalibratorSyncLeaves)->Arg(1024)->Arg(65536);
+
 void BM_CalibratorSearch(benchmark::State& state) {
   Calibrator cal(65536);
   Rng rng(6);
@@ -170,6 +201,22 @@ void BM_CursorFullWalk(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * file->size());
 }
 BENCHMARK(BM_CursorFullWalk);
+
+// Full-file reorganization: reads every record and rewrites every block
+// at uniform density. Sensitive to per-block/per-page allocation churn in
+// the write path.
+void BM_Compact(benchmark::State& state) {
+  const int64_t num_pages = state.range(0);
+  std::unique_ptr<DenseFile> file =
+      std::move(*DenseFile::Create(FileOptions(num_pages)));
+  DSF_CHECK(
+      file->BulkLoad(MakeAscendingRecords(file->capacity() / 2, 2, 2)).ok());
+  for (auto _ : state) {
+    DSF_CHECK(file->Compact().ok());
+  }
+  state.SetItemsProcessed(state.iterations() * file->size());
+}
+BENCHMARK(BM_Compact)->Arg(1024)->Arg(4096);
 
 void BM_DeleteRangeTenth(benchmark::State& state) {
   std::unique_ptr<DenseFile> file =

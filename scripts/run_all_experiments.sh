@@ -1,8 +1,25 @@
 #!/usr/bin/env bash
-# Builds the project and regenerates every experiment E1..E13 plus the
+# Builds the project and regenerates every experiment E1..E14 plus the
 # microbenchmarks, collecting output under results/.
+#
+# With --bench, instead builds Release and refreshes the two tracked
+# perf-trajectory artifacts at the repository root:
+#   BENCH_core.json   gbench_core (google-benchmark JSON: calibrator
+#                     sync, Compact, insert/delete/get microbenchmarks)
+#   BENCH_shard.json  shard_scaling (threads x shards throughput sweep)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--bench" ]]; then
+  cmake -B build-bench -G Ninja -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-bench --target gbench_core shard_scaling
+  ./build-bench/bench/gbench_core \
+    --benchmark_format=json \
+    --benchmark_min_time=0.2 > BENCH_core.json
+  ./build-bench/bench/shard_scaling --out=BENCH_shard.json
+  echo "Wrote BENCH_core.json and BENCH_shard.json"
+  exit 0
+fi
 
 cmake -B build -G Ninja
 cmake --build build

@@ -76,6 +76,31 @@ void Calibrator::SyncLeaf(Address page, int64_t count, Key min_key,
   }
 }
 
+void Calibrator::SyncLeaves(Address first,
+                            const std::vector<LeafUpdate>& updates) {
+  if (updates.empty()) return;
+  const Address last = first + static_cast<Address>(updates.size()) - 1;
+  DSF_CHECK(first >= 1 && last <= num_pages_)
+      << "SyncLeaves range [" << first << "," << last << "] out of bounds";
+  for (size_t i = 0; i < updates.size(); ++i) {
+    const LeafUpdate& u = updates[i];
+    DSF_CHECK(u.count >= 0) << "negative leaf count";
+    Node& leaf = nodes_[LeafOf(first + static_cast<Address>(i))];
+    leaf.count = u.count;
+    leaf.min_key = u.min_key;
+    leaf.max_key = u.max_key;
+  }
+  ReaggregateRange(root(), first, last);
+}
+
+void Calibrator::ReaggregateRange(int v, Address lo, Address hi) {
+  const Node& n = nodes_[v];
+  if (n.hi < lo || n.lo > hi || n.left == kNoNode) return;
+  ReaggregateRange(n.left, lo, hi);
+  ReaggregateRange(n.right, lo, hi);
+  Reaggregate(v);
+}
+
 void Calibrator::Reaggregate(int v) {
   Node& n = nodes_[v];
   const Node& l = nodes_[n.left];

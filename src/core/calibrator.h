@@ -62,6 +62,20 @@ class Calibrator {
   // re-aggregates every ancestor. O(log M), zero page I/O.
   void SyncLeaf(Address page, int64_t count, Key min_key, Key max_key);
 
+  // One leaf's refreshed summary, for SyncLeaves.
+  struct LeafUpdate {
+    int64_t count = 0;
+    Key min_key = 0;
+    Key max_key = 0;
+  };
+
+  // Batched SyncLeaf over the contiguous pages [first, first+updates.size()):
+  // writes every leaf, then re-aggregates each affected ancestor exactly
+  // once in a single bottom-up pass — O(range + log M) node visits instead
+  // of the O(range * log M) a per-leaf SyncLeaf loop would cost. Used by
+  // wholesale rewrites (BulkLoad, LoadLayout, Compact).
+  void SyncLeaves(Address first, const std::vector<LeafUpdate>& updates);
+
   // --- Key search (all in-memory) ---
 
   // First page p (smallest address) that is non-empty and whose max key is
@@ -101,6 +115,9 @@ class Calibrator {
 
   int Build(Address lo, Address hi, int parent, int64_t depth);
   void Reaggregate(int v);
+  // Post-order re-aggregation of every internal node whose range meets
+  // [lo, hi]; exactly the ancestors of the leaves in [lo, hi].
+  void ReaggregateRange(int v, Address lo, Address hi);
 
   Address FirstNonEmptyIn(int v, Address lo, Address hi) const;
   Address LastNonEmptyIn(int v, Address lo, Address hi) const;

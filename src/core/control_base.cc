@@ -7,6 +7,19 @@
 #include "util/math.h"
 
 namespace dsf {
+namespace {
+
+Calibrator::LeafUpdate MakeLeafUpdate(const Record* begin, const Record* end) {
+  Calibrator::LeafUpdate u;
+  if (begin != end) {
+    u.count = end - begin;
+    u.min_key = begin->key;
+    u.max_key = (end - 1)->key;
+  }
+  return u;
+}
+
+}  // namespace
 
 StatusOr<DensitySpec> ControlBase::MakeLogicalSpec(const Config& config) {
   if (config.num_pages < 1) {
@@ -45,25 +58,45 @@ int64_t ControlBase::PagesUsed(int64_t count) const {
 }
 
 std::vector<Record> ControlBase::ReadBlock(Address block) {
+  std::vector<Record> out;
+  out.reserve(
+      static_cast<size_t>(calibrator_.Count(calibrator_.LeafOf(block))));
+  ReadBlockInto(block, &out);
+  return out;
+}
+
+void ControlBase::ReadBlockInto(Address block, std::vector<Record>* out) {
   const int64_t count = calibrator_.Count(calibrator_.LeafOf(block));
   const int64_t used = PagesUsed(count);
-  std::vector<Record> out;
-  out.reserve(static_cast<size_t>(count));
+  const int64_t before = static_cast<int64_t>(out->size());
   const Address first = FirstPhysicalPage(block);
   for (int64_t i = 0; i < used; ++i) {
     const Page& p = file_.Read(first + i);
-    out.insert(out.end(), p.records().begin(), p.records().end());
+    out->insert(out->end(), p.records().begin(), p.records().end());
   }
-  DSF_DCHECK(static_cast<int64_t>(out.size()) == count)
+  (void)before;
+  DSF_DCHECK(static_cast<int64_t>(out->size()) - before == count)
       << "block " << block << " layout out of sync";
-  return out;
 }
 
 void ControlBase::WriteBlock(Address block,
                              const std::vector<Record>& records) {
+  WriteBlockPages(block, records.data(), records.data() + records.size());
+  SyncBlock(block, records);
+}
+
+void ControlBase::WriteBlock(Address block, const Record* begin,
+                             const Record* end) {
+  WriteBlockPages(block, begin, end);
+  const Calibrator::LeafUpdate u = MakeLeafUpdate(begin, end);
+  calibrator_.SyncLeaf(block, u.count, u.min_key, u.max_key);
+}
+
+void ControlBase::WriteBlockPages(Address block, const Record* begin,
+                                  const Record* end) {
   const int64_t old_count = calibrator_.Count(calibrator_.LeafOf(block));
   const int64_t old_used = PagesUsed(old_count);
-  const int64_t n = static_cast<int64_t>(records.size());
+  const int64_t n = end - begin;
   const int64_t used = PagesUsed(n);
   DSF_CHECK(n <= block_size_ * page_D_ + 1)
       << "block overfull beyond the one-record transient";
@@ -76,18 +109,15 @@ void ControlBase::WriteBlock(Address block,
     const int64_t take =
         (i + 1 < used) ? page_D_ : n - offset;
     Page& p = file_.Write(first + i);
-    p.TakeAll();
-    std::vector<Record> slice(records.begin() + offset,
-                              records.begin() + offset + take);
-    p.AppendHigh(slice);
+    p.Clear();
+    p.AppendHigh(begin + offset, begin + offset + take);
     offset += take;
   }
   // Pages that fall out of the used prefix become free. A real system
   // records this in metadata; clearing them here is bookkeeping, not I/O.
   for (int64_t i = used; i < old_used; ++i) {
-    file_.RawPage(first + i).TakeAll();
+    file_.RawPage(first + i).Clear();
   }
-  SyncBlock(block, records);
 }
 
 void ControlBase::SyncBlock(Address block,
@@ -235,21 +265,29 @@ Status ControlBase::InsertBatch(const std::vector<Record>& records) {
 
 Status ControlBase::Compact() {
   BeginCommand();
+  // One scratch buffer for the whole reorganization: the read pass
+  // appends into it, the write pass hands page-sized slices straight to
+  // the pages, and one batched SyncLeaves refreshes the calibrator —
+  // O(1) allocations for a full-file compaction.
   std::vector<Record> all;
   all.reserve(static_cast<size_t>(size()));
   for (Address b = calibrator_.FirstNonEmptyPageIn(1, num_blocks_); b != 0;
        b = calibrator_.FirstNonEmptyPageIn(b + 1, num_blocks_)) {
-    const std::vector<Record> part = ReadBlock(b);
-    all.insert(all.end(), part.begin(), part.end());
+    ReadBlockInto(b, &all);
   }
   const int64_t n = static_cast<int64_t>(all.size());
+  std::vector<Calibrator::LeafUpdate> leaves;
+  leaves.reserve(static_cast<size_t>(num_blocks_));
   int64_t offset = 0;
   for (Address block = 1; block <= num_blocks_; ++block) {
     const int64_t end = block * n / num_blocks_;
-    WriteBlock(block,
-               std::vector<Record>(all.begin() + offset, all.begin() + end));
+    const Record* lo = all.data() + offset;
+    const Record* hi = all.data() + end;
+    WriteBlockPages(block, lo, hi);
+    leaves.push_back(MakeLeafUpdate(lo, hi));
     offset = end;
   }
+  calibrator_.SyncLeaves(1, leaves);
   AfterWholesaleReorganization();
   EndCommand();
   return Status::OK();
@@ -364,29 +402,29 @@ Status ControlBase::BulkLoad(const std::vector<Record>& records) {
   // Uniform-density spread (Theorem 5.5's initial condition): block j of
   // B gets floor((j+1)n/B) - floor(jn/B) records, so any aligned range is
   // within one record per block of the global average.
+  std::vector<Calibrator::LeafUpdate> leaves;
+  leaves.reserve(static_cast<size_t>(num_blocks_));
   int64_t offset = 0;
   for (Address block = 1; block <= num_blocks_; ++block) {
     const int64_t end = block * n / num_blocks_;
-    std::vector<Record> slice(records.begin() + offset,
-                              records.begin() + end);
+    const Record* lo = records.data() + offset;
+    const Record* hi = records.data() + end;
     // Lay out unaccounted: loading is setup, not a measured command.
     const Address first = FirstPhysicalPage(block);
     int64_t written = 0;
     for (int64_t i = 0; i < block_size_; ++i) {
       Page& page = file_.RawPage(first + i);
-      page.TakeAll();
-      const int64_t take =
-          std::min(page_D_, static_cast<int64_t>(slice.size()) - written);
+      page.Clear();
+      const int64_t take = std::min(page_D_, (hi - lo) - written);
       if (take > 0) {
-        std::vector<Record> part(slice.begin() + written,
-                                 slice.begin() + written + take);
-        page.AppendHigh(part);
+        page.AppendHigh(lo + written, lo + written + take);
         written += take;
       }
     }
-    SyncBlock(block, slice);
+    leaves.push_back(MakeLeafUpdate(lo, hi));
     offset = end;
   }
+  calibrator_.SyncLeaves(1, leaves);
   file_.ResetStats();
   ResetCommandStats();
   AfterBulkLoad();
@@ -416,25 +454,27 @@ Status ControlBase::LoadLayout(const std::vector<std::vector<Record>>& per_block
   if (total > MaxRecords()) {
     return Status::CapacityExceeded("LoadLayout exceeds N = d*M records");
   }
+  std::vector<Calibrator::LeafUpdate> leaves;
+  leaves.reserve(static_cast<size_t>(num_blocks_));
   for (Address block = 1; block <= num_blocks_; ++block) {
     const std::vector<Record>& slice =
         per_block[static_cast<size_t>(block - 1)];
+    const Record* lo = slice.data();
+    const Record* hi = slice.data() + slice.size();
     const Address first = FirstPhysicalPage(block);
     int64_t written = 0;
     for (int64_t i = 0; i < block_size_; ++i) {
       Page& page = file_.RawPage(first + i);
-      page.TakeAll();
-      const int64_t take =
-          std::min(page_D_, static_cast<int64_t>(slice.size()) - written);
+      page.Clear();
+      const int64_t take = std::min(page_D_, (hi - lo) - written);
       if (take > 0) {
-        std::vector<Record> part(slice.begin() + written,
-                                 slice.begin() + written + take);
-        page.AppendHigh(part);
+        page.AppendHigh(lo + written, lo + written + take);
         written += take;
       }
     }
-    SyncBlock(block, slice);
+    leaves.push_back(MakeLeafUpdate(lo, hi));
   }
+  calibrator_.SyncLeaves(1, leaves);
   file_.ResetStats();
   ResetCommandStats();
   AfterBulkLoad();

@@ -161,8 +161,12 @@ class ControlBase {
   // --- Block I/O (accounted) ---
   // All records of block b (address in [1, num_blocks]) in key order.
   std::vector<Record> ReadBlock(Address block);
-  // Replaces block b's contents; packs D per physical page.
+  // Appends block b's records to *out (same accounting as ReadBlock).
+  void ReadBlockInto(Address block, std::vector<Record>* out);
+  // Replaces block b's contents; packs D per physical page. The iterator
+  // form writes a slice of a larger buffer without copying it first.
   void WriteBlock(Address block, const std::vector<Record>& records);
+  void WriteBlock(Address block, const Record* begin, const Record* end);
 
   // --- Key -> block mapping (in-memory, free) ---
   // The unique block that can contain `key`; 0 if none.
@@ -205,6 +209,10 @@ class ControlBase {
     return (block - 1) * block_size_ + 1;
   }
   void SyncBlock(Address block, const std::vector<Record>& records);
+  // Writes the pages of `block` without syncing the calibrator. Callers
+  // must follow up with SyncBlock or one batched Calibrator::SyncLeaves
+  // covering every block written this way, before the next read.
+  void WriteBlockPages(Address block, const Record* begin, const Record* end);
 
   int64_t command_start_accesses_ = 0;
   bool in_command_ = false;

@@ -1,0 +1,314 @@
+#include "shard/sharded_dense_file.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+namespace dsf {
+
+namespace {
+constexpr Key kMaxKey = std::numeric_limits<Key>::max();
+}  // namespace
+
+StatusOr<std::unique_ptr<ShardedDenseFile>> ShardedDenseFile::Create(
+    const Options& options) {
+  const int s = options.num_shards;
+  if (s < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  std::vector<Key> splitters = options.splitters;
+  if (splitters.empty() && s > 1) {
+    // Uniform split of [1, key_space] (or of the whole 64-bit space).
+    const Key space = options.key_space == 0 ? kMaxKey : options.key_space;
+    if (space < static_cast<Key>(s)) {
+      return Status::InvalidArgument("key_space smaller than num_shards");
+    }
+    const Key step = space / static_cast<Key>(s);
+    for (int i = 1; i < s; ++i) {
+      splitters.push_back(step * static_cast<Key>(i) + 1);
+    }
+  }
+  if (static_cast<int>(splitters.size()) != s - 1) {
+    return Status::InvalidArgument("need exactly num_shards - 1 splitters");
+  }
+  for (size_t i = 1; i < splitters.size(); ++i) {
+    if (splitters[i - 1] >= splitters[i]) {
+      return Status::InvalidArgument("splitters must strictly ascend");
+    }
+  }
+  std::vector<std::unique_ptr<Shard>> shards;
+  shards.reserve(static_cast<size_t>(s));
+  for (int i = 0; i < s; ++i) {
+    StatusOr<std::unique_ptr<DenseFile>> file =
+        DenseFile::Create(options.shard);
+    if (!file.ok()) return file.status();
+    auto shard = std::make_unique<Shard>();
+    shard->file = std::move(*file);
+    shards.push_back(std::move(shard));
+  }
+  Options resolved = options;
+  resolved.splitters = splitters;
+  resolved.shard.block_size = shards.front()->file->block_size();
+  return std::unique_ptr<ShardedDenseFile>(new ShardedDenseFile(
+      resolved, std::move(splitters), std::move(shards)));
+}
+
+std::vector<Key> ShardedDenseFile::LearnSplitters(
+    const std::vector<Record>& sample, int num_shards) {
+  std::vector<Key> splitters;
+  if (num_shards <= 1) return splitters;
+  splitters.reserve(static_cast<size_t>(num_shards - 1));
+  const int64_t n = static_cast<int64_t>(sample.size());
+  for (int i = 1; i < num_shards; ++i) {
+    Key boundary;
+    if (n == 0) {
+      // No sample: fall back to a uniform split of the full key space.
+      boundary = (kMaxKey / static_cast<Key>(num_shards)) * static_cast<Key>(i);
+    } else {
+      boundary = sample[static_cast<size_t>(
+                            static_cast<int64_t>(i) * n / num_shards)]
+                     .key;
+    }
+    if (!splitters.empty() && boundary <= splitters.back()) {
+      boundary = splitters.back() + 1;  // keep strictly ascending
+    }
+    splitters.push_back(boundary);
+  }
+  return splitters;
+}
+
+int ShardedDenseFile::ShardOf(Key key) const {
+  return static_cast<int>(
+      std::upper_bound(splitters_.begin(), splitters_.end(), key) -
+      splitters_.begin());
+}
+
+Key ShardedDenseFile::ShardLowerBound(int shard) const {
+  return shard == 0 ? 0 : splitters_[static_cast<size_t>(shard - 1)];
+}
+
+Key ShardedDenseFile::ShardUpperBound(int shard) const {
+  return shard == num_shards() - 1 ? kMaxKey
+                                   : splitters_[static_cast<size_t>(shard)];
+}
+
+Status ShardedDenseFile::Insert(const Record& record) {
+  Shard& shard = *shards_[static_cast<size_t>(ShardOf(record.key))];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.file->Insert(record);
+}
+
+Status ShardedDenseFile::Delete(Key key) {
+  Shard& shard = *shards_[static_cast<size_t>(ShardOf(key))];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.file->Delete(key);
+}
+
+StatusOr<Value> ShardedDenseFile::Get(Key key) {
+  Shard& shard = *shards_[static_cast<size_t>(ShardOf(key))];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.file->Get(key);
+}
+
+bool ShardedDenseFile::Contains(Key key) {
+  Shard& shard = *shards_[static_cast<size_t>(ShardOf(key))];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.file->Contains(key);
+}
+
+Status ShardedDenseFile::Scan(Key lo, Key hi, std::vector<Record>* out) {
+  if (lo > hi) return Status::OK();
+  const int first = ShardOf(lo);
+  const int last = ShardOf(hi);
+  // Shards partition the key space in order, so appending per-shard
+  // results in ascending shard order yields global key order.
+  for (int i = first; i <= last; ++i) {
+    Shard& shard = *shards_[static_cast<size_t>(i)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    DSF_RETURN_IF_ERROR(shard.file->Scan(lo, hi, out));
+  }
+  return Status::OK();
+}
+
+std::vector<Record> ShardedDenseFile::ScanAll() {
+  std::vector<Record> out;
+  const Status s = Scan(0, kMaxKey, &out);
+  DSF_CHECK(s.ok()) << "full scan failed: " << s.ToString();
+  return out;
+}
+
+StatusOr<int64_t> ShardedDenseFile::DeleteRange(Key lo, Key hi) {
+  if (lo > hi) return static_cast<int64_t>(0);
+  int64_t removed = 0;
+  const int first = ShardOf(lo);
+  const int last = ShardOf(hi);
+  for (int i = first; i <= last; ++i) {
+    Shard& shard = *shards_[static_cast<size_t>(i)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    StatusOr<int64_t> part = shard.file->DeleteRange(lo, hi);
+    if (!part.ok()) return part.status();
+    removed += *part;
+  }
+  return removed;
+}
+
+Status ShardedDenseFile::InsertBatch(const std::vector<Record>& records) {
+  for (size_t i = 1; i < records.size(); ++i) {
+    if (records[i - 1].key >= records[i].key) {
+      return Status::InvalidArgument(
+          "batch records must be strictly ascending by key");
+    }
+  }
+  // Ascending records route to ascending shards: each shard's share is a
+  // contiguous slice ending where keys reach its upper bound.
+  size_t begin = 0;
+  for (int i = 0; i < num_shards() && begin < records.size(); ++i) {
+    size_t end = records.size();
+    if (i < num_shards() - 1) {
+      end = static_cast<size_t>(
+          std::lower_bound(records.begin() + static_cast<int64_t>(begin),
+                           records.end(), Record{ShardUpperBound(i), 0},
+                           RecordKeyLess) -
+          records.begin());
+    }
+    if (end > begin) {
+      const std::vector<Record> slice(
+          records.begin() + static_cast<int64_t>(begin),
+          records.begin() + static_cast<int64_t>(end));
+      Shard& shard = *shards_[static_cast<size_t>(i)];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      DSF_RETURN_IF_ERROR(shard.file->InsertBatch(slice));
+    }
+    begin = end;
+  }
+  return Status::OK();
+}
+
+Status ShardedDenseFile::BulkLoad(const std::vector<Record>& records) {
+  for (size_t i = 1; i < records.size(); ++i) {
+    if (records[i - 1].key >= records[i].key) {
+      return Status::InvalidArgument(
+          "bulk load records must be strictly ascending by key");
+    }
+  }
+  size_t begin = 0;
+  for (int i = 0; i < num_shards(); ++i) {
+    size_t end = records.size();
+    if (i < num_shards() - 1) {
+      end = static_cast<size_t>(
+          std::lower_bound(records.begin() + static_cast<int64_t>(begin),
+                           records.end(), Record{ShardUpperBound(i), 0},
+                           RecordKeyLess) -
+          records.begin());
+    }
+    const std::vector<Record> slice(
+        records.begin() + static_cast<int64_t>(begin),
+        records.begin() + static_cast<int64_t>(end));
+    Shard& shard = *shards_[static_cast<size_t>(i)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    DSF_RETURN_IF_ERROR(shard.file->BulkLoad(slice));
+    begin = end;
+  }
+  return Status::OK();
+}
+
+Status ShardedDenseFile::Compact() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    DSF_RETURN_IF_ERROR(shard->file->Compact());
+  }
+  return Status::OK();
+}
+
+Status ShardedDenseFile::ValidateInvariants() const {
+  for (int i = 0; i < num_shards(); ++i) {
+    const Shard& shard = *shards_[static_cast<size_t>(i)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    DSF_RETURN_IF_ERROR(shard.file->ValidateInvariants());
+    // Routing invariant: every stored key lies in the shard's range.
+    const Calibrator& cal = shard.file->control().calibrator();
+    if (cal.TotalRecords() == 0) continue;
+    const Key min_key = cal.MinKeyOf(cal.root());
+    const Key max_key = cal.MaxKeyOf(cal.root());
+    if (min_key < ShardLowerBound(i) ||
+        (i < num_shards() - 1 && max_key >= ShardUpperBound(i))) {
+      return Status::Corruption("shard " + std::to_string(i) +
+                                " holds keys outside its routed range");
+    }
+  }
+  return Status::OK();
+}
+
+int64_t ShardedDenseFile::size() const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->file->size();
+  }
+  return total;
+}
+
+int64_t ShardedDenseFile::capacity() const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->file->capacity();  // immutable; no lock needed
+  }
+  return total;
+}
+
+IoStats ShardedDenseFile::io_stats() const {
+  IoStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->file->io_stats();
+  }
+  return total;
+}
+
+CommandStats ShardedDenseFile::command_stats() const {
+  CommandStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    const CommandStats& s = shard->file->command_stats();
+    total.commands += s.commands;
+    total.total_accesses += s.total_accesses;
+    total.max_command_accesses =
+        std::max(total.max_command_accesses, s.max_command_accesses);
+  }
+  return total;
+}
+
+void ShardedDenseFile::SetAccessLatency(std::chrono::nanoseconds latency) {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->file->control().file().set_access_latency(latency);
+  }
+}
+
+void ShardedDenseFile::ResetStats() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->file->ResetIoStats();
+    shard->file->ResetCommandStats();
+  }
+}
+
+IoStats ShardedDenseFile::shard_io_stats(int shard) const {
+  const Shard& s = *shards_[static_cast<size_t>(shard)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.file->io_stats();
+}
+
+CommandStats ShardedDenseFile::shard_command_stats(int shard) const {
+  const Shard& s = *shards_[static_cast<size_t>(shard)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.file->command_stats();
+}
+
+int64_t ShardedDenseFile::shard_size(int shard) const {
+  const Shard& s = *shards_[static_cast<size_t>(shard)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.file->size();
+}
+
+}  // namespace dsf

@@ -1,0 +1,147 @@
+// ShardedDenseFile — key-range sharding over independent dense files.
+//
+// Partitions the key space into S contiguous ranges by a splitter vector
+// chosen at create time and serves each range with its own DenseFile.
+// Willard's worst-case bound is per file, so every shard keeps the full
+// O(log^2 (M/S) / (D-d)) guarantee over its own M/S pages — partitioning
+// strictly tightens the per-command bound while letting commands on
+// different shards run genuinely in parallel: each shard is guarded by
+// its own mutex and there is no global lock.
+//
+// Locking protocol: point operations lock exactly the owning shard.
+// Cross-shard operations (Scan, DeleteRange, ScanAll, Compact, BulkLoad,
+// ValidateInvariants, stats) visit shards in ascending order, holding at
+// most one shard lock at a time — no lock ordering cycles, hence no
+// deadlock, at the price that a cross-shard scan is not one atomic
+// snapshot (each shard's slice is internally consistent).
+//
+// Routing: splitter keys s_1 < ... < s_{S-1} assign key k to shard
+// upper_bound(splitters, k), i.e. shard i serves [s_i, s_{i+1}) with
+// s_0 = 0 and s_S = +inf. Splitters are fixed for the file's lifetime;
+// choose them uniformly over an expected key space or learn them from a
+// bulk-load sample with LearnSplitters (equi-depth quantiles).
+//
+// See docs/SHARDING.md for the full design discussion.
+
+#ifndef DSF_SHARD_SHARDED_DENSE_FILE_H_
+#define DSF_SHARD_SHARDED_DENSE_FILE_H_
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/control_base.h"
+#include "core/dense_file.h"
+#include "storage/io_stats.h"
+#include "storage/record.h"
+#include "util/status.h"
+
+namespace dsf {
+
+class ShardedDenseFile {
+ public:
+  struct Options {
+    // Number of shards S >= 1.
+    int num_shards = 1;
+    // Per-shard geometry: every shard is an independent DenseFile with
+    // shard.num_pages pages, so the sharded file stores up to
+    // num_shards * d * shard.num_pages records in total.
+    DenseFile::Options shard;
+    // Explicit routing boundaries: exactly num_shards - 1 strictly
+    // ascending keys (empty to derive uniform splitters from key_space).
+    std::vector<Key> splitters;
+    // When splitters is empty: boundaries at i * key_space / S for
+    // i in [1, S). 0 means the full 64-bit key space.
+    Key key_space = 0;
+  };
+
+  // Validates options (splitter count/order, per-shard geometry) and
+  // builds S empty shards.
+  static StatusOr<std::unique_ptr<ShardedDenseFile>> Create(
+      const Options& options);
+
+  // Equi-depth splitters from a key-sorted sample: boundary i sits at the
+  // key starting the i-th of num_shards equal-count slices, nudged upward
+  // where needed to stay strictly ascending. Feed the result into
+  // Options::splitters before Create to balance shard load under the
+  // sampled distribution.
+  static std::vector<Key> LearnSplitters(const std::vector<Record>& sample,
+                                         int num_shards);
+
+  // --- Point operations (lock the owning shard only) ---
+  Status Insert(Key key, Value value) { return Insert(Record{key, value}); }
+  Status Insert(const Record& record);
+  Status Delete(Key key);
+  StatusOr<Value> Get(Key key);
+  bool Contains(Key key);
+
+  // --- Cross-shard operations (ascending shard visits, one lock at a
+  // time; per-shard results stitched in key order) ---
+  Status Scan(Key lo, Key hi, std::vector<Record>* out);
+  std::vector<Record> ScanAll();
+  StatusOr<int64_t> DeleteRange(Key lo, Key hi);
+  // Strictly-ascending records, routed per shard, inserted one command at
+  // a time. Stops at the first error.
+  Status InsertBatch(const std::vector<Record>& records);
+  // Loads strictly-ascending records; each shard receives its slice at
+  // uniform density. Splitters are fixed — records route by them, so a
+  // slice can exceed one shard's capacity if the splitters fit the data
+  // poorly (CapacityExceeded; choose splitters with LearnSplitters).
+  Status BulkLoad(const std::vector<Record>& records);
+  Status Compact();
+  // Per-shard invariant sweep plus the routing invariant: every record
+  // lives in the shard its key routes to.
+  Status ValidateInvariants() const;
+
+  // --- Introspection ---
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  // The shard index serving `key` (in [0, num_shards)).
+  int ShardOf(Key key) const;
+  const std::vector<Key>& splitters() const { return splitters_; }
+  int64_t size() const;
+  int64_t capacity() const;
+
+  // Exact aggregates: each shard's trackers are single-writer under that
+  // shard's mutex, so summation under the locks loses nothing.
+  IoStats io_stats() const;
+  CommandStats command_stats() const;  // last_command_accesses is 0
+  void ResetStats();
+
+  // Per-shard views for tests, benches and load diagnostics.
+  IoStats shard_io_stats(int shard) const;
+  CommandStats shard_command_stats(int shard) const;
+  int64_t shard_size(int shard) const;
+
+  // Applies PageFile's simulated device latency to every shard — each
+  // shard models its own device, so concurrent commands on different
+  // shards overlap their page-access waits.
+  void SetAccessLatency(std::chrono::nanoseconds latency);
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unique_ptr<DenseFile> file;
+  };
+
+  ShardedDenseFile(const Options& options, std::vector<Key> splitters,
+                   std::vector<std::unique_ptr<Shard>> shards)
+      : options_(options),
+        splitters_(std::move(splitters)),
+        shards_(std::move(shards)) {}
+
+  // Smallest key routed to `shard` / to `shard + 1` (kMaxKey sentinel for
+  // the last shard's open upper end).
+  Key ShardLowerBound(int shard) const;
+  Key ShardUpperBound(int shard) const;
+
+  Options options_;
+  std::vector<Key> splitters_;  // strictly ascending, size num_shards - 1
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace dsf
+
+#endif  // DSF_SHARD_SHARDED_DENSE_FILE_H_

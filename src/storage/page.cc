@@ -71,12 +71,16 @@ std::vector<Record> Page::TakeHighest(int64_t count) {
 }
 
 void Page::AppendHigh(const std::vector<Record>& records) {
-  DSF_CHECK(size() + static_cast<int64_t>(records.size()) <= capacity_)
+  AppendHigh(records.data(), records.data() + records.size());
+}
+
+void Page::AppendHigh(const Record* begin, const Record* end) {
+  DSF_CHECK(size() + (end - begin) <= capacity_)
       << "AppendHigh overflows page";
-  for (const Record& r : records) {
-    DSF_DCHECK(records_.empty() || records_.back().key < r.key)
+  for (const Record* r = begin; r != end; ++r) {
+    DSF_DCHECK(records_.empty() || records_.back().key < r->key)
         << "AppendHigh order violation";
-    records_.push_back(r);
+    records_.push_back(*r);
   }
 }
 

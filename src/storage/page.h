@@ -52,8 +52,11 @@ class Page {
   std::vector<Record> TakeHighest(int64_t count);
 
   // Appends records that are all larger than MaxKey(). Caller guarantees
-  // order and capacity; checked in debug builds.
+  // order and capacity; checked in debug builds. The iterator form lets
+  // block writers append a slice of a larger buffer without materializing
+  // a temporary vector.
   void AppendHigh(const std::vector<Record>& records);
+  void AppendHigh(const Record* begin, const Record* end);
 
   // Prepends records that are all smaller than MinKey(). Caller guarantees
   // order and capacity; checked in debug builds.
@@ -61,6 +64,10 @@ class Page {
 
   // Drops every record and returns them (ascending).
   std::vector<Record> TakeAll();
+
+  // Drops every record, keeping the underlying storage for reuse — the
+  // rewrite paths clear and refill pages in place without reallocating.
+  void Clear() { records_.clear(); }
 
   const std::vector<Record>& records() const { return records_; }
 

@@ -18,6 +18,7 @@ const Page& PageFile::Read(Address address) {
   DSF_CHECK(address >= 1 && address <= num_pages_)
       << "Read address " << address << " outside [1," << num_pages_ << "]";
   tracker_.OnAccess(address, /*is_write=*/false);
+  SimulateDevice();
   return pages_[static_cast<size_t>(address - 1)];
 }
 
@@ -25,6 +26,7 @@ Page& PageFile::Write(Address address) {
   DSF_CHECK(address >= 1 && address <= num_pages_)
       << "Write address " << address << " outside [1," << num_pages_ << "]";
   tracker_.OnAccess(address, /*is_write=*/true);
+  SimulateDevice();
   return pages_[static_cast<size_t>(address - 1)];
 }
 

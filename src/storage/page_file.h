@@ -12,8 +12,10 @@
 #ifndef DSF_STORAGE_PAGE_FILE_H_
 #define DSF_STORAGE_PAGE_FILE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "storage/io_stats.h"
@@ -46,6 +48,17 @@ class PageFile {
   const IoStats& stats() const { return tracker_.stats(); }
   void ResetStats();
 
+  // Simulated device latency, charged as a real sleep on every accounted
+  // Read/Write. Zero (the default) keeps the file purely in-memory.
+  // Experiments use this to model disk/flash-resident files, where page
+  // accesses — the paper's cost metric — dominate command time; sleeps on
+  // different PageFile instances overlap, as independent devices would.
+  // Peek/RawPage stay free, mirroring the accounting rule above.
+  void set_access_latency(std::chrono::nanoseconds latency) {
+    access_latency_ = latency;
+  }
+  std::chrono::nanoseconds access_latency() const { return access_latency_; }
+
   // Total records across all pages (O(M); for validation and loading).
   int64_t TotalRecords() const;
 
@@ -56,10 +69,17 @@ class PageFile {
   std::string DebugString() const;
 
  private:
+  void SimulateDevice() const {
+    if (access_latency_.count() > 0) {
+      std::this_thread::sleep_for(access_latency_);
+    }
+  }
+
   int64_t num_pages_;
   int64_t page_capacity_;
   std::vector<Page> pages_;
   AccessTracker tracker_;
+  std::chrono::nanoseconds access_latency_{0};
 };
 
 }  // namespace dsf

@@ -1,0 +1,204 @@
+#include "workload/parallel_replayer.h"
+
+#include <algorithm>
+#include <barrier>
+#include <chrono>
+#include <thread>
+
+#include "util/check.h"
+
+namespace dsf {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int64_t ElapsedNs(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+      .count();
+}
+
+bool IsExpectedRejection(const Status& s) {
+  return s.IsAlreadyExists() || s.IsNotFound() || s.IsCapacityExceeded();
+}
+
+// Runs one thread's trace; all counters land in *stats (thread-local).
+void RunTrace(ShardedDenseFile& file, const Trace& trace,
+              ReplayThreadStats* stats) {
+  std::vector<Record> scan_out;  // reused across scan ops
+  for (const Op& op : trace) {
+    const Clock::time_point start = Clock::now();
+    Status status = Status::OK();
+    switch (op.kind) {
+      case Op::Kind::kInsert:
+        status = file.Insert(op.record);
+        ++stats->inserts;
+        break;
+      case Op::Kind::kDelete:
+        status = file.Delete(op.record.key);
+        ++stats->deletes;
+        break;
+      case Op::Kind::kGet: {
+        const StatusOr<Value> value = file.Get(op.record.key);
+        status = value.status();
+        ++stats->gets;
+        break;
+      }
+      case Op::Kind::kScan:
+        scan_out.clear();
+        status = file.Scan(op.record.key, op.scan_hi, &scan_out);
+        stats->scan_records += static_cast<int64_t>(scan_out.size());
+        ++stats->scans;
+        break;
+    }
+    const int64_t ns = ElapsedNs(start, Clock::now());
+    ++stats->ops;
+    stats->total_ns += ns;
+    stats->max_op_ns = std::max(stats->max_op_ns, ns);
+    if (!status.ok()) {
+      DSF_CHECK(IsExpectedRejection(status))
+          << "replay hit an unexpected error: " << status.ToString();
+      ++stats->rejected;
+    }
+  }
+}
+
+// Draws one thread's trace with the shared op mix; `next_key` supplies
+// the thread's key distribution.
+template <typename KeyFn>
+Trace MixTrace(Rng& rng, int64_t ops_per_thread, double insert_fraction,
+               double delete_fraction, double scan_fraction,
+               int64_t scan_span, uint64_t seed, KeyFn next_key) {
+  Trace trace;
+  trace.reserve(static_cast<size_t>(ops_per_thread));
+  for (int64_t i = 0; i < ops_per_thread; ++i) {
+    const Key k = next_key(rng);
+    const double roll = rng.NextDouble();
+    Op op;
+    op.record = Record{k, k ^ seed};
+    if (roll < insert_fraction) {
+      op.kind = Op::Kind::kInsert;
+    } else if (roll < insert_fraction + delete_fraction) {
+      op.kind = Op::Kind::kDelete;
+      op.record.value = 0;
+    } else if (roll < insert_fraction + delete_fraction + scan_fraction) {
+      op.kind = Op::Kind::kScan;
+      op.scan_hi = k + static_cast<Key>(scan_span);
+    } else {
+      op.kind = Op::Kind::kGet;
+      op.record.value = 0;
+    }
+    trace.push_back(op);
+  }
+  return trace;
+}
+
+}  // namespace
+
+ReplayThreadStats& ReplayThreadStats::operator+=(
+    const ReplayThreadStats& other) {
+  ops += other.ops;
+  inserts += other.inserts;
+  deletes += other.deletes;
+  gets += other.gets;
+  scans += other.scans;
+  rejected += other.rejected;
+  scan_records += other.scan_records;
+  total_ns += other.total_ns;
+  max_op_ns = std::max(max_op_ns, other.max_op_ns);
+  return *this;
+}
+
+ReplayThreadStats ReplayResult::Aggregate() const {
+  ReplayThreadStats total;
+  for (const ReplayThreadStats& t : per_thread) total += t;
+  return total;
+}
+
+double ReplayResult::OpsPerSecond() const {
+  if (wall_seconds <= 0) return 0.0;
+  return static_cast<double>(Aggregate().ops) / wall_seconds;
+}
+
+ReplayResult ParallelReplayer::Replay(ShardedDenseFile& file,
+                                      const std::vector<Trace>& traces) {
+  const int num_threads = options_.num_threads;
+  DSF_CHECK(num_threads >= 1) << "replayer needs at least one thread";
+  DSF_CHECK(static_cast<int>(traces.size()) == num_threads)
+      << "need exactly one trace per thread";
+
+  ReplayResult result;
+  result.per_thread.resize(static_cast<size_t>(traces.size()));
+
+  // The barrier's completion step runs exactly once, when the last thread
+  // arrives: that instant is the common start line.
+  Clock::time_point start_time;
+  std::barrier start_barrier(num_threads, [&start_time]() noexcept {
+    start_time = Clock::now();
+  });
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(num_threads));
+  for (int t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&, t]() {
+      start_barrier.arrive_and_wait();
+      RunTrace(file, traces[static_cast<size_t>(t)],
+               &result.per_thread[static_cast<size_t>(t)]);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  result.wall_seconds =
+      static_cast<double>(ElapsedNs(start_time, Clock::now())) * 1e-9;
+  return result;
+}
+
+std::vector<Trace> ParallelReplayer::DisjointUniformMixes(
+    int num_threads, int64_t ops_per_thread, double insert_fraction,
+    double delete_fraction, double scan_fraction, Key key_space,
+    int64_t scan_span, uint64_t seed) {
+  DSF_CHECK(num_threads >= 1) << "need at least one thread";
+  DSF_CHECK(key_space >= static_cast<Key>(num_threads))
+      << "key space too small to give every thread keys";
+  std::vector<Trace> traces;
+  traces.reserve(static_cast<size_t>(num_threads));
+  const Key stride = static_cast<Key>(num_threads);
+  for (int t = 0; t < num_threads; ++t) {
+    Rng rng(seed * 0x9e3779b97f4a7c15ull + static_cast<uint64_t>(t) + 1);
+    // Keys for thread t: t+1, t+1+T, t+1+2T, ... up to key_space.
+    const Key slots = (key_space - static_cast<Key>(t) - 1) / stride + 1;
+    traces.push_back(MixTrace(
+        rng, ops_per_thread, insert_fraction, delete_fraction,
+        scan_fraction, scan_span, seed, [t, stride, slots](Rng& r) {
+          return static_cast<Key>(t) + 1 + r.Uniform(slots) * stride;
+        }));
+  }
+  return traces;
+}
+
+std::vector<Trace> ParallelReplayer::DisjointRangeMixes(
+    int num_threads, int64_t ops_per_thread, double insert_fraction,
+    double delete_fraction, double scan_fraction, Key key_space,
+    int64_t scan_span, uint64_t seed) {
+  DSF_CHECK(num_threads >= 1) << "need at least one thread";
+  DSF_CHECK(key_space >= static_cast<Key>(num_threads))
+      << "key space too small to give every thread a range";
+  std::vector<Trace> traces;
+  traces.reserve(static_cast<size_t>(num_threads));
+  const Key span = key_space / static_cast<Key>(num_threads);
+  for (int t = 0; t < num_threads; ++t) {
+    Rng rng(seed * 0x9e3779b97f4a7c15ull + static_cast<uint64_t>(t) + 1);
+    // Thread t owns the contiguous range (t*span, (t+1)*span]; the last
+    // thread also takes the remainder up to key_space.
+    const Key lo = static_cast<Key>(t) * span;
+    const Key width =
+        (t == num_threads - 1) ? key_space - lo : span;
+    traces.push_back(MixTrace(rng, ops_per_thread, insert_fraction,
+                              delete_fraction, scan_fraction, scan_span,
+                              seed, [lo, width](Rng& r) {
+                                return lo + 1 + r.Uniform(width);
+                              }));
+  }
+  return traces;
+}
+
+}  // namespace dsf

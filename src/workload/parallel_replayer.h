@@ -1,0 +1,98 @@
+// ParallelReplayer — multi-threaded workload replay against a
+// ShardedDenseFile.
+//
+// A fixed pool of threads replays one trace each: all threads block on a
+// barrier, start together (the barrier's completion step records t0), and
+// drive the file concurrently. Every counter is thread-local — per-thread
+// op tallies and latency accumulators here, per-shard IoStats /
+// CommandStats inside the file (single-writer under each shard's mutex) —
+// so the hot path carries no atomics and no shared cache lines;
+// aggregation is a plain summation after the join, and it is exact.
+//
+// Bounded per-operation worst-case cost is what makes this scheduling
+// safe to reason about: no thread ever holds a shard lock for more than
+// one command's O(log^2 (M/S) / (D-d)) page accesses, so tail latency
+// under contention stays proportional to the per-command bound times the
+// queue depth on the hottest shard.
+
+#ifndef DSF_WORKLOAD_PARALLEL_REPLAYER_H_
+#define DSF_WORKLOAD_PARALLEL_REPLAYER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "shard/sharded_dense_file.h"
+#include "workload/workload.h"
+
+namespace dsf {
+
+// One replay thread's tallies. Owned and written by exactly one thread
+// during the run; read only after the join.
+struct ReplayThreadStats {
+  int64_t ops = 0;
+  int64_t inserts = 0;
+  int64_t deletes = 0;
+  int64_t gets = 0;
+  int64_t scans = 0;
+  // Commands whose Status was an expected workload rejection
+  // (AlreadyExists / NotFound / CapacityExceeded); anything else aborts.
+  int64_t rejected = 0;
+  int64_t scan_records = 0;  // records returned across all scans
+  int64_t total_ns = 0;      // summed per-op latency
+  int64_t max_op_ns = 0;     // worst single op
+
+  ReplayThreadStats& operator+=(const ReplayThreadStats& other);
+};
+
+struct ReplayResult {
+  std::vector<ReplayThreadStats> per_thread;
+  double wall_seconds = 0;  // barrier release -> last thread done
+
+  // Summation over per_thread (exact; see header comment).
+  ReplayThreadStats Aggregate() const;
+  double OpsPerSecond() const;
+};
+
+class ParallelReplayer {
+ public:
+  struct Options {
+    int num_threads = 1;
+  };
+
+  explicit ParallelReplayer(const Options& options) : options_(options) {}
+
+  // Replays traces[t] on thread t (traces.size() must equal num_threads;
+  // an empty trace idles its thread). Blocks until every thread joined.
+  ReplayResult Replay(ShardedDenseFile& file,
+                      const std::vector<Trace>& traces);
+
+  // Per-thread mixed workloads for scaling runs and differential tests:
+  // thread t draws ops from its own Rng(seed, t) over keys congruent to
+  // t modulo num_threads. Thread key sets are disjoint, so the final file
+  // contents are independent of the interleaving (each key's history is
+  // one thread's program order) — while every thread still hits every
+  // shard, since consecutive keys land in the same range. Fractions are
+  // insert/delete/scan; the remainder are gets. Scans span scan_span keys.
+  static std::vector<Trace> DisjointUniformMixes(
+      int num_threads, int64_t ops_per_thread, double insert_fraction,
+      double delete_fraction, double scan_fraction, Key key_space,
+      int64_t scan_span, uint64_t seed);
+
+  // Same op mix, but thread t draws keys uniformly from its own
+  // contiguous slice of [1, key_space] — the partitioned-client shape of
+  // sharded-system benchmarks (each client serves one key partition).
+  // Disjoint like the modular variant, but with key locality: when
+  // thread ranges align with shard ranges, threads touch disjoint shard
+  // sets and never contend on a shard mutex or its device.
+  static std::vector<Trace> DisjointRangeMixes(
+      int num_threads, int64_t ops_per_thread, double insert_fraction,
+      double delete_fraction, double scan_fraction, Key key_space,
+      int64_t scan_span, uint64_t seed);
+
+ private:
+  Options options_;
+};
+
+}  // namespace dsf
+
+#endif  // DSF_WORKLOAD_PARALLEL_REPLAYER_H_

@@ -1,0 +1,162 @@
+// Edge-case coverage for ControlBase's range/bulk commands:
+//
+//   * InsertBatch error paths — non-ascending input, a batch that would
+//     exceed capacity (rejected up front, file untouched), and a
+//     mid-batch failure (duplicate key), after which the already-applied
+//     prefix must stand and every invariant must still hold;
+//   * DeleteRange spanning empty leading/trailing blocks — a deliberately
+//     clustered layout leaves most blocks empty, and ranges reaching far
+//     past the populated region on both sides must still delete exactly
+//     the stored keys in range.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "core/dense_file.h"
+#include "workload/workload.h"
+
+namespace dsf {
+namespace {
+
+std::unique_ptr<DenseFile> MakeFile(int64_t num_pages = 64) {
+  DenseFile::Options options;
+  options.num_pages = num_pages;
+  options.d = 8;
+  options.D = 8 + 4 * 6 + 1;
+  StatusOr<std::unique_ptr<DenseFile>> file = DenseFile::Create(options);
+  EXPECT_TRUE(file.ok()) << file.status();
+  return std::move(*file);
+}
+
+TEST(InsertBatchEdgeTest, RejectsNonAscendingBatchUntouched) {
+  std::unique_ptr<DenseFile> file = MakeFile();
+  ASSERT_TRUE(file->Insert(500, 500).ok());
+
+  // Strictly ascending is required: equal keys and descending pairs both
+  // fail, and nothing from the batch may have been applied.
+  EXPECT_TRUE(
+      file->InsertBatch({{10, 1}, {10, 2}, {30, 3}}).IsInvalidArgument());
+  EXPECT_TRUE(
+      file->InsertBatch({{40, 1}, {20, 2}, {60, 3}}).IsInvalidArgument());
+  EXPECT_EQ(file->size(), 1);
+  EXPECT_FALSE(file->Contains(10));
+  EXPECT_FALSE(file->Contains(40));
+  EXPECT_TRUE(file->ValidateInvariants().ok());
+}
+
+TEST(InsertBatchEdgeTest, RejectsOverCapacityBatchUpFront) {
+  std::unique_ptr<DenseFile> file = MakeFile();
+  const int64_t capacity = file->capacity();
+  ASSERT_TRUE(
+      file->BulkLoad(MakeAscendingRecords(capacity - 2, 1000, 10)).ok());
+
+  // Three more records would exceed N = d*M; the check fires before any
+  // insert, so the file is untouched.
+  const Status status = file->InsertBatch({{1, 1}, {2, 2}, {3, 3}});
+  EXPECT_TRUE(status.IsCapacityExceeded());
+  EXPECT_EQ(file->size(), capacity - 2);
+  EXPECT_FALSE(file->Contains(1));
+  EXPECT_TRUE(file->ValidateInvariants().ok());
+
+  // A batch that exactly fills the file is fine.
+  EXPECT_TRUE(file->InsertBatch({{1, 1}, {2, 2}}).ok());
+  EXPECT_EQ(file->size(), capacity);
+}
+
+TEST(InsertBatchEdgeTest, MidBatchFailureLeavesConsistentPrefix) {
+  std::unique_ptr<DenseFile> file = MakeFile();
+  ASSERT_TRUE(file->Insert(30, 300).ok());
+
+  // The batch trips over the preexisting key 30 after two successful
+  // inserts. The prefix stays applied; the suffix is never attempted.
+  const Status status =
+      file->InsertBatch({{10, 1}, {20, 2}, {30, 3}, {40, 4}});
+  EXPECT_TRUE(status.IsAlreadyExists());
+  EXPECT_TRUE(file->Contains(10));
+  EXPECT_TRUE(file->Contains(20));
+  EXPECT_FALSE(file->Contains(40));
+  StatusOr<Value> kept = file->Get(30);
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(*kept, 300u);  // original record untouched
+  EXPECT_EQ(file->size(), 3);
+  EXPECT_TRUE(file->ValidateInvariants().ok());
+}
+
+// Builds a file whose records sit in a narrow band of middle blocks, with
+// empty blocks before and after — the layout that exercises DeleteRange's
+// search for the first populated block and its stop condition.
+std::unique_ptr<DenseFile> MakeClusteredFile() {
+  std::unique_ptr<DenseFile> file = MakeFile(64);
+  const int64_t num_blocks = 64 / file->block_size();
+  std::vector<std::vector<Record>> layout(
+      static_cast<size_t>(num_blocks));
+  // Records 1000..1049 in five middle blocks, ten per block.
+  const int64_t mid = num_blocks / 2;
+  for (int64_t b = 0; b < 5; ++b) {
+    for (int64_t i = 0; i < 10; ++i) {
+      const Key k = 1000 + static_cast<Key>(b * 10 + i);
+      layout[static_cast<size_t>(mid - 2 + b)].push_back(Record{k, k});
+    }
+  }
+  EXPECT_TRUE(file->control().LoadLayout(layout).ok());
+  return file;
+}
+
+TEST(DeleteRangeEdgeTest, RangeSpanningEmptyLeadingBlocks) {
+  std::unique_ptr<DenseFile> file = MakeClusteredFile();
+  // The range starts far below every stored key (in empty leading
+  // blocks) and ends inside the populated band.
+  StatusOr<int64_t> removed = file->DeleteRange(1, 1019);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, 20);
+  EXPECT_EQ(file->size(), 30);
+  EXPECT_FALSE(file->Contains(1019));
+  EXPECT_TRUE(file->Contains(1020));
+  EXPECT_TRUE(file->ValidateInvariants().ok());
+}
+
+TEST(DeleteRangeEdgeTest, RangeSpanningEmptyTrailingBlocks) {
+  std::unique_ptr<DenseFile> file = MakeClusteredFile();
+  // The range starts inside the band and reaches far past the last
+  // stored key, across the empty trailing blocks.
+  StatusOr<int64_t> removed =
+      file->DeleteRange(1030, std::numeric_limits<Key>::max());
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, 20);
+  EXPECT_EQ(file->size(), 30);
+  EXPECT_TRUE(file->Contains(1029));
+  EXPECT_FALSE(file->Contains(1030));
+  EXPECT_TRUE(file->ValidateInvariants().ok());
+}
+
+TEST(DeleteRangeEdgeTest, RangeEntirelyInEmptyRegionsRemovesNothing) {
+  std::unique_ptr<DenseFile> file = MakeClusteredFile();
+  StatusOr<int64_t> below = file->DeleteRange(1, 999);
+  ASSERT_TRUE(below.ok());
+  EXPECT_EQ(*below, 0);
+  StatusOr<int64_t> above = file->DeleteRange(1050, 1u << 20);
+  ASSERT_TRUE(above.ok());
+  EXPECT_EQ(*above, 0);
+  EXPECT_EQ(file->size(), 50);
+  EXPECT_TRUE(file->ValidateInvariants().ok());
+}
+
+TEST(DeleteRangeEdgeTest, FullSpanAcrossAllEmptyBlocks) {
+  std::unique_ptr<DenseFile> file = MakeClusteredFile();
+  StatusOr<int64_t> removed =
+      file->DeleteRange(0, std::numeric_limits<Key>::max());
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, 50);
+  EXPECT_EQ(file->size(), 0);
+  EXPECT_TRUE(file->ValidateInvariants().ok());
+  // And deleting again from the now-empty file is a clean no-op.
+  removed = file->DeleteRange(0, std::numeric_limits<Key>::max());
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, 0);
+}
+
+}  // namespace
+}  // namespace dsf

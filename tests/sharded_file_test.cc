@@ -1,0 +1,331 @@
+// ShardedDenseFile tests: routing, splitter learning, cross-shard
+// stitching, and the concurrent differential storm — T threads of mixed
+// insert/delete/get/scan traffic through ParallelReplayer, cross-checked
+// against the single-threaded ReferenceModel. Thread key sets are
+// disjoint (keys congruent to t mod T), so the final contents are
+// independent of the interleaving and a serial replay of the same traces
+// is an exact oracle; every shard's invariant battery and the exactness
+// of stats aggregation are validated after the storm.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "shard/sharded_dense_file.h"
+#include "workload/parallel_replayer.h"
+#include "workload/reference_model.h"
+#include "workload/workload.h"
+
+namespace dsf {
+namespace {
+
+ShardedDenseFile::Options SmallOptions(int num_shards, Key key_space) {
+  ShardedDenseFile::Options options;
+  options.num_shards = num_shards;
+  options.key_space = key_space;
+  options.shard.num_pages = 64;
+  options.shard.d = 8;
+  options.shard.D = 8 + 4 * 6 + 1;  // gap condition at M = 64
+  return options;
+}
+
+std::unique_ptr<ShardedDenseFile> MakeFile(
+    const ShardedDenseFile::Options& options) {
+  StatusOr<std::unique_ptr<ShardedDenseFile>> file =
+      ShardedDenseFile::Create(options);
+  EXPECT_TRUE(file.ok()) << file.status();
+  return std::move(*file);
+}
+
+TEST(ShardedDenseFileTest, CreateValidatesOptions) {
+  ShardedDenseFile::Options options = SmallOptions(4, 1000);
+  options.num_shards = 0;
+  EXPECT_TRUE(ShardedDenseFile::Create(options).status().IsInvalidArgument());
+
+  options = SmallOptions(4, 1000);
+  options.splitters = {100, 100, 300};  // not strictly ascending
+  EXPECT_TRUE(ShardedDenseFile::Create(options).status().IsInvalidArgument());
+
+  options = SmallOptions(4, 1000);
+  options.splitters = {100, 200};  // wrong count for 4 shards
+  EXPECT_TRUE(ShardedDenseFile::Create(options).status().IsInvalidArgument());
+
+  options = SmallOptions(8, 4);  // key space smaller than shard count
+  EXPECT_TRUE(ShardedDenseFile::Create(options).status().IsInvalidArgument());
+}
+
+TEST(ShardedDenseFileTest, RoutingRespectsSplitters) {
+  ShardedDenseFile::Options options = SmallOptions(4, 0);
+  options.splitters = {100, 200, 300};
+  std::unique_ptr<ShardedDenseFile> file = MakeFile(options);
+  EXPECT_EQ(file->ShardOf(1), 0);
+  EXPECT_EQ(file->ShardOf(99), 0);
+  EXPECT_EQ(file->ShardOf(100), 1);  // boundary key starts the next shard
+  EXPECT_EQ(file->ShardOf(199), 1);
+  EXPECT_EQ(file->ShardOf(200), 2);
+  EXPECT_EQ(file->ShardOf(300), 3);
+  EXPECT_EQ(file->ShardOf(1u << 30), 3);
+
+  ASSERT_TRUE(file->Insert(99, 1).ok());
+  ASSERT_TRUE(file->Insert(100, 2).ok());
+  ASSERT_TRUE(file->Insert(350, 3).ok());
+  EXPECT_EQ(file->shard_size(0), 1);
+  EXPECT_EQ(file->shard_size(1), 1);
+  EXPECT_EQ(file->shard_size(2), 0);
+  EXPECT_EQ(file->shard_size(3), 1);
+  EXPECT_TRUE(file->ValidateInvariants().ok());
+}
+
+TEST(ShardedDenseFileTest, PointOpsMatchSingleFileSemantics) {
+  std::unique_ptr<ShardedDenseFile> file = MakeFile(SmallOptions(4, 1000));
+  EXPECT_TRUE(file->Insert(42, 420).ok());
+  EXPECT_TRUE(file->Insert(42, 421).IsAlreadyExists());
+  EXPECT_TRUE(file->Contains(42));
+  StatusOr<Value> got = file->Get(42);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, 420u);
+  EXPECT_TRUE(file->Get(43).status().IsNotFound());
+  EXPECT_TRUE(file->Delete(43).IsNotFound());
+  EXPECT_TRUE(file->Delete(42).ok());
+  EXPECT_EQ(file->size(), 0);
+}
+
+TEST(ShardedDenseFileTest, LearnSplittersBalancesSkewedSample) {
+  // A heavily skewed sample: 90% of keys in [1, 100], the rest spread out.
+  std::vector<Record> sample;
+  for (Key k = 1; k <= 90; ++k) sample.push_back(Record{k, k});
+  for (Key k = 1000; k < 1010; ++k) sample.push_back(Record{k, k});
+  const std::vector<Key> splitters =
+      ShardedDenseFile::LearnSplitters(sample, 4);
+  ASSERT_EQ(splitters.size(), 3u);
+  for (size_t i = 1; i < splitters.size(); ++i) {
+    EXPECT_LT(splitters[i - 1], splitters[i]);
+  }
+  // Equi-depth boundaries land inside the dense region, not at uniform
+  // key-space positions.
+  EXPECT_LT(splitters[0], 100u);
+  EXPECT_LT(splitters[1], 100u);
+
+  ShardedDenseFile::Options options = SmallOptions(4, 0);
+  options.splitters = splitters;
+  std::unique_ptr<ShardedDenseFile> file = MakeFile(options);
+  ASSERT_TRUE(file->BulkLoad(sample).ok());
+  // No shard got more than half the records (uniform splitters would put
+  // 90% into shard 0).
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_LE(file->shard_size(i), 50) << "shard " << i;
+  }
+  EXPECT_TRUE(file->ValidateInvariants().ok());
+}
+
+TEST(ShardedDenseFileTest, CrossShardScanStitchesInKeyOrder) {
+  std::unique_ptr<ShardedDenseFile> file = MakeFile(SmallOptions(4, 1000));
+  ReferenceModel model;
+  Rng rng(7);
+  const std::vector<Record> records = MakeUniformRecords(400, 1000, rng);
+  ASSERT_TRUE(file->BulkLoad(records).ok());
+  ASSERT_TRUE(model.Load(records).ok());
+
+  // Ranges chosen to span 0, 1, 2 and all 4 shards (splitters at
+  // 251, 501, 751 for key_space 1000).
+  const std::pair<Key, Key> ranges[] = {
+      {1, 50}, {200, 300}, {240, 760}, {1, 1000}, {997, 1500}, {600, 10}};
+  for (const auto& [lo, hi] : ranges) {
+    std::vector<Record> got;
+    ASSERT_TRUE(file->Scan(lo, hi, &got).ok());
+    EXPECT_EQ(got, model.Scan(lo, hi)) << "range [" << lo << "," << hi << "]";
+  }
+  EXPECT_EQ(file->ScanAll(), model.ScanAll());
+}
+
+TEST(ShardedDenseFileTest, CrossShardDeleteRangeMatchesModel) {
+  std::unique_ptr<ShardedDenseFile> file = MakeFile(SmallOptions(4, 1000));
+  ReferenceModel model;
+  Rng rng(11);
+  const std::vector<Record> records = MakeUniformRecords(400, 1000, rng);
+  ASSERT_TRUE(file->BulkLoad(records).ok());
+  ASSERT_TRUE(model.Load(records).ok());
+
+  // Spans shards 1-3; compare removed counts and remaining contents.
+  const int64_t model_removed =
+      static_cast<int64_t>(model.Scan(300, 900).size());
+  for (const Record& r : model.Scan(300, 900)) {
+    ASSERT_TRUE(model.Delete(r.key).ok());
+  }
+  StatusOr<int64_t> removed = file->DeleteRange(300, 900);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, model_removed);
+  EXPECT_EQ(file->ScanAll(), model.ScanAll());
+  EXPECT_TRUE(file->ValidateInvariants().ok());
+}
+
+TEST(ShardedDenseFileTest, InsertBatchRoutesAcrossShards) {
+  std::unique_ptr<ShardedDenseFile> file = MakeFile(SmallOptions(4, 1000));
+  const std::vector<Record> batch = MakeAscendingRecords(100, 5, 10);
+  ASSERT_TRUE(file->InsertBatch(batch).ok());
+  EXPECT_EQ(file->size(), 100);
+  EXPECT_EQ(file->ScanAll(), batch);
+  // Every shard received its slice.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_GT(file->shard_size(i), 0) << "shard " << i;
+  }
+  EXPECT_TRUE(
+      file->InsertBatch({{9, 9}, {9, 9}}).IsInvalidArgument());
+}
+
+TEST(ShardedDenseFileTest, StatsAggregateBySummation) {
+  std::unique_ptr<ShardedDenseFile> file = MakeFile(SmallOptions(4, 1000));
+  Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    const Key k = rng.Uniform(1000) + 1;
+    (void)file->Insert(k, k);
+  }
+  const IoStats total = file->io_stats();
+  const CommandStats commands = file->command_stats();
+  IoStats summed;
+  int64_t summed_commands = 0;
+  int64_t max_command = 0;
+  for (int i = 0; i < file->num_shards(); ++i) {
+    summed += file->shard_io_stats(i);
+    summed_commands += file->shard_command_stats(i).commands;
+    max_command = std::max(max_command,
+                           file->shard_command_stats(i).max_command_accesses);
+  }
+  EXPECT_EQ(total.page_reads, summed.page_reads);
+  EXPECT_EQ(total.page_writes, summed.page_writes);
+  EXPECT_EQ(total.seeks, summed.seeks);
+  EXPECT_EQ(total.sequential_accesses, summed.sequential_accesses);
+  EXPECT_EQ(commands.commands, summed_commands);
+  EXPECT_EQ(commands.max_command_accesses, max_command);
+  EXPECT_EQ(commands.commands, 200);
+
+  file->ResetStats();
+  EXPECT_EQ(file->io_stats().TotalAccesses(), 0);
+  EXPECT_EQ(file->command_stats().commands, 0);
+}
+
+TEST(ParallelReplayerTest, RangeMixesPartitionTheKeySpace) {
+  const int num_threads = 4;
+  const Key key_space = 1000;
+  const std::vector<Trace> traces = ParallelReplayer::DisjointRangeMixes(
+      num_threads, /*ops_per_thread=*/500, /*insert_fraction=*/0.35,
+      /*delete_fraction=*/0.30, /*scan_fraction=*/0.05, key_space,
+      /*scan_span=*/16, /*seed=*/3);
+  ASSERT_EQ(traces.size(), 4u);
+  int64_t scans = 0;
+  for (int t = 0; t < num_threads; ++t) {
+    const Key lo = static_cast<Key>(t) * 250;
+    ASSERT_EQ(traces[static_cast<size_t>(t)].size(), 500u);
+    for (const Op& op : traces[static_cast<size_t>(t)]) {
+      // Every key stays inside the thread's contiguous slice.
+      EXPECT_GT(op.record.key, lo);
+      EXPECT_LE(op.record.key, lo + 250);
+      if (op.kind == Op::Kind::kScan) {
+        EXPECT_EQ(op.scan_hi, op.record.key + 16);
+        ++scans;
+      }
+    }
+  }
+  // The mix produces some of everything (loose sanity on the fractions).
+  EXPECT_GT(scans, 25);
+  EXPECT_LT(scans, 200);
+
+  // Disjoint ranges replay race-free: concurrent run, then invariants.
+  std::unique_ptr<ShardedDenseFile> file = MakeFile(SmallOptions(4, 1000));
+  ParallelReplayer replayer({num_threads});
+  const ReplayResult result = replayer.Replay(*file, traces);
+  EXPECT_EQ(result.Aggregate().ops, 2000);
+  EXPECT_TRUE(file->ValidateInvariants().ok());
+}
+
+// The storm: T threads of mixed traffic against S shards, then a full
+// differential and invariant audit.
+class ShardedStormTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ShardedStormTest, ConcurrentMixedTrafficMatchesReference) {
+  const int num_shards = std::get<0>(GetParam());
+  const int num_threads = std::get<1>(GetParam());
+  const Key key_space = 4000;
+
+  // Total capacity held constant across configurations: 512 pages split
+  // evenly over the shards, same (d, D) everywhere.
+  ShardedDenseFile::Options options;
+  options.num_shards = num_shards;
+  options.key_space = key_space;
+  options.shard.num_pages = 512 / num_shards;
+  options.shard.d = 8;
+  options.shard.D = 8 + 4 * 9 + 1;
+  // Aggregate capacity comfortably above the number of distinct keys, so
+  // no interleaving can hit CapacityExceeded and per-key outcomes stay
+  // deterministic.
+  ASSERT_GE(static_cast<Key>(options.num_shards * options.shard.num_pages *
+                             options.shard.d),
+            key_space);
+  std::unique_ptr<ShardedDenseFile> file = MakeFile(options);
+
+  // Warm start: half the key space pre-loaded.
+  std::vector<Record> initial;
+  for (Key k = 2; k <= key_space; k += 2) initial.push_back(Record{k, k ^ 5});
+  ASSERT_TRUE(file->BulkLoad(initial).ok());
+
+  const std::vector<Trace> traces = ParallelReplayer::DisjointUniformMixes(
+      num_threads, /*ops_per_thread=*/4000, /*insert_fraction=*/0.35,
+      /*delete_fraction=*/0.30, /*scan_fraction=*/0.05, key_space,
+      /*scan_span=*/64, /*seed=*/42);
+
+  ParallelReplayer replayer({num_threads});
+  const ReplayResult result = replayer.Replay(*file, traces);
+
+  const ReplayThreadStats agg = result.Aggregate();
+  EXPECT_EQ(agg.ops, static_cast<int64_t>(num_threads) * 4000);
+  EXPECT_EQ(agg.inserts + agg.deletes + agg.gets + agg.scans, agg.ops);
+  EXPECT_GT(result.wall_seconds, 0.0);
+
+  // Oracle: the same traces replayed serially. Keys are disjoint across
+  // threads, so the serial order within each trace fixes every key's
+  // final state regardless of the concurrent interleaving.
+  ReferenceModel model;
+  ASSERT_TRUE(model.Load(initial).ok());
+  for (const Trace& trace : traces) {
+    for (const Op& op : trace) {
+      switch (op.kind) {
+        case Op::Kind::kInsert: (void)model.Insert(op.record); break;
+        case Op::Kind::kDelete: (void)model.Delete(op.record.key); break;
+        case Op::Kind::kGet: case Op::Kind::kScan: break;
+      }
+    }
+  }
+  EXPECT_EQ(file->size(), model.size());
+  EXPECT_EQ(file->ScanAll(), model.ScanAll());
+
+  // Every shard survived the storm with its invariants intact (this
+  // includes BALANCE(d,D) per shard).
+  EXPECT_TRUE(file->ValidateInvariants().ok());
+
+  // Stats aggregation is exact: the per-shard sums equal the aggregate.
+  IoStats summed;
+  int64_t summed_commands = 0;
+  for (int i = 0; i < file->num_shards(); ++i) {
+    summed += file->shard_io_stats(i);
+    summed_commands += file->shard_command_stats(i).commands;
+  }
+  const IoStats total = file->io_stats();
+  EXPECT_EQ(total.page_reads, summed.page_reads);
+  EXPECT_EQ(total.page_writes, summed.page_writes);
+  EXPECT_EQ(file->command_stats().commands, summed_commands);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Storms, ShardedStormTest,
+    ::testing::Values(std::make_tuple(1, 4), std::make_tuple(4, 1),
+                      std::make_tuple(4, 4), std::make_tuple(8, 4),
+                      std::make_tuple(8, 8)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& param) {
+      return "S" + std::to_string(std::get<0>(param.param)) + "T" +
+             std::to_string(std::get<1>(param.param));
+    });
+
+}  // namespace
+}  // namespace dsf
