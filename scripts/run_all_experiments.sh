@@ -7,8 +7,26 @@
 #   BENCH_core.json   gbench_core (google-benchmark JSON: calibrator
 #                     sync, Compact, insert/delete/get microbenchmarks)
 #   BENCH_shard.json  shard_scaling (threads x shards throughput sweep)
+#
+# With --sanitize, instead runs the sanitizer matrix: an
+# address,undefined build driving the fault-injection / crash-recovery /
+# corruption tests (the error paths ordinary runs rarely execute), then a
+# thread build driving the sharded concurrency test.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--sanitize" ]]; then
+  cmake -B build-asan -G Ninja -DDSF_SANITIZE=address,undefined
+  cmake --build build-asan
+  ASAN_OPTIONS=halt_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir build-asan --output-on-failure \
+      -R 'fault_injection_test|crash_recovery_fuzz_test|corruption_test|sharded_file_test|fuzz_all_test'
+  cmake -B build-tsan -G Ninja -DDSF_SANITIZE=thread
+  cmake --build build-tsan
+  ctest --test-dir build-tsan --output-on-failure -R sharded_file_test
+  echo "Sanitizer matrix clean"
+  exit 0
+fi
 
 if [[ "${1:-}" == "--bench" ]]; then
   cmake -B build-bench -G Ninja -DCMAKE_BUILD_TYPE=Release

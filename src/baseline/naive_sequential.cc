@@ -85,7 +85,9 @@ Status NaiveSequentialFile::Insert(const Record& record) {
   Address target = PageForKey(record.key);
   if (target == 0) target = std::max<int64_t>(1, UsedPages());
 
-  std::vector<Record> records = file_.Read(target).records();
+  StatusOr<const Page*> read = file_.TryRead(target);
+  DSF_RETURN_IF_ERROR(read.status());
+  std::vector<Record> records = (*read)->records();
   const auto it = std::lower_bound(records.begin(), records.end(), record,
                                    RecordKeyLess);
   if (it != records.end() && it->key == record.key) {
@@ -103,14 +105,17 @@ Status NaiveSequentialFile::Insert(const Record& record) {
       carry = records.back();
       records.pop_back();
     }
-    Page& w = file_.Write(cur);
-    w.TakeAll();
-    w.AppendHigh(records);
+    StatusOr<Page*> w = file_.TryWrite(cur);
+    DSF_RETURN_IF_ERROR(w.status());
+    (*w)->TakeAll();
+    (*w)->AppendHigh(records);
     RefreshFence(cur);
     if (!carry.has_value()) break;
     ++cur;
     DSF_CHECK(cur <= options_.num_pages) << "ripple ran off the file";
-    records = file_.Read(cur).records();
+    StatusOr<const Page*> next = file_.TryRead(cur);
+    DSF_RETURN_IF_ERROR(next.status());
+    records = (*next)->records();
     records.insert(records.begin(), *carry);
     carry.reset();
   }
@@ -121,7 +126,9 @@ Status NaiveSequentialFile::Insert(const Record& record) {
 Status NaiveSequentialFile::Delete(Key key) {
   const Address target = PageForKey(key);
   if (target == 0) return Status::NotFound("key absent");
-  std::vector<Record> records = file_.Read(target).records();
+  StatusOr<const Page*> read = file_.TryRead(target);
+  DSF_RETURN_IF_ERROR(read.status());
+  std::vector<Record> records = (*read)->records();
   const auto it = std::lower_bound(records.begin(), records.end(),
                                    Record{key, 0}, RecordKeyLess);
   if (it == records.end() || it->key != key) {
@@ -133,17 +140,21 @@ Status NaiveSequentialFile::Delete(Key key) {
   // packing.
   const int64_t last_used = UsedPages();
   for (Address cur = target; cur < last_used; ++cur) {
-    const std::vector<Record>& next = file_.Read(cur + 1).records();
+    StatusOr<const Page*> next_read = file_.TryRead(cur + 1);
+    DSF_RETURN_IF_ERROR(next_read.status());
+    const std::vector<Record> next = (*next_read)->records();
     records.push_back(next.front());
-    Page& w = file_.Write(cur);
-    w.TakeAll();
-    w.AppendHigh(records);
+    StatusOr<Page*> w = file_.TryWrite(cur);
+    DSF_RETURN_IF_ERROR(w.status());
+    (*w)->TakeAll();
+    (*w)->AppendHigh(records);
     RefreshFence(cur);
     records.assign(next.begin() + 1, next.end());
   }
-  Page& w = file_.Write(last_used);
-  w.TakeAll();
-  w.AppendHigh(records);
+  StatusOr<Page*> w = file_.TryWrite(last_used);
+  DSF_RETURN_IF_ERROR(w.status());
+  (*w)->TakeAll();
+  (*w)->AppendHigh(records);
   RefreshFence(last_used);
   --size_;
   return Status::OK();
@@ -152,7 +163,9 @@ Status NaiveSequentialFile::Delete(Key key) {
 StatusOr<Record> NaiveSequentialFile::Get(Key key) {
   const Address target = PageForKey(key);
   if (target == 0) return Status::NotFound("key absent");
-  return file_.Read(target).Find(key);
+  StatusOr<const Page*> page = file_.TryRead(target);
+  DSF_RETURN_IF_ERROR(page.status());
+  return (*page)->Find(key);
 }
 
 bool NaiveSequentialFile::Contains(Key key) { return Get(key).ok(); }
@@ -164,7 +177,9 @@ Status NaiveSequentialFile::Scan(Key lo, Key hi, std::vector<Record>* out) {
   if (page == 0) return Status::OK();
   const int64_t used = UsedPages();
   for (; page <= used; ++page) {
-    for (const Record& r : file_.Read(page).records()) {
+    StatusOr<const Page*> p = file_.TryRead(page);
+    DSF_RETURN_IF_ERROR(p.status());
+    for (const Record& r : (*p)->records()) {
       if (r.key < lo) continue;
       if (r.key > hi) return Status::OK();
       out->push_back(r);
@@ -173,10 +188,9 @@ Status NaiveSequentialFile::Scan(Key lo, Key hi, std::vector<Record>* out) {
   return Status::OK();
 }
 
-std::vector<Record> NaiveSequentialFile::ScanAll() {
+StatusOr<std::vector<Record>> NaiveSequentialFile::ScanAll() {
   std::vector<Record> out;
-  const Status s = Scan(0, std::numeric_limits<Key>::max(), &out);
-  DSF_CHECK(s.ok()) << "full scan failed";
+  DSF_RETURN_IF_ERROR(Scan(0, std::numeric_limits<Key>::max(), &out));
   return out;
 }
 

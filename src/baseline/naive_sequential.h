@@ -33,12 +33,16 @@ class NaiveSequentialFile {
 
   Status BulkLoad(const std::vector<Record>& records);
 
+  // Updates and queries surface page faults as kIoError. The ripple
+  // rewrites make no crash-consistency promise (this is the strawman the
+  // dense file improves on); a mid-ripple fault can leave the packing
+  // invariant broken, which ValidateInvariants reports.
   Status Insert(const Record& record);
   Status Delete(Key key);
   StatusOr<Record> Get(Key key);
   bool Contains(Key key);
   Status Scan(Key lo, Key hi, std::vector<Record>* out);
-  std::vector<Record> ScanAll();
+  StatusOr<std::vector<Record>> ScanAll();
 
   int64_t size() const { return size_; }
   const IoStats& stats() const { return file_.stats(); }

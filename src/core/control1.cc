@@ -26,7 +26,13 @@ Status Control1::Insert(const Record& record) {
   // present it necessarily lives in the target block (the block whose key
   // interval covers it), so one read doubles as the duplicate probe.
   const Address target = TargetBlockForInsert(record.key);
-  std::vector<Record> records = ReadBlock(target);
+  StatusOr<std::vector<Record>> read = ReadBlock(target);
+  if (!read.ok()) {
+    // Clean abort: nothing was written, the file is untouched.
+    EndCommand();
+    return read.status();
+  }
+  std::vector<Record>& records = *read;
   const auto pos = std::lower_bound(records.begin(), records.end(), record,
                                     RecordKeyLess);
   if (pos != records.end() && pos->key == record.key) {
@@ -34,15 +40,25 @@ Status Control1::Insert(const Record& record) {
     return Status::AlreadyExists("key already present");
   }
   records.insert(pos, record);
-  WriteBlock(target, records);
+  const Status write = WriteBlock(target, records);
+  if (!write.ok()) {
+    EndCommand();
+    return write;
+  }
 
   // Step B: fix the highest BALANCE violation, if the insert caused one.
+  // A fault here leaves the record durably inserted but the file possibly
+  // unbalanced; the caller runs CheckAndRepair before continuing.
   const int violator = HighestViolatorOnPath(target);
   if (violator != Calibrator::kNoNode) {
     const int father = calibrator_.Parent(violator);
     DSF_CHECK(father != Calibrator::kNoNode)
         << "root violated BALANCE despite the capacity check";
-    Redistribute(father);
+    const Status s = Redistribute(father);
+    if (!s.ok()) {
+      EndCommand();
+      return s;
+    }
   }
   EndCommand();
   return Status::OK();
@@ -52,7 +68,12 @@ Status Control1::Delete(Key key) {
   const Address block = BlockPossiblyContaining(key);
   if (block == 0) return Status::NotFound("key absent");
   BeginCommand();
-  std::vector<Record> records = ReadBlock(block);
+  StatusOr<std::vector<Record>> read = ReadBlock(block);
+  if (!read.ok()) {
+    EndCommand();
+    return read.status();
+  }
+  std::vector<Record>& records = *read;
   const auto it = std::lower_bound(records.begin(), records.end(),
                                    Record{key, 0}, RecordKeyLess);
   if (it == records.end() || it->key != key) {
@@ -60,10 +81,10 @@ Status Control1::Delete(Key key) {
     return Status::NotFound("key absent");
   }
   records.erase(it);
-  WriteBlock(block, records);
+  const Status write = WriteBlock(block, records);
   // Deletions only lower densities; BALANCE cannot newly fail.
   EndCommand();
-  return Status::OK();
+  return write;
 }
 
 Status Control1::ValidateInvariants() const {
@@ -82,33 +103,17 @@ int Control1::HighestViolatorOnPath(Address block) const {
   return Calibrator::kNoNode;
 }
 
-void Control1::Redistribute(int f) {
+Status Control1::Redistribute(int f) {
   const Address lo = calibrator_.RangeLo(f);
   const Address hi = calibrator_.RangeHi(f);
   ++stats_.rebalances;
   stats_.pages_redistributed += calibrator_.PagesIn(f);
-
-  // Gather every record under f in order (reading only non-empty blocks).
-  std::vector<Record> all;
-  all.reserve(static_cast<size_t>(calibrator_.Count(f)));
-  for (Address b = calibrator_.FirstNonEmptyPageIn(lo, hi); b != 0;
-       b = calibrator_.FirstNonEmptyPageIn(b + 1, hi)) {
-    const std::vector<Record> part = ReadBlock(b);
-    all.insert(all.end(), part.begin(), part.end());
-  }
-
-  // Spread evenly: block j of the m in range gets
-  // floor((j+1)n/m) - floor(jn/m) records, so every aligned subrange sits
-  // within one record per block of the average and p(w) <= p(f) + 1.
-  const int64_t m = hi - lo + 1;
-  const int64_t n = static_cast<int64_t>(all.size());
-  int64_t offset = 0;
-  for (int64_t j = 0; j < m; ++j) {
-    const int64_t end = (j + 1) * n / m;
-    WriteBlock(lo + j,
-               std::vector<Record>(all.begin() + offset, all.begin() + end));
-    offset = end;
-  }
+  // The even spread (block j of the m in range gets floor((j+1)n/m) -
+  // floor(jn/m) records, so every aligned subrange sits within one record
+  // per block of the average and p(w) <= p(f) + 1) runs as the crash-safe
+  // pack-then-spread pass so a fault mid-redistribution cannot lose
+  // records.
+  return RedistributeRangeCrashSafe(lo, hi);
 }
 
 }  // namespace dsf

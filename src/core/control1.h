@@ -46,8 +46,9 @@ class Control1 : public ControlBase {
   // p(v) > g(v,1); kNoNode if none. Only path nodes can have changed.
   int HighestViolatorOnPath(Address block) const;
 
-  // Step B: evenly redistribute all records in RANGE(f) across its blocks.
-  void Redistribute(int f);
+  // Step B: evenly redistribute all records in RANGE(f) across its blocks
+  // (crash-safe pack-then-spread; see ControlBase).
+  Status Redistribute(int f);
 
   Stats stats_;
 };

@@ -186,7 +186,7 @@ int Control2::SelectNode(Address leaf_block) const {
   return v;
 }
 
-void Control2::Shift(int v) {
+Status Control2::Shift(int v) {
   ++stats_.shifts;
   const int f = calibrator_.Parent(v);
   DSF_DCHECK(f != Calibrator::kNoNode) << "SHIFT on the root";
@@ -208,7 +208,7 @@ void Control2::Shift(int v) {
     // is unreachable while v genuinely needs shifting; tolerate it as a
     // no-op so a mis-parameterized run degrades instead of crashing.
     ++stats_.shift_noops;
-    return;
+    return Status::OK();
   }
 
   // UP(v): nodes containing DEST but not SOURCE — the path below the
@@ -236,8 +236,12 @@ void Control2::Shift(int v) {
   const int64_t moves = std::min(budget, source_count);
 
   if (moves > 0) {
-    std::vector<Record> src_records = ReadBlock(source);
-    std::vector<Record> dest_records = ReadBlock(dest);
+    StatusOr<std::vector<Record>> src_read = ReadBlock(source);
+    DSF_RETURN_IF_ERROR(src_read.status());
+    StatusOr<std::vector<Record>> dest_read = ReadBlock(dest);
+    DSF_RETURN_IF_ERROR(dest_read.status());
+    std::vector<Record>& src_records = *src_read;
+    std::vector<Record>& dest_records = *dest_read;
     if (moves_left) {
       // DEST < SOURCE: the lowest keys of SOURCE extend DEST from above.
       dest_records.insert(dest_records.end(), src_records.begin(),
@@ -249,8 +253,11 @@ void Control2::Shift(int v) {
                           src_records.end());
       src_records.erase(src_records.end() - moves, src_records.end());
     }
-    WriteBlock(source, src_records);
-    WriteBlock(dest, dest_records);
+    // DEST before SOURCE: until the source write lands, the moved records
+    // exist in both blocks, so a crash between the writes duplicates them
+    // (CheckAndRepair dedupes) rather than losing them.
+    DSF_RETURN_IF_ERROR(WriteBlock(dest, dest_records));
+    DSF_RETURN_IF_ERROR(WriteBlock(source, src_records));
     stats_.records_shifted += moves;
   }
 
@@ -269,9 +276,10 @@ void Control2::Shift(int v) {
   // Mainline step 4c: densities fell along the path to SOURCE; lower any
   // warning that has calmed down.
   if (moves > 0) CheckLowerOnPath(source);
+  return Status::OK();
 }
 
-void Control2::RunMaintenance(Address leaf_block) {
+Status Control2::RunMaintenance(Address leaf_block) {
   for (int64_t cycle = 0; cycle < j_; ++cycle) {
     const int v = SelectNode(leaf_block);  // step 4a
     if (v == Calibrator::kNoNode) {
@@ -292,12 +300,13 @@ void Control2::RunMaintenance(Address leaf_block) {
       }
     }
     const int64_t moved_before = stats_.records_shifted;
-    Shift(v);  // step 4b (4c runs inside for the touched path)
+    const Status s = Shift(v);  // step 4b (4c runs inside)
     if (options_.track_episodes &&
         open_flag_[static_cast<size_t>(v)] != 0) {
       open_by_node_[static_cast<size_t>(v)].records_moved +=
           stats_.records_shifted - moved_before;
     }
+    DSF_RETURN_IF_ERROR(s);
     NotifyStable(StablePoint::kAfterCycle, cycle);
   }
   if (options_.track_episodes) {
@@ -305,6 +314,7 @@ void Control2::RunMaintenance(Address leaf_block) {
       if (open_flag_[v] != 0) ++open_by_node_[v].commands;
     }
   }
+  return Status::OK();
 }
 
 Status Control2::Insert(const Record& record) {
@@ -314,7 +324,14 @@ Status Control2::Insert(const Record& record) {
   BeginCommand();
   // Step 1: place the record. A duplicate would live in the target block.
   const Address target = TargetBlockForInsert(record.key);
-  std::vector<Record> records = ReadBlock(target);
+  StatusOr<std::vector<Record>> read = ReadBlock(target);
+  if (!read.ok()) {
+    // Clean abort: no write happened, flags and file are untouched, so
+    // the command leaves the file (d,D)-dense with consistent warnings.
+    EndCommand();
+    return read.status();
+  }
+  std::vector<Record>& records = *read;
   const auto pos = std::lower_bound(records.begin(), records.end(), record,
                                     RecordKeyLess);
   if (pos != records.end() && pos->key == record.key) {
@@ -322,22 +339,34 @@ Status Control2::Insert(const Record& record) {
     return Status::AlreadyExists("key already present");
   }
   records.insert(pos, record);
-  WriteBlock(target, records);
+  const Status write = WriteBlock(target, records);
+  if (!write.ok()) {
+    EndCommand();
+    return write;
+  }
   command_inserted_block_ = target;
 
   CheckLowerOnPath(target);  // step 2 (vacuous after an insert)
   CheckRaiseOnPath(target);  // step 3
   NotifyStable(StablePoint::kAfterStep3, -1);
-  RunMaintenance(target);    // step 4
+  // Step 4. A fault here errors the command with the record already
+  // durably placed — the caller runs CheckAndRepair, which rebuilds the
+  // warning state the aborted maintenance left behind.
+  const Status maintenance = RunMaintenance(target);
   EndCommand();
-  return Status::OK();
+  return maintenance;
 }
 
 Status Control2::Delete(Key key) {
   const Address block = BlockPossiblyContaining(key);
   if (block == 0) return Status::NotFound("key absent");
   BeginCommand();
-  std::vector<Record> records = ReadBlock(block);
+  StatusOr<std::vector<Record>> read = ReadBlock(block);
+  if (!read.ok()) {
+    EndCommand();
+    return read.status();
+  }
+  std::vector<Record>& records = *read;
   const auto it = std::lower_bound(records.begin(), records.end(),
                                    Record{key, 0}, RecordKeyLess);
   if (it == records.end() || it->key != key) {
@@ -345,15 +374,19 @@ Status Control2::Delete(Key key) {
     return Status::NotFound("key absent");
   }
   records.erase(it);
-  WriteBlock(block, records);
+  const Status write = WriteBlock(block, records);
+  if (!write.ok()) {
+    EndCommand();
+    return write;
+  }
   command_inserted_block_ = 0;  // deletions relate no SHIFTs
 
   CheckLowerOnPath(block);  // step 2
   // Step 3 is vacuous: a deletion raises no density.
   NotifyStable(StablePoint::kAfterStep3, -1);
-  RunMaintenance(block);    // step 4
+  const Status maintenance = RunMaintenance(block);  // step 4
   EndCommand();
-  return Status::OK();
+  return maintenance;
 }
 
 Status Control2::ValidateInvariants() const {

@@ -146,11 +146,15 @@ class Control2 : public ControlBase {
  private:
   Control2(const Options& options, DensitySpec logical_spec, int64_t j);
 
-  // Step 4 of the mainline: J cycles of SELECT/SHIFT/lower.
-  void RunMaintenance(Address leaf_block);
+  // Step 4 of the mainline: J cycles of SELECT/SHIFT/lower. Stops at the
+  // first faulted SHIFT; the command's record is already durably placed,
+  // so an error here means "committed but maintenance incomplete".
+  Status RunMaintenance(Address leaf_block);
   // SELECT(L); kNoNode when nothing warns.
   int SelectNode(Address leaf_block) const;
-  void Shift(int v);
+  // One SHIFT(v) cycle. Writes DEST before SOURCE, so a crash between
+  // the two duplicates the moved records instead of losing them.
+  Status Shift(int v);
   void Activate(int w);
   void SetWarning(int v, bool on);
 

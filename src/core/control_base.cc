@@ -2,11 +2,24 @@
 
 #include <algorithm>
 #include <limits>
+#include <sstream>
 
 #include "util/check.h"
 #include "util/math.h"
 
 namespace dsf {
+
+std::string RepairReport::ToString() const {
+  std::ostringstream os;
+  os << "scanned=" << blocks_scanned << " resyncs=" << calibrator_resyncs
+     << " dup_dropped=" << duplicate_records_dropped
+     << " misordered=" << misordered_blocks << " overfull=" << overfull_pages
+     << " packing=" << packing_violations
+     << " rewrote=" << (rewrote_file ? "yes" : "no")
+     << " flags_rebuilt=" << (warning_state_rebuilt ? "yes" : "no");
+  return os.str();
+}
+
 namespace {
 
 Calibrator::LeafUpdate MakeLeafUpdate(const Record* begin, const Record* end) {
@@ -57,43 +70,53 @@ int64_t ControlBase::PagesUsed(int64_t count) const {
   return std::min(block_size_, DivCeil(count, page_D_));
 }
 
-std::vector<Record> ControlBase::ReadBlock(Address block) {
+StatusOr<std::vector<Record>> ControlBase::ReadBlock(Address block) {
   std::vector<Record> out;
   out.reserve(
       static_cast<size_t>(calibrator_.Count(calibrator_.LeafOf(block))));
-  ReadBlockInto(block, &out);
+  DSF_RETURN_IF_ERROR(ReadBlockInto(block, &out));
   return out;
 }
 
-void ControlBase::ReadBlockInto(Address block, std::vector<Record>* out) {
+Status ControlBase::ReadBlockInto(Address block, std::vector<Record>* out) {
   const int64_t count = calibrator_.Count(calibrator_.LeafOf(block));
   const int64_t used = PagesUsed(count);
   const int64_t before = static_cast<int64_t>(out->size());
   const Address first = FirstPhysicalPage(block);
   for (int64_t i = 0; i < used; ++i) {
-    const Page& p = file_.Read(first + i);
-    out->insert(out->end(), p.records().begin(), p.records().end());
+    StatusOr<const Page*> p = file_.TryRead(first + i);
+    DSF_RETURN_IF_ERROR(p.status());
+    out->insert(out->end(), (*p)->records().begin(), (*p)->records().end());
   }
   (void)before;
   DSF_DCHECK(static_cast<int64_t>(out->size()) - before == count)
       << "block " << block << " layout out of sync";
+  return Status::OK();
 }
 
-void ControlBase::WriteBlock(Address block,
-                             const std::vector<Record>& records) {
-  WriteBlockPages(block, records.data(), records.data() + records.size());
-  SyncBlock(block, records);
+Status ControlBase::WriteBlock(Address block,
+                               const std::vector<Record>& records,
+                               BlockWriteOrder order) {
+  return WriteBlock(block, records.data(), records.data() + records.size(),
+                    order);
 }
 
-void ControlBase::WriteBlock(Address block, const Record* begin,
-                             const Record* end) {
-  WriteBlockPages(block, begin, end);
+Status ControlBase::WriteBlock(Address block, const Record* begin,
+                               const Record* end, BlockWriteOrder order) {
+  const Status s = WriteBlockPages(block, begin, end, order);
+  if (!s.ok()) {
+    // The device holds a mix of old and new pages; make the calibrator
+    // tell the truth about it before surfacing the error.
+    ResyncLeafFromRaw(block);
+    return s;
+  }
   const Calibrator::LeafUpdate u = MakeLeafUpdate(begin, end);
   calibrator_.SyncLeaf(block, u.count, u.min_key, u.max_key);
+  return Status::OK();
 }
 
-void ControlBase::WriteBlockPages(Address block, const Record* begin,
-                                  const Record* end) {
+Status ControlBase::WriteBlockPages(Address block, const Record* begin,
+                                    const Record* end, BlockWriteOrder order) {
   const int64_t old_count = calibrator_.Count(calibrator_.LeafOf(block));
   const int64_t old_used = PagesUsed(old_count);
   const int64_t n = end - begin;
@@ -101,23 +124,75 @@ void ControlBase::WriteBlockPages(Address block, const Record* begin,
   DSF_CHECK(n <= block_size_ * page_D_ + 1)
       << "block overfull beyond the one-record transient";
 
+  // Slice the buffer into pages first: pages before the last take exactly
+  // D, the last takes the remainder (up to D+1 in the transient case).
+  // Then write the slices in crash-safe order (see BlockWriteOrder): a
+  // growing block's content shifts toward higher pages, so writing
+  // right-to-left guarantees a record is duplicated into its new page
+  // before the page holding its old copy is overwritten; shrinking is the
+  // mirror image. The slices are independent, so order only matters for
+  // what a crash between two page writes leaves behind.
   const Address first = FirstPhysicalPage(block);
-  int64_t offset = 0;
-  for (int64_t i = 0; i < used; ++i) {
-    // Pages before the last take exactly D; the last takes the remainder
-    // (up to D+1 in the transient case).
-    const int64_t take =
-        (i + 1 < used) ? page_D_ : n - offset;
-    Page& p = file_.Write(first + i);
-    p.Clear();
-    p.AppendHigh(begin + offset, begin + offset + take);
-    offset += take;
+  const bool backward = order == BlockWriteOrder::kBackward ||
+                        (order == BlockWriteOrder::kAuto && n >= old_count);
+  Status fault = Status::OK();
+  for (int64_t step = 0; step < used; ++step) {
+    const int64_t i = backward ? used - 1 - step : step;
+    const int64_t offset = i * page_D_;
+    const int64_t take = (i + 1 < used) ? page_D_ : n - offset;
+    StatusOr<Page*> p = file_.TryWrite(first + i);
+    if (!p.ok()) {
+      fault = p.status();
+      break;
+    }
+    (*p)->Clear();
+    (*p)->AppendHigh(begin + offset, begin + offset + take);
   }
+  if (!fault.ok()) return fault;
   // Pages that fall out of the used prefix become free. A real system
   // records this in metadata; clearing them here is bookkeeping, not I/O.
   for (int64_t i = used; i < old_used; ++i) {
     file_.RawPage(first + i).Clear();
   }
+  return Status::OK();
+}
+
+void ControlBase::ResyncLeafFromRaw(Address block) {
+  const Address first = FirstPhysicalPage(block);
+  int64_t count = 0;
+  Key min_key = 0;
+  Key max_key = 0;
+  for (int64_t i = 0; i < block_size_; ++i) {
+    const Page& page = file_.Peek(first + i);
+    if (page.empty()) continue;
+    // A torn block may interleave old and new pages, so the true extrema
+    // need a full scan of every record, not just the first/last page.
+    for (const Record& r : page.records()) {
+      if (count == 0 || r.key < min_key) min_key = r.key;
+      if (count == 0 || r.key > max_key) max_key = r.key;
+      ++count;
+    }
+  }
+  calibrator_.SyncLeaf(block, count, min_key, max_key);
+}
+
+void ControlBase::ResyncRangeFromRaw(Address lo, Address hi) {
+  std::vector<Calibrator::LeafUpdate> leaves;
+  leaves.reserve(static_cast<size_t>(hi - lo + 1));
+  for (Address block = lo; block <= hi; ++block) {
+    const Address first = FirstPhysicalPage(block);
+    Calibrator::LeafUpdate u;
+    for (int64_t i = 0; i < block_size_; ++i) {
+      const Page& page = file_.Peek(first + i);
+      for (const Record& r : page.records()) {
+        if (u.count == 0 || r.key < u.min_key) u.min_key = r.key;
+        if (u.count == 0 || r.key > u.max_key) u.max_key = r.key;
+        ++u.count;
+      }
+    }
+    leaves.push_back(u);
+  }
+  calibrator_.SyncLeaves(lo, leaves);
 }
 
 void ControlBase::SyncBlock(Address block,
@@ -175,11 +250,12 @@ Address ControlBase::MaybeSpillAfter(Address block, Address limit) const {
 StatusOr<Record> ControlBase::Get(Key key) {
   const Address block = BlockPossiblyContaining(key);
   if (block == 0) return Status::NotFound("key absent");
-  const std::vector<Record> records = ReadBlock(block);
+  StatusOr<std::vector<Record>> records = ReadBlock(block);
+  DSF_RETURN_IF_ERROR(records.status());
   const auto it =
-      std::lower_bound(records.begin(), records.end(), Record{key, 0},
+      std::lower_bound(records->begin(), records->end(), Record{key, 0},
                        RecordKeyLess);
-  if (it == records.end() || it->key != key) {
+  if (it == records->end() || it->key != key) {
     return Status::NotFound("key absent");
   }
   return *it;
@@ -196,8 +272,9 @@ Status ControlBase::Scan(Key lo, Key hi, std::vector<Record>* out) {
     const int leaf = calibrator_.LeafOf(block);
     if (calibrator_.Count(leaf) == 0) continue;
     if (calibrator_.MinKeyOf(leaf) > hi) break;
-    const std::vector<Record> records = ReadBlock(block);
-    for (const Record& r : records) {
+    StatusOr<std::vector<Record>> records = ReadBlock(block);
+    DSF_RETURN_IF_ERROR(records.status());
+    for (const Record& r : *records) {
       if (r.key < lo) continue;
       if (r.key > hi) return Status::OK();
       out->push_back(r);
@@ -206,11 +283,9 @@ Status ControlBase::Scan(Key lo, Key hi, std::vector<Record>* out) {
   return Status::OK();
 }
 
-std::vector<Record> ControlBase::ScanAll() {
+StatusOr<std::vector<Record>> ControlBase::ScanAll() {
   std::vector<Record> out;
-  const Status s =
-      Scan(0, std::numeric_limits<Key>::max(), &out);
-  DSF_CHECK(s.ok()) << "full scan failed: " << s.ToString();
+  DSF_RETURN_IF_ERROR(Scan(0, std::numeric_limits<Key>::max(), &out));
   return out;
 }
 
@@ -228,7 +303,13 @@ StatusOr<int64_t> ControlBase::DeleteRange(Key lo, Key hi) {
     if (calibrator_.Count(leaf) == 0 || calibrator_.MinKeyOf(leaf) > hi) {
       break;
     }
-    std::vector<Record> records = ReadBlock(block);
+    StatusOr<std::vector<Record>> read = ReadBlock(block);
+    if (!read.ok()) {
+      if (removed > 0) AfterRangeDeletion(first_touched, last_touched);
+      EndCommand();
+      return read.status();
+    }
+    std::vector<Record>& records = *read;
     const auto begin = std::lower_bound(records.begin(), records.end(),
                                         Record{lo, 0}, RecordKeyLess);
     const auto end = std::upper_bound(records.begin(), records.end(),
@@ -236,9 +317,14 @@ StatusOr<int64_t> ControlBase::DeleteRange(Key lo, Key hi) {
     if (begin != end) {
       removed += end - begin;
       records.erase(begin, end);
-      WriteBlock(block, records);
+      const Status s = WriteBlock(block, records);
       if (first_touched == 0) first_touched = block;
       last_touched = block;
+      if (!s.ok()) {
+        AfterRangeDeletion(first_touched, last_touched);
+        EndCommand();
+        return s;
+      }
     }
     block = calibrator_.FirstNonEmptyPageIn(block + 1, num_blocks_);
   }
@@ -263,34 +349,202 @@ Status ControlBase::InsertBatch(const std::vector<Record>& records) {
   return Status::OK();
 }
 
-Status ControlBase::Compact() {
-  BeginCommand();
+Status ControlBase::RedistributeRangeCrashSafe(Address lo, Address hi) {
+  DSF_DCHECK(lo >= 1 && hi <= num_blocks_ && lo <= hi)
+      << "redistribution range [" << lo << "," << hi << "] invalid";
+  const int64_t range_blocks = hi - lo + 1;
+
   // One scratch buffer for the whole reorganization: the read pass
-  // appends into it, the write pass hands page-sized slices straight to
-  // the pages, and one batched SyncLeaves refreshes the calibrator —
-  // O(1) allocations for a full-file compaction.
+  // appends into it, both write passes hand page-sized slices straight
+  // to the pages, and batched SyncLeaves refresh the calibrator.
   std::vector<Record> all;
-  all.reserve(static_cast<size_t>(size()));
-  for (Address b = calibrator_.FirstNonEmptyPageIn(1, num_blocks_); b != 0;
-       b = calibrator_.FirstNonEmptyPageIn(b + 1, num_blocks_)) {
-    ReadBlockInto(b, &all);
+  for (Address b = calibrator_.FirstNonEmptyPageIn(lo, hi); b != 0;
+       b = calibrator_.FirstNonEmptyPageIn(b + 1, hi)) {
+    const Status s = ReadBlockInto(b, &all);
+    if (!s.ok()) return s;  // nothing written yet: clean abort
   }
   const int64_t n = static_cast<int64_t>(all.size());
-  std::vector<Calibrator::LeafUpdate> leaves;
-  leaves.reserve(static_cast<size_t>(num_blocks_));
+  const int64_t capacity = block_size_ * page_D_;
+
+  // Pass 1 — pack left. Block lo takes the first D# records, lo+1 the
+  // next D#, and so on. For every block the packed layout ends at or
+  // after the old layout's end (records only move left across blocks),
+  // so writing blocks left-to-right — with pages inside each block
+  // left-to-right, since intra-block content also moves left — never
+  // overwrites a record whose new home has not been written yet.
+  {
+    std::vector<Calibrator::LeafUpdate> leaves;
+    leaves.reserve(static_cast<size_t>(range_blocks));
+    Status fault = Status::OK();
+    int64_t offset = 0;
+    for (Address block = lo; block <= hi; ++block) {
+      const int64_t end = std::min(n, offset + capacity);
+      const Record* b = all.data() + offset;
+      const Record* e = all.data() + end;
+      fault = WriteBlockPages(block, b, e, BlockWriteOrder::kForward);
+      if (!fault.ok()) break;
+      leaves.push_back(MakeLeafUpdate(b, e));
+      offset = end;
+    }
+    if (!fault.ok()) {
+      ResyncRangeFromRaw(lo, hi);
+      return fault;
+    }
+    calibrator_.SyncLeaves(lo, leaves);
+  }
+
+  // Pass 2 — spread right. The uniform layout never places a record to
+  // the left of its packed position, so writing blocks right-to-left —
+  // pages inside each block right-to-left, intra-block content moving
+  // right as well — duplicates each record into its final home before
+  // its packed copy is destroyed.
+  {
+    std::vector<Calibrator::LeafUpdate> leaves(
+        static_cast<size_t>(range_blocks));
+    Status fault = Status::OK();
+    for (Address block = hi; block >= lo; --block) {
+      const int64_t idx = block - lo;
+      const Record* b = all.data() + idx * n / range_blocks;
+      const Record* e = all.data() + (idx + 1) * n / range_blocks;
+      fault = WriteBlockPages(block, b, e, BlockWriteOrder::kBackward);
+      if (!fault.ok()) break;
+      leaves[static_cast<size_t>(idx)] = MakeLeafUpdate(b, e);
+    }
+    if (!fault.ok()) {
+      ResyncRangeFromRaw(lo, hi);
+      return fault;
+    }
+    calibrator_.SyncLeaves(lo, leaves);
+  }
+  return Status::OK();
+}
+
+Status ControlBase::Compact() {
+  BeginCommand();
+  const Status s = RedistributeRangeCrashSafe(1, num_blocks_);
+  if (!s.ok()) {
+    EndCommand();
+    return s;
+  }
+  AfterWholesaleReorganization();
+  EndCommand();
+  return Status::OK();
+}
+
+StatusOr<RepairReport> ControlBase::CheckAndRepair() {
+  RepairReport report;
+
+  // Phase 1 — CHECK. One unaccounted pass over the raw pages (recovery
+  // is an offline scan of the device, outside the per-command cost
+  // model). Gather per-block truth and look for crash damage: overfull
+  // pages, blocks not packed into a page prefix, broken global order or
+  // torn-shift duplicates, stale calibrator leaves.
+  std::vector<Calibrator::LeafUpdate> leaves(
+      static_cast<size_t>(num_blocks_));
+  bool content_clean = true;
+  bool have_prev = false;
+  Key prev_max = 0;
+  for (Address block = 1; block <= num_blocks_; ++block) {
+    ++report.blocks_scanned;
+    Calibrator::LeafUpdate& u = leaves[static_cast<size_t>(block - 1)];
+    const Address first = FirstPhysicalPage(block);
+    bool saw_empty = false;
+    bool block_ordered = true;
+    for (int64_t i = 0; i < block_size_; ++i) {
+      const Page& page = file_.Peek(first + i);
+      if (page.empty()) {
+        saw_empty = true;
+        continue;
+      }
+      if (saw_empty) {
+        ++report.packing_violations;
+        content_clean = false;
+        saw_empty = false;
+      }
+      if (page.size() > page_D_) {
+        ++report.overfull_pages;
+        content_clean = false;
+      }
+      if (!page.WellFormed()) block_ordered = false;
+      for (const Record& r : page.records()) {
+        if (have_prev && r.key <= prev_max) block_ordered = false;
+        prev_max = r.key;
+        have_prev = true;
+        if (u.count == 0 || r.key < u.min_key) u.min_key = r.key;
+        if (u.count == 0 || r.key > u.max_key) u.max_key = r.key;
+        ++u.count;
+      }
+    }
+    if (!block_ordered) {
+      ++report.misordered_blocks;
+      content_clean = false;
+    }
+    const int leaf = calibrator_.LeafOf(block);
+    if (calibrator_.Count(leaf) != u.count ||
+        (u.count > 0 && (calibrator_.MinKeyOf(leaf) != u.min_key ||
+                         calibrator_.MaxKeyOf(leaf) != u.max_key))) {
+      ++report.calibrator_resyncs;
+    }
+  }
+
+  if (content_clean) {
+    // Cheap path: the records on the device are intact; only in-memory
+    // state (rank counters, fence keys, warning flags) needs rebuilding.
+    calibrator_.SyncLeaves(1, leaves);
+    AfterWholesaleReorganization();
+    report.warning_state_rebuilt = true;
+    if (ValidateInvariants().ok()) return report;
+    // Ordered and duplicate-free but structurally unacceptable (e.g. a
+    // crash mid-redistribution left a packed prefix that breaches
+    // BALANCE(d,D)): fall through to the wholesale rewrite.
+  }
+
+  // Phase 2 — wholesale REPAIR. Gather every surviving record in address
+  // order, sort stably by key and drop adjacent duplicates, keeping the
+  // first copy. The write-ordering invariants (dest-before-source shifts,
+  // pack-then-spread redistribution; docs/FAULTS.md) guarantee duplicate
+  // copies of a key carry identical payloads, so which copy survives is
+  // immaterial. Then rewrite at uniform density — Theorem 5.5's initial
+  // condition — via RawPage: recovery I/O is offline and unaccounted.
+  std::vector<Record> all;
+  for (Address p = 1; p <= file_.num_pages(); ++p) {
+    const Page& page = file_.Peek(p);
+    all.insert(all.end(), page.records().begin(), page.records().end());
+  }
+  std::stable_sort(all.begin(), all.end(), RecordKeyLess);
+  const auto unique_end =
+      std::unique(all.begin(), all.end(), [](const Record& a, const Record& b) {
+        return a.key == b.key;
+      });
+  report.duplicate_records_dropped = all.end() - unique_end;
+  all.erase(unique_end, all.end());
+
+  const int64_t n = static_cast<int64_t>(all.size());
   int64_t offset = 0;
   for (Address block = 1; block <= num_blocks_; ++block) {
     const int64_t end = block * n / num_blocks_;
-    const Record* lo = all.data() + offset;
-    const Record* hi = all.data() + end;
-    WriteBlockPages(block, lo, hi);
-    leaves.push_back(MakeLeafUpdate(lo, hi));
+    const Record* blo = all.data() + offset;
+    const Record* bhi = all.data() + end;
+    const Address first = FirstPhysicalPage(block);
+    int64_t written = 0;
+    for (int64_t i = 0; i < block_size_; ++i) {
+      Page& page = file_.RawPage(first + i);
+      page.Clear();
+      const int64_t take = std::min(page_D_, (bhi - blo) - written);
+      if (take > 0) {
+        page.AppendHigh(blo + written, blo + written + take);
+        written += take;
+      }
+    }
+    leaves[static_cast<size_t>(block - 1)] = MakeLeafUpdate(blo, bhi);
     offset = end;
   }
   calibrator_.SyncLeaves(1, leaves);
   AfterWholesaleReorganization();
-  EndCommand();
-  return Status::OK();
+  report.rewrote_file = true;
+  report.warning_state_rebuilt = true;
+  DSF_RETURN_IF_ERROR(ValidateInvariants());
+  return report;
 }
 
 double ControlBase::ScanEfficiency() const {

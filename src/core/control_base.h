@@ -31,6 +31,26 @@
 
 namespace dsf {
 
+// What CheckAndRepair found and fixed. All counters are zero for a file
+// that came through a crash with its invariants intact.
+struct RepairReport {
+  int64_t blocks_scanned = 0;
+  int64_t calibrator_resyncs = 0;    // leaves whose count/fences were stale
+  int64_t duplicate_records_dropped = 0;  // torn-shift duplicates removed
+  int64_t misordered_blocks = 0;     // blocks breaking global key order
+  int64_t overfull_pages = 0;        // pages holding more than D records
+  int64_t packing_violations = 0;    // blocks not prefix-packed
+  bool rewrote_file = false;         // wholesale uniform rewrite performed
+  bool warning_state_rebuilt = false;  // algorithm flags rebuilt from scratch
+
+  bool AnythingRepaired() const {
+    return calibrator_resyncs > 0 || duplicate_records_dropped > 0 ||
+           misordered_blocks > 0 || overfull_pages > 0 ||
+           packing_violations > 0 || rewrote_file;
+  }
+  std::string ToString() const;
+};
+
 // Per-command page-access bookkeeping.
 struct CommandStats {
   int64_t commands = 0;
@@ -82,7 +102,7 @@ class ControlBase {
   Status Scan(Key lo, Key hi, std::vector<Record>* out);
 
   // All records in key order (O(N) accounted reads).
-  std::vector<Record> ScanAll();
+  StatusOr<std::vector<Record>> ScanAll();
 
   // Streaming alternative to Scan: yields records with key >= start one
   // at a time, buffering a block per step. See core/cursor.h.
@@ -100,8 +120,27 @@ class ControlBase {
   // Rewrites the whole file at uniform density, with accounted I/O — an
   // explicit O(M) reorganization restoring Theorem 5.5's initial
   // condition: insert headroom spread evenly, so no region is primed to
-  // trigger maintenance storms after skewed deletions.
+  // trigger maintenance storms after skewed deletions. Crash-safe: runs
+  // as pack-then-spread, so a fault mid-compaction duplicates records but
+  // never loses one (CheckAndRepair finishes the job).
   Status Compact();
+
+  // Post-crash recovery. Inspects the raw pages (unaccounted — recovery
+  // is an offline pass over the device, outside the paper's per-command
+  // cost model), rebuilds the calibrator's N_v rank counters and fence
+  // keys bottom-up, and clears stale algorithm state (WARNING flags,
+  // DEST/SOURCE pointers) via AfterWholesaleReorganization.
+  //
+  // Cheap path: if the page contents are still globally ordered,
+  // duplicate-free, prefix-packed and within page capacity, only the
+  // in-memory calibrator and flags are rebuilt. Otherwise the wholesale
+  // path gathers every surviving record, sorts, drops torn-write
+  // duplicates (keeping the first copy in address order; duplicate copies
+  // carry identical payloads by the write-ordering invariants, see
+  // docs/FAULTS.md), and rewrites the file at uniform density. On return
+  // the file satisfies ValidateInvariants(); the report says what was
+  // fixed.
+  StatusOr<RepairReport> CheckAndRepair();
 
   // Mean records per page over the pages a full scan touches (a packing
   // diagnostic: D would be a fully packed file; clustering raises it,
@@ -158,15 +197,31 @@ class ControlBase {
     (void)hi_block;
   }
 
-  // --- Block I/O (accounted) ---
+  // Per-page write order inside a block. A crash between two page writes
+  // must never lose a record, so the direction depends on how the block's
+  // content moves: when records shift right (the block grows, or an
+  // equal-count rewrite pushes records to higher ranks) pages must be
+  // written right-to-left, so a record's new home exists before its old
+  // home is overwritten; when records shift left, left-to-right. kAuto
+  // picks by comparing new and old counts — callers whose rewrite shifts
+  // content against the count change must pass the direction explicitly.
+  enum class BlockWriteOrder { kAuto, kForward, kBackward };
+
+  // --- Block I/O (accounted, fallible) ---
   // All records of block b (address in [1, num_blocks]) in key order.
-  std::vector<Record> ReadBlock(Address block);
+  StatusOr<std::vector<Record>> ReadBlock(Address block);
   // Appends block b's records to *out (same accounting as ReadBlock).
-  void ReadBlockInto(Address block, std::vector<Record>* out);
+  // On error *out may hold a partial suffix of the block's records.
+  Status ReadBlockInto(Address block, std::vector<Record>* out);
   // Replaces block b's contents; packs D per physical page. The iterator
   // form writes a slice of a larger buffer without copying it first.
-  void WriteBlock(Address block, const std::vector<Record>& records);
-  void WriteBlock(Address block, const Record* begin, const Record* end);
+  // On a write fault the calibrator leaf is resynced from the raw pages
+  // before the error returns, so in-memory state never lies about the
+  // device; content-level damage (a torn block) is CheckAndRepair's job.
+  Status WriteBlock(Address block, const std::vector<Record>& records,
+                    BlockWriteOrder order = BlockWriteOrder::kAuto);
+  Status WriteBlock(Address block, const Record* begin, const Record* end,
+                    BlockWriteOrder order = BlockWriteOrder::kAuto);
 
   // --- Key -> block mapping (in-memory, free) ---
   // The unique block that can contain `key`; 0 if none.
@@ -196,10 +251,26 @@ class ControlBase {
   Calibrator calibrator_;
   CommandStats command_stats_;
 
+  // Crash-safe range redistribution: rewrites blocks [lo, hi] at uniform
+  // density in two passes — pack every record into the leftmost blocks
+  // (left-to-right), then spread from the packed prefix to the uniform
+  // layout (right-to-left). Each pass preserves the duplicate-before-
+  // destroy invariant, so a fault at any page boundary leaves every
+  // committed record present somewhere in [lo, hi] (possibly duplicated).
+  // Costs 2x the writes of a one-pass rewrite; same asymptotics.
+  Status RedistributeRangeCrashSafe(Address lo, Address hi);
+
+  // Rebuilds the calibrator leaf of `block` from the raw page contents
+  // (unaccounted). Called after a failed block write so the in-memory
+  // tree matches whatever made it to the device.
+  void ResyncLeafFromRaw(Address block);
+  // Same for every block in [lo, hi], with one batched SyncLeaves.
+  void ResyncRangeFromRaw(Address lo, Address hi);
+
  private:
   friend class Cursor;
   // Cursor's accounted block read (same as ReadBlock; narrow interface).
-  std::vector<Record> ReadBlockForCursor(Address block) {
+  StatusOr<std::vector<Record>> ReadBlockForCursor(Address block) {
     return ReadBlock(block);
   }
 
@@ -211,8 +282,12 @@ class ControlBase {
   void SyncBlock(Address block, const std::vector<Record>& records);
   // Writes the pages of `block` without syncing the calibrator. Callers
   // must follow up with SyncBlock or one batched Calibrator::SyncLeaves
-  // covering every block written this way, before the next read.
-  void WriteBlockPages(Address block, const Record* begin, const Record* end);
+  // covering every block written this way, before the next read. On a
+  // fault, already-written pages keep their new content, the rest keep
+  // their old content, and the error returns; the caller resyncs leaves.
+  Status WriteBlockPages(Address block, const Record* begin,
+                         const Record* end,
+                         BlockWriteOrder order = BlockWriteOrder::kAuto);
 
   int64_t command_start_accesses_ = 0;
   bool in_command_ = false;

@@ -31,7 +31,14 @@ void Cursor::Next() {
 
 void Cursor::LoadFrom(Address block, Key min_key) {
   block_ = block;
-  buffer_ = control_->ReadBlockForCursor(block);
+  StatusOr<std::vector<Record>> read = control_->ReadBlockForCursor(block);
+  if (!read.ok()) {
+    buffer_.clear();
+    index_ = 0;
+    status_ = read.status();
+    return;
+  }
+  buffer_ = *std::move(read);
   const auto it = std::lower_bound(buffer_.begin(), buffer_.end(),
                                    Record{min_key, 0}, RecordKeyLess);
   index_ = static_cast<size_t>(it - buffer_.begin());

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "storage/record.h"
+#include "util/status.h"
 
 namespace dsf {
 
@@ -25,8 +26,13 @@ class ControlBase;
 
 class Cursor {
  public:
-  // True while the cursor points at a record.
+  // True while the cursor points at a record. A cursor that hit a read
+  // fault becomes invalid with a non-OK status(); callers distinguish
+  // exhaustion from failure by checking status() once Valid() is false.
   bool Valid() const { return index_ < buffer_.size(); }
+
+  // OK unless a block read faulted while (re)filling the buffer.
+  const Status& status() const { return status_; }
 
   // The current record; cursor must be Valid().
   const Record& record() const;
@@ -47,6 +53,7 @@ class Cursor {
   Address block_ = 0;  // block currently buffered
   std::vector<Record> buffer_;
   size_t index_ = 0;
+  Status status_;
 };
 
 }  // namespace dsf

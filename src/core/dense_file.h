@@ -79,7 +79,7 @@ class DenseFile {
   Status Scan(Key lo, Key hi, std::vector<Record>* out) {
     return control_->Scan(lo, hi, out);
   }
-  std::vector<Record> ScanAll() { return control_->ScanAll(); }
+  StatusOr<std::vector<Record>> ScanAll() { return control_->ScanAll(); }
   // Streaming retrieval: records with key >= start, one block buffered at
   // a time (see core/cursor.h for the iterator contract).
   Cursor NewCursor(Key start = 0) { return control_->NewCursor(start); }
@@ -122,6 +122,21 @@ class DenseFile {
 
   // Full structural + algorithmic invariant sweep (O(M); for tests).
   Status ValidateInvariants() const { return control_->ValidateInvariants(); }
+
+  // --- Fault injection & recovery ---
+  // Installs (or clears) a deterministic fault schedule on the page store;
+  // see storage/fault_injection.h. After any command errors with IoError,
+  // run CheckAndRepair() before issuing further commands.
+  void set_fault_policy(std::shared_ptr<FaultPolicy> policy) {
+    control_->file().set_fault_policy(std::move(policy));
+  }
+  // Post-crash recovery: rebuilds the calibrator and algorithm state from
+  // the raw pages, repairing torn-command damage (duplicates, broken
+  // order) by a wholesale uniform rewrite when needed. On success the
+  // file passes ValidateInvariants(). See ControlBase::CheckAndRepair.
+  StatusOr<RepairReport> CheckAndRepair() {
+    return control_->CheckAndRepair();
+  }
 
   // The options the file was created with (block_size resolved).
   const Options& options() const { return options_; }

@@ -30,39 +30,70 @@ Address LocalShift::NearestBlockWithSpace(Address from) const {
   return 0;
 }
 
-void LocalShift::ShiftTowards(Address target, Address gap,
-                              std::vector<Record> overfull) {
+Status LocalShift::ShiftTowards(Address target, Address gap,
+                                std::vector<Record> overfull) {
   // `overfull` is the target block's contents including the new record
   // (one above capacity). Ripple the extreme record block-by-block toward
   // the gap: every intermediate block sheds one boundary record and
   // absorbs the carry, preserving global key order throughout.
+  //
+  // Crash safety: all chain blocks are read before anything is written
+  // (a read fault aborts with the device untouched), then the chain is
+  // written from the absorbing gap end back toward the target. Records
+  // ripple toward the gap, so each boundary record's new home is written
+  // before the block shedding it is overwritten — a crash mid-chain
+  // duplicates a boundary record but loses only the in-flight insert.
   if (gap < target) {
+    std::vector<std::vector<Record>> contents(
+        static_cast<size_t>(target - gap + 1));
     Record carry = overfull.front();
     overfull.erase(overfull.begin());
-    WriteBlock(target, overfull);
+    contents[static_cast<size_t>(target - gap)] = std::move(overfull);
     for (Address b = target - 1; b >= gap; --b) {
-      std::vector<Record> records = ReadBlock(b);
+      StatusOr<std::vector<Record>> read = ReadBlock(b);
+      DSF_RETURN_IF_ERROR(read.status());
+      std::vector<Record>& records = *read;
       records.push_back(carry);
       if (b > gap) {
         carry = records.front();
         records.erase(records.begin());
       }
-      WriteBlock(b, records);
+      contents[static_cast<size_t>(b - gap)] = *std::move(read);
+    }
+    // Records ripple left, both across blocks and inside each block
+    // (intermediate blocks shed the front rank and absorb at the back,
+    // an equal-count rewrite kAuto would mishandle): write ascending
+    // with forward page order.
+    for (Address b = gap; b <= target; ++b) {
+      DSF_RETURN_IF_ERROR(WriteBlock(b, contents[static_cast<size_t>(b - gap)],
+                                     BlockWriteOrder::kForward));
     }
   } else {
+    std::vector<std::vector<Record>> contents(
+        static_cast<size_t>(gap - target + 1));
     Record carry = overfull.back();
     overfull.pop_back();
-    WriteBlock(target, overfull);
+    contents[0] = std::move(overfull);
     for (Address b = target + 1; b <= gap; ++b) {
-      std::vector<Record> records = ReadBlock(b);
+      StatusOr<std::vector<Record>> read = ReadBlock(b);
+      DSF_RETURN_IF_ERROR(read.status());
+      std::vector<Record>& records = *read;
       records.insert(records.begin(), carry);
       if (b < gap) {
         carry = records.back();
         records.pop_back();
       }
-      WriteBlock(b, records);
+      contents[static_cast<size_t>(b - target)] = *std::move(read);
+    }
+    // Mirror image: records ripple right; write descending with backward
+    // page order.
+    for (Address b = gap; b >= target; --b) {
+      DSF_RETURN_IF_ERROR(WriteBlock(b,
+                                     contents[static_cast<size_t>(b - target)],
+                                     BlockWriteOrder::kBackward));
     }
   }
+  return Status::OK();
 }
 
 Status LocalShift::Insert(const Record& record) {
@@ -71,7 +102,12 @@ Status LocalShift::Insert(const Record& record) {
   }
   BeginCommand();
   const Address target = TargetBlockForInsert(record.key);
-  std::vector<Record> records = ReadBlock(target);
+  StatusOr<std::vector<Record>> read = ReadBlock(target);
+  if (!read.ok()) {
+    EndCommand();
+    return read.status();
+  }
+  std::vector<Record>& records = *read;
   const auto pos = std::lower_bound(records.begin(), records.end(), record,
                                     RecordKeyLess);
   if (pos != records.end() && pos->key == record.key) {
@@ -81,9 +117,9 @@ Status LocalShift::Insert(const Record& record) {
   const int64_t full = block_size_ * page_D_;
   if (static_cast<int64_t>(records.size()) < full) {
     records.insert(pos, record);
-    WriteBlock(target, records);
+    const Status s = WriteBlock(target, records);
     EndCommand();
-    return Status::OK();
+    return s;
   }
   // Target is solid: place the record anyway (one-over-capacity, within
   // the page store's transient slack) and ripple the boundary record to
@@ -95,16 +131,21 @@ Status LocalShift::Insert(const Record& record) {
   stats_.blocks_traversed += distance;
   stats_.max_distance = std::max(stats_.max_distance, distance);
   records.insert(pos, record);
-  ShiftTowards(target, gap, std::move(records));
+  const Status s = ShiftTowards(target, gap, std::move(records));
   EndCommand();
-  return Status::OK();
+  return s;
 }
 
 Status LocalShift::Delete(Key key) {
   const Address block = BlockPossiblyContaining(key);
   if (block == 0) return Status::NotFound("key absent");
   BeginCommand();
-  std::vector<Record> records = ReadBlock(block);
+  StatusOr<std::vector<Record>> read = ReadBlock(block);
+  if (!read.ok()) {
+    EndCommand();
+    return read.status();
+  }
+  std::vector<Record>& records = *read;
   const auto it = std::lower_bound(records.begin(), records.end(),
                                    Record{key, 0}, RecordKeyLess);
   if (it == records.end() || it->key != key) {
@@ -112,9 +153,9 @@ Status LocalShift::Delete(Key key) {
     return Status::NotFound("key absent");
   }
   records.erase(it);
-  WriteBlock(block, records);
+  const Status s = WriteBlock(block, records);
   EndCommand();
-  return Status::OK();
+  return s;
 }
 
 }  // namespace dsf

@@ -52,8 +52,10 @@ class LocalShift : public ControlBase {
 
   // Writes `overfull` (the target block's records plus the new one, one
   // above capacity) and ripples the excess boundary record to `gap`.
-  void ShiftTowards(Address target, Address gap,
-                    std::vector<Record> overfull);
+  // Reads the whole chain before writing it gap-end first, so a fault
+  // duplicates boundary records rather than losing committed ones.
+  Status ShiftTowards(Address target, Address gap,
+                      std::vector<Record> overfull);
 
   Stats stats_;
 };

@@ -109,7 +109,9 @@ Status SaveSnapshot(DenseFile& file, const std::string& path) {
   payload.push_back(static_cast<char>(PolicyTag(options.policy)));
   payload.push_back(options.smart_placement ? 1 : 0);
 
-  const std::vector<Record> records = file.ScanAll();
+  StatusOr<std::vector<Record>> scan = file.ScanAll();
+  if (!scan.ok()) return scan.status();
+  const std::vector<Record>& records = *scan;
   PutI64(payload, static_cast<int64_t>(records.size()));
   for (const Record& r : records) {
     PutU64(payload, r.key);

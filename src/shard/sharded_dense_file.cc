@@ -69,8 +69,15 @@ std::vector<Key> ShardedDenseFile::LearnSplitters(
                             static_cast<int64_t>(i) * n / num_shards)]
                      .key;
     }
-    if (!splitters.empty() && boundary <= splitters.back()) {
-      boundary = splitters.back() + 1;  // keep strictly ascending
+    // A boundary that does not strictly exceed the previous one (heavy
+    // duplicates in the sample, or a quantile at the very bottom of the
+    // key space) would carve out an empty or useless range. Skip it and
+    // return fewer splitters — fewer, balanced shards beat the nominal
+    // count: manufacturing `back + 1` boundaries routes at most one key
+    // per extra shard, and overflows once back reaches kMaxKey.
+    if (boundary == 0 ||
+        (!splitters.empty() && boundary <= splitters.back())) {
+      continue;
     }
     splitters.push_back(boundary);
   }
@@ -130,11 +137,36 @@ Status ShardedDenseFile::Scan(Key lo, Key hi, std::vector<Record>* out) {
   return Status::OK();
 }
 
-std::vector<Record> ShardedDenseFile::ScanAll() {
+StatusOr<std::vector<Record>> ShardedDenseFile::ScanAll() {
   std::vector<Record> out;
-  const Status s = Scan(0, kMaxKey, &out);
-  DSF_CHECK(s.ok()) << "full scan failed: " << s.ToString();
+  DSF_RETURN_IF_ERROR(Scan(0, kMaxKey, &out));
   return out;
+}
+
+void ShardedDenseFile::SetFaultPolicy(int shard,
+                                      std::shared_ptr<FaultPolicy> policy) {
+  Shard& s = *shards_[static_cast<size_t>(shard)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.file->set_fault_policy(std::move(policy));
+}
+
+StatusOr<RepairReport> ShardedDenseFile::CheckAndRepair() {
+  RepairReport total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    StatusOr<RepairReport> part = shard->file->CheckAndRepair();
+    if (!part.ok()) return part.status();
+    total.blocks_scanned += part->blocks_scanned;
+    total.calibrator_resyncs += part->calibrator_resyncs;
+    total.duplicate_records_dropped += part->duplicate_records_dropped;
+    total.misordered_blocks += part->misordered_blocks;
+    total.overfull_pages += part->overfull_pages;
+    total.packing_violations += part->packing_violations;
+    total.rewrote_file = total.rewrote_file || part->rewrote_file;
+    total.warning_state_rebuilt =
+        total.warning_state_rebuilt || part->warning_state_rebuilt;
+  }
+  return total;
 }
 
 StatusOr<int64_t> ShardedDenseFile::DeleteRange(Key lo, Key hi) {

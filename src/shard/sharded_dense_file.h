@@ -62,8 +62,11 @@ class ShardedDenseFile {
       const Options& options);
 
   // Equi-depth splitters from a key-sorted sample: boundary i sits at the
-  // key starting the i-th of num_shards equal-count slices, nudged upward
-  // where needed to stay strictly ascending. Feed the result into
+  // key starting the i-th of num_shards equal-count slices. Quantiles
+  // that would not strictly ascend (duplicate-heavy samples) or would sit
+  // at key 0 are dropped rather than fabricated, so the result may hold
+  // FEWER than num_shards - 1 splitters; pass result.size() + 1 as the
+  // effective num_shards to Create. Feed the result into
   // Options::splitters before Create to balance shard load under the
   // sampled distribution.
   static std::vector<Key> LearnSplitters(const std::vector<Record>& sample,
@@ -79,7 +82,7 @@ class ShardedDenseFile {
   // --- Cross-shard operations (ascending shard visits, one lock at a
   // time; per-shard results stitched in key order) ---
   Status Scan(Key lo, Key hi, std::vector<Record>* out);
-  std::vector<Record> ScanAll();
+  StatusOr<std::vector<Record>> ScanAll();
   StatusOr<int64_t> DeleteRange(Key lo, Key hi);
   // Strictly-ascending records, routed per shard, inserted one command at
   // a time. Stops at the first error.
@@ -93,6 +96,14 @@ class ShardedDenseFile {
   // Per-shard invariant sweep plus the routing invariant: every record
   // lives in the shard its key routes to.
   Status ValidateInvariants() const;
+
+  // --- Fault injection & recovery ---
+  // Installs (or clears) a fault schedule on one shard's page store.
+  // Shards model independent devices, so each carries its own policy.
+  void SetFaultPolicy(int shard, std::shared_ptr<FaultPolicy> policy);
+  // Runs DenseFile::CheckAndRepair on every shard (ascending, one lock at
+  // a time) and aggregates the reports: counters summed, flags OR-ed.
+  StatusOr<RepairReport> CheckAndRepair();
 
   // --- Introspection ---
   int num_shards() const { return static_cast<int>(shards_.size()); }

@@ -1,0 +1,73 @@
+#include "storage/fault_injection.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dsf {
+
+void FaultPolicy::FailNthAccess(int64_t n) {
+  if (n >= 1) fail_at_.push_back(accesses_seen_ + n);
+}
+
+void FaultPolicy::FailAddressRange(Address lo, Address hi, bool writes_only,
+                                   bool transient) {
+  RangeRule rule;
+  rule.lo = lo;
+  rule.hi = hi;
+  rule.writes_only = writes_only;
+  rule.transient = transient;
+  ranges_.push_back(rule);
+}
+
+void FaultPolicy::CrashAfterAccesses(int64_t k) {
+  crash_after_ = accesses_seen_ + std::max<int64_t>(k, 0);
+}
+
+void FaultPolicy::ClearCrash() {
+  crash_after_ = -1;
+  crashed_ = false;
+}
+
+void FaultPolicy::Reset() { *this = FaultPolicy(); }
+
+Status FaultPolicy::OnAccess(Address address, bool is_write) {
+  ++accesses_seen_;
+
+  if (crash_after_ >= 0 && accesses_seen_ > crash_after_) {
+    crashed_ = true;
+    ++faults_injected_;
+    return Status::IoError("simulated crash: device down after access " +
+                           std::to_string(crash_after_));
+  }
+
+  const auto it =
+      std::find(fail_at_.begin(), fail_at_.end(), accesses_seen_);
+  if (it != fail_at_.end()) {
+    fail_at_.erase(it);
+    ++faults_injected_;
+    return Status::IoError("injected transient fault at access " +
+                           std::to_string(accesses_seen_));
+  }
+
+  for (RangeRule& rule : ranges_) {
+    if (rule.spent) continue;
+    if (address < rule.lo || address > rule.hi) continue;
+    if (rule.writes_only && !is_write) continue;
+    if (rule.transient) rule.spent = true;
+    ++faults_injected_;
+    return Status::IoError(
+        "injected fault on " + std::string(is_write ? "write" : "read") +
+        " of page " + std::to_string(address));
+  }
+  return Status::OK();
+}
+
+std::string FaultPolicy::DebugString() const {
+  std::ostringstream os;
+  os << "accesses=" << accesses_seen_ << " faults=" << faults_injected_
+     << " pending_oneshot=" << fail_at_.size() << " ranges=" << ranges_.size()
+     << " crash_after=" << crash_after_ << " crashed=" << crashed_;
+  return os.str();
+}
+
+}  // namespace dsf

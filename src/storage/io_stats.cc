@@ -4,12 +4,17 @@
 
 namespace dsf {
 
+namespace {
+int64_t ClampedDiff(int64_t a, int64_t b) { return a > b ? a - b : 0; }
+}  // namespace
+
 IoStats IoStats::operator-(const IoStats& other) const {
   IoStats out;
-  out.page_reads = page_reads - other.page_reads;
-  out.page_writes = page_writes - other.page_writes;
-  out.seeks = seeks - other.seeks;
-  out.sequential_accesses = sequential_accesses - other.sequential_accesses;
+  out.page_reads = ClampedDiff(page_reads, other.page_reads);
+  out.page_writes = ClampedDiff(page_writes, other.page_writes);
+  out.seeks = ClampedDiff(seeks, other.seeks);
+  out.sequential_accesses =
+      ClampedDiff(sequential_accesses, other.sequential_accesses);
   return out;
 }
 

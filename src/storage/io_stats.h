@@ -23,6 +23,9 @@ struct IoStats {
 
   int64_t TotalAccesses() const { return page_reads + page_writes; }
 
+  // Per-counter difference, clamped at zero. Snapshot deltas are taken as
+  // `after - before`; if the tracker was Reset() between the snapshots the
+  // naive subtraction would go negative, which no caller can interpret.
   IoStats operator-(const IoStats& other) const;
   IoStats& operator+=(const IoStats& other);
 
@@ -32,7 +35,12 @@ struct IoStats {
 
 // Classifies a stream of addressed accesses into IoStats. Shared by the
 // dense-file page store and the baseline structures so all experiments
-// use one cost model: same/adjacent address = sequential, else a seek.
+// use one cost model:
+//   - re-access of the same address, or of an adjacent address (previous
+//     address +/- 1), counts as sequential;
+//   - everything else, including the FIRST access after construction or
+//     Reset(), counts as a seek (the arm position is unknown, so the
+//     conservative charge is a full seek).
 class AccessTracker {
  public:
   void OnAccess(int64_t address, bool is_write);

@@ -14,20 +14,46 @@ PageFile::PageFile(int64_t num_pages, int64_t page_capacity)
   for (int64_t i = 0; i < num_pages; ++i) pages_.emplace_back(page_capacity);
 }
 
-const Page& PageFile::Read(Address address) {
-  DSF_CHECK(address >= 1 && address <= num_pages_)
-      << "Read address " << address << " outside [1," << num_pages_ << "]";
+StatusOr<const Page*> PageFile::TryRead(Address address) {
+  if (address < 1 || address > num_pages_) {
+    return Status::OutOfRange("read address " + std::to_string(address) +
+                              " outside [1," + std::to_string(num_pages_) +
+                              "]");
+  }
   tracker_.OnAccess(address, /*is_write=*/false);
+  if (fault_policy_ != nullptr) {
+    DSF_RETURN_IF_ERROR(fault_policy_->OnAccess(address, /*is_write=*/false));
+  }
   SimulateDevice();
-  return pages_[static_cast<size_t>(address - 1)];
+  return const_cast<const Page*>(&pages_[static_cast<size_t>(address - 1)]);
+}
+
+StatusOr<Page*> PageFile::TryWrite(Address address) {
+  if (address < 1 || address > num_pages_) {
+    return Status::OutOfRange("write address " + std::to_string(address) +
+                              " outside [1," + std::to_string(num_pages_) +
+                              "]");
+  }
+  tracker_.OnAccess(address, /*is_write=*/true);
+  if (fault_policy_ != nullptr) {
+    DSF_RETURN_IF_ERROR(fault_policy_->OnAccess(address, /*is_write=*/true));
+  }
+  SimulateDevice();
+  return &pages_[static_cast<size_t>(address - 1)];
+}
+
+const Page& PageFile::Read(Address address) {
+  StatusOr<const Page*> page = TryRead(address);
+  DSF_CHECK(page.ok()) << "infallible Read failed: "
+                       << page.status().ToString();
+  return **page;
 }
 
 Page& PageFile::Write(Address address) {
-  DSF_CHECK(address >= 1 && address <= num_pages_)
-      << "Write address " << address << " outside [1," << num_pages_ << "]";
-  tracker_.OnAccess(address, /*is_write=*/true);
-  SimulateDevice();
-  return pages_[static_cast<size_t>(address - 1)];
+  StatusOr<Page*> page = TryWrite(address);
+  DSF_CHECK(page.ok()) << "infallible Write failed: "
+                       << page.status().ToString();
+  return **page;
 }
 
 Page& PageFile::RawPage(Address address) {

@@ -2,10 +2,12 @@
 // page-access accounting.
 //
 // Every algorithm in libdsf (the dense-file controls and all baselines)
-// goes through Read()/Write() so that experiments can compare page-access
-// counts. Read() charges a page read, Write() charges a page write and
-// returns a mutable page. Peek() is free and reserved for validators,
-// tests and debug printing — never for algorithm logic.
+// goes through the accounted accessors so that experiments can compare
+// page-access counts. TryRead()/TryWrite() charge the access, consult the
+// optional FaultPolicy, and return the page or kIoError; Read()/Write()
+// are infallible wrappers that abort on a fault. Peek() is free and
+// reserved for validators, tests, debug printing and offline recovery —
+// never for online algorithm logic.
 //
 // Addresses are 1-based (pages 1..M), matching the paper.
 
@@ -14,13 +16,16 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "storage/fault_injection.h"
 #include "storage/io_stats.h"
 #include "storage/page.h"
 #include "storage/record.h"
+#include "util/status.h"
 
 namespace dsf {
 
@@ -32,9 +37,26 @@ class PageFile {
   int64_t num_pages() const { return num_pages_; }
   int64_t page_capacity() const { return page_capacity_; }
 
-  // Accounted access. `address` in [1, num_pages].
+  // Accounted, fallible access. `address` in [1, num_pages] (violations
+  // return OutOfRange, not abort). The access is charged to IoStats and
+  // then checked against the installed FaultPolicy, if any: on an injected
+  // fault the page is left untouched and kIoError is returned. A failed
+  // write therefore never tears an individual page.
+  StatusOr<const Page*> TryRead(Address address);
+  StatusOr<Page*> TryWrite(Address address);
+
+  // Accounted, infallible access: aborts the process on a bad address or
+  // an injected fault. For call sites whose layer has no error channel —
+  // under fault injection they fail loudly instead of ignoring the fault.
   const Page& Read(Address address);
   Page& Write(Address address);
+
+  // Installs (or clears, with nullptr) the fault schedule consulted by
+  // TryRead/TryWrite. Shared so tests can keep steering it mid-run.
+  void set_fault_policy(std::shared_ptr<FaultPolicy> policy) {
+    fault_policy_ = std::move(policy);
+  }
+  FaultPolicy* fault_policy() const { return fault_policy_.get(); }
 
   // Unaccounted access for validators / tests / printing only.
   const Page& Peek(Address address) const;
@@ -79,6 +101,7 @@ class PageFile {
   int64_t page_capacity_;
   std::vector<Page> pages_;
   AccessTracker tracker_;
+  std::shared_ptr<FaultPolicy> fault_policy_;
   std::chrono::nanoseconds access_latency_{0};
 };
 

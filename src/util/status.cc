@@ -22,6 +22,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Corruption";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kIoError:
+      return "IoError";
   }
   return "Unknown";
 }

@@ -28,6 +28,7 @@ enum class StatusCode : uint8_t {
   kFailedPrecondition = 6,  // object state does not permit the call
   kCorruption = 7,          // an internal invariant was found broken
   kInternal = 8,            // unexpected algorithmic state
+  kIoError = 9,             // a page access failed (injected or device fault)
 };
 
 // Returns the canonical spelling of `code` ("OK", "NotFound", ...).
@@ -71,6 +72,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -84,6 +88,8 @@ class Status {
   bool IsInvalidArgument() const {
     return code_ == StatusCode::kInvalidArgument;
   }
+  bool IsIoError() const { return code_ == StatusCode::kIoError; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
 
   // "OK" or "<Code>: <message>".
   std::string ToString() const;

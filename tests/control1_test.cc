@@ -130,7 +130,7 @@ TEST(Control1, MatchesReferenceModelOnUniformMix) {
         break;
     }
   }
-  EXPECT_EQ(c->ScanAll(), model.ScanAll());
+  EXPECT_EQ(*c->ScanAll(), model.ScanAll());
   EXPECT_TRUE(c->ValidateInvariants().ok());
 }
 

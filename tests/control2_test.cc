@@ -137,7 +137,7 @@ TEST(Control2, MatchesReferenceModelOnUniformMix) {
         break;
     }
   }
-  EXPECT_EQ(c->ScanAll(), model.ScanAll());
+  EXPECT_EQ(*c->ScanAll(), model.ScanAll());
   EXPECT_TRUE(c->ValidateInvariants().ok());
 }
 
@@ -197,7 +197,7 @@ TEST(Control2, MacroBlockModeOperatesBelowGapCondition) {
     }
     ASSERT_TRUE(c->ValidateInvariants().ok());
   }
-  EXPECT_EQ(c->ScanAll(), model.ScanAll());
+  EXPECT_EQ(*c->ScanAll(), model.ScanAll());
 }
 
 TEST(Control2, StepCallbackFiresAtFlagStableMoments) {

@@ -1,0 +1,354 @@
+// Deterministic crash-after-k sweep.
+//
+// For every accounted access index k in a mixed insert/delete trace, crash
+// the device at k (all later accesses fail), then restart (ClearCrash),
+// run CheckAndRepair, and require: repair succeeds, the full invariant
+// sweep passes, and the contents equal the reference model — where the
+// single in-flight command is allowed to have either committed or cleanly
+// aborted (the model is aligned by asking the recovered file). The rest of
+// the trace then replays fault-free and must stay in lockstep.
+//
+// The ambiguity protocol mirrors real recovery: after a crash the caller
+// cannot know whether the interrupted command took effect, but the file
+// must be SOME consistent state that reflects either outcome — never a
+// torn half-state, never a lost unrelated record.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/control_base.h"
+#include "core/dense_file.h"
+#include "gtest/gtest.h"
+#include "shard/sharded_dense_file.h"
+#include "storage/fault_injection.h"
+#include "storage/record.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "workload/reference_model.h"
+#include "workload/workload.h"
+
+namespace dsf {
+namespace {
+
+DenseFile::Options FileOptions(DenseFile::Policy policy) {
+  DenseFile::Options options;
+  options.num_pages = 32;
+  options.d = 4;
+  options.D = 20;
+  options.policy = policy;
+  return options;
+}
+
+Status ApplyToFile(DenseFile& file, const Op& op) {
+  switch (op.kind) {
+    case Op::Kind::kInsert:
+      return file.Insert(op.record);
+    case Op::Kind::kDelete:
+      return file.Delete(op.record.key);
+    case Op::Kind::kGet:
+      return file.Get(op.record.key).status();
+    case Op::Kind::kScan: {
+      std::vector<Record> out;
+      return file.Scan(op.record.key, op.scan_hi, &out);
+    }
+  }
+  return Status::OK();
+}
+
+Status ApplyToModel(ReferenceModel& model, const Op& op) {
+  switch (op.kind) {
+    case Op::Kind::kInsert:
+      return model.Insert(op.record);
+    case Op::Kind::kDelete:
+      return model.Delete(op.record.key);
+    case Op::Kind::kGet:
+      return model.Get(op.record.key).status();
+    case Op::Kind::kScan:
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+// The crashed command may or may not have committed; both outcomes are
+// valid recoveries. Resolve the ambiguity by asking the repaired file.
+template <typename File>
+void AlignModelAfterCrash(const Op& op, File& file, ReferenceModel& model) {
+  if (op.kind == Op::Kind::kInsert) {
+    if (file.Contains(op.record.key) && !model.Contains(op.record.key)) {
+      ASSERT_TRUE(model.Insert(op.record).ok());
+    }
+  } else if (op.kind == Op::Kind::kDelete) {
+    if (!file.Contains(op.record.key) && model.Contains(op.record.key)) {
+      ASSERT_TRUE(model.Delete(op.record.key).ok());
+    }
+  }
+}
+
+// Accounted accesses of a fault-free replay: the sweep's upper bound.
+int64_t CleanRunAccesses(DenseFile::Policy policy,
+                         const std::vector<Record>& initial,
+                         const Trace& trace) {
+  std::unique_ptr<DenseFile> file =
+      *DenseFile::Create(FileOptions(policy));
+  EXPECT_TRUE(file->BulkLoad(initial).ok());
+  for (const Op& op : trace) ApplyToFile(*file, op).ok();
+  return file->io_stats().TotalAccesses();
+}
+
+void RunCrashPoint(DenseFile::Policy policy_kind,
+                   const std::vector<Record>& initial, const Trace& trace,
+                   int64_t k, bool* fault_fired) {
+  StatusOr<std::unique_ptr<DenseFile>> created =
+      DenseFile::Create(FileOptions(policy_kind));
+  ASSERT_TRUE(created.ok()) << created.status();
+  DenseFile& file = **created;
+  ASSERT_TRUE(file.BulkLoad(initial).ok());
+  ReferenceModel model(file.capacity());
+  ASSERT_TRUE(model.Load(initial).ok());
+
+  auto policy = std::make_shared<FaultPolicy>();
+  policy->CrashAfterAccesses(k);
+  file.set_fault_policy(policy);
+
+  bool crashed = false;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const Op& op = trace[i];
+    const Status file_status = ApplyToFile(file, op);
+    if (!crashed && file_status.IsIoError()) {
+      crashed = true;
+      *fault_fired = true;
+      policy->ClearCrash();  // restart
+      StatusOr<RepairReport> report = file.CheckAndRepair();
+      ASSERT_TRUE(report.ok())
+          << "k=" << k << " op=" << i << ": " << report.status();
+      ASSERT_TRUE(file.ValidateInvariants().ok())
+          << "k=" << k << " op=" << i;
+      AlignModelAfterCrash(op, file, model);
+      if (::testing::Test::HasFatalFailure()) return;
+      ASSERT_EQ(*file.ScanAll(), model.ScanAll())
+          << "k=" << k << " diverged at op " << i << " after repair";
+      continue;
+    }
+    // At most one command may observe the crash: everything after
+    // ClearCrash runs clean.
+    ASSERT_FALSE(file_status.IsIoError()) << "k=" << k << " op=" << i;
+    const Status model_status = ApplyToModel(model, op);
+    ASSERT_EQ(file_status.code(), model_status.code())
+        << "k=" << k << " op=" << i << " file=" << file_status
+        << " model=" << model_status;
+  }
+  // The trace may have finished inside the access budget with the crash
+  // still armed; lift it so the verification scans run clean.
+  policy->ClearCrash();
+  ASSERT_TRUE(file.ValidateInvariants().ok()) << "k=" << k;
+  ASSERT_EQ(*file.ScanAll(), model.ScanAll()) << "k=" << k;
+}
+
+class CrashRecoverySweep
+    : public ::testing::TestWithParam<DenseFile::Policy> {};
+
+TEST_P(CrashRecoverySweep, EveryCrashPointRecovers) {
+  // Wide key stride (30) leaves each block's fence span wider than D
+  // consecutive integer keys, so the ascending burst below piles into a
+  // single block until it overflows past D and forces real maintenance
+  // (SHIFT cycles / redistribution / chain shifts) — the sweep then
+  // crashes through those multi-page rewrites, not just 2-access updates.
+  Rng rng(20260807);
+  const std::vector<Record> initial = MakeAscendingRecords(80, 30, 30);
+  Trace trace = AscendingInserts(24, 601, 1);
+  const Trace tail = UniformMix(60, 0.35, 0.55, 2700, rng);
+  trace.insert(trace.end(), tail.begin(), tail.end());
+  const int64_t total = CleanRunAccesses(GetParam(), initial, trace);
+  ASSERT_GT(total, 0);
+
+  bool fault_fired = false;
+  for (int64_t k = 0; k <= total; ++k) {
+    RunCrashPoint(GetParam(), initial, trace, k, &fault_fired);
+    if (HasFatalFailure()) return;
+  }
+  EXPECT_TRUE(fault_fired);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, CrashRecoverySweep,
+                         ::testing::Values(DenseFile::Policy::kControl2,
+                                           DenseFile::Policy::kControl1,
+                                           DenseFile::Policy::kLocalShift),
+                         [](const auto& param_info) {
+                           switch (param_info.param) {
+                             case DenseFile::Policy::kControl2:
+                               return "Control2";
+                             case DenseFile::Policy::kControl1:
+                               return "Control1";
+                             case DenseFile::Policy::kLocalShift:
+                               return "LocalShift";
+                           }
+                           return "Unknown";
+                         });
+
+// A transient read fault (not a crash) must abort the command cleanly:
+// invariants intact, contents untouched, nothing for repair to fix, and
+// the retried command succeeds.
+TEST(TransientFault, ReadFaultAbortsCommandCleanly) {
+  for (const DenseFile::Policy policy_kind :
+       {DenseFile::Policy::kControl2, DenseFile::Policy::kControl1,
+        DenseFile::Policy::kLocalShift}) {
+    std::unique_ptr<DenseFile> file =
+        *DenseFile::Create(FileOptions(policy_kind));
+    Rng rng(7);
+    const std::vector<Record> initial = MakeUniformRecords(48, 400, rng);
+    ASSERT_TRUE(file->BulkLoad(initial).ok());
+    ReferenceModel model;
+    ASSERT_TRUE(model.Load(initial).ok());
+
+    auto policy = std::make_shared<FaultPolicy>();
+    policy->FailNthAccess(1);  // the command's first read
+    file->set_fault_policy(policy);
+
+    EXPECT_TRUE(file->Insert(Record{401, 1}).IsIoError());
+    EXPECT_TRUE(file->ValidateInvariants().ok());
+    EXPECT_EQ(*file->ScanAll(), model.ScanAll());
+
+    StatusOr<RepairReport> report = file->CheckAndRepair();
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_FALSE(report->AnythingRepaired()) << report->ToString();
+
+    // The schedule is spent; the retry goes through.
+    EXPECT_TRUE(file->Insert(Record{401, 1}).ok());
+    EXPECT_TRUE(model.Insert(Record{401, 1}).ok());
+    EXPECT_EQ(*file->ScanAll(), model.ScanAll());
+  }
+}
+
+// Compaction is the heaviest rewrite; sweep a crash through every access
+// of the pack-then-spread and require zero record loss.
+TEST(CrashRecoveryCompact, CompactionCrashNeverLosesARecord) {
+  const std::vector<Record> load = MakeAscendingRecords(120, 1, 3);
+  std::vector<Record> expected;
+  int64_t total = 0;
+  {
+    std::unique_ptr<DenseFile> file =
+        *DenseFile::Create(FileOptions(DenseFile::Policy::kControl2));
+    ASSERT_TRUE(file->BulkLoad(load).ok());
+    ASSERT_TRUE(file->DeleteRange(1, 200).ok());
+    expected = *file->ScanAll();
+    file->ResetIoStats();
+    ASSERT_TRUE(file->Compact().ok());
+    total = file->io_stats().TotalAccesses();
+  }
+  ASSERT_GT(total, 0);
+
+  for (int64_t k = 0; k <= total; ++k) {
+    std::unique_ptr<DenseFile> file =
+        *DenseFile::Create(FileOptions(DenseFile::Policy::kControl2));
+    ASSERT_TRUE(file->BulkLoad(load).ok());
+    ASSERT_TRUE(file->DeleteRange(1, 200).ok());
+    auto policy = std::make_shared<FaultPolicy>();
+    policy->CrashAfterAccesses(k);
+    file->set_fault_policy(policy);
+
+    const Status s = file->Compact();
+    policy->ClearCrash();
+    if (s.IsIoError()) {
+      StatusOr<RepairReport> report = file->CheckAndRepair();
+      ASSERT_TRUE(report.ok()) << "k=" << k << ": " << report.status();
+    } else {
+      ASSERT_TRUE(s.ok()) << "k=" << k << ": " << s;
+    }
+    ASSERT_TRUE(file->ValidateInvariants().ok()) << "k=" << k;
+    ASSERT_EQ(*file->ScanAll(), expected) << "k=" << k;
+  }
+}
+
+// Sharded: crash one shard's device mid-trace; the whole-file repair must
+// bring the file back while the other shard rides through untouched.
+TEST(CrashRecoverySharded, EveryCrashPointOnShardZeroRecovers) {
+  ShardedDenseFile::Options options;
+  options.num_shards = 2;
+  options.key_space = 2700;
+  options.shard.num_pages = 24;
+  options.shard.d = 4;
+  options.shard.D = 20;
+
+  // Same wide-stride + ascending-burst shape as the single-file sweep;
+  // the burst keys (601..624) sit below the midpoint splitter, so the
+  // maintenance they force lands on the faulted shard 0.
+  Rng rng(20260808);
+  const std::vector<Record> initial = MakeAscendingRecords(80, 30, 30);
+  Trace trace = AscendingInserts(24, 601, 1);
+  const Trace tail = UniformMix(60, 0.35, 0.55, 2700, rng);
+  trace.insert(trace.end(), tail.begin(), tail.end());
+
+  const auto apply_to_file = [](ShardedDenseFile& file,
+                                const Op& op) -> Status {
+    switch (op.kind) {
+      case Op::Kind::kInsert:
+        return file.Insert(op.record);
+      case Op::Kind::kDelete:
+        return file.Delete(op.record.key);
+      case Op::Kind::kGet:
+        return file.Get(op.record.key).status();
+      case Op::Kind::kScan: {
+        std::vector<Record> out;
+        return file.Scan(op.record.key, op.scan_hi, &out);
+      }
+    }
+    return Status::OK();
+  };
+
+  // Access budget of shard 0 on a clean replay.
+  int64_t total = 0;
+  {
+    std::unique_ptr<ShardedDenseFile> file =
+        *ShardedDenseFile::Create(options);
+    ASSERT_TRUE(file->BulkLoad(initial).ok());
+    for (const Op& op : trace) apply_to_file(*file, op).ok();
+    total = file->shard_io_stats(0).TotalAccesses();
+  }
+  ASSERT_GT(total, 0);
+
+  bool fault_fired = false;
+  for (int64_t k = 0; k <= total; ++k) {
+    std::unique_ptr<ShardedDenseFile> file =
+        *ShardedDenseFile::Create(options);
+    ASSERT_TRUE(file->BulkLoad(initial).ok());
+    ReferenceModel model;
+    ASSERT_TRUE(model.Load(initial).ok());
+
+    auto policy = std::make_shared<FaultPolicy>();
+    policy->CrashAfterAccesses(k);
+    file->SetFaultPolicy(0, policy);
+
+    bool crashed = false;
+    for (size_t i = 0; i < trace.size(); ++i) {
+      const Op& op = trace[i];
+      const Status file_status = apply_to_file(*file, op);
+      if (!crashed && file_status.IsIoError()) {
+        crashed = true;
+        fault_fired = true;
+        policy->ClearCrash();
+        StatusOr<RepairReport> report = file->CheckAndRepair();
+        ASSERT_TRUE(report.ok())
+            << "k=" << k << " op=" << i << ": " << report.status();
+        ASSERT_TRUE(file->ValidateInvariants().ok())
+            << "k=" << k << " op=" << i;
+        AlignModelAfterCrash(op, *file, model);
+        if (HasFatalFailure()) return;
+        ASSERT_EQ(*file->ScanAll(), model.ScanAll())
+            << "k=" << k << " diverged at op " << i << " after repair";
+        continue;
+      }
+      ASSERT_FALSE(file_status.IsIoError()) << "k=" << k << " op=" << i;
+      const Status model_status = ApplyToModel(model, op);
+      ASSERT_EQ(file_status.code(), model_status.code())
+          << "k=" << k << " op=" << i;
+    }
+    policy->ClearCrash();
+    ASSERT_TRUE(file->ValidateInvariants().ok()) << "k=" << k;
+    ASSERT_EQ(*file->ScanAll(), model.ScanAll()) << "k=" << k;
+  }
+  EXPECT_TRUE(fault_fired);
+}
+
+}  // namespace
+}  // namespace dsf

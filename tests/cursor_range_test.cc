@@ -82,7 +82,7 @@ TEST(Cursor, MatchesScanOnChurnedFile) {
   for (Cursor cur = f->NewCursor(); cur.Valid(); cur.Next()) {
     via_cursor.push_back(cur.record());
   }
-  EXPECT_EQ(via_cursor, f->ScanAll());
+  EXPECT_EQ(via_cursor, *f->ScanAll());
 }
 
 class RangeOpsTest : public ::testing::TestWithParam<DenseFile::Policy> {};
@@ -100,7 +100,7 @@ TEST_P(RangeOpsTest, DeleteRangeRemovesExactlyTheSlice) {
   for (const Record& r : model.Scan(100, 500)) {
     ASSERT_TRUE(model.Delete(r.key).ok());
   }
-  EXPECT_EQ(f->ScanAll(), model.ScanAll());
+  EXPECT_EQ(*f->ScanAll(), model.ScanAll());
   EXPECT_TRUE(f->ValidateInvariants().ok());
 }
 
@@ -168,11 +168,11 @@ TEST(Compact, RestoresUniformDensityAfterSkewedDeletes) {
   // Delete everything except one dense clump at the high end.
   const int64_t cap = f->capacity();
   ASSERT_TRUE(f->DeleteRange(1, static_cast<Key>(cap - 60)).ok());
-  const std::vector<Record> before = f->ScanAll();
+  const std::vector<Record> before = *f->ScanAll();
   ASSERT_TRUE(f->Compact().ok());
   // Contents unchanged; occupancy now even across the whole file: no
   // block more than one record above the global average.
-  EXPECT_EQ(f->ScanAll(), before);
+  EXPECT_EQ(*f->ScanAll(), before);
   const Calibrator& cal = f->control().calibrator();
   const int64_t blocks = f->control().num_blocks();
   const int64_t average = f->size() / blocks;
@@ -185,9 +185,9 @@ TEST(Compact, RestoresUniformDensityAfterSkewedDeletes) {
 TEST(Compact, FileKeepsWorkingAfterCompaction) {
   std::unique_ptr<DenseFile> f = Make();
   ASSERT_TRUE(f->BulkLoad(MakeAscendingRecords(100, 4, 4)).ok());
-  const std::vector<Record> before = f->ScanAll();
+  const std::vector<Record> before = *f->ScanAll();
   ASSERT_TRUE(f->Compact().ok());
-  EXPECT_EQ(f->ScanAll(), before);
+  EXPECT_EQ(*f->ScanAll(), before);
   for (Key k = 2; k <= 100; k += 4) {
     ASSERT_TRUE(f->Insert(k, k).ok());
   }

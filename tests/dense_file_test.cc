@@ -109,7 +109,7 @@ TEST(DenseFile, BulkLoadAndScan) {
   std::vector<Record> out;
   ASSERT_TRUE(f->Scan(5, 50, &out).ok());
   EXPECT_EQ(out.size(), 10u);
-  EXPECT_EQ(f->ScanAll().size(), 100u);
+  EXPECT_EQ(f->ScanAll()->size(), 100u);
   EXPECT_TRUE(f->ValidateInvariants().ok());
 }
 

@@ -125,12 +125,12 @@ TEST_P(FuzzAllTest, EveryStructureTracksTheOracle) {
   }
 
   const std::vector<Record> expected = model.ScanAll();
-  EXPECT_EQ(c2->ScanAll(), expected);
-  EXPECT_EQ(c1->ScanAll(), expected);
-  EXPECT_EQ(ls->ScanAll(), expected);
+  EXPECT_EQ(*c2->ScanAll(), expected);
+  EXPECT_EQ(*c1->ScanAll(), expected);
+  EXPECT_EQ(*ls->ScanAll(), expected);
   EXPECT_EQ(btree->ScanAll(), expected);
   EXPECT_EQ(ovfl->ScanAll(), expected);
-  EXPECT_EQ(naive->ScanAll(), expected);
+  EXPECT_EQ(*naive->ScanAll(), expected);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzAllTest,

@@ -90,11 +90,11 @@ class Fixture {
 
   void CheckAllStructuresAgree() {
     const std::vector<Record> expected = model_->ScanAll();
-    EXPECT_EQ(control2_->ScanAll(), expected);
-    EXPECT_EQ(control1_->ScanAll(), expected);
+    EXPECT_EQ(*control2_->ScanAll(), expected);
+    EXPECT_EQ(*control1_->ScanAll(), expected);
     EXPECT_EQ(btree_->ScanAll(), expected);
     EXPECT_EQ(overflow_->ScanAll(), expected);
-    EXPECT_EQ(naive_->ScanAll(), expected);
+    EXPECT_EQ(*naive_->ScanAll(), expected);
     EXPECT_TRUE(control2_->ValidateInvariants().ok());
     EXPECT_TRUE(control1_->ValidateInvariants().ok());
     EXPECT_TRUE(btree_->ValidateInvariants().ok());

@@ -72,7 +72,7 @@ TEST(LocalShift, DisplacesIntoLeftGap) {
   ASSERT_TRUE(c->Insert(Record{999, 1}).ok());  // new min, page 10 full
   EXPECT_GE(c->stats().displaced_inserts, 1);
   EXPECT_TRUE(c->ValidateInvariants().ok());
-  EXPECT_EQ(c->ScanAll().front().key, 999u);
+  EXPECT_EQ(c->ScanAll()->front().key, 999u);
 }
 
 TEST(LocalShift, SolidPrefixShiftPreservesEveryRecord) {
@@ -86,7 +86,7 @@ TEST(LocalShift, SolidPrefixShiftPreservesEveryRecord) {
     ASSERT_TRUE(c->ValidateInvariants().ok());
   }
   EXPECT_TRUE(c->Insert(Record{1, 1}).IsCapacityExceeded());
-  EXPECT_EQ(c->ScanAll(), model.ScanAll());
+  EXPECT_EQ(*c->ScanAll(), model.ScanAll());
   EXPECT_GT(c->stats().max_distance, 0);
 }
 
@@ -116,7 +116,7 @@ TEST(LocalShift, MatchesReferenceModelOnUniformMix) {
     }
     ASSERT_TRUE(c->ValidateInvariants().ok());
   }
-  EXPECT_EQ(c->ScanAll(), model.ScanAll());
+  EXPECT_EQ(*c->ScanAll(), model.ScanAll());
 }
 
 TEST(LocalShift, ExpectedCostSmallUnderStationaryUniformChurn) {

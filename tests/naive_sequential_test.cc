@@ -56,7 +56,7 @@ TEST(NaiveSequential, MaintainsFullPackingUnderChurn) {
     }
     ASSERT_TRUE(f->ValidateInvariants().ok());
   }
-  EXPECT_EQ(f->ScanAll(), model.ScanAll());
+  EXPECT_EQ(*f->ScanAll(), model.ScanAll());
 }
 
 TEST(NaiveSequential, CapacityIsMTimesD) {
@@ -107,7 +107,7 @@ TEST(NaiveSequential, DeleteFromFrontPullsRecordsLeft) {
   ASSERT_TRUE(f->BulkLoad(MakeAscendingRecords(8)).ok());
   ASSERT_TRUE(f->Delete(1).ok());
   EXPECT_TRUE(f->ValidateInvariants().ok());
-  const std::vector<Record> all = f->ScanAll();
+  const std::vector<Record> all = *f->ScanAll();
   ASSERT_EQ(all.size(), 7u);
   EXPECT_EQ(all.front().key, 2u);
   EXPECT_EQ(all.back().key, 8u);

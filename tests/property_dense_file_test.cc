@@ -176,7 +176,7 @@ TEST_P(DenseFilePropertyTest, TraceReplayKeepsAllInvariants) {
         << ShapeName(c.shape) << ")";
     ++step;
   }
-  EXPECT_EQ(file.ScanAll(), model.ScanAll());
+  EXPECT_EQ(*file.ScanAll(), model.ScanAll());
   EXPECT_EQ(file.size(), model.size());
 
   if (c.policy == DenseFile::Policy::kControl2) {

@@ -136,7 +136,7 @@ TEST(ShardedDenseFileTest, CrossShardScanStitchesInKeyOrder) {
     ASSERT_TRUE(file->Scan(lo, hi, &got).ok());
     EXPECT_EQ(got, model.Scan(lo, hi)) << "range [" << lo << "," << hi << "]";
   }
-  EXPECT_EQ(file->ScanAll(), model.ScanAll());
+  EXPECT_EQ(*file->ScanAll(), model.ScanAll());
 }
 
 TEST(ShardedDenseFileTest, CrossShardDeleteRangeMatchesModel) {
@@ -156,7 +156,7 @@ TEST(ShardedDenseFileTest, CrossShardDeleteRangeMatchesModel) {
   StatusOr<int64_t> removed = file->DeleteRange(300, 900);
   ASSERT_TRUE(removed.ok());
   EXPECT_EQ(*removed, model_removed);
-  EXPECT_EQ(file->ScanAll(), model.ScanAll());
+  EXPECT_EQ(*file->ScanAll(), model.ScanAll());
   EXPECT_TRUE(file->ValidateInvariants().ok());
 }
 
@@ -165,7 +165,7 @@ TEST(ShardedDenseFileTest, InsertBatchRoutesAcrossShards) {
   const std::vector<Record> batch = MakeAscendingRecords(100, 5, 10);
   ASSERT_TRUE(file->InsertBatch(batch).ok());
   EXPECT_EQ(file->size(), 100);
-  EXPECT_EQ(file->ScanAll(), batch);
+  EXPECT_EQ(*file->ScanAll(), batch);
   // Every shard received its slice.
   for (int i = 0; i < 4; ++i) {
     EXPECT_GT(file->shard_size(i), 0) << "shard " << i;
@@ -298,7 +298,7 @@ TEST_P(ShardedStormTest, ConcurrentMixedTrafficMatchesReference) {
     }
   }
   EXPECT_EQ(file->size(), model.size());
-  EXPECT_EQ(file->ScanAll(), model.ScanAll());
+  EXPECT_EQ(*file->ScanAll(), model.ScanAll());
 
   // Every shard survived the storm with its invariants intact (this
   // includes BALANCE(d,D) per shard).

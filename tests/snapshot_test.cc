@@ -28,13 +28,13 @@ TEST(Snapshot, RoundTripPreservesContentsAndConfig) {
   for (const Record& r : MakeUniformRecords(150, 5000, rng)) {
     ASSERT_TRUE(file->Insert(r).ok());
   }
-  const std::vector<Record> before = file->ScanAll();
+  const std::vector<Record> before = *file->ScanAll();
   const std::string path = TempPath("dsf_snapshot_roundtrip.bin");
   ASSERT_TRUE(SaveSnapshot(*file, path).ok());
 
   StatusOr<std::unique_ptr<DenseFile>> reopened = OpenSnapshot(path);
   ASSERT_TRUE(reopened.ok()) << reopened.status();
-  EXPECT_EQ((*reopened)->ScanAll(), before);
+  EXPECT_EQ(*(*reopened)->ScanAll(), before);
   EXPECT_EQ((*reopened)->num_pages(), 64);
   EXPECT_EQ((*reopened)->capacity(), file->capacity());
   EXPECT_EQ((*reopened)->PolicyName(), "CONTROL2");
