@@ -5,10 +5,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "baseline/btree.h"
 #include "core/calibrator.h"
 #include "core/control2.h"
 #include "core/dense_file.h"
+#include "storage/page.h"
+#include "storage/page_file.h"
 #include "util/check.h"
 #include "workload/workload.h"
 
@@ -24,6 +28,68 @@ DenseFile::Options FileOptions(int64_t num_pages) {
   options.D = options.d + 4 * l + 1;
   return options;
 }
+
+// In-page key search at page size D (the innermost loop of every
+// command). Page::Find runs the branchless half-interval LowerBoundRecord
+// (storage/record.h): the interval-shrink step compiles to a conditional
+// move, so random keys cause no branch mispredictions. The win over the
+// std::lower_bound baseline below grows with D — at D >= 64 the
+// mispredicted-branch cost of the classic search dominates.
+void BM_PageSearch(benchmark::State& state) {
+  const int64_t D = state.range(0);
+  std::vector<Record> records;
+  for (int64_t i = 0; i < D; ++i) {
+    records.push_back(Record{static_cast<Key>(2 * i + 2), 0});
+  }
+  Rng rng(11);
+  for (auto _ : state) {
+    // Odd keys miss, even keys hit: both paths share the same search.
+    const Key k = rng.Uniform(static_cast<uint64_t>(2 * D) + 2) + 1;
+    benchmark::DoNotOptimize(
+        LowerBoundRecord(records.data(), D, k));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PageSearch)->Arg(8)->Arg(16)->Arg(64)->Arg(128)->Arg(256);
+
+// Baseline for BM_PageSearch: the classic branching lower_bound over the
+// same records.
+void BM_PageSearchStdLowerBound(benchmark::State& state) {
+  const int64_t D = state.range(0);
+  std::vector<Record> records;
+  for (int64_t i = 0; i < D; ++i) {
+    records.push_back(Record{static_cast<Key>(2 * i + 2), 0});
+  }
+  Rng rng(11);
+  for (auto _ : state) {
+    const Key k = rng.Uniform(static_cast<uint64_t>(2 * D) + 2) + 1;
+    auto it = std::lower_bound(
+        records.begin(), records.end(), k,
+        [](const Record& r, Key key) { return r.key < key; });
+    benchmark::DoNotOptimize(it);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PageSearchStdLowerBound)->Arg(8)->Arg(16)->Arg(64)->Arg(128)->Arg(256);
+
+// Raw accounted page access. Arg 0: fast path (no fault policy, no
+// latency) — the hot configuration every experiment without fault
+// injection runs in, reduced to one predicted-not-taken branch by the
+// precomputed slow-path flag. Arg 1: an installed (empty) FaultPolicy
+// forces the slow path, showing what the hoist saves.
+void BM_PageFileAccess(benchmark::State& state) {
+  PageFile file(4096, 8);
+  if (state.range(0) != 0) {
+    file.set_fault_policy(std::make_shared<FaultPolicy>());
+  }
+  Rng rng(12);
+  for (auto _ : state) {
+    const Address a = static_cast<Address>(rng.Uniform(4096)) + 1;
+    benchmark::DoNotOptimize(file.TryRead(a));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PageFileAccess)->Arg(0)->Arg(1);
 
 // Insert/delete pairs at random keys against a half-full file.
 void BM_DenseFileInsertDelete(benchmark::State& state) {

@@ -1,17 +1,21 @@
 #!/usr/bin/env bash
-# Builds the project and regenerates every experiment E1..E14 plus the
+# Builds the project and regenerates every experiment E1..E16 plus the
 # microbenchmarks, collecting output under results/.
 #
-# With --bench, instead builds Release and refreshes the two tracked
+# With --bench, instead builds Release and refreshes the tracked
 # perf-trajectory artifacts at the repository root:
 #   BENCH_core.json   gbench_core (google-benchmark JSON: calibrator
-#                     sync, Compact, insert/delete/get microbenchmarks)
+#                     sync, Compact, insert/delete/get, page search and
+#                     raw page-access microbenchmarks)
 #   BENCH_shard.json  shard_scaling (threads x shards throughput sweep)
+#   BENCH_cache.json  cache_sweep (buffer-pool size x workload skew:
+#                     throughput, hit rate, write amplification)
 #
 # With --sanitize, instead runs the sanitizer matrix: an
 # address,undefined build driving the fault-injection / crash-recovery /
-# corruption tests (the error paths ordinary runs rarely execute), then a
-# thread build driving the sharded concurrency test.
+# corruption / buffer-pool tests (the error paths ordinary runs rarely
+# execute), then a thread build driving the sharded concurrency test
+# (including the pooled storm: one buffer pool per shard mutex).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,7 +24,7 @@ if [[ "${1:-}" == "--sanitize" ]]; then
   cmake --build build-asan
   ASAN_OPTIONS=halt_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-asan --output-on-failure \
-      -R 'fault_injection_test|crash_recovery_fuzz_test|corruption_test|sharded_file_test|fuzz_all_test'
+      -R 'fault_injection_test|crash_recovery_fuzz_test|corruption_test|sharded_file_test|fuzz_all_test|buffer_pool_test'
   cmake -B build-tsan -G Ninja -DDSF_SANITIZE=thread
   cmake --build build-tsan
   ctest --test-dir build-tsan --output-on-failure -R sharded_file_test
@@ -30,12 +34,13 @@ fi
 
 if [[ "${1:-}" == "--bench" ]]; then
   cmake -B build-bench -G Ninja -DCMAKE_BUILD_TYPE=Release
-  cmake --build build-bench --target gbench_core shard_scaling
+  cmake --build build-bench --target gbench_core shard_scaling cache_sweep
   ./build-bench/bench/gbench_core \
     --benchmark_format=json \
     --benchmark_min_time=0.2 > BENCH_core.json
   ./build-bench/bench/shard_scaling --out=BENCH_shard.json
-  echo "Wrote BENCH_core.json and BENCH_shard.json"
+  ./build-bench/bench/cache_sweep --out=BENCH_cache.json
+  echo "Wrote BENCH_core.json, BENCH_shard.json and BENCH_cache.json"
   exit 0
 fi
 

@@ -29,21 +29,18 @@ Status Control1::Insert(const Record& record) {
   StatusOr<std::vector<Record>> read = ReadBlock(target);
   if (!read.ok()) {
     // Clean abort: nothing was written, the file is untouched.
-    EndCommand();
-    return read.status();
+    return EndCommand(read.status());
   }
   std::vector<Record>& records = *read;
   const auto pos = std::lower_bound(records.begin(), records.end(), record,
                                     RecordKeyLess);
   if (pos != records.end() && pos->key == record.key) {
-    EndCommand();
-    return Status::AlreadyExists("key already present");
+    return EndCommand(Status::AlreadyExists("key already present"));
   }
   records.insert(pos, record);
   const Status write = WriteBlock(target, records);
   if (!write.ok()) {
-    EndCommand();
-    return write;
+    return EndCommand(write);
   }
 
   // Step B: fix the highest BALANCE violation, if the insert caused one.
@@ -56,12 +53,10 @@ Status Control1::Insert(const Record& record) {
         << "root violated BALANCE despite the capacity check";
     const Status s = Redistribute(father);
     if (!s.ok()) {
-      EndCommand();
-      return s;
+      return EndCommand(s);
     }
   }
-  EndCommand();
-  return Status::OK();
+  return EndCommand();
 }
 
 Status Control1::Delete(Key key) {
@@ -70,21 +65,18 @@ Status Control1::Delete(Key key) {
   BeginCommand();
   StatusOr<std::vector<Record>> read = ReadBlock(block);
   if (!read.ok()) {
-    EndCommand();
-    return read.status();
+    return EndCommand(read.status());
   }
   std::vector<Record>& records = *read;
   const auto it = std::lower_bound(records.begin(), records.end(),
                                    Record{key, 0}, RecordKeyLess);
   if (it == records.end() || it->key != key) {
-    EndCommand();
-    return Status::NotFound("key absent");
+    return EndCommand(Status::NotFound("key absent"));
   }
   records.erase(it);
   const Status write = WriteBlock(block, records);
   // Deletions only lower densities; BALANCE cannot newly fail.
-  EndCommand();
-  return write;
+  return EndCommand(write);
 }
 
 Status Control1::ValidateInvariants() const {

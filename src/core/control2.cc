@@ -328,21 +328,18 @@ Status Control2::Insert(const Record& record) {
   if (!read.ok()) {
     // Clean abort: no write happened, flags and file are untouched, so
     // the command leaves the file (d,D)-dense with consistent warnings.
-    EndCommand();
-    return read.status();
+    return EndCommand(read.status());
   }
   std::vector<Record>& records = *read;
   const auto pos = std::lower_bound(records.begin(), records.end(), record,
                                     RecordKeyLess);
   if (pos != records.end() && pos->key == record.key) {
-    EndCommand();
-    return Status::AlreadyExists("key already present");
+    return EndCommand(Status::AlreadyExists("key already present"));
   }
   records.insert(pos, record);
   const Status write = WriteBlock(target, records);
   if (!write.ok()) {
-    EndCommand();
-    return write;
+    return EndCommand(write);
   }
   command_inserted_block_ = target;
 
@@ -353,8 +350,7 @@ Status Control2::Insert(const Record& record) {
   // durably placed — the caller runs CheckAndRepair, which rebuilds the
   // warning state the aborted maintenance left behind.
   const Status maintenance = RunMaintenance(target);
-  EndCommand();
-  return maintenance;
+  return EndCommand(maintenance);
 }
 
 Status Control2::Delete(Key key) {
@@ -363,21 +359,18 @@ Status Control2::Delete(Key key) {
   BeginCommand();
   StatusOr<std::vector<Record>> read = ReadBlock(block);
   if (!read.ok()) {
-    EndCommand();
-    return read.status();
+    return EndCommand(read.status());
   }
   std::vector<Record>& records = *read;
   const auto it = std::lower_bound(records.begin(), records.end(),
                                    Record{key, 0}, RecordKeyLess);
   if (it == records.end() || it->key != key) {
-    EndCommand();
-    return Status::NotFound("key absent");
+    return EndCommand(Status::NotFound("key absent"));
   }
   records.erase(it);
   const Status write = WriteBlock(block, records);
   if (!write.ok()) {
-    EndCommand();
-    return write;
+    return EndCommand(write);
   }
   command_inserted_block_ = 0;  // deletions relate no SHIFTs
 
@@ -385,8 +378,7 @@ Status Control2::Delete(Key key) {
   // Step 3 is vacuous: a deletion raises no density.
   NotifyStable(StablePoint::kAfterStep3, -1);
   const Status maintenance = RunMaintenance(block);  // step 4
-  EndCommand();
-  return maintenance;
+  return EndCommand(maintenance);
 }
 
 Status Control2::ValidateInvariants() const {

@@ -63,7 +63,45 @@ ControlBase::ControlBase(const Config& config, DensitySpec logical_spec)
       // Physical capacity D+1: one record may transiently exceed D inside
       // a command before the maintenance steps drain it.
       file_(config.num_pages, config.D + 1),
-      calibrator_(num_blocks_) {}
+      calibrator_(num_blocks_) {
+  if (config.cache_frames > 0) {
+    BufferPool::Options pool_options;
+    pool_options.num_frames = config.cache_frames;
+    pool_options.eviction = config.cache_eviction;
+    pool_ = std::make_unique<BufferPool>(&file_, pool_options);
+  }
+}
+
+const Page& ControlBase::PeekLogical(Address page) const {
+  if (pool_ != nullptr) {
+    const Page* frame = pool_->PeekFrame(page);
+    if (frame != nullptr) return *frame;
+  }
+  return file_.Peek(page);
+}
+
+bool ControlBase::LogicallyOrdered() const {
+  bool have_previous = false;
+  Key previous_max = 0;
+  for (Address p = 1; p <= file_.num_pages(); ++p) {
+    const Page& page = PeekLogical(p);
+    if (!page.WellFormed()) return false;
+    if (page.empty()) continue;
+    if (have_previous && page.MinKey() <= previous_max) return false;
+    previous_max = page.MaxKey();
+    have_previous = true;
+  }
+  return true;
+}
+
+Status ControlBase::Flush() {
+  if (pool_ == nullptr) return Status::OK();
+  return pool_->FlushAll();
+}
+
+void ControlBase::DiscardCache() {
+  if (pool_ != nullptr) pool_->DropAll();
+}
 
 int64_t ControlBase::PagesUsed(int64_t count) const {
   if (count == 0) return 0;
@@ -84,9 +122,16 @@ Status ControlBase::ReadBlockInto(Address block, std::vector<Record>* out) {
   const int64_t before = static_cast<int64_t>(out->size());
   const Address first = FirstPhysicalPage(block);
   for (int64_t i = 0; i < used; ++i) {
-    StatusOr<const Page*> p = file_.TryRead(first + i);
-    DSF_RETURN_IF_ERROR(p.status());
-    out->insert(out->end(), (*p)->records().begin(), (*p)->records().end());
+    if (pool_ != nullptr) {
+      StatusOr<PageGuard> guard = pool_->PinRead(first + i);
+      DSF_RETURN_IF_ERROR(guard.status());
+      const std::vector<Record>& records = guard->page().records();
+      out->insert(out->end(), records.begin(), records.end());
+    } else {
+      StatusOr<const Page*> p = file_.TryRead(first + i);
+      DSF_RETURN_IF_ERROR(p.status());
+      out->insert(out->end(), (*p)->records().begin(), (*p)->records().end());
+    }
   }
   (void)before;
   DSF_DCHECK(static_cast<int64_t>(out->size()) - before == count)
@@ -140,19 +185,38 @@ Status ControlBase::WriteBlockPages(Address block, const Record* begin,
     const int64_t i = backward ? used - 1 - step : step;
     const int64_t offset = i * page_D_;
     const int64_t take = (i + 1 < used) ? page_D_ : n - offset;
-    StatusOr<Page*> p = file_.TryWrite(first + i);
-    if (!p.ok()) {
-      fault = p.status();
-      break;
+    if (pool_ != nullptr) {
+      // Full-page overwrite: the pool skips the miss read and hands out
+      // a cleared dirty frame. The pool's dirty-order list preserves the
+      // crash-safe order chosen here — frames reach the device in the
+      // order they were dirtied, not in address order.
+      StatusOr<PageGuard> guard = pool_->PinForOverwrite(first + i);
+      if (!guard.ok()) {
+        fault = guard.status();
+        break;
+      }
+      guard->mutable_page()->AppendHigh(begin + offset, begin + offset + take);
+    } else {
+      StatusOr<Page*> p = file_.TryWrite(first + i);
+      if (!p.ok()) {
+        fault = p.status();
+        break;
+      }
+      (*p)->Clear();
+      (*p)->AppendHigh(begin + offset, begin + offset + take);
     }
-    (*p)->Clear();
-    (*p)->AppendHigh(begin + offset, begin + offset + take);
   }
   if (!fault.ok()) return fault;
   // Pages that fall out of the used prefix become free. A real system
   // records this in metadata; clearing them here is bookkeeping, not I/O.
+  // Pooled, the clear must ride the dirty order (it may not overtake the
+  // in-cache writes that moved these records into the used prefix).
   for (int64_t i = used; i < old_used; ++i) {
-    file_.RawPage(first + i).Clear();
+    if (pool_ != nullptr) {
+      DSF_RETURN_IF_ERROR(pool_->MarkFree(first + i));
+    } else {
+      file_.RawPage(first + i).Clear();
+    }
   }
   return Status::OK();
 }
@@ -163,7 +227,7 @@ void ControlBase::ResyncLeafFromRaw(Address block) {
   Key min_key = 0;
   Key max_key = 0;
   for (int64_t i = 0; i < block_size_; ++i) {
-    const Page& page = file_.Peek(first + i);
+    const Page& page = PeekLogical(first + i);
     if (page.empty()) continue;
     // A torn block may interleave old and new pages, so the true extrema
     // need a full scan of every record, not just the first/last page.
@@ -183,7 +247,7 @@ void ControlBase::ResyncRangeFromRaw(Address lo, Address hi) {
     const Address first = FirstPhysicalPage(block);
     Calibrator::LeafUpdate u;
     for (int64_t i = 0; i < block_size_; ++i) {
-      const Page& page = file_.Peek(first + i);
+      const Page& page = PeekLogical(first + i);
       for (const Record& r : page.records()) {
         if (u.count == 0 || r.key < u.min_key) u.min_key = r.key;
         if (u.count == 0 || r.key > u.max_key) u.max_key = r.key;
@@ -306,8 +370,7 @@ StatusOr<int64_t> ControlBase::DeleteRange(Key lo, Key hi) {
     StatusOr<std::vector<Record>> read = ReadBlock(block);
     if (!read.ok()) {
       if (removed > 0) AfterRangeDeletion(first_touched, last_touched);
-      EndCommand();
-      return read.status();
+      return EndCommand(read.status());
     }
     std::vector<Record>& records = *read;
     const auto begin = std::lower_bound(records.begin(), records.end(),
@@ -322,14 +385,13 @@ StatusOr<int64_t> ControlBase::DeleteRange(Key lo, Key hi) {
       last_touched = block;
       if (!s.ok()) {
         AfterRangeDeletion(first_touched, last_touched);
-        EndCommand();
-        return s;
+        return EndCommand(s);
       }
     }
     block = calibrator_.FirstNonEmptyPageIn(block + 1, num_blocks_);
   }
   if (removed > 0) AfterRangeDeletion(first_touched, last_touched);
-  EndCommand();
+  DSF_RETURN_IF_ERROR(EndCommand());
   return removed;
 }
 
@@ -423,16 +485,24 @@ Status ControlBase::Compact() {
   BeginCommand();
   const Status s = RedistributeRangeCrashSafe(1, num_blocks_);
   if (!s.ok()) {
-    EndCommand();
-    return s;
+    return EndCommand(s);
   }
   AfterWholesaleReorganization();
-  EndCommand();
-  return Status::OK();
+  return EndCommand();
 }
 
 StatusOr<RepairReport> ControlBase::CheckAndRepair() {
   RepairReport report;
+
+  // Recovery works from device truth. A live pooled file first tries to
+  // land its dirty frames (best effort — with an active fault the writes
+  // may be refused), then drops the cache entirely: whatever could not
+  // be flushed is treated exactly like RAM lost in a crash. Post-crash
+  // callers have already called DiscardCache(), making this a no-op.
+  if (pool_ != nullptr) {
+    (void)pool_->FlushAll();
+    pool_->DropAll();
+  }
 
   // Phase 1 — CHECK. One unaccounted pass over the raw pages (recovery
   // is an offline scan of the device, outside the per-command cost
@@ -562,15 +632,28 @@ void ControlBase::BeginCommand() {
   command_start_accesses_ = file_.stats().TotalAccesses();
 }
 
-void ControlBase::EndCommand() {
+Status ControlBase::EndCommand() {
   DSF_DCHECK(in_command_) << "EndCommand without BeginCommand";
   in_command_ = false;
+  // Flush before the cost snapshot so write-back I/O is charged to the
+  // command that dirtied the frames. Command-granularity durability: on
+  // return from a successful command, the device holds it in full, so a
+  // crash leaves at most the in-flight command unflushed.
+  Status flush = Status::OK();
+  if (pool_ != nullptr) flush = pool_->FlushAll();
   const int64_t used = file_.stats().TotalAccesses() - command_start_accesses_;
   ++command_stats_.commands;
   command_stats_.last_command_accesses = used;
   command_stats_.max_command_accesses =
       std::max(command_stats_.max_command_accesses, used);
   command_stats_.total_accesses += used;
+  return flush;
+}
+
+Status ControlBase::EndCommand(const Status& command_status) {
+  const Status flush = EndCommand();
+  if (!command_status.ok()) return command_status;
+  return flush;
 }
 
 void ControlBase::ResetCommandStats() { command_stats_ = CommandStats(); }
@@ -595,15 +678,17 @@ Status ControlBase::ValidateInvariants() const {
   if (calibrator_.TotalRecords() > MaxRecords()) {
     return Status::Corruption("file exceeds N = d*M records");
   }
-  // I2: no physical page above D records (outside a command).
+  // I2: no physical page above D records (outside a command). Pooled,
+  // the logical view (dirty frames over device pages) is what must hold;
+  // the device may lag by the unflushed tail of the in-flight command.
   for (Address p = 1; p <= file_.num_pages(); ++p) {
-    if (file_.Peek(p).size() > page_D_) {
+    if (PeekLogical(p).size() > page_D_) {
       return Status::Corruption("page " + std::to_string(p) +
                                 " holds more than D records");
     }
   }
   // I3: global key order.
-  if (!file_.GloballyOrdered()) {
+  if (!LogicallyOrdered()) {
     return Status::Corruption("records out of sequential order");
   }
   // I5: calibrator leaves mirror the true block contents, and each block
@@ -615,7 +700,7 @@ Status ControlBase::ValidateInvariants() const {
     Key max_key = 0;
     bool saw_empty = false;
     for (int64_t i = 0; i < block_size_; ++i) {
-      const Page& page = file_.Peek(first + i);
+      const Page& page = PeekLogical(first + i);
       if (page.empty()) {
         saw_empty = true;
         continue;
@@ -653,6 +738,9 @@ Status ControlBase::BulkLoad(const std::vector<Record>& records) {
           "bulk load records must be strictly ascending by key");
     }
   }
+  // The load writes the device directly; stale cached frames would
+  // shadow it.
+  DiscardCache();
   // Uniform-density spread (Theorem 5.5's initial condition): block j of
   // B gets floor((j+1)n/B) - floor(jn/B) records, so any aligned range is
   // within one record per block of the global average.
@@ -708,6 +796,7 @@ Status ControlBase::LoadLayout(const std::vector<std::vector<Record>>& per_block
   if (total > MaxRecords()) {
     return Status::CapacityExceeded("LoadLayout exceeds N = d*M records");
   }
+  DiscardCache();
   std::vector<Calibrator::LeafUpdate> leaves;
   leaves.reserve(static_cast<size_t>(num_blocks_));
   for (Address block = 1; block <= num_blocks_; ++block) {

@@ -19,12 +19,14 @@
 #define DSF_CORE_CONTROL_BASE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/calibrator.h"
 #include "core/cursor.h"
 #include "core/density.h"
+#include "storage/buffer_pool.h"
 #include "storage/page_file.h"
 #include "storage/record.h"
 #include "util/status.h"
@@ -80,6 +82,16 @@ class ControlBase {
     // empty block just after it instead (when one exists before the
     // successor block), trading paper fidelity for less SHIFT pressure.
     bool smart_placement = false;
+
+    // Buffer pool between the algorithms and the device. 0 (default)
+    // means no pool: every logical access is a physical access, exactly
+    // the pre-pool behavior. With frames, reads hit resident pages for
+    // free and writes are held dirty until the end of the command, when
+    // EndCommand flushes them in crash-safe dirty-order (so command
+    // durability and the one-in-flight-command crash semantics are
+    // unchanged — see docs/CACHING.md).
+    int64_t cache_frames = 0;
+    BufferPool::Eviction cache_eviction = BufferPool::Eviction::kClock;
   };
 
   virtual ~ControlBase() = default;
@@ -155,6 +167,17 @@ class ControlBase {
   int64_t num_blocks() const { return num_blocks_; }
   PageFile& file() { return file_; }
   const PageFile& file() const { return file_; }
+  // The buffer pool, or nullptr when cache_frames == 0.
+  BufferPool* pool() { return pool_.get(); }
+  const BufferPool* pool() const { return pool_.get(); }
+  // Writes every dirty frame to the device (no-op without a pool).
+  // Commands flush themselves at EndCommand; this is for callers that
+  // want durability at an arbitrary point (e.g. before a snapshot).
+  Status Flush();
+  // Drops every cached frame *without* write-back — the cache-loss half
+  // of a simulated crash. The device is left as the last flush left it;
+  // callers must follow with CheckAndRepair to re-sync in-memory state.
+  void DiscardCache();
   const Calibrator& calibrator() const { return calibrator_; }
   const CommandStats& command_stats() const { return command_stats_; }
   void ResetCommandStats();
@@ -234,9 +257,16 @@ class ControlBase {
   Address MaybeSpillAfter(Address block, Address limit) const;
 
   // Wraps a user command for cost accounting; call at entry/exit of
-  // Insert/Delete implementations.
+  // Insert/Delete implementations. EndCommand flushes the buffer pool
+  // first (command-granularity durability: at most the in-flight command
+  // is unflushed at a crash) and returns the flush status — OK without a
+  // pool. The one-argument form folds a command's own status with the
+  // flush status (the command's error wins; flush errors surface when
+  // the command itself succeeded), so implementations can write
+  // `return EndCommand(s);` at every exit.
   void BeginCommand();
-  void EndCommand();
+  Status EndCommand();
+  Status EndCommand(const Status& command_status);
 
   // BALANCE(d,D) over the calibrator (every node p(v) <= g(v,1)).
   Status ValidateBalance() const;
@@ -248,6 +278,7 @@ class ControlBase {
   int64_t page_d_;  // physical per-page d
   int64_t page_D_;  // physical per-page D
   PageFile file_;
+  std::unique_ptr<BufferPool> pool_;  // null when cache_frames == 0
   Calibrator calibrator_;
   CommandStats command_stats_;
 
@@ -260,12 +291,20 @@ class ControlBase {
   // Costs 2x the writes of a one-pass rewrite; same asymptotics.
   Status RedistributeRangeCrashSafe(Address lo, Address hi);
 
-  // Rebuilds the calibrator leaf of `block` from the raw page contents
+  // Rebuilds the calibrator leaf of `block` from the logical page
+  // contents — cached frame if resident, device page otherwise
   // (unaccounted). Called after a failed block write so the in-memory
-  // tree matches whatever made it to the device.
+  // tree matches whatever the store actually holds.
   void ResyncLeafFromRaw(Address block);
   // Same for every block in [lo, hi], with one batched SyncLeaves.
   void ResyncRangeFromRaw(Address lo, Address hi);
+
+  // The page as the algorithms see it: the resident dirty/clean frame
+  // when pooled, the device page otherwise. Unaccounted; for validators
+  // and resync.
+  const Page& PeekLogical(Address page) const;
+  // PageFile::GloballyOrdered over the logical view.
+  bool LogicallyOrdered() const;
 
  private:
   friend class Cursor;

@@ -41,6 +41,11 @@ StatusOr<std::unique_ptr<DenseFile>> DenseFile::Create(
   config.D = options.D;
   config.block_size = block_size;
   config.smart_placement = options.smart_placement;
+  if (options.cache_frames < 0) {
+    return Status::InvalidArgument("cache_frames must be >= 0");
+  }
+  config.cache_frames = options.cache_frames;
+  config.cache_eviction = options.cache_eviction;
 
   std::unique_ptr<ControlBase> control;
   switch (options.policy) {

@@ -55,6 +55,13 @@ class DenseFile {
     int64_t block_size = 0;
     // Non-paper insert placement heuristic (see ControlBase::Config).
     bool smart_placement = false;
+    // Buffer-pool frames between the algorithms and the device; 0 (the
+    // default) disables caching entirely. With a pool, io_stats() splits
+    // into logical (requested) and physical (device) accesses, reads hit
+    // resident pages for free, and dirty pages are flushed in crash-safe
+    // order at the end of each command. See docs/CACHING.md.
+    int64_t cache_frames = 0;
+    BufferPool::Eviction cache_eviction = BufferPool::Eviction::kClock;
   };
 
   // Validates options and builds the file. All pages start empty.
@@ -114,6 +121,16 @@ class DenseFile {
   int64_t block_size() const { return control_->block_size(); }
   const IoStats& io_stats() const { return control_->file().stats(); }
   void ResetIoStats() { control_->file().ResetStats(); }
+  // Whether a buffer pool is interposed (cache_frames > 0).
+  bool cache_enabled() const { return control_->pool() != nullptr; }
+  // Pool counters (hits, misses, write combines, flush runs); zeroes
+  // when caching is disabled.
+  BufferPool::Stats cache_stats() const {
+    return cache_enabled() ? control_->pool()->stats() : BufferPool::Stats();
+  }
+  void ResetCacheStats() {
+    if (cache_enabled()) control_->pool()->ResetStats();
+  }
   const CommandStats& command_stats() const {
     return control_->command_stats();
   }
@@ -130,6 +147,15 @@ class DenseFile {
   void set_fault_policy(std::shared_ptr<FaultPolicy> policy) {
     control_->file().set_fault_policy(std::move(policy));
   }
+  // Writes all dirty cached pages to the device (no-op without a pool).
+  // Commands already flush at their end; this is for explicit durability
+  // points.
+  Status Flush() { return control_->Flush(); }
+  // Simulates the RAM half of a crash: every cached frame (including
+  // dirty ones) is dropped without write-back, leaving only what the
+  // device holds. Follow with CheckAndRepair(), exactly as after an
+  // injected device crash.
+  void DiscardCache() { control_->DiscardCache(); }
   // Post-crash recovery: rebuilds the calibrator and algorithm state from
   // the raw pages, repairing torn-command damage (duplicates, broken
   // order) by a wholesale uniform rewrite when needed. On success the

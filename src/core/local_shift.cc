@@ -104,22 +104,19 @@ Status LocalShift::Insert(const Record& record) {
   const Address target = TargetBlockForInsert(record.key);
   StatusOr<std::vector<Record>> read = ReadBlock(target);
   if (!read.ok()) {
-    EndCommand();
-    return read.status();
+    return EndCommand(read.status());
   }
   std::vector<Record>& records = *read;
   const auto pos = std::lower_bound(records.begin(), records.end(), record,
                                     RecordKeyLess);
   if (pos != records.end() && pos->key == record.key) {
-    EndCommand();
-    return Status::AlreadyExists("key already present");
+    return EndCommand(Status::AlreadyExists("key already present"));
   }
   const int64_t full = block_size_ * page_D_;
   if (static_cast<int64_t>(records.size()) < full) {
     records.insert(pos, record);
     const Status s = WriteBlock(target, records);
-    EndCommand();
-    return s;
+    return EndCommand(s);
   }
   // Target is solid: place the record anyway (one-over-capacity, within
   // the page store's transient slack) and ripple the boundary record to
@@ -132,8 +129,7 @@ Status LocalShift::Insert(const Record& record) {
   stats_.max_distance = std::max(stats_.max_distance, distance);
   records.insert(pos, record);
   const Status s = ShiftTowards(target, gap, std::move(records));
-  EndCommand();
-  return s;
+  return EndCommand(s);
 }
 
 Status LocalShift::Delete(Key key) {
@@ -142,20 +138,17 @@ Status LocalShift::Delete(Key key) {
   BeginCommand();
   StatusOr<std::vector<Record>> read = ReadBlock(block);
   if (!read.ok()) {
-    EndCommand();
-    return read.status();
+    return EndCommand(read.status());
   }
   std::vector<Record>& records = *read;
   const auto it = std::lower_bound(records.begin(), records.end(),
                                    Record{key, 0}, RecordKeyLess);
   if (it == records.end() || it->key != key) {
-    EndCommand();
-    return Status::NotFound("key absent");
+    return EndCommand(Status::NotFound("key absent"));
   }
   records.erase(it);
   const Status s = WriteBlock(block, records);
-  EndCommand();
-  return s;
+  return EndCommand(s);
 }
 
 }  // namespace dsf

@@ -36,11 +36,23 @@ StatusOr<std::unique_ptr<ShardedDenseFile>> ShardedDenseFile::Create(
       return Status::InvalidArgument("splitters must strictly ascend");
     }
   }
+  DenseFile::Options shard_options = options.shard;
+  if (options.cache_bytes < 0) {
+    return Status::InvalidArgument("cache_bytes must be >= 0");
+  }
+  if (options.cache_bytes > 0 && shard_options.cache_frames == 0) {
+    // Split the byte budget evenly: each shard is an independent device
+    // with its own pool. A frame holds one physical page of D+1 records.
+    const int64_t frame_bytes =
+        (shard_options.D + 1) * static_cast<int64_t>(sizeof(Record));
+    shard_options.cache_frames =
+        std::max<int64_t>(1, options.cache_bytes / s / frame_bytes);
+  }
   std::vector<std::unique_ptr<Shard>> shards;
   shards.reserve(static_cast<size_t>(s));
   for (int i = 0; i < s; ++i) {
     StatusOr<std::unique_ptr<DenseFile>> file =
-        DenseFile::Create(options.shard);
+        DenseFile::Create(shard_options);
     if (!file.ok()) return file.status();
     auto shard = std::make_unique<Shard>();
     shard->file = std::move(*file);
@@ -49,6 +61,7 @@ StatusOr<std::unique_ptr<ShardedDenseFile>> ShardedDenseFile::Create(
   Options resolved = options;
   resolved.splitters = splitters;
   resolved.shard.block_size = shards.front()->file->block_size();
+  resolved.shard.cache_frames = shard_options.cache_frames;
   return std::unique_ptr<ShardedDenseFile>(new ShardedDenseFile(
       resolved, std::move(splitters), std::move(shards)));
 }
@@ -165,6 +178,32 @@ StatusOr<RepairReport> ShardedDenseFile::CheckAndRepair() {
     total.rewrote_file = total.rewrote_file || part->rewrote_file;
     total.warning_state_rebuilt =
         total.warning_state_rebuilt || part->warning_state_rebuilt;
+  }
+  return total;
+}
+
+Status ShardedDenseFile::Flush() {
+  Status first_error = Status::OK();
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    const Status s = shard->file->Flush();
+    if (!s.ok() && first_error.ok()) first_error = s;
+  }
+  return first_error;
+}
+
+void ShardedDenseFile::DiscardCaches() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->file->DiscardCache();
+  }
+}
+
+BufferPool::Stats ShardedDenseFile::cache_stats() const {
+  BufferPool::Stats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->file->cache_stats();
   }
   return total;
 }

@@ -54,6 +54,12 @@ class ShardedDenseFile {
     // When splitters is empty: boundaries at i * key_space / S for
     // i in [1, S). 0 means the full 64-bit key space.
     Key key_space = 0;
+    // Shared cache byte budget, split evenly into per-shard buffer pools
+    // (each shard models an independent device, so it gets its own pool
+    // and its own dirty-order list; see docs/CACHING.md). Frames per
+    // shard = cache_bytes / S / page bytes, at least 1 when any budget
+    // is given. Ignored when shard.cache_frames is set explicitly.
+    int64_t cache_bytes = 0;
   };
 
   // Validates options (splitter count/order, per-shard geometry) and
@@ -104,6 +110,12 @@ class ShardedDenseFile {
   // Runs DenseFile::CheckAndRepair on every shard (ascending, one lock at
   // a time) and aggregates the reports: counters summed, flags OR-ed.
   StatusOr<RepairReport> CheckAndRepair();
+  // Flushes every shard's pool (ascending, one lock at a time); first
+  // error wins, remaining shards still flush.
+  Status Flush();
+  // Drops every shard's cached frames without write-back — the RAM half
+  // of a whole-machine crash. Follow with CheckAndRepair().
+  void DiscardCaches();
 
   // --- Introspection ---
   int num_shards() const { return static_cast<int>(shards_.size()); }
@@ -118,6 +130,9 @@ class ShardedDenseFile {
   IoStats io_stats() const;
   CommandStats command_stats() const;  // last_command_accesses is 0
   void ResetStats();
+
+  // Summed pool counters across shards (zeroes when caching is off).
+  BufferPool::Stats cache_stats() const;
 
   // Per-shard views for tests, benches and load diagnostics.
   IoStats shard_io_stats(int shard) const;

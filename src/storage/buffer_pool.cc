@@ -1,0 +1,307 @@
+#include "storage/buffer_pool.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace dsf {
+
+const Page& PageGuard::page() const {
+  DSF_CHECK(pool_ != nullptr) << "page() on released PageGuard";
+  return pool_->frames_[static_cast<size_t>(frame_)].page;
+}
+
+Page* PageGuard::mutable_page() {
+  DSF_CHECK(pool_ != nullptr) << "mutable_page() on released PageGuard";
+  return &pool_->frames_[static_cast<size_t>(frame_)].page;
+}
+
+Address PageGuard::address() const {
+  DSF_CHECK(pool_ != nullptr) << "address() on released PageGuard";
+  return pool_->frames_[static_cast<size_t>(frame_)].address;
+}
+
+void PageGuard::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+  }
+}
+
+BufferPool::Stats& BufferPool::Stats::operator+=(const Stats& other) {
+  hits += other.hits;
+  misses += other.misses;
+  evictions += other.evictions;
+  writebacks += other.writebacks;
+  write_combines += other.write_combines;
+  ordered_flushes += other.ordered_flushes;
+  flush_runs += other.flush_runs;
+  flushed_pages += other.flushed_pages;
+  free_writes += other.free_writes;
+  return *this;
+}
+
+std::string BufferPool::Stats::ToString() const {
+  std::ostringstream os;
+  os << "hits=" << hits << " misses=" << misses << " evictions=" << evictions
+     << " writebacks=" << writebacks << " combines=" << write_combines
+     << " ordered_flushes=" << ordered_flushes
+     << " flush_runs=" << flush_runs << " flushed_pages=" << flushed_pages;
+  return os.str();
+}
+
+BufferPool::BufferPool(PageFile* file, const Options& options)
+    : file_(file), options_(options) {
+  DSF_CHECK(file_ != nullptr) << "BufferPool needs a PageFile";
+  DSF_CHECK(options_.num_frames >= 1) << "BufferPool needs >= 1 frame";
+  frames_.reserve(static_cast<size_t>(options_.num_frames));
+  free_frames_.reserve(static_cast<size_t>(options_.num_frames));
+  for (int64_t i = 0; i < options_.num_frames; ++i) {
+    frames_.emplace_back(file_->page_capacity());
+  }
+  // Hand out low indices first (purely cosmetic for tests/debugging).
+  for (int64_t i = options_.num_frames - 1; i >= 0; --i) {
+    free_frames_.push_back(i);
+  }
+}
+
+void BufferPool::Touch(Frame& f) {
+  f.ref = true;
+  f.lru_tick = ++tick_;
+}
+
+StatusOr<int64_t> BufferPool::AcquireFrame(Address address, bool load) {
+  if (address < 1 || address > file_->num_pages()) {
+    return Status::OutOfRange("pool address " + std::to_string(address) +
+                              " outside [1," +
+                              std::to_string(file_->num_pages()) + "]");
+  }
+  auto it = resident_.find(address);
+  if (it != resident_.end()) {
+    ++stats_.hits;
+    Touch(frames_[static_cast<size_t>(it->second)]);
+    return it->second;
+  }
+  ++stats_.misses;
+  int64_t index;
+  if (!free_frames_.empty()) {
+    index = free_frames_.back();
+    free_frames_.pop_back();
+  } else {
+    StatusOr<int64_t> victim = EvictFrame();
+    if (!victim.ok()) {
+      // Undo the miss charge: the request did not take a frame after all,
+      // so a retry (after guards are released) counts afresh.
+      --stats_.misses;
+      return victim.status();
+    }
+    index = *victim;
+  }
+  Frame& f = frames_[static_cast<size_t>(index)];
+  DSF_DCHECK(f.address == 0 && !f.dirty && f.pins == 0);
+  if (load) {
+    StatusOr<const Page*> device = file_->TryDeviceRead(address);
+    if (!device.ok()) {
+      free_frames_.push_back(index);
+      return device.status();
+    }
+    f.page = **device;
+  } else {
+    f.page.Clear();
+  }
+  f.address = address;
+  f.free_write = false;
+  Touch(f);
+  resident_.emplace(address, index);
+  return index;
+}
+
+StatusOr<int64_t> BufferPool::EvictFrame() {
+  const int64_t n = num_frames();
+  int64_t victim = -1;
+  if (options_.eviction == Eviction::kClock) {
+    // Second chance: up to two sweeps — the first clears ref bits, the
+    // second must find an unpinned frame unless all are pinned.
+    for (int64_t step = 0; step < 2 * n && victim < 0; ++step) {
+      Frame& f = frames_[static_cast<size_t>(clock_hand_)];
+      clock_hand_ = (clock_hand_ + 1) % n;
+      if (f.address == 0 || f.pins > 0) continue;
+      if (f.ref) {
+        f.ref = false;
+        continue;
+      }
+      victim = (&f - frames_.data());
+    }
+  } else {
+    int64_t best_tick = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      const Frame& f = frames_[static_cast<size_t>(i)];
+      if (f.address == 0 || f.pins > 0) continue;
+      if (victim < 0 || f.lru_tick < best_tick) {
+        victim = i;
+        best_tick = f.lru_tick;
+      }
+    }
+  }
+  if (victim < 0) {
+    return Status::ResourceExhausted(
+        "all " + std::to_string(n) + " buffer-pool frames are pinned");
+  }
+  Frame& f = frames_[static_cast<size_t>(victim)];
+  if (f.dirty) {
+    // Evicting a dirty frame must not reorder writes: flush the dirty
+    // prefix through the victim so its content lands in order.
+    DSF_RETURN_IF_ERROR(FlushPrefixThrough(victim));
+  }
+  resident_.erase(f.address);
+  f.address = 0;
+  f.ref = false;
+  f.free_write = false;
+  ++stats_.evictions;
+  return victim;
+}
+
+Status BufferPool::MarkDirty(int64_t frame) {
+  Frame& f = frames_[static_cast<size_t>(frame)];
+  if (f.dirty) {
+    if (f.dirty_it == std::prev(dirty_order_.end())) {
+      // Tail of L: the newer version simply replaces the older one.
+      ++stats_.write_combines;
+      return Status::OK();
+    }
+    // Re-dirtying out of order: flush the old version (and everything
+    // dirtied before it) first, then re-enter at the tail.
+    ++stats_.ordered_flushes;
+    DSF_RETURN_IF_ERROR(FlushPrefixThrough(frame));
+  }
+  f.dirty = true;
+  dirty_order_.push_back(frame);
+  f.dirty_it = std::prev(dirty_order_.end());
+  return Status::OK();
+}
+
+Status BufferPool::FlushFrame(int64_t frame) {
+  Frame& f = frames_[static_cast<size_t>(frame)];
+  DSF_DCHECK(f.dirty) << "FlushFrame on clean frame";
+  if (f.pins > 0) {
+    // Never write back a pinned frame (the holder may be mid-mutation).
+    // Reached only on API misuse (two overlapping write guards forcing a
+    // prefix flush through each other); fail soft rather than abort.
+    return Status::FailedPrecondition("flush of pinned frame " +
+                                      std::to_string(f.address));
+  }
+  if (f.free_write) {
+    // Unaccounted layout bookkeeping, matching the unpooled path where
+    // freed tail pages are cleared via RawPage.
+    file_->RawPage(f.address).Clear();
+    ++stats_.free_writes;
+  } else {
+    StatusOr<Page*> device = file_->TryDeviceWrite(f.address);
+    if (!device.ok()) return device.status();
+    **device = f.page;
+    ++stats_.writebacks;
+  }
+  f.dirty = false;
+  dirty_order_.erase(f.dirty_it);
+  return Status::OK();
+}
+
+Status BufferPool::FlushPrefixThrough(int64_t frame) {
+  while (!dirty_order_.empty()) {
+    const int64_t front = dirty_order_.front();
+    DSF_RETURN_IF_ERROR(FlushFrame(front));
+    if (front == frame) break;
+  }
+  return Status::OK();
+}
+
+StatusOr<PageGuard> BufferPool::PinRead(Address address) {
+  file_->CountLogical(/*is_write=*/false);
+  StatusOr<int64_t> frame = AcquireFrame(address, /*load=*/true);
+  if (!frame.ok()) return frame.status();
+  ++frames_[static_cast<size_t>(*frame)].pins;
+  return PageGuard(this, *frame);
+}
+
+StatusOr<PageGuard> BufferPool::PinWrite(Address address) {
+  file_->CountLogical(/*is_write=*/true);
+  StatusOr<int64_t> frame = AcquireFrame(address, /*load=*/true);
+  if (!frame.ok()) return frame.status();
+  DSF_RETURN_IF_ERROR(MarkDirty(*frame));
+  ++frames_[static_cast<size_t>(*frame)].pins;
+  return PageGuard(this, *frame);
+}
+
+StatusOr<PageGuard> BufferPool::PinForOverwrite(Address address) {
+  file_->CountLogical(/*is_write=*/true);
+  StatusOr<int64_t> frame = AcquireFrame(address, /*load=*/false);
+  if (!frame.ok()) return frame.status();
+  Frame& f = frames_[static_cast<size_t>(*frame)];
+  // Order matters: MarkDirty may flush the frame's *old* version (rule
+  // 3) — only then may the content be discarded for the overwrite.
+  DSF_RETURN_IF_ERROR(MarkDirty(*frame));
+  f.page.Clear();
+  f.free_write = false;
+  ++f.pins;
+  return PageGuard(this, *frame);
+}
+
+Status BufferPool::MarkFree(Address address) {
+  // Unaccounted (parity with the unpooled RawPage clear), but ordered:
+  // the clear rides L so it cannot overtake the in-cache writes that
+  // moved this page's records elsewhere.
+  StatusOr<int64_t> frame = AcquireFrame(address, /*load=*/false);
+  if (!frame.ok()) return frame.status();
+  Frame& f = frames_[static_cast<size_t>(*frame)];
+  DSF_RETURN_IF_ERROR(MarkDirty(*frame));
+  f.page.Clear();
+  f.free_write = true;
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  Address previous = -1;
+  while (!dirty_order_.empty()) {
+    const int64_t front = dirty_order_.front();
+    const Address address = frames_[static_cast<size_t>(front)].address;
+    if (previous < 0 ||
+        (address != previous && address != previous + 1 &&
+         address != previous - 1)) {
+      ++stats_.flush_runs;
+    }
+    DSF_RETURN_IF_ERROR(FlushFrame(front));
+    ++stats_.flushed_pages;
+    previous = address;
+  }
+  return Status::OK();
+}
+
+void BufferPool::DropAll() {
+  dirty_order_.clear();
+  resident_.clear();
+  free_frames_.clear();
+  for (int64_t i = num_frames() - 1; i >= 0; --i) {
+    Frame& f = frames_[static_cast<size_t>(i)];
+    DSF_CHECK(f.pins == 0) << "DropAll with pinned frame " << f.address;
+    f.address = 0;
+    f.dirty = false;
+    f.free_write = false;
+    f.ref = false;
+    f.page.Clear();
+    free_frames_.push_back(i);
+  }
+}
+
+const Page* BufferPool::PeekFrame(Address address) const {
+  auto it = resident_.find(address);
+  if (it == resident_.end()) return nullptr;
+  return &frames_[static_cast<size_t>(it->second)].page;
+}
+
+void BufferPool::Unpin(int64_t frame) {
+  Frame& f = frames_[static_cast<size_t>(frame)];
+  DSF_DCHECK(f.pins > 0) << "unbalanced Unpin";
+  --f.pins;
+}
+
+}  // namespace dsf

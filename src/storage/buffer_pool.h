@@ -1,0 +1,232 @@
+// BufferPool: a fixed-frame page cache between the algorithms and the
+// PageFile device.
+//
+// The paper's cost model counts page accesses; a pool splits that count
+// into the *logical* accesses the algorithms request and the *physical*
+// transfers the device actually serves (IoStats carries both). Frames
+// hold private copies of pages; reads are served from a resident frame
+// when possible (a hit costs no device traffic), writes dirty the frame
+// and reach the device only at flush or eviction.
+//
+// Pinning. Every access hands out a PageGuard that pins the frame for
+// its lifetime; pinned frames are never evicted or written back. When
+// all frames are pinned and another page is requested the pool returns
+// kResourceExhausted — it never aborts.
+//
+// Crash-safe write-back order. The crash-recovery discipline (see
+// docs/FAULTS.md) relies on write *order*: SHIFT duplicates a block at
+// DEST before deleting it at SOURCE, so a crash anywhere in between
+// leaves duplicates (repairable) rather than holes (lost records). A
+// cache that reordered write-back — or silently combined an old dirty
+// version with a newer one that no longer carries some record — would
+// destroy that property. The pool therefore keeps dirty frames in a
+// *dirty-order list* L and enforces:
+//   1. flush always walks L front-to-back; pages reach the device in
+//      first-dirtied order, never reordered by address;
+//   2. write combining (absorbing a second write to an already-dirty
+//      frame) is allowed only while the frame is the *tail* of L —
+//      nothing was dirtied after it, so collapsing the two versions
+//      cannot commute a later write before an earlier one;
+//   3. re-dirtying a dirty frame that is NOT the tail first flushes the
+//      prefix of L up to and including that frame (preserving its old
+//      version's position in the order), then re-enters it at the tail.
+// Under the controls' access patterns rule 3 is rare (a SHIFT chain
+// touches each block once), so almost all repeated writes combine; rule
+// 2 is what makes the pool safe rather than merely fast.
+//
+// Write coalescing. Because SHIFT writes blocks of consecutive pages in
+// a deliberate direction, entries of L are typically address-adjacent
+// in the order they will be flushed; the flush loop detects maximal
+// consecutive-address runs (stats().flush_runs) and the AccessTracker
+// charges one seek at each run head plus sequential transfers for the
+// rest — one arm movement per run instead of per page.
+//
+// Freed-page bookkeeping. When a macro-block shrinks, its freed tail
+// pages must end up empty on the device. MarkFree() enqueues that clear
+// through L like any write (so it cannot overtake the writes that moved
+// the records out), but the device clear itself is unaccounted RawPage
+// bookkeeping, matching the unpooled path.
+//
+// Not thread-safe: one pool per shard, serialized by the shard mutex.
+
+#ifndef DSF_STORAGE_BUFFER_POOL_H_
+#define DSF_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/page.h"
+#include "storage/page_file.h"
+#include "storage/record.h"
+#include "util/status.h"
+
+namespace dsf {
+
+class BufferPool;
+
+// RAII pin on a buffer-pool frame. While alive, the frame cannot be
+// evicted or written back. Movable, not copyable; unpins on destruction.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(PageGuard&& other) noexcept
+      : pool_(other.pool_), frame_(other.frame_) {
+    other.pool_ = nullptr;
+  }
+  PageGuard& operator=(PageGuard&& other) noexcept {
+    if (this != &other) {
+      Release();
+      pool_ = other.pool_;
+      frame_ = other.frame_;
+      other.pool_ = nullptr;
+    }
+    return *this;
+  }
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  ~PageGuard() { Release(); }
+
+  const Page& page() const;
+  // Mutable access; valid only for guards obtained from PinWrite /
+  // PinForOverwrite (the frame is already marked dirty).
+  Page* mutable_page();
+  Address address() const;
+  bool valid() const { return pool_ != nullptr; }
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageGuard(BufferPool* pool, int64_t frame) : pool_(pool), frame_(frame) {}
+
+  BufferPool* pool_ = nullptr;
+  int64_t frame_ = -1;
+};
+
+class BufferPool {
+ public:
+  enum class Eviction {
+    kClock,  // second-chance sweep (default)
+    kLru,    // exact least-recently-used
+  };
+
+  struct Options {
+    int64_t num_frames = 0;
+    Eviction eviction = Eviction::kClock;
+  };
+
+  struct Stats {
+    int64_t hits = 0;            // pins served from a resident frame
+    int64_t misses = 0;          // pins that had to take a frame
+    int64_t evictions = 0;       // frames reclaimed for another page
+    int64_t writebacks = 0;      // dirty frames written to the device
+    int64_t write_combines = 0;  // re-dirties absorbed at the tail of L
+    int64_t ordered_flushes = 0;  // prefix flushes forced by rule 3
+    int64_t flush_runs = 0;      // maximal consecutive-address runs flushed
+    int64_t flushed_pages = 0;   // pages written by FlushAll (incl. frees)
+    int64_t free_writes = 0;     // freed-page clears applied at flush
+
+    double HitRate() const {
+      const int64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+    }
+    Stats& operator+=(const Stats& other);
+    std::string ToString() const;
+  };
+
+  // The pool caches pages of `file`; frames are sized to the file's page
+  // capacity. `options.num_frames` must be >= 1.
+  BufferPool(PageFile* file, const Options& options);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Pins `address` for reading; fills the frame from the device on a
+  // miss. Errors: OutOfRange, kIoError (miss fill or eviction write-back
+  // fault), kResourceExhausted (all frames pinned).
+  StatusOr<PageGuard> PinRead(Address address);
+
+  // Pins `address` for in-place modification: loads on miss, marks the
+  // frame dirty (enforcing the dirty-order rules above).
+  StatusOr<PageGuard> PinWrite(Address address);
+
+  // Pins `address` for full overwrite: the frame is *not* filled from
+  // the device (the caller replaces the whole page), arrives cleared,
+  // and is marked dirty. Saves the miss read that PinWrite would pay.
+  StatusOr<PageGuard> PinForOverwrite(Address address);
+
+  // Enqueues "this page becomes empty" through the dirty order; the
+  // eventual device clear is unaccounted bookkeeping (see header note).
+  Status MarkFree(Address address);
+
+  // Writes every dirty frame to the device in dirty-order. On a fault
+  // the failed frame and everything after it stay dirty (and keep their
+  // order); already-flushed frames are clean. Safe to retry.
+  Status FlushAll();
+
+  // Drops every frame without writing anything back — the cache-loss
+  // half of a crash. Dirty data is lost by design; the caller re-syncs
+  // from the device (CheckAndRepair). Requires no outstanding pins.
+  void DropAll();
+
+  // Frame contents if `address` is resident, nullptr otherwise. For
+  // validators and tests; unaccounted.
+  const Page* PeekFrame(Address address) const;
+
+  int64_t num_frames() const { return static_cast<int64_t>(frames_.size()); }
+  int64_t resident_pages() const {
+    return static_cast<int64_t>(resident_.size());
+  }
+  int64_t dirty_pages() const {
+    return static_cast<int64_t>(dirty_order_.size());
+  }
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    explicit Frame(int64_t page_capacity) : page(page_capacity) {}
+    Address address = 0;  // 0 = empty frame
+    Page page;
+    int32_t pins = 0;
+    bool dirty = false;
+    bool free_write = false;  // dirty content is "page becomes empty"
+    bool ref = false;         // CLOCK second-chance bit
+    int64_t lru_tick = 0;
+    std::list<int64_t>::iterator dirty_it;  // valid iff dirty
+  };
+
+  // Returns a pinned frame holding `address`; fills from the device iff
+  // `load` and the page was not resident.
+  StatusOr<int64_t> AcquireFrame(Address address, bool load);
+  // Picks and reclaims a victim frame (flushing the dirty prefix through
+  // it first); kResourceExhausted if every resident frame is pinned.
+  StatusOr<int64_t> EvictFrame();
+  // Applies the dirty-order rules (combine at tail / prefix-flush).
+  Status MarkDirty(int64_t frame);
+  // Writes one dirty frame to the device and removes it from L.
+  Status FlushFrame(int64_t frame);
+  // Flushes L front-to-back up to and including `frame`.
+  Status FlushPrefixThrough(int64_t frame);
+  void Unpin(int64_t frame);
+  void Touch(Frame& f);
+
+  PageFile* file_;
+  Options options_;
+  std::vector<Frame> frames_;
+  std::vector<int64_t> free_frames_;
+  std::unordered_map<Address, int64_t> resident_;
+  std::list<int64_t> dirty_order_;  // front = dirtied earliest
+  int64_t clock_hand_ = 0;
+  int64_t tick_ = 0;
+  Stats stats_;
+};
+
+}  // namespace dsf
+
+#endif  // DSF_STORAGE_BUFFER_POOL_H_

@@ -15,6 +15,8 @@ IoStats IoStats::operator-(const IoStats& other) const {
   out.seeks = ClampedDiff(seeks, other.seeks);
   out.sequential_accesses =
       ClampedDiff(sequential_accesses, other.sequential_accesses);
+  out.logical_reads = ClampedDiff(logical_reads, other.logical_reads);
+  out.logical_writes = ClampedDiff(logical_writes, other.logical_writes);
   return out;
 }
 
@@ -23,6 +25,8 @@ IoStats& IoStats::operator+=(const IoStats& other) {
   page_writes += other.page_writes;
   seeks += other.seeks;
   sequential_accesses += other.sequential_accesses;
+  logical_reads += other.logical_reads;
+  logical_writes += other.logical_writes;
   return *this;
 }
 
@@ -44,6 +48,14 @@ void AccessTracker::OnAccess(int64_t address, bool is_write) {
   last_address_ = address;
 }
 
+void AccessTracker::OnLogical(bool is_write) {
+  if (is_write) {
+    ++stats_.logical_writes;
+  } else {
+    ++stats_.logical_reads;
+  }
+}
+
 void AccessTracker::Reset() {
   stats_.Reset();
   last_address_ = -1;
@@ -52,7 +64,9 @@ void AccessTracker::Reset() {
 std::string IoStats::ToString() const {
   std::ostringstream os;
   os << "reads=" << page_reads << " writes=" << page_writes
-     << " seeks=" << seeks << " sequential=" << sequential_accesses;
+     << " seeks=" << seeks << " sequential=" << sequential_accesses
+     << " logical_reads=" << logical_reads
+     << " logical_writes=" << logical_writes;
   return os.str();
 }
 

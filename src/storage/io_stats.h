@@ -16,12 +16,24 @@
 namespace dsf {
 
 struct IoStats {
+  // Physical device traffic: pages actually transferred to or from the
+  // simulated device. Without a buffer pool these equal the logical
+  // counters below.
   int64_t page_reads = 0;
   int64_t page_writes = 0;
   int64_t seeks = 0;              // accesses that moved the arm
   int64_t sequential_accesses = 0;  // accesses adjacent to the previous one
 
+  // Logical traffic: page accesses the algorithms *requested*. A buffer
+  // pool absorbs some of these (cache hits, write combining), so
+  // physical <= logical on reads and physical may exceed logical on
+  // writes only via repair rewrites. hit rate = 1 - physical/logical
+  // reads; write amplification = page_writes / logical_writes.
+  int64_t logical_reads = 0;
+  int64_t logical_writes = 0;
+
   int64_t TotalAccesses() const { return page_reads + page_writes; }
+  int64_t TotalLogical() const { return logical_reads + logical_writes; }
 
   // Per-counter difference, clamped at zero. Snapshot deltas are taken as
   // `after - before`; if the tracker was Reset() between the snapshots the
@@ -41,9 +53,22 @@ struct IoStats {
 //   - everything else, including the FIRST access after construction or
 //     Reset(), counts as a seek (the arm position is unknown, so the
 //     conservative charge is a full seek).
+//
+// Multi-shard guarantee: each shard owns its own PageFile, and each
+// PageFile owns its own AccessTracker, so `last_address_` below is
+// per-device state. Interleaved accesses to *other* shards never break a
+// shard's sequential run: shard A reading 7, 8, 9 counts two sequential
+// accesses even if shard B reads address 1000 between them, exactly as
+// two physical disks each keep their own arm position. Only accesses to
+// the same PageFile (and Reset()) affect run detection.
 class AccessTracker {
  public:
+  // Charges one *physical* access (device transfer + arm movement).
   void OnAccess(int64_t address, bool is_write);
+
+  // Charges one *logical* access (the algorithm asked for the page; a
+  // buffer pool may or may not turn it into physical traffic).
+  void OnLogical(bool is_write);
 
   const IoStats& stats() const { return stats_; }
   void Reset();

@@ -16,32 +16,29 @@ Status Page::Insert(const Record& record) {
   if (size() >= capacity_) {
     return Status::CapacityExceeded("page physically full");
   }
-  auto it = std::lower_bound(records_.begin(), records_.end(), record,
-                             RecordKeyLess);
-  if (it != records_.end() && it->key == record.key) {
+  const int64_t pos = LowerBoundRecord(records_.data(), size(), record.key);
+  if (pos < size() && records_[static_cast<size_t>(pos)].key == record.key) {
     return Status::AlreadyExists("duplicate key in page");
   }
-  records_.insert(it, record);
+  records_.insert(records_.begin() + pos, record);
   return Status::OK();
 }
 
 Status Page::Erase(Key key) {
-  auto it = std::lower_bound(
-      records_.begin(), records_.end(), Record{key, 0}, RecordKeyLess);
-  if (it == records_.end() || it->key != key) {
+  const int64_t pos = LowerBoundRecord(records_.data(), size(), key);
+  if (pos == size() || records_[static_cast<size_t>(pos)].key != key) {
     return Status::NotFound("key not in page");
   }
-  records_.erase(it);
+  records_.erase(records_.begin() + pos);
   return Status::OK();
 }
 
 StatusOr<Record> Page::Find(Key key) const {
-  auto it = std::lower_bound(
-      records_.begin(), records_.end(), Record{key, 0}, RecordKeyLess);
-  if (it == records_.end() || it->key != key) {
+  const int64_t pos = LowerBoundRecord(records_.data(), size(), key);
+  if (pos == size() || records_[static_cast<size_t>(pos)].key != key) {
     return Status::NotFound("key not in page");
   }
-  return *it;
+  return records_[static_cast<size_t>(pos)];
 }
 
 bool Page::Contains(Key key) const { return Find(key).ok(); }

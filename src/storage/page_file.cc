@@ -1,8 +1,15 @@
 #include "storage/page_file.h"
 
 #include <sstream>
+#include <thread>
 
 #include "util/check.h"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define DSF_PREDICT_FALSE(x) (__builtin_expect(!!(x), 0))
+#else
+#define DSF_PREDICT_FALSE(x) (x)
+#endif
 
 namespace dsf {
 
@@ -14,32 +21,54 @@ PageFile::PageFile(int64_t num_pages, int64_t page_capacity)
   for (int64_t i = 0; i < num_pages; ++i) pages_.emplace_back(page_capacity);
 }
 
-StatusOr<const Page*> PageFile::TryRead(Address address) {
+// Fault charging and latency sleeping, in the order the fast path used to
+// interleave them: the access is already charged to the tracker by the
+// caller, the policy is consulted (charged-before-consult), and only a
+// surviving access pays the device sleep.
+Status PageFile::SlowPathAccess(Address address, bool is_write) {
+  if (fault_policy_ != nullptr) {
+    DSF_RETURN_IF_ERROR(fault_policy_->OnAccess(address, is_write));
+  }
+  if (access_latency_.count() > 0) {
+    std::this_thread::sleep_for(access_latency_);
+  }
+  return Status::OK();
+}
+
+StatusOr<const Page*> PageFile::TryDeviceRead(Address address) {
   if (address < 1 || address > num_pages_) {
     return Status::OutOfRange("read address " + std::to_string(address) +
                               " outside [1," + std::to_string(num_pages_) +
                               "]");
   }
   tracker_.OnAccess(address, /*is_write=*/false);
-  if (fault_policy_ != nullptr) {
-    DSF_RETURN_IF_ERROR(fault_policy_->OnAccess(address, /*is_write=*/false));
+  if (DSF_PREDICT_FALSE(slow_path_)) {
+    DSF_RETURN_IF_ERROR(SlowPathAccess(address, /*is_write=*/false));
   }
-  SimulateDevice();
   return const_cast<const Page*>(&pages_[static_cast<size_t>(address - 1)]);
 }
 
-StatusOr<Page*> PageFile::TryWrite(Address address) {
+StatusOr<Page*> PageFile::TryDeviceWrite(Address address) {
   if (address < 1 || address > num_pages_) {
     return Status::OutOfRange("write address " + std::to_string(address) +
                               " outside [1," + std::to_string(num_pages_) +
                               "]");
   }
   tracker_.OnAccess(address, /*is_write=*/true);
-  if (fault_policy_ != nullptr) {
-    DSF_RETURN_IF_ERROR(fault_policy_->OnAccess(address, /*is_write=*/true));
+  if (DSF_PREDICT_FALSE(slow_path_)) {
+    DSF_RETURN_IF_ERROR(SlowPathAccess(address, /*is_write=*/true));
   }
-  SimulateDevice();
   return &pages_[static_cast<size_t>(address - 1)];
+}
+
+StatusOr<const Page*> PageFile::TryRead(Address address) {
+  tracker_.OnLogical(/*is_write=*/false);
+  return TryDeviceRead(address);
+}
+
+StatusOr<Page*> PageFile::TryWrite(Address address) {
+  tracker_.OnLogical(/*is_write=*/true);
+  return TryDeviceWrite(address);
 }
 
 const Page& PageFile::Read(Address address) {

@@ -18,7 +18,6 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "storage/fault_injection.h"
@@ -42,8 +41,26 @@ class PageFile {
   // then checked against the installed FaultPolicy, if any: on an injected
   // fault the page is left untouched and kIoError is returned. A failed
   // write therefore never tears an individual page.
+  //
+  // TryRead/TryWrite charge one *logical* and one *physical* access; an
+  // unpooled caller always pays the device. A BufferPool splits the two:
+  // it charges CountLogical() on every request and TryDeviceRead/
+  // TryDeviceWrite only on misses and write-back, so the logical counters
+  // record what the algorithm asked for and page_reads/page_writes record
+  // actual device traffic.
   StatusOr<const Page*> TryRead(Address address);
   StatusOr<Page*> TryWrite(Address address);
+
+  // Physical-only access: charges the device counters (seek/sequential
+  // classification, fault consultation, simulated latency) without the
+  // logical counters. Used by the buffer pool for miss fills and
+  // write-back.
+  StatusOr<const Page*> TryDeviceRead(Address address);
+  StatusOr<Page*> TryDeviceWrite(Address address);
+
+  // Logical-only accounting: records that the algorithm requested a page
+  // access that may be absorbed by a cache.
+  void CountLogical(bool is_write) { tracker_.OnLogical(is_write); }
 
   // Accounted, infallible access: aborts the process on a bad address or
   // an injected fault. For call sites whose layer has no error channel —
@@ -55,6 +72,7 @@ class PageFile {
   // TryRead/TryWrite. Shared so tests can keep steering it mid-run.
   void set_fault_policy(std::shared_ptr<FaultPolicy> policy) {
     fault_policy_ = std::move(policy);
+    UpdateSlowPath();
   }
   FaultPolicy* fault_policy() const { return fault_policy_.get(); }
 
@@ -78,6 +96,7 @@ class PageFile {
   // Peek/RawPage stay free, mirroring the accounting rule above.
   void set_access_latency(std::chrono::nanoseconds latency) {
     access_latency_ = latency;
+    UpdateSlowPath();
   }
   std::chrono::nanoseconds access_latency() const { return access_latency_; }
 
@@ -91,11 +110,15 @@ class PageFile {
   std::string DebugString() const;
 
  private:
-  void SimulateDevice() const {
-    if (access_latency_.count() > 0) {
-      std::this_thread::sleep_for(access_latency_);
-    }
+  // Fault consultation and the latency sleep both live off the hot path:
+  // TryDeviceRead/TryDeviceWrite test the single precomputed `slow_path_`
+  // flag (one predicted-not-taken branch per access) and only then pay
+  // for the two checks. The flag is maintained by the setters above, the
+  // only places the policy or latency can change.
+  void UpdateSlowPath() {
+    slow_path_ = fault_policy_ != nullptr || access_latency_.count() > 0;
   }
+  Status SlowPathAccess(Address address, bool is_write);
 
   int64_t num_pages_;
   int64_t page_capacity_;
@@ -103,6 +126,7 @@ class PageFile {
   AccessTracker tracker_;
   std::shared_ptr<FaultPolicy> fault_policy_;
   std::chrono::nanoseconds access_latency_{0};
+  bool slow_path_ = false;
 };
 
 }  // namespace dsf

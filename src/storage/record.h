@@ -32,6 +32,25 @@ inline bool RecordKeyLess(const Record& a, const Record& b) {
   return a.key < b.key;
 }
 
+// Branchless lower_bound over a sorted record range: index of the first
+// record with key >= `key`, or `n` if none. The half-interval shrink uses
+// a conditional move instead of the compare-branch `std::lower_bound`
+// emits, so the search pipeline never stalls on the (data-dependent,
+// unpredictable) key comparison — a measurable win once a page holds
+// enough records for the comparisons to dominate (see BM_PageSearch).
+inline int64_t LowerBoundRecord(const Record* records, int64_t n, Key key) {
+  const Record* base = records;
+  while (n > 1) {
+    const int64_t half = n / 2;
+    // Both operands of the ternary are always valid; compilers turn this
+    // into cmov (no branch) because the select is side-effect free.
+    base = (base[half - 1].key < key) ? base + half : base;
+    n -= half;
+  }
+  const int64_t pos = base - records;
+  return (n == 1 && base->key < key) ? pos + 1 : pos;
+}
+
 }  // namespace dsf
 
 #endif  // DSF_STORAGE_RECORD_H_

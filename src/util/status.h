@@ -29,6 +29,8 @@ enum class StatusCode : uint8_t {
   kCorruption = 7,          // an internal invariant was found broken
   kInternal = 8,            // unexpected algorithmic state
   kIoError = 9,             // a page access failed (injected or device fault)
+  kResourceExhausted = 10,  // a bounded resource (e.g. buffer-pool frames)
+                            // is fully in use and none can be reclaimed
 };
 
 // Returns the canonical spelling of `code` ("OK", "NotFound", ...).
@@ -75,6 +77,9 @@ class Status {
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -89,6 +94,9 @@ class Status {
     return code_ == StatusCode::kInvalidArgument;
   }
   bool IsIoError() const { return code_ == StatusCode::kIoError; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
 
   // "OK" or "<Code>: <message>".

@@ -100,6 +100,40 @@ Trace ZipfInserts(int64_t num_ops, Key key_space, double theta, Rng& rng) {
   return trace;
 }
 
+Trace ZipfMix(int64_t num_ops, double insert_fraction, double delete_fraction,
+              Key key_space, double theta, Rng& rng) {
+  const ZipfGenerator zipf(key_space, theta);
+  Trace trace;
+  trace.reserve(static_cast<size_t>(num_ops));
+  for (int64_t i = 0; i < num_ops; ++i) {
+    const double roll = rng.NextDouble();
+    Op op;
+    const Key k = zipf.Sample(rng) + 1;
+    op.record = Record{k, k};
+    if (roll < insert_fraction) {
+      op.kind = Op::Kind::kInsert;
+    } else if (roll < insert_fraction + delete_fraction) {
+      op.kind = Op::Kind::kDelete;
+    } else {
+      op.kind = Op::Kind::kGet;
+    }
+    trace.push_back(op);
+  }
+  return trace;
+}
+
+Trace SequentialGets(int64_t num_ops, Key key_space, Key start) {
+  DSF_CHECK(key_space >= 1) << "empty key space";
+  Trace trace;
+  trace.reserve(static_cast<size_t>(num_ops));
+  Key k = start;
+  for (int64_t i = 0; i < num_ops; ++i) {
+    trace.push_back(Op{Op::Kind::kGet, Record{k, 0}, 0});
+    k = (k % key_space) + 1;  // 1..key_space, wrapping
+  }
+  return trace;
+}
+
 Trace HotspotChurn(int64_t num_batches, int64_t batch_size, Key pivot) {
   DSF_CHECK(static_cast<uint64_t>(batch_size) < pivot)
       << "churn batch would underflow key 0";

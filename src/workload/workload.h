@@ -61,6 +61,19 @@ Trace ZipfInserts(int64_t num_ops, Key key_space, double theta, Rng& rng);
 // on one calibrator region with zero net growth.
 Trace HotspotChurn(int64_t num_batches, int64_t batch_size, Key pivot);
 
+// Mixed point operations with Zipf(theta)-skewed keys over [1, key_space]:
+// fractions of inserts and deletes, remainder lookups. Rank maps to key
+// directly, so the hot set is a *contiguous* low-key range — the cache-
+// friendly skew a buffer pool exploits (bench/cache_sweep). Duplicate
+// inserts / missing deletes are legal no-ops for the drivers.
+Trace ZipfMix(int64_t num_ops, double insert_fraction, double delete_fraction,
+              Key key_space, double theta, Rng& rng);
+
+// Pure lookups walking [1, key_space] in ascending key order, wrapping
+// around — the fully sequential retrieval pattern (every next key lives
+// on the same or the adjacent page).
+Trace SequentialGets(int64_t num_ops, Key key_space, Key start = 1);
+
 }  // namespace dsf
 
 #endif  // DSF_WORKLOAD_WORKLOAD_H_

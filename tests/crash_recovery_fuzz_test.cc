@@ -15,6 +15,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <tuple>
 #include <vector>
 
 #include "core/control_base.h"
@@ -31,12 +33,14 @@
 namespace dsf {
 namespace {
 
-DenseFile::Options FileOptions(DenseFile::Policy policy) {
+DenseFile::Options FileOptions(DenseFile::Policy policy,
+                               int64_t cache_frames = 0) {
   DenseFile::Options options;
   options.num_pages = 32;
   options.d = 4;
   options.D = 20;
   options.policy = policy;
+  options.cache_frames = cache_frames;
   return options;
 }
 
@@ -85,22 +89,24 @@ void AlignModelAfterCrash(const Op& op, File& file, ReferenceModel& model) {
   }
 }
 
-// Accounted accesses of a fault-free replay: the sweep's upper bound.
-int64_t CleanRunAccesses(DenseFile::Policy policy,
+// Accounted *physical* accesses of a fault-free replay: the sweep's
+// upper bound. With a buffer pool this is the device traffic (hits are
+// absorbed), so the sweep still visits every flush boundary.
+int64_t CleanRunAccesses(DenseFile::Policy policy, int64_t cache_frames,
                          const std::vector<Record>& initial,
                          const Trace& trace) {
   std::unique_ptr<DenseFile> file =
-      *DenseFile::Create(FileOptions(policy));
+      *DenseFile::Create(FileOptions(policy, cache_frames));
   EXPECT_TRUE(file->BulkLoad(initial).ok());
   for (const Op& op : trace) ApplyToFile(*file, op).ok();
   return file->io_stats().TotalAccesses();
 }
 
-void RunCrashPoint(DenseFile::Policy policy_kind,
+void RunCrashPoint(DenseFile::Policy policy_kind, int64_t cache_frames,
                    const std::vector<Record>& initial, const Trace& trace,
                    int64_t k, bool* fault_fired) {
   StatusOr<std::unique_ptr<DenseFile>> created =
-      DenseFile::Create(FileOptions(policy_kind));
+      DenseFile::Create(FileOptions(policy_kind, cache_frames));
   ASSERT_TRUE(created.ok()) << created.status();
   DenseFile& file = **created;
   ASSERT_TRUE(file.BulkLoad(initial).ok());
@@ -118,6 +124,9 @@ void RunCrashPoint(DenseFile::Policy policy_kind,
     if (!crashed && file_status.IsIoError()) {
       crashed = true;
       *fault_fired = true;
+      // Full restart: the cache (including any dirty frames the failed
+      // EndCommand flush left behind) is RAM and dies with the process.
+      file.DiscardCache();
       policy->ClearCrash();  // restart
       StatusOr<RepairReport> report = file.CheckAndRepair();
       ASSERT_TRUE(report.ok())
@@ -145,10 +154,18 @@ void RunCrashPoint(DenseFile::Policy policy_kind,
   ASSERT_EQ(*file.ScanAll(), model.ScanAll()) << "k=" << k;
 }
 
+// Sweep parameter: (maintenance policy, buffer-pool frames). frames = 0
+// is the direct-to-device seed configuration; frames > 0 runs the same
+// sweep through the pool, where the interesting crash points fall inside
+// EndCommand's ordered FlushAll (the flush boundaries) instead of inside
+// the command body.
 class CrashRecoverySweep
-    : public ::testing::TestWithParam<DenseFile::Policy> {};
+    : public ::testing::TestWithParam<std::tuple<DenseFile::Policy, int64_t>> {
+};
 
 TEST_P(CrashRecoverySweep, EveryCrashPointRecovers) {
+  const DenseFile::Policy policy = std::get<0>(GetParam());
+  const int64_t cache_frames = std::get<1>(GetParam());
   // Wide key stride (30) leaves each block's fence span wider than D
   // consecutive integer keys, so the ascending burst below piles into a
   // single block until it overflows past D and forces real maintenance
@@ -159,32 +176,35 @@ TEST_P(CrashRecoverySweep, EveryCrashPointRecovers) {
   Trace trace = AscendingInserts(24, 601, 1);
   const Trace tail = UniformMix(60, 0.35, 0.55, 2700, rng);
   trace.insert(trace.end(), tail.begin(), tail.end());
-  const int64_t total = CleanRunAccesses(GetParam(), initial, trace);
+  const int64_t total =
+      CleanRunAccesses(policy, cache_frames, initial, trace);
   ASSERT_GT(total, 0);
 
   bool fault_fired = false;
   for (int64_t k = 0; k <= total; ++k) {
-    RunCrashPoint(GetParam(), initial, trace, k, &fault_fired);
+    RunCrashPoint(policy, cache_frames, initial, trace, k, &fault_fired);
     if (HasFatalFailure()) return;
   }
   EXPECT_TRUE(fault_fired);
 }
 
-INSTANTIATE_TEST_SUITE_P(Policies, CrashRecoverySweep,
-                         ::testing::Values(DenseFile::Policy::kControl2,
-                                           DenseFile::Policy::kControl1,
-                                           DenseFile::Policy::kLocalShift),
-                         [](const auto& param_info) {
-                           switch (param_info.param) {
-                             case DenseFile::Policy::kControl2:
-                               return "Control2";
-                             case DenseFile::Policy::kControl1:
-                               return "Control1";
-                             case DenseFile::Policy::kLocalShift:
-                               return "LocalShift";
-                           }
-                           return "Unknown";
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    Policies, CrashRecoverySweep,
+    ::testing::Combine(::testing::Values(DenseFile::Policy::kControl2,
+                                         DenseFile::Policy::kControl1,
+                                         DenseFile::Policy::kLocalShift),
+                       ::testing::Values(int64_t{0}, int64_t{4})),
+    [](const auto& param_info) {
+      std::string name;
+      switch (std::get<0>(param_info.param)) {
+        case DenseFile::Policy::kControl2: name = "Control2"; break;
+        case DenseFile::Policy::kControl1: name = "Control1"; break;
+        case DenseFile::Policy::kLocalShift: name = "LocalShift"; break;
+      }
+      const int64_t frames = std::get<1>(param_info.param);
+      return name + (frames == 0 ? "Direct"
+                                 : "Pool" + std::to_string(frames));
+    });
 
 // A transient read fault (not a crash) must abort the command cleanly:
 // invariants intact, contents untouched, nothing for repair to fix, and
@@ -262,13 +282,19 @@ TEST(CrashRecoveryCompact, CompactionCrashNeverLosesARecord) {
 
 // Sharded: crash one shard's device mid-trace; the whole-file repair must
 // bring the file back while the other shard rides through untouched.
-TEST(CrashRecoverySharded, EveryCrashPointOnShardZeroRecovers) {
+// Runs once direct-to-device and once with a per-shard buffer pool (the
+// crash then also lands inside pooled flush boundaries, and recovery must
+// drop every shard's cache first).
+class CrashRecoverySharded : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(CrashRecoverySharded, EveryCrashPointOnShardZeroRecovers) {
   ShardedDenseFile::Options options;
   options.num_shards = 2;
   options.key_space = 2700;
   options.shard.num_pages = 24;
   options.shard.d = 4;
   options.shard.D = 20;
+  options.shard.cache_frames = GetParam();
 
   // Same wide-stride + ascending-burst shape as the single-file sweep;
   // the burst keys (601..624) sit below the midpoint splitter, so the
@@ -326,6 +352,7 @@ TEST(CrashRecoverySharded, EveryCrashPointOnShardZeroRecovers) {
       if (!crashed && file_status.IsIoError()) {
         crashed = true;
         fault_fired = true;
+        file->DiscardCaches();  // RAM loss spans every shard's pool
         policy->ClearCrash();
         StatusOr<RepairReport> report = file->CheckAndRepair();
         ASSERT_TRUE(report.ok())
@@ -349,6 +376,14 @@ TEST(CrashRecoverySharded, EveryCrashPointOnShardZeroRecovers) {
   }
   EXPECT_TRUE(fault_fired);
 }
+
+INSTANTIATE_TEST_SUITE_P(Caches, CrashRecoverySharded,
+                         ::testing::Values(int64_t{0}, int64_t{4}),
+                         [](const ::testing::TestParamInfo<int64_t>& param) {
+                           return param.param == 0
+                                      ? "Direct"
+                                      : "Pool" + std::to_string(param.param);
+                         });
 
 }  // namespace
 }  // namespace dsf

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "storage/disk_model.h"
 
 namespace dsf {
@@ -54,6 +56,62 @@ TEST(PageFile, ResetStatsClearsAndRestartsSeekTracking) {
   EXPECT_EQ(f.stats().TotalAccesses(), 0);
   f.Read(3);  // first access after reset counts as a seek again
   EXPECT_EQ(f.stats().seeks, 1);
+}
+
+TEST(PageFile, LogicalAndPhysicalCountersSplit) {
+  PageFile f(8, 4);
+  // The classic accessors charge both sides (an unpooled caller always
+  // pays the device)...
+  ASSERT_TRUE(f.TryRead(1).ok());
+  ASSERT_TRUE(f.TryWrite(2).ok());
+  EXPECT_EQ(f.stats().logical_reads, 1);
+  EXPECT_EQ(f.stats().logical_writes, 1);
+  EXPECT_EQ(f.stats().page_reads, 1);
+  EXPECT_EQ(f.stats().page_writes, 1);
+  // ...the pool's device accessors charge physical only...
+  ASSERT_TRUE(f.TryDeviceRead(3).ok());
+  ASSERT_TRUE(f.TryDeviceWrite(4).ok());
+  EXPECT_EQ(f.stats().page_reads, 2);
+  EXPECT_EQ(f.stats().page_writes, 2);
+  EXPECT_EQ(f.stats().TotalLogical(), 2);
+  // ...and CountLogical charges logical only (a cache hit).
+  f.CountLogical(/*is_write=*/false);
+  EXPECT_EQ(f.stats().logical_reads, 2);
+  EXPECT_EQ(f.stats().TotalAccesses(), 4);
+}
+
+TEST(PageFile, FaultAndLatencyStillFireAfterSlowPathToggling) {
+  // The fault/latency checks sit behind a single precomputed slow-path
+  // flag; toggling the policy on, off, and on again must keep injection
+  // exact (a stale flag would silently disable faults).
+  PageFile f(8, 4);
+  auto policy = std::make_shared<FaultPolicy>();
+  policy->FailAddressRange(2, 2);
+  f.set_fault_policy(policy);
+  EXPECT_FALSE(f.TryRead(2).ok());
+  f.set_fault_policy(nullptr);
+  EXPECT_TRUE(f.TryRead(2).ok());
+  f.set_fault_policy(policy);
+  EXPECT_FALSE(f.TryWrite(2).ok());
+  // Faulted accesses were still charged (attempted-access accounting).
+  EXPECT_EQ(f.stats().TotalAccesses(), 3);
+}
+
+// Satellite guarantee documented in io_stats.h: each PageFile owns its
+// own AccessTracker, so interleaved traffic to another file never breaks
+// this file's sequential-run detection — exactly as two disks each keep
+// their own arm position (the sharded file relies on this).
+TEST(PageFile, SequentialRunsSurviveCrossFileInterleaving) {
+  PageFile a(16, 4);
+  PageFile b(16, 4);
+  a.Read(7);   // seek (first access on a)
+  b.Read(13);  // far-away traffic on the other device
+  a.Read(8);   // sequential on a, despite b's access in between
+  b.Read(2);
+  a.Read(9);    // still sequential on a
+  EXPECT_EQ(a.stats().seeks, 1);
+  EXPECT_EQ(a.stats().sequential_accesses, 2);
+  EXPECT_EQ(b.stats().seeks, 2);  // 13 then 2: both arm movements
 }
 
 TEST(PageFile, GloballyOrderedAcceptsGapsAndOrder) {

@@ -10,6 +10,8 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
+#include <tuple>
 #include <vector>
 
 #include "shard/sharded_dense_file.h"
@@ -240,13 +242,16 @@ TEST(ParallelReplayerTest, RangeMixesPartitionTheKeySpace) {
 }
 
 // The storm: T threads of mixed traffic against S shards, then a full
-// differential and invariant audit.
+// differential and invariant audit. The third parameter is per-shard
+// buffer-pool frames (0 = direct to device); with pools the storm also
+// exercises concurrent pin/flush cycles, one pool per shard mutex.
 class ShardedStormTest
-    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
 
 TEST_P(ShardedStormTest, ConcurrentMixedTrafficMatchesReference) {
   const int num_shards = std::get<0>(GetParam());
   const int num_threads = std::get<1>(GetParam());
+  const int cache_frames = std::get<2>(GetParam());
   const Key key_space = 4000;
 
   // Total capacity held constant across configurations: 512 pages split
@@ -257,6 +262,7 @@ TEST_P(ShardedStormTest, ConcurrentMixedTrafficMatchesReference) {
   options.shard.num_pages = 512 / num_shards;
   options.shard.d = 8;
   options.shard.D = 8 + 4 * 9 + 1;
+  options.shard.cache_frames = cache_frames;
   // Aggregate capacity comfortably above the number of distinct keys, so
   // no interleaving can hit CapacityExceeded and per-key outcomes stay
   // deterministic.
@@ -315,16 +321,29 @@ TEST_P(ShardedStormTest, ConcurrentMixedTrafficMatchesReference) {
   EXPECT_EQ(total.page_reads, summed.page_reads);
   EXPECT_EQ(total.page_writes, summed.page_writes);
   EXPECT_EQ(file->command_stats().commands, summed_commands);
+
+  if (cache_frames > 0) {
+    // The pools saw traffic, and after the final per-command flushes no
+    // dirty page may linger: the device alone must hold the full state.
+    const BufferPool::Stats cache = file->cache_stats();
+    EXPECT_GT(cache.hits + cache.misses, 0);
+    file->DiscardCaches();
+    EXPECT_EQ(*file->ScanAll(), model.ScanAll());
+    EXPECT_TRUE(file->ValidateInvariants().ok());
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
     Storms, ShardedStormTest,
-    ::testing::Values(std::make_tuple(1, 4), std::make_tuple(4, 1),
-                      std::make_tuple(4, 4), std::make_tuple(8, 4),
-                      std::make_tuple(8, 8)),
-    [](const ::testing::TestParamInfo<std::tuple<int, int>>& param) {
-      return "S" + std::to_string(std::get<0>(param.param)) + "T" +
-             std::to_string(std::get<1>(param.param));
+    ::testing::Values(std::make_tuple(1, 4, 0), std::make_tuple(4, 1, 0),
+                      std::make_tuple(4, 4, 0), std::make_tuple(8, 4, 0),
+                      std::make_tuple(8, 8, 0), std::make_tuple(4, 4, 8),
+                      std::make_tuple(8, 8, 8)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int, int>>& param) {
+      const std::string base = "S" + std::to_string(std::get<0>(param.param)) +
+                               "T" + std::to_string(std::get<1>(param.param));
+      const int frames = std::get<2>(param.param);
+      return frames == 0 ? base : base + "Pool" + std::to_string(frames);
     });
 
 }  // namespace
