@@ -97,6 +97,7 @@ Row RunConfig(const Config& config, int64_t total_pages, int64_t total_ops,
 
   ParallelReplayer replayer({config.threads});
   const ReplayResult result = replayer.Replay(**file, traces);
+  DSF_CHECK(result.ok()) << result.first_unexpected_error.ToString();
   DSF_CHECK((*file)->ValidateInvariants().ok());
 
   const ReplayThreadStats agg = result.Aggregate();

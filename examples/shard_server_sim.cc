@@ -115,6 +115,7 @@ int main() {
           /*scan_span=*/256, /*seed=*/7);
   dsf::ParallelReplayer replayer({kClients});
   const dsf::ReplayResult result = replayer.Replay(*server, traces);
+  DSF_CHECK(result.ok()) << result.first_unexpected_error.ToString();
   const dsf::ReplayThreadStats agg = result.Aggregate();
 
   std::printf("\n%d clients x 6000 ops (35/30/30/5 ins/del/get/scan): "

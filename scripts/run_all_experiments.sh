@@ -16,8 +16,17 @@
 # corruption / buffer-pool tests (the error paths ordinary runs rarely
 # execute), then a thread build driving the sharded concurrency test
 # (including the pooled storm: one buffer pool per shard mutex).
+#
+# With --analyze, instead runs the static-analysis gate: the project-rule
+# linter, the Clang -Wthread-safety -Werror build, and clang-tidy (layers
+# needing clang are skipped with a notice when it is not installed). See
+# scripts/run_static_analysis.sh and docs/ANALYSIS.md.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--analyze" ]]; then
+  exec ./scripts/run_static_analysis.sh
+fi
 
 if [[ "${1:-}" == "--sanitize" ]]; then
   cmake -B build-asan -G Ninja -DDSF_SANITIZE=address,undefined

@@ -63,6 +63,7 @@ Status NaiveSequentialFile::BulkLoad(const std::vector<Record>& records) {
   }
   int64_t offset = 0;
   for (Address page = 1; page <= options_.num_pages; ++page) {
+    // lint:allow(raw-page-io): bulk-load layout is setup, unaccounted.
     Page& p = file_.RawPage(page);
     p.TakeAll();
     const int64_t take = std::min(options_.page_capacity, n - offset);

@@ -127,6 +127,24 @@ class Control2 : public ControlBase {
   bool warning(int node) const { return warning_[node] != 0; }
   Address dest(int node) const { return dest_[node]; }
 
+  // SELECT's subtree aggregates, exposed read-only for the invariant
+  // auditor (analysis/auditor.cc) which recomputes them from the flags.
+  int64_t warn_count_subtree(int node) const {
+    return warn_count_subtree_[static_cast<size_t>(node)];
+  }
+  int64_t warn_max_depth_subtree(int node) const {
+    return warn_max_depth_subtree_[static_cast<size_t>(node)];
+  }
+
+  // Corruption hooks for auditor tests: flip a flag through the real
+  // SetWarning path (keeping SELECT aggregates consistent, so only the
+  // Fact 5.1 checks fire) or dangle a DEST pointer outside its father's
+  // range. Never used outside tests/auditor_test.cc.
+  void CorruptWarningForTesting(int node, bool on) { SetWarning(node, on); }
+  void CorruptDestForTesting(int node, Address dest) {
+    dest_[static_cast<size_t>(node)] = dest;
+  }
+
   // Completed episodes (empty unless Options::track_episodes).
   const std::vector<WarningEpisode>& episodes() const { return episodes_; }
   // Corollary 5.4's budget for a node with M_v = pages: the related-SHIFT

@@ -179,8 +179,20 @@ class ControlBase {
   // callers must follow with CheckAndRepair to re-sync in-memory state.
   void DiscardCache();
   const Calibrator& calibrator() const { return calibrator_; }
+  int64_t page_d() const { return page_d_; }
+  int64_t page_D() const { return page_D_; }
   const CommandStats& command_stats() const { return command_stats_; }
   void ResetCommandStats();
+
+  // The page as the algorithms see it: the resident dirty/clean frame
+  // when pooled, the device page otherwise. Unaccounted; for validators,
+  // the invariant auditor (analysis/auditor.h) and resync.
+  const Page& PeekLogical(Address page) const;
+
+  // Corruption hook for auditor tests: mutable calibrator access, used
+  // to seed stale N_v counters that Audit() must catch. Never called
+  // outside tests/auditor_test.cc.
+  Calibrator& mutable_calibrator_for_testing() { return calibrator_; }
 
   // Structural invariants I1-I3 and I5. Subclasses extend with their
   // algorithm-specific checks — BALANCE(d,D) for CONTROL 1/2 (Theorem
@@ -299,10 +311,6 @@ class ControlBase {
   // Same for every block in [lo, hi], with one batched SyncLeaves.
   void ResyncRangeFromRaw(Address lo, Address hi);
 
-  // The page as the algorithms see it: the resident dirty/clean frame
-  // when pooled, the device page otherwise. Unaccounted; for validators
-  // and resync.
-  const Page& PeekLogical(Address page) const;
   // PageFile::GloballyOrdered over the logical view.
   bool LogicallyOrdered() const;
 

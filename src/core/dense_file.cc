@@ -1,5 +1,6 @@
 #include "core/dense_file.h"
 
+#include "analysis/auditor.h"
 #include "core/control1.h"
 #include "core/control2.h"
 #include "core/local_shift.h"
@@ -81,6 +82,57 @@ StatusOr<Value> DenseFile::Get(Key key) {
   StatusOr<Record> r = control_->Get(key);
   if (!r.ok()) return r.status();
   return r->value;
+}
+
+AuditReport DenseFile::Audit() const {
+  return Auditor::AuditControl(*control_);
+}
+
+Status DenseFile::MaybeAudit(Status s) const {
+  if (!options_.audit_every_command) return s;
+  // A command that died on a device fault (or ran out of pool frames
+  // mid-flight) leaves the file legitimately out of invariants until
+  // CheckAndRepair; auditing that state would report the fault's damage
+  // as corruption. Every other outcome — success or a user-level
+  // rejection — must leave a fully consistent file.
+  if (s.IsIoError() || s.IsResourceExhausted()) return s;
+  const Status audit = Audit().ToStatus();
+  if (!audit.ok() && s.ok()) return audit;
+  return s;
+}
+
+Status DenseFile::Insert(const Record& record) {
+  return MaybeAudit(control_->Insert(record));
+}
+
+Status DenseFile::Delete(Key key) { return MaybeAudit(control_->Delete(key)); }
+
+StatusOr<int64_t> DenseFile::DeleteRange(Key lo, Key hi) {
+  StatusOr<int64_t> n = control_->DeleteRange(lo, hi);
+  const Status audited = MaybeAudit(n.ok() ? Status::OK() : n.status());
+  if (!audited.ok()) return audited;
+  return n;
+}
+
+Status DenseFile::InsertBatch(const std::vector<Record>& records) {
+  return MaybeAudit(control_->InsertBatch(records));
+}
+
+Status DenseFile::Compact() { return MaybeAudit(control_->Compact()); }
+
+Status DenseFile::BulkLoad(const std::vector<Record>& records) {
+  return MaybeAudit(control_->BulkLoad(records));
+}
+
+StatusOr<RepairReport> DenseFile::CheckAndRepair() {
+  StatusOr<RepairReport> report = control_->CheckAndRepair();
+  if (!report.ok()) return report;
+  // Post-repair state must be auditor-certified, not merely
+  // ValidateInvariants-clean (the repair path already guarantees the
+  // latter).
+  const Status audited = MaybeAudit(Status::OK());
+  if (!audited.ok()) return audited;
+  return report;
 }
 
 }  // namespace dsf

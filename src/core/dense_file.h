@@ -34,6 +34,8 @@
 
 namespace dsf {
 
+struct AuditReport;
+
 class DenseFile {
  public:
   enum class Policy {
@@ -62,6 +64,11 @@ class DenseFile {
     // order at the end of each command. See docs/CACHING.md.
     int64_t cache_frames = 0;
     BufferPool::Eviction cache_eviction = BufferPool::Eviction::kClock;
+    // Run the full invariant auditor (analysis/auditor.h) after every
+    // mutating command that completed without a device fault, surfacing
+    // any violation as a Corruption status. O(M) per command — a test
+    // and fuzzing harness, not a production setting.
+    bool audit_every_command = false;
   };
 
   // Validates options and builds the file. All pages start empty.
@@ -75,8 +82,8 @@ class DenseFile {
 
   // --- Updates ---
   Status Insert(Key key, Value value) { return Insert(Record{key, value}); }
-  Status Insert(const Record& record) { return control_->Insert(record); }
-  Status Delete(Key key) { return control_->Delete(key); }
+  Status Insert(const Record& record);
+  Status Delete(Key key);
 
   // --- Queries ---
   StatusOr<Value> Get(Key key);
@@ -94,24 +101,18 @@ class DenseFile {
   // --- Range / bulk operations ---
   // Removes all records in [lo, hi]; returns how many. One command, cost
   // proportional to the blocks touched.
-  StatusOr<int64_t> DeleteRange(Key lo, Key hi) {
-    return control_->DeleteRange(lo, hi);
-  }
+  StatusOr<int64_t> DeleteRange(Key lo, Key hi);
   // Inserts strictly-ascending records one command at a time.
-  Status InsertBatch(const std::vector<Record>& records) {
-    return control_->InsertBatch(records);
-  }
+  Status InsertBatch(const std::vector<Record>& records);
   // Explicit O(M) reorganization to uniform density — Theorem 5.5's
   // initial condition, restoring even insert headroom after skew.
-  Status Compact() { return control_->Compact(); }
+  Status Compact();
   // Packing diagnostic: mean records per scan-touched page.
   double ScanEfficiency() const { return control_->ScanEfficiency(); }
 
   // --- Loading ---
   // Records must ascend strictly by key; spread at uniform density.
-  Status BulkLoad(const std::vector<Record>& records) {
-    return control_->BulkLoad(records);
-  }
+  Status BulkLoad(const std::vector<Record>& records);
 
   // --- Introspection ---
   int64_t size() const { return control_->size(); }
@@ -140,6 +141,11 @@ class DenseFile {
   // Full structural + algorithmic invariant sweep (O(M); for tests).
   Status ValidateInvariants() const { return control_->ValidateInvariants(); }
 
+  // Full invariant audit with a typed report of every violation found
+  // (violation kind, page address, calibrator node, expected vs. found).
+  // Unaccounted, read-only; see analysis/auditor.h for the catalog.
+  AuditReport Audit() const;
+
   // --- Fault injection & recovery ---
   // Installs (or clears) a deterministic fault schedule on the page store;
   // see storage/fault_injection.h. After any command errors with IoError,
@@ -159,10 +165,9 @@ class DenseFile {
   // Post-crash recovery: rebuilds the calibrator and algorithm state from
   // the raw pages, repairing torn-command damage (duplicates, broken
   // order) by a wholesale uniform rewrite when needed. On success the
-  // file passes ValidateInvariants(). See ControlBase::CheckAndRepair.
-  StatusOr<RepairReport> CheckAndRepair() {
-    return control_->CheckAndRepair();
-  }
+  // file passes ValidateInvariants() (and, with audit_every_command, a
+  // full Audit()). See ControlBase::CheckAndRepair.
+  StatusOr<RepairReport> CheckAndRepair();
 
   // The options the file was created with (block_size resolved).
   const Options& options() const { return options_; }
@@ -174,6 +179,12 @@ class DenseFile {
  private:
   DenseFile(const Options& options, std::unique_ptr<ControlBase> control)
       : options_(options), control_(std::move(control)) {}
+
+  // The audit_every_command hook: passes `s` through, and when auditing
+  // is on and `s` is not a device fault (a faulted command legitimately
+  // leaves the file out of invariants until CheckAndRepair), runs a full
+  // audit and surfaces its verdict (the command's own error wins).
+  Status MaybeAudit(Status s) const;
 
   Options options_;
   std::unique_ptr<ControlBase> control_;

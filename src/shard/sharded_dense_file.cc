@@ -4,6 +4,8 @@
 #include <limits>
 #include <string>
 
+#include "analysis/auditor.h"
+
 namespace dsf {
 
 namespace {
@@ -50,17 +52,17 @@ StatusOr<std::unique_ptr<ShardedDenseFile>> ShardedDenseFile::Create(
   }
   std::vector<std::unique_ptr<Shard>> shards;
   shards.reserve(static_cast<size_t>(s));
+  int64_t resolved_block_size = 0;
   for (int i = 0; i < s; ++i) {
     StatusOr<std::unique_ptr<DenseFile>> file =
         DenseFile::Create(shard_options);
     if (!file.ok()) return file.status();
-    auto shard = std::make_unique<Shard>();
-    shard->file = std::move(*file);
-    shards.push_back(std::move(shard));
+    resolved_block_size = (*file)->block_size();
+    shards.push_back(std::make_unique<Shard>(std::move(*file)));
   }
   Options resolved = options;
   resolved.splitters = splitters;
-  resolved.shard.block_size = shards.front()->file->block_size();
+  resolved.shard.block_size = resolved_block_size;
   resolved.shard.cache_frames = shard_options.cache_frames;
   return std::unique_ptr<ShardedDenseFile>(new ShardedDenseFile(
       resolved, std::move(splitters), std::move(shards)));
@@ -114,25 +116,25 @@ Key ShardedDenseFile::ShardUpperBound(int shard) const {
 
 Status ShardedDenseFile::Insert(const Record& record) {
   Shard& shard = *shards_[static_cast<size_t>(ShardOf(record.key))];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   return shard.file->Insert(record);
 }
 
 Status ShardedDenseFile::Delete(Key key) {
   Shard& shard = *shards_[static_cast<size_t>(ShardOf(key))];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   return shard.file->Delete(key);
 }
 
 StatusOr<Value> ShardedDenseFile::Get(Key key) {
   Shard& shard = *shards_[static_cast<size_t>(ShardOf(key))];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   return shard.file->Get(key);
 }
 
 bool ShardedDenseFile::Contains(Key key) {
   Shard& shard = *shards_[static_cast<size_t>(ShardOf(key))];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   return shard.file->Contains(key);
 }
 
@@ -144,7 +146,7 @@ Status ShardedDenseFile::Scan(Key lo, Key hi, std::vector<Record>* out) {
   // results in ascending shard order yields global key order.
   for (int i = first; i <= last; ++i) {
     Shard& shard = *shards_[static_cast<size_t>(i)];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     DSF_RETURN_IF_ERROR(shard.file->Scan(lo, hi, out));
   }
   return Status::OK();
@@ -159,14 +161,14 @@ StatusOr<std::vector<Record>> ShardedDenseFile::ScanAll() {
 void ShardedDenseFile::SetFaultPolicy(int shard,
                                       std::shared_ptr<FaultPolicy> policy) {
   Shard& s = *shards_[static_cast<size_t>(shard)];
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   s.file->set_fault_policy(std::move(policy));
 }
 
 StatusOr<RepairReport> ShardedDenseFile::CheckAndRepair() {
   RepairReport total;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     StatusOr<RepairReport> part = shard->file->CheckAndRepair();
     if (!part.ok()) return part.status();
     total.blocks_scanned += part->blocks_scanned;
@@ -185,7 +187,7 @@ StatusOr<RepairReport> ShardedDenseFile::CheckAndRepair() {
 Status ShardedDenseFile::Flush() {
   Status first_error = Status::OK();
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     const Status s = shard->file->Flush();
     if (!s.ok() && first_error.ok()) first_error = s;
   }
@@ -194,7 +196,7 @@ Status ShardedDenseFile::Flush() {
 
 void ShardedDenseFile::DiscardCaches() {
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     shard->file->DiscardCache();
   }
 }
@@ -202,7 +204,7 @@ void ShardedDenseFile::DiscardCaches() {
 BufferPool::Stats ShardedDenseFile::cache_stats() const {
   BufferPool::Stats total;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     total += shard->file->cache_stats();
   }
   return total;
@@ -215,7 +217,7 @@ StatusOr<int64_t> ShardedDenseFile::DeleteRange(Key lo, Key hi) {
   const int last = ShardOf(hi);
   for (int i = first; i <= last; ++i) {
     Shard& shard = *shards_[static_cast<size_t>(i)];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     StatusOr<int64_t> part = shard.file->DeleteRange(lo, hi);
     if (!part.ok()) return part.status();
     removed += *part;
@@ -247,7 +249,7 @@ Status ShardedDenseFile::InsertBatch(const std::vector<Record>& records) {
           records.begin() + static_cast<int64_t>(begin),
           records.begin() + static_cast<int64_t>(end));
       Shard& shard = *shards_[static_cast<size_t>(i)];
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(shard.mu);
       DSF_RETURN_IF_ERROR(shard.file->InsertBatch(slice));
     }
     begin = end;
@@ -276,7 +278,7 @@ Status ShardedDenseFile::BulkLoad(const std::vector<Record>& records) {
         records.begin() + static_cast<int64_t>(begin),
         records.begin() + static_cast<int64_t>(end));
     Shard& shard = *shards_[static_cast<size_t>(i)];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     DSF_RETURN_IF_ERROR(shard.file->BulkLoad(slice));
     begin = end;
   }
@@ -285,7 +287,7 @@ Status ShardedDenseFile::BulkLoad(const std::vector<Record>& records) {
 
 Status ShardedDenseFile::Compact() {
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     DSF_RETURN_IF_ERROR(shard->file->Compact());
   }
   return Status::OK();
@@ -294,7 +296,7 @@ Status ShardedDenseFile::Compact() {
 Status ShardedDenseFile::ValidateInvariants() const {
   for (int i = 0; i < num_shards(); ++i) {
     const Shard& shard = *shards_[static_cast<size_t>(i)];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     DSF_RETURN_IF_ERROR(shard.file->ValidateInvariants());
     // Routing invariant: every stored key lies in the shard's range.
     const Calibrator& cal = shard.file->control().calibrator();
@@ -310,10 +312,39 @@ Status ShardedDenseFile::ValidateInvariants() const {
   return Status::OK();
 }
 
+AuditReport ShardedDenseFile::Audit() const {
+  AuditReport report;
+  for (int i = 0; i < num_shards(); ++i) {
+    const Shard& shard = *shards_[static_cast<size_t>(i)];
+    MutexLock lock(shard.mu);
+    report.Merge(shard.file->Audit(), i);
+    // Boundary disjointness: the shard's whole key range (root fences)
+    // must sit inside [ShardLowerBound, ShardUpperBound) — ranges of
+    // distinct shards cannot overlap.
+    ++report.checks_run;
+    const Calibrator& cal = shard.file->control().calibrator();
+    if (cal.TotalRecords() == 0) continue;
+    const Key min_key = cal.MinKeyOf(cal.root());
+    const Key max_key = cal.MaxKeyOf(cal.root());
+    if (min_key < ShardLowerBound(i) ||
+        (i < num_shards() - 1 && max_key >= ShardUpperBound(i))) {
+      AuditViolation v;
+      v.kind = AuditViolationKind::kShardBoundaryViolation;
+      v.shard = i;
+      v.detail = "keys [" + std::to_string(min_key) + "," +
+                 std::to_string(max_key) + "] outside routed range [" +
+                 std::to_string(ShardLowerBound(i)) + "," +
+                 std::to_string(ShardUpperBound(i)) + ")";
+      report.violations.push_back(std::move(v));
+    }
+  }
+  return report;
+}
+
 int64_t ShardedDenseFile::size() const {
   int64_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     total += shard->file->size();
   }
   return total;
@@ -322,7 +353,11 @@ int64_t ShardedDenseFile::size() const {
 int64_t ShardedDenseFile::capacity() const {
   int64_t total = 0;
   for (const auto& shard : shards_) {
-    total += shard->file->capacity();  // immutable; no lock needed
+    // Capacity is immutable, but the guarded file pointer is reached
+    // under the lock so the access stays analyzable (and uncontended
+    // lock acquisition is trivially cheap on this cold path).
+    MutexLock lock(shard->mu);
+    total += shard->file->capacity();
   }
   return total;
 }
@@ -330,7 +365,7 @@ int64_t ShardedDenseFile::capacity() const {
 IoStats ShardedDenseFile::io_stats() const {
   IoStats total;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     total += shard->file->io_stats();
   }
   return total;
@@ -339,7 +374,7 @@ IoStats ShardedDenseFile::io_stats() const {
 CommandStats ShardedDenseFile::command_stats() const {
   CommandStats total;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     const CommandStats& s = shard->file->command_stats();
     total.commands += s.commands;
     total.total_accesses += s.total_accesses;
@@ -351,14 +386,14 @@ CommandStats ShardedDenseFile::command_stats() const {
 
 void ShardedDenseFile::SetAccessLatency(std::chrono::nanoseconds latency) {
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     shard->file->control().file().set_access_latency(latency);
   }
 }
 
 void ShardedDenseFile::ResetStats() {
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     shard->file->ResetIoStats();
     shard->file->ResetCommandStats();
   }
@@ -366,19 +401,19 @@ void ShardedDenseFile::ResetStats() {
 
 IoStats ShardedDenseFile::shard_io_stats(int shard) const {
   const Shard& s = *shards_[static_cast<size_t>(shard)];
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   return s.file->io_stats();
 }
 
 CommandStats ShardedDenseFile::shard_command_stats(int shard) const {
   const Shard& s = *shards_[static_cast<size_t>(shard)];
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   return s.file->command_stats();
 }
 
 int64_t ShardedDenseFile::shard_size(int shard) const {
   const Shard& s = *shards_[static_cast<size_t>(shard)];
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   return s.file->size();
 }
 

@@ -28,7 +28,6 @@
 
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "core/control_base.h"
@@ -36,8 +35,11 @@
 #include "storage/io_stats.h"
 #include "storage/record.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace dsf {
+
+struct AuditReport;
 
 class ShardedDenseFile {
  public:
@@ -103,6 +105,13 @@ class ShardedDenseFile {
   // lives in the shard its key routes to.
   Status ValidateInvariants() const;
 
+  // Typed audit across all shards (ascending, one lock at a time): each
+  // shard's full DenseFile::Audit() with violations stamped by shard
+  // index, plus the boundary-disjointness check that every shard's key
+  // range stays inside [ShardLowerBound, ShardUpperBound). See
+  // analysis/auditor.h.
+  AuditReport Audit() const;
+
   // --- Fault injection & recovery ---
   // Installs (or clears) a fault schedule on one shard's page store.
   // Shards model independent devices, so each carries its own policy.
@@ -147,9 +156,16 @@ class ShardedDenseFile {
   const Options& options() const { return options_; }
 
  private:
+  // One key range's independent DenseFile behind its own annotated
+  // mutex. `file` is GUARDED_BY(mu): Clang's -Wthread-safety analysis
+  // (DSF_ANALYZE mode) rejects any access without the lock, which makes
+  // the one-lock-at-a-time protocol above machine-checked. The file is
+  // handed over at construction (exempt from the analysis — the shard is
+  // not shared yet).
   struct Shard {
-    mutable std::mutex mu;
-    std::unique_ptr<DenseFile> file;
+    explicit Shard(std::unique_ptr<DenseFile> f) : file(std::move(f)) {}
+    mutable Mutex mu;
+    std::unique_ptr<DenseFile> file DSF_GUARDED_BY(mu);
   };
 
   ShardedDenseFile(const Options& options, std::vector<Key> splitters,

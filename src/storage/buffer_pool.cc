@@ -1,8 +1,10 @@
 #include "storage/buffer_pool.h"
 
 #include <sstream>
+#include <utility>
 
 #include "util/check.h"
+#include "util/logging.h"
 
 namespace dsf {
 
@@ -54,6 +56,7 @@ BufferPool::BufferPool(PageFile* file, const Options& options)
     : file_(file), options_(options) {
   DSF_CHECK(file_ != nullptr) << "BufferPool needs a PageFile";
   DSF_CHECK(options_.num_frames >= 1) << "BufferPool needs >= 1 frame";
+  MutexLock lock(mu_);
   frames_.reserve(static_cast<size_t>(options_.num_frames));
   free_frames_.reserve(static_cast<size_t>(options_.num_frames));
   for (int64_t i = 0; i < options_.num_frames; ++i) {
@@ -63,6 +66,17 @@ BufferPool::BufferPool(PageFile* file, const Options& options)
   for (int64_t i = options_.num_frames - 1; i >= 0; --i) {
     free_frames_.push_back(i);
   }
+}
+
+BufferPool::~BufferPool() {
+#ifndef NDEBUG
+  const std::string leaks = PinLeakReport();
+  if (!leaks.empty()) {
+    DSF_LOG(kError) << "BufferPool destroyed with pinned frames (PageGuards "
+                       "outliving the pool):\n"
+                    << leaks;
+  }
+#endif
 }
 
 void BufferPool::Touch(Frame& f) {
@@ -175,9 +189,17 @@ Status BufferPool::MarkDirty(int64_t frame) {
     DSF_RETURN_IF_ERROR(FlushPrefixThrough(frame));
   }
   f.dirty = true;
+  f.dirty_seq = ++next_dirty_seq_;
   dirty_order_.push_back(frame);
   f.dirty_it = std::prev(dirty_order_.end());
   return Status::OK();
+}
+
+void BufferPool::RecordPin(int64_t frame, const char* owner) {
+  Frame& f = frames_[static_cast<size_t>(frame)];
+  ++f.pins;
+  f.owner = owner != nullptr ? owner : "untagged";
+  ++live_guards_;
 }
 
 Status BufferPool::FlushFrame(int64_t frame) {
@@ -215,25 +237,29 @@ Status BufferPool::FlushPrefixThrough(int64_t frame) {
   return Status::OK();
 }
 
-StatusOr<PageGuard> BufferPool::PinRead(Address address) {
+StatusOr<PageGuard> BufferPool::PinRead(Address address, const char* owner) {
   file_->CountLogical(/*is_write=*/false);
+  MutexLock lock(mu_);
   StatusOr<int64_t> frame = AcquireFrame(address, /*load=*/true);
   if (!frame.ok()) return frame.status();
-  ++frames_[static_cast<size_t>(*frame)].pins;
+  RecordPin(*frame, owner);
   return PageGuard(this, *frame);
 }
 
-StatusOr<PageGuard> BufferPool::PinWrite(Address address) {
+StatusOr<PageGuard> BufferPool::PinWrite(Address address, const char* owner) {
   file_->CountLogical(/*is_write=*/true);
+  MutexLock lock(mu_);
   StatusOr<int64_t> frame = AcquireFrame(address, /*load=*/true);
   if (!frame.ok()) return frame.status();
   DSF_RETURN_IF_ERROR(MarkDirty(*frame));
-  ++frames_[static_cast<size_t>(*frame)].pins;
+  RecordPin(*frame, owner);
   return PageGuard(this, *frame);
 }
 
-StatusOr<PageGuard> BufferPool::PinForOverwrite(Address address) {
+StatusOr<PageGuard> BufferPool::PinForOverwrite(Address address,
+                                                const char* owner) {
   file_->CountLogical(/*is_write=*/true);
+  MutexLock lock(mu_);
   StatusOr<int64_t> frame = AcquireFrame(address, /*load=*/false);
   if (!frame.ok()) return frame.status();
   Frame& f = frames_[static_cast<size_t>(*frame)];
@@ -242,7 +268,7 @@ StatusOr<PageGuard> BufferPool::PinForOverwrite(Address address) {
   DSF_RETURN_IF_ERROR(MarkDirty(*frame));
   f.page.Clear();
   f.free_write = false;
-  ++f.pins;
+  RecordPin(*frame, owner);
   return PageGuard(this, *frame);
 }
 
@@ -250,6 +276,7 @@ Status BufferPool::MarkFree(Address address) {
   // Unaccounted (parity with the unpooled RawPage clear), but ordered:
   // the clear rides L so it cannot overtake the in-cache writes that
   // moved this page's records elsewhere.
+  MutexLock lock(mu_);
   StatusOr<int64_t> frame = AcquireFrame(address, /*load=*/false);
   if (!frame.ok()) return frame.status();
   Frame& f = frames_[static_cast<size_t>(*frame)];
@@ -260,6 +287,7 @@ Status BufferPool::MarkFree(Address address) {
 }
 
 Status BufferPool::FlushAll() {
+  MutexLock lock(mu_);
   Address previous = -1;
   while (!dirty_order_.empty()) {
     const int64_t front = dirty_order_.front();
@@ -277,6 +305,7 @@ Status BufferPool::FlushAll() {
 }
 
 void BufferPool::DropAll() {
+  MutexLock lock(mu_);
   dirty_order_.clear();
   resident_.clear();
   free_frames_.clear();
@@ -293,15 +322,67 @@ void BufferPool::DropAll() {
 }
 
 const Page* BufferPool::PeekFrame(Address address) const {
+  MutexLock lock(mu_);
   auto it = resident_.find(address);
   if (it == resident_.end()) return nullptr;
   return &frames_[static_cast<size_t>(it->second)].page;
 }
 
+std::vector<BufferPool::FrameInfo> BufferPool::AuditFrames() const {
+  MutexLock lock(mu_);
+  std::vector<FrameInfo> out;
+  out.reserve(frames_.size());
+  for (const Frame& f : frames_) {
+    FrameInfo info;
+    info.address = f.address;
+    info.pins = f.pins;
+    info.dirty = f.dirty;
+    info.free_write = f.free_write;
+    info.dirty_seq = f.dirty_seq;
+    info.owner = f.owner;
+    out.push_back(info);
+  }
+  return out;
+}
+
+std::vector<int64_t> BufferPool::DirtyOrderForAudit() const {
+  MutexLock lock(mu_);
+  return std::vector<int64_t>(dirty_order_.begin(), dirty_order_.end());
+}
+
+int64_t BufferPool::live_guards() const {
+  MutexLock lock(mu_);
+  return live_guards_;
+}
+
+std::string BufferPool::PinLeakReport() const {
+  MutexLock lock(mu_);
+  std::ostringstream os;
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    const Frame& f = frames_[i];
+    if (f.pins == 0) continue;
+    os << "  frame " << i << " page " << f.address << " pins=" << f.pins
+       << " owner=" << (f.owner != nullptr ? f.owner : "untagged") << "\n";
+  }
+  return os.str();
+}
+
+void BufferPool::ReorderDirtyListForTesting() {
+  MutexLock lock(mu_);
+  if (dirty_order_.size() < 2) return;
+  auto first = dirty_order_.begin();
+  auto second = std::next(first);
+  std::swap(*first, *second);
+  frames_[static_cast<size_t>(*first)].dirty_it = first;
+  frames_[static_cast<size_t>(*second)].dirty_it = second;
+}
+
 void BufferPool::Unpin(int64_t frame) {
+  MutexLock lock(mu_);
   Frame& f = frames_[static_cast<size_t>(frame)];
   DSF_DCHECK(f.pins > 0) << "unbalanced Unpin";
   --f.pins;
+  --live_guards_;
 }
 
 }  // namespace dsf

@@ -47,7 +47,14 @@
 // the records out), but the device clear itself is unaccounted RawPage
 // bookkeeping, matching the unpooled path.
 //
-// Not thread-safe: one pool per shard, serialized by the shard mutex.
+// Thread safety. The pool's bookkeeping structures (resident map, dirty
+// list, free list, stats) are guarded by an internal mutex, annotated
+// for Clang's -Wthread-safety analysis (see util/thread_annotations.h).
+// Frame *contents* are protected by pinning, not by the mutex: a
+// PageGuard holder reads or writes its page without taking any lock, so
+// concurrent guards to the SAME page still need external serialization
+// (in practice: one pool per shard, writers serialized by the shard
+// mutex; see shard/sharded_dense_file.h).
 
 #ifndef DSF_STORAGE_BUFFER_POOL_H_
 #define DSF_STORAGE_BUFFER_POOL_H_
@@ -62,6 +69,7 @@
 #include "storage/page_file.h"
 #include "storage/record.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace dsf {
 
@@ -136,55 +144,106 @@ class BufferPool {
     std::string ToString() const;
   };
 
+  // A snapshot of one frame's metadata, for the invariant auditor and
+  // tests (see analysis/auditor.h). Index in the AuditFrames() vector is
+  // the frame id; `owner` is the tag passed by the most recent pinner.
+  struct FrameInfo {
+    Address address = 0;  // 0 = empty frame
+    int32_t pins = 0;
+    bool dirty = false;
+    bool free_write = false;
+    int64_t dirty_seq = 0;  // when the frame last went clean -> dirty
+    const char* owner = nullptr;
+  };
+
   // The pool caches pages of `file`; frames are sized to the file's page
   // capacity. `options.num_frames` must be >= 1.
   BufferPool(PageFile* file, const Options& options);
+
+  // In debug builds the destructor reports leaked pins (PageGuards that
+  // outlive the pool) to the log, with their owner tags.
+  ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
   // Pins `address` for reading; fills the frame from the device on a
   // miss. Errors: OutOfRange, kIoError (miss fill or eviction write-back
-  // fault), kResourceExhausted (all frames pinned).
-  StatusOr<PageGuard> PinRead(Address address);
+  // fault), kResourceExhausted (all frames pinned). `owner` is a static
+  // string recorded on the frame for pin-leak diagnostics.
+  StatusOr<PageGuard> PinRead(Address address, const char* owner = nullptr)
+      DSF_EXCLUDES(mu_);
 
   // Pins `address` for in-place modification: loads on miss, marks the
   // frame dirty (enforcing the dirty-order rules above).
-  StatusOr<PageGuard> PinWrite(Address address);
+  StatusOr<PageGuard> PinWrite(Address address, const char* owner = nullptr)
+      DSF_EXCLUDES(mu_);
 
   // Pins `address` for full overwrite: the frame is *not* filled from
   // the device (the caller replaces the whole page), arrives cleared,
   // and is marked dirty. Saves the miss read that PinWrite would pay.
-  StatusOr<PageGuard> PinForOverwrite(Address address);
+  StatusOr<PageGuard> PinForOverwrite(Address address,
+                                      const char* owner = nullptr)
+      DSF_EXCLUDES(mu_);
 
   // Enqueues "this page becomes empty" through the dirty order; the
   // eventual device clear is unaccounted bookkeeping (see header note).
-  Status MarkFree(Address address);
+  Status MarkFree(Address address) DSF_EXCLUDES(mu_);
 
   // Writes every dirty frame to the device in dirty-order. On a fault
   // the failed frame and everything after it stay dirty (and keep their
   // order); already-flushed frames are clean. Safe to retry.
-  Status FlushAll();
+  Status FlushAll() DSF_EXCLUDES(mu_);
 
   // Drops every frame without writing anything back — the cache-loss
   // half of a crash. Dirty data is lost by design; the caller re-syncs
   // from the device (CheckAndRepair). Requires no outstanding pins.
-  void DropAll();
+  void DropAll() DSF_EXCLUDES(mu_);
 
   // Frame contents if `address` is resident, nullptr otherwise. For
-  // validators and tests; unaccounted.
-  const Page* PeekFrame(Address address) const;
+  // validators and tests; unaccounted. The returned page is read outside
+  // the pool mutex — callers must be externally serialized vs. writers.
+  const Page* PeekFrame(Address address) const DSF_EXCLUDES(mu_);
+
+  // Metadata snapshot of every frame (index = frame id). For the
+  // invariant auditor and tests.
+  std::vector<FrameInfo> AuditFrames() const DSF_EXCLUDES(mu_);
+
+  // The dirty-order list L as frame ids, front (dirtied earliest) first.
+  std::vector<int64_t> DirtyOrderForAudit() const DSF_EXCLUDES(mu_);
+
+  // Number of PageGuards currently alive. The auditor checks this equals
+  // the sum of per-frame pin counts (they diverge only via memory
+  // corruption, since both move together in Pin*/Unpin).
+  int64_t live_guards() const DSF_EXCLUDES(mu_);
+
+  // Human-readable list of frames still pinned, one line per frame with
+  // the owner tag of the last pinner; empty string when nothing is
+  // pinned. The destructor logs this in debug builds.
+  std::string PinLeakReport() const DSF_EXCLUDES(mu_);
+
+  // Corruption hook for auditor tests: swaps the first two entries of
+  // the dirty-order list, simulating a write-back reordering bug.
+  void ReorderDirtyListForTesting() DSF_EXCLUDES(mu_);
 
   int64_t num_frames() const { return static_cast<int64_t>(frames_.size()); }
-  int64_t resident_pages() const {
+  int64_t resident_pages() const DSF_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return static_cast<int64_t>(resident_.size());
   }
-  int64_t dirty_pages() const {
+  int64_t dirty_pages() const DSF_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return static_cast<int64_t>(dirty_order_.size());
   }
 
-  const Stats& stats() const { return stats_; }
-  void ResetStats() { stats_ = Stats(); }
+  Stats stats() const DSF_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return stats_;
+  }
+  void ResetStats() DSF_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    stats_ = Stats();
+  }
 
  private:
   friend class PageGuard;
@@ -198,33 +257,45 @@ class BufferPool {
     bool free_write = false;  // dirty content is "page becomes empty"
     bool ref = false;         // CLOCK second-chance bit
     int64_t lru_tick = 0;
+    int64_t dirty_seq = 0;    // serial stamped when going clean -> dirty
+    const char* owner = nullptr;            // last pinner's tag
     std::list<int64_t>::iterator dirty_it;  // valid iff dirty
   };
 
   // Returns a pinned frame holding `address`; fills from the device iff
   // `load` and the page was not resident.
-  StatusOr<int64_t> AcquireFrame(Address address, bool load);
+  StatusOr<int64_t> AcquireFrame(Address address, bool load)
+      DSF_REQUIRES(mu_);
   // Picks and reclaims a victim frame (flushing the dirty prefix through
   // it first); kResourceExhausted if every resident frame is pinned.
-  StatusOr<int64_t> EvictFrame();
+  StatusOr<int64_t> EvictFrame() DSF_REQUIRES(mu_);
   // Applies the dirty-order rules (combine at tail / prefix-flush).
-  Status MarkDirty(int64_t frame);
+  Status MarkDirty(int64_t frame) DSF_REQUIRES(mu_);
   // Writes one dirty frame to the device and removes it from L.
-  Status FlushFrame(int64_t frame);
+  Status FlushFrame(int64_t frame) DSF_REQUIRES(mu_);
   // Flushes L front-to-back up to and including `frame`.
-  Status FlushPrefixThrough(int64_t frame);
-  void Unpin(int64_t frame);
-  void Touch(Frame& f);
+  Status FlushPrefixThrough(int64_t frame) DSF_REQUIRES(mu_);
+  void Unpin(int64_t frame) DSF_EXCLUDES(mu_);
+  void Touch(Frame& f) DSF_REQUIRES(mu_);
+  void RecordPin(int64_t frame, const char* owner) DSF_REQUIRES(mu_);
 
   PageFile* file_;
   Options options_;
+  // The frame vector itself is fixed at construction; frame *contents*
+  // are protected by pinning, frame *metadata* is mutated only under
+  // mu_ (see thread-safety note at the top of this header).
   std::vector<Frame> frames_;
-  std::vector<int64_t> free_frames_;
-  std::unordered_map<Address, int64_t> resident_;
-  std::list<int64_t> dirty_order_;  // front = dirtied earliest
-  int64_t clock_hand_ = 0;
-  int64_t tick_ = 0;
-  Stats stats_;
+
+  mutable Mutex mu_;
+  std::vector<int64_t> free_frames_ DSF_GUARDED_BY(mu_);
+  std::unordered_map<Address, int64_t> resident_ DSF_GUARDED_BY(mu_);
+  // front = dirtied earliest
+  std::list<int64_t> dirty_order_ DSF_GUARDED_BY(mu_);
+  int64_t clock_hand_ DSF_GUARDED_BY(mu_) = 0;
+  int64_t tick_ DSF_GUARDED_BY(mu_) = 0;
+  int64_t next_dirty_seq_ DSF_GUARDED_BY(mu_) = 0;
+  int64_t live_guards_ DSF_GUARDED_BY(mu_) = 0;
+  Stats stats_ DSF_GUARDED_BY(mu_);
 };
 
 }  // namespace dsf

@@ -73,6 +73,8 @@ StatusOr<Page*> PageFile::TryWrite(Address address) {
 
 const Page& PageFile::Read(Address address) {
   StatusOr<const Page*> page = TryRead(address);
+  // lint:allow(check-on-fault-path): Read IS the documented abort-on-fault
+  // wrapper; fault-tolerant callers use TryRead.
   DSF_CHECK(page.ok()) << "infallible Read failed: "
                        << page.status().ToString();
   return **page;
@@ -80,6 +82,8 @@ const Page& PageFile::Read(Address address) {
 
 Page& PageFile::Write(Address address) {
   StatusOr<Page*> page = TryWrite(address);
+  // lint:allow(check-on-fault-path): Write IS the documented abort-on-fault
+  // wrapper; fault-tolerant callers use TryWrite.
   DSF_CHECK(page.ok()) << "infallible Write failed: "
                        << page.status().ToString();
   return **page;

@@ -38,7 +38,12 @@ const char* StatusCodeToString(StatusCode code);
 
 // A Status is either OK (the common, cheap case) or an error code with a
 // human-readable message. Copyable and movable; OK carries no allocation.
-class Status {
+//
+// The class itself is [[nodiscard]]: any function returning a Status by
+// value warns (and fails the DSF_ANALYZE build) when the caller drops the
+// result. The rare genuine don't-care sites say so explicitly with
+// IgnoreStatus() below.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -118,7 +123,7 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
 // StatusOr<T> holds either a T or a non-OK Status. Access to the value of
 // a non-OK StatusOr aborts the process (there are no exceptions to throw).
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   // Intentionally implicit, so `return value;` and `return status;` both
   // work inside functions returning StatusOr<T>.
@@ -155,6 +160,16 @@ class StatusOr {
   Status status_;
   std::optional<T> value_;
 };
+
+// Explicitly discards a Status (or StatusOr) at a genuine don't-care
+// site: best-effort cleanup, a sweep whose outcome is checked elsewhere,
+// an error already recorded through another channel. Grep-able, unlike a
+// bare (void) cast, so the static-analysis linter can audit every site.
+inline void IgnoreStatus(const Status& status) { (void)status; }
+template <typename T>
+void IgnoreStatus(const StatusOr<T>& status_or) {
+  (void)status_or;
+}
 
 // Propagates a non-OK status out of the current function.
 #define DSF_RETURN_IF_ERROR(expr)                \

@@ -1,0 +1,90 @@
+// Clang thread-safety annotations and an annotated mutex wrapper.
+//
+// The locking discipline of the concurrent layers (one mutex per shard in
+// ShardedDenseFile, worker-owned counters in ParallelReplayer) is enforced
+// at compile time by Clang's -Wthread-safety analysis. Under GCC, or under
+// Clang without the capability attributes, every macro expands to nothing
+// and dsf::Mutex degrades to a plain std::mutex wrapper with identical
+// runtime behavior — the annotations are a zero-cost contract.
+//
+// libstdc++'s std::mutex carries no capability attributes, so analyzable
+// code must hold its lock through dsf::Mutex / dsf::MutexLock below (this
+// is also what the project linter's no-naked-mutex rule checks; see
+// scripts/run_static_analysis.sh). The DSF_ANALYZE CMake mode turns the
+// analysis on as an error: a GUARDED_BY field touched without its mutex,
+// or a REQUIRES function called without the capability, fails the build.
+
+#ifndef DSF_UTIL_THREAD_ANNOTATIONS_H_
+#define DSF_UTIL_THREAD_ANNOTATIONS_H_
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define DSF_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef DSF_THREAD_ANNOTATION
+#define DSF_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+// A type that acts as a lock (Clang calls these "capabilities").
+#define DSF_CAPABILITY(name) DSF_THREAD_ANNOTATION(capability(name))
+// RAII types that acquire on construction and release on destruction.
+#define DSF_SCOPED_CAPABILITY DSF_THREAD_ANNOTATION(scoped_lockable)
+// Field/variable may only be touched while holding `mu`.
+#define DSF_GUARDED_BY(mu) DSF_THREAD_ANNOTATION(guarded_by(mu))
+// Pointed-to data (not the pointer itself) is guarded by `mu`.
+#define DSF_PT_GUARDED_BY(mu) DSF_THREAD_ANNOTATION(pt_guarded_by(mu))
+// Function requires the capability held on entry (and does not release).
+#define DSF_REQUIRES(...) \
+  DSF_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+// Function must NOT be called with the capability held (deadlock guard).
+#define DSF_EXCLUDES(...) DSF_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+// Function acquires / releases the capability.
+#define DSF_ACQUIRE(...) \
+  DSF_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define DSF_RELEASE(...) \
+  DSF_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define DSF_TRY_ACQUIRE(...) \
+  DSF_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+// Returns a reference to the capability guarding this object.
+#define DSF_RETURN_CAPABILITY(x) DSF_THREAD_ANNOTATION(lock_returned(x))
+// Escape hatch: the function's locking cannot be expressed statically.
+#define DSF_NO_THREAD_SAFETY_ANALYSIS \
+  DSF_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace dsf {
+
+// std::mutex with capability attributes. Same size and cost; exists only
+// because the analysis needs the attribute on the lock type itself.
+class DSF_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() DSF_ACQUIRE() { mu_.lock(); }
+  void Unlock() DSF_RELEASE() { mu_.unlock(); }
+  bool TryLock() DSF_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+// std::lock_guard over dsf::Mutex, visible to the analysis.
+class DSF_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DSF_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() DSF_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace dsf
+
+#endif  // DSF_UTIL_THREAD_ANNOTATIONS_H_

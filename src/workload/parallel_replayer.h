@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "shard/sharded_dense_file.h"
+#include "util/status.h"
 #include "workload/workload.h"
 
 namespace dsf {
@@ -35,7 +36,10 @@ struct ReplayThreadStats {
   int64_t gets = 0;
   int64_t scans = 0;
   // Commands whose Status was an expected workload rejection
-  // (AlreadyExists / NotFound / CapacityExceeded); anything else aborts.
+  // (AlreadyExists / NotFound / CapacityExceeded). Anything else counts
+  // into ReplayResult::unexpected_errors — never an abort: worker
+  // threads are a fault-reachable path (a shard may carry an injected
+  // fault policy), so errors are reported, not DSF_CHECKed.
   int64_t rejected = 0;
   int64_t scan_records = 0;  // records returned across all scans
   int64_t total_ns = 0;      // summed per-op latency
@@ -47,6 +51,16 @@ struct ReplayThreadStats {
 struct ReplayResult {
   std::vector<ReplayThreadStats> per_thread;
   double wall_seconds = 0;  // barrier release -> last thread done
+
+  // Statuses that were neither OK nor an expected workload rejection
+  // (e.g. IoError from an injected fault, Corruption from an
+  // audit_every_command shard). Collected across threads under an
+  // annotated mutex; `first_unexpected_error` is the earliest one
+  // recorded. Callers decide whether that fails the run.
+  int64_t unexpected_errors = 0;
+  Status first_unexpected_error;
+
+  bool ok() const { return unexpected_errors == 0; }
 
   // Summation over per_thread (exact; see header comment).
   ReplayThreadStats Aggregate() const;

@@ -10,6 +10,7 @@
 // reference model, and the sharded byte-budget split.
 
 #include <memory>
+#include <string>
 #include <tuple>
 #include <vector>
 
@@ -558,6 +559,37 @@ TEST(BufferPoolShardedTest, CacheBytesSplitEvenlyAcrossShards) {
   ASSERT_TRUE(file.CheckAndRepair().ok());
   ASSERT_TRUE(file.ValidateInvariants().ok());
   EXPECT_EQ(*file.ScanAll(), model.ScanAll());
+}
+
+// Pin-leak diagnostics: a PageGuard held past its command shows up in
+// PinLeakReport() with the owner tag its pinner declared, and vanishes
+// once released. (The destructor logs this report in debug builds, so a
+// guard leaked across a pool's lifetime is attributed, not silent.)
+TEST_F(BufferPoolTest, PinLeakReportNamesOwnerTags) {
+  auto pool = MakePool(4);
+  EXPECT_EQ(pool->PinLeakReport(), "");
+
+  StatusOr<PageGuard> read = pool->PinRead(2, "leak_test_reader");
+  ASSERT_TRUE(read.ok()) << read.status();
+  StatusOr<PageGuard> write = pool->PinWrite(5, "leak_test_writer");
+  ASSERT_TRUE(write.ok()) << write.status();
+
+  const std::string report = pool->PinLeakReport();
+  EXPECT_NE(report.find("leak_test_reader"), std::string::npos) << report;
+  EXPECT_NE(report.find("leak_test_writer"), std::string::npos) << report;
+  EXPECT_NE(report.find("page 2"), std::string::npos) << report;
+  EXPECT_NE(report.find("page 5"), std::string::npos) << report;
+  EXPECT_EQ(pool->live_guards(), 2);
+
+  read->Release();
+  const std::string remaining = pool->PinLeakReport();
+  EXPECT_EQ(remaining.find("leak_test_reader"), std::string::npos);
+  EXPECT_NE(remaining.find("leak_test_writer"), std::string::npos);
+
+  write->Release();
+  EXPECT_EQ(pool->PinLeakReport(), "");
+  EXPECT_EQ(pool->live_guards(), 0);
+  ASSERT_TRUE(pool->FlushAll().ok());
 }
 
 TEST(BufferPoolShardedTest, NegativeCacheBytesRejected) {

@@ -41,6 +41,11 @@ DenseFile::Options FileOptions(DenseFile::Policy policy,
   options.D = 20;
   options.policy = policy;
   options.cache_frames = cache_frames;
+  // Every command in the sweep runs under the structural auditor: any
+  // state the repair (or a fault-free replay step) leaves behind must be
+  // auditor-certified, not merely ValidateInvariants-clean. Commands
+  // that die on the injected fault are exempt (see DenseFile::Audit).
+  options.audit_every_command = true;
   return options;
 }
 
@@ -98,7 +103,7 @@ int64_t CleanRunAccesses(DenseFile::Policy policy, int64_t cache_frames,
   std::unique_ptr<DenseFile> file =
       *DenseFile::Create(FileOptions(policy, cache_frames));
   EXPECT_TRUE(file->BulkLoad(initial).ok());
-  for (const Op& op : trace) ApplyToFile(*file, op).ok();
+  for (const Op& op : trace) IgnoreStatus(ApplyToFile(*file, op));
   return file->io_stats().TotalAccesses();
 }
 
@@ -328,7 +333,7 @@ TEST_P(CrashRecoverySharded, EveryCrashPointOnShardZeroRecovers) {
     std::unique_ptr<ShardedDenseFile> file =
         *ShardedDenseFile::Create(options);
     ASSERT_TRUE(file->BulkLoad(initial).ok());
-    for (const Op& op : trace) apply_to_file(*file, op).ok();
+    for (const Op& op : trace) IgnoreStatus(apply_to_file(*file, op));
     total = file->shard_io_stats(0).TotalAccesses();
   }
   ASSERT_GT(total, 0);

@@ -14,6 +14,7 @@
 #include <tuple>
 #include <vector>
 
+#include "analysis/auditor.h"
 #include "shard/sharded_dense_file.h"
 #include "workload/parallel_replayer.h"
 #include "workload/reference_model.h"
@@ -237,6 +238,7 @@ TEST(ParallelReplayerTest, RangeMixesPartitionTheKeySpace) {
   std::unique_ptr<ShardedDenseFile> file = MakeFile(SmallOptions(4, 1000));
   ParallelReplayer replayer({num_threads});
   const ReplayResult result = replayer.Replay(*file, traces);
+  EXPECT_TRUE(result.ok()) << result.first_unexpected_error.ToString();
   EXPECT_EQ(result.Aggregate().ops, 2000);
   EXPECT_TRUE(file->ValidateInvariants().ok());
 }
@@ -283,6 +285,9 @@ TEST_P(ShardedStormTest, ConcurrentMixedTrafficMatchesReference) {
 
   ParallelReplayer replayer({num_threads});
   const ReplayResult result = replayer.Replay(*file, traces);
+  ASSERT_TRUE(result.ok()) << result.unexpected_errors
+                           << " unexpected errors, first: "
+                           << result.first_unexpected_error.ToString();
 
   const ReplayThreadStats agg = result.Aggregate();
   EXPECT_EQ(agg.ops, static_cast<int64_t>(num_threads) * 4000);
@@ -307,8 +312,12 @@ TEST_P(ShardedStormTest, ConcurrentMixedTrafficMatchesReference) {
   EXPECT_EQ(*file->ScanAll(), model.ScanAll());
 
   // Every shard survived the storm with its invariants intact (this
-  // includes BALANCE(d,D) per shard).
+  // includes BALANCE(d,D) per shard), and the typed auditor certifies
+  // the full catalog — density, order, counters, algorithm state, pool
+  // frames and shard boundaries.
   EXPECT_TRUE(file->ValidateInvariants().ok());
+  const AuditReport audit = file->Audit();
+  EXPECT_TRUE(audit.ok()) << audit.ToString();
 
   // Stats aggregation is exact: the per-shard sums equal the aggregate.
   IoStats summed;
