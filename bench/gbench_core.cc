@@ -11,6 +11,8 @@
 #include "core/calibrator.h"
 #include "core/control2.h"
 #include "core/dense_file.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/page.h"
 #include "storage/page_file.h"
 #include "util/check.h"
@@ -234,6 +236,34 @@ void BM_Control2WorstCaseCommand(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_Control2WorstCaseCommand);
+
+// Observability overhead on the insert/delete hot path. Arg 0: null
+// registry — the instrumentation must compile down to cached null-handle
+// checks (the zero-overhead contract obs_test pins on IoStats). Arg 1:
+// full instrumentation (registry + tracer + bound certifier), whose
+// striped relaxed-atomic updates are gated at <5% throughput delta vs.
+// Arg 0 (compare the two items_per_second series in BENCH_core.json).
+void BM_MetricsOverhead(benchmark::State& state) {
+  MetricsRegistry registry;
+  CommandTracer tracer;
+  DenseFile::Options options = FileOptions(1024);
+  if (state.range(0) != 0) {
+    options.metrics = &registry;
+    options.tracer = &tracer;
+    options.certify_bound = true;
+  }
+  std::unique_ptr<DenseFile> file = std::move(*DenseFile::Create(options));
+  Rng rng(8);
+  DSF_CHECK(
+      file->BulkLoad(MakeAscendingRecords(file->capacity() / 2, 2, 2)).ok());
+  for (auto _ : state) {
+    const Key k = 2 * rng.Uniform(file->capacity()) + 1;  // odd: absent
+    benchmark::DoNotOptimize(file->Insert(k, k));
+    benchmark::DoNotOptimize(file->Delete(k));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_MetricsOverhead)->Arg(0)->Arg(1);
 
 void BM_LocalShiftStationaryChurn(benchmark::State& state) {
   DenseFile::Options options = FileOptions(1024);

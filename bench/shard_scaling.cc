@@ -56,6 +56,11 @@ struct Row {
   int64_t max_op_ns = 0;
   int64_t rejected = 0;
   IoStats io;
+  // Each side of the logical/physical split reported on its own —
+  // logical accesses are the paper's cost metric, physical page traffic
+  // is what the device model charges for; never divide one by the other.
+  double logical_accesses_per_op = 0;
+  double physical_accesses_per_op = 0;
 };
 
 Row RunConfig(const Config& config, int64_t total_pages, int64_t total_ops,
@@ -113,7 +118,11 @@ Row RunConfig(const Config& config, int64_t total_pages, int64_t total_ops,
                              static_cast<double>(agg.ops);
   row.max_op_ns = agg.max_op_ns;
   row.rejected = agg.rejected;
-  row.io = (*file)->io_stats();
+  // The replay's own IoStats delta (not the file's lifetime totals), so
+  // the logical and physical columns describe exactly the measured ops.
+  row.io = result.io;
+  row.logical_accesses_per_op = result.LogicalAccessesPerOp();
+  row.physical_accesses_per_op = result.PhysicalAccessesPerOp();
   return row;
 }
 
@@ -144,7 +153,12 @@ void WriteJson(std::ostream& os, const std::vector<Row>& rows,
        << ", \"max_op_ns\": " << r.max_op_ns
        << ", \"rejected\": " << r.rejected
        << ", \"page_reads\": " << r.io.page_reads
-       << ", \"page_writes\": " << r.io.page_writes << "}"
+       << ", \"page_writes\": " << r.io.page_writes
+       << ", \"logical_reads\": " << r.io.logical_reads
+       << ", \"logical_writes\": " << r.io.logical_writes
+       << ", \"logical_accesses_per_op\": " << r.logical_accesses_per_op
+       << ", \"physical_accesses_per_op\": " << r.physical_accesses_per_op
+       << "}"
        << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";

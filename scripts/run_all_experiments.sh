@@ -10,6 +10,9 @@
 #   BENCH_shard.json  shard_scaling (threads x shards throughput sweep)
 #   BENCH_cache.json  cache_sweep (buffer-pool size x workload skew:
 #                     throughput, hit rate, write amplification)
+#   BENCH_obs.json    obs_certify (live BoundCertifier replay: CONTROL 2
+#                     vs CONTROL 1 max-per-command access series and
+#                     violation counts against the Theorem-5.7 budget)
 #
 # With --sanitize, instead runs the sanitizer matrix: an
 # address,undefined build driving the fault-injection / crash-recovery /
@@ -36,20 +39,24 @@ if [[ "${1:-}" == "--sanitize" ]]; then
       -R 'fault_injection_test|crash_recovery_fuzz_test|corruption_test|sharded_file_test|fuzz_all_test|buffer_pool_test'
   cmake -B build-tsan -G Ninja -DDSF_SANITIZE=thread
   cmake --build build-tsan
-  ctest --test-dir build-tsan --output-on-failure -R sharded_file_test
+  ctest --test-dir build-tsan --output-on-failure \
+    -R 'sharded_file_test|obs_test'
   echo "Sanitizer matrix clean"
   exit 0
 fi
 
 if [[ "${1:-}" == "--bench" ]]; then
   cmake -B build-bench -G Ninja -DCMAKE_BUILD_TYPE=Release
-  cmake --build build-bench --target gbench_core shard_scaling cache_sweep
+  cmake --build build-bench --target gbench_core shard_scaling cache_sweep \
+    obs_certify
   ./build-bench/bench/gbench_core \
     --benchmark_format=json \
     --benchmark_min_time=0.2 > BENCH_core.json
   ./build-bench/bench/shard_scaling --out=BENCH_shard.json
   ./build-bench/bench/cache_sweep --out=BENCH_cache.json
-  echo "Wrote BENCH_core.json, BENCH_shard.json and BENCH_cache.json"
+  ./build-bench/bench/obs_certify --out=BENCH_obs.json
+  echo "Wrote BENCH_core.json, BENCH_shard.json, BENCH_cache.json and" \
+    "BENCH_obs.json"
   exit 0
 fi
 

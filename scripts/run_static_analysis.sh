@@ -19,6 +19,15 @@
 #                               -Wthread-safety sees every lock; raw
 #                               std::mutex / std::lock_guard are invisible
 #                               to the analysis and therefore banned.
+#        unregistered-metric-name
+#                               MetricsRegistry::FindOrCreate* outside
+#                               src/obs/ must name metrics through the
+#                               src/obs/metric_names.h catalog constants,
+#                               never inline string literals — one closed
+#                               catalog keeps the namespace collision-free
+#                               and documented (docs/OBSERVABILITY.md).
+#                               Same `lint:allow(unregistered-metric-name)`
+#                               escape.
 #
 #   2. DSF_ANALYZE build (needs clang++): full compile under
 #      -Wthread-safety -Werror over the DSF_GUARDED_BY annotations.
@@ -73,6 +82,9 @@ lint check-on-fault-path 'DSF_D?CHECK\([^)]*\.ok\(\)' \
 lint no-naked-mutex 'std::(mutex|lock_guard|scoped_lock|unique_lock)' \
     src/core src/shard src/storage src/workload src/analysis src/baseline \
     src/varsize src/repro
+lint unregistered-metric-name 'FindOrCreate(Counter|Gauge|Histogram)\( *"' \
+    src/core src/shard src/storage src/workload src/analysis src/baseline \
+    src/varsize src/repro bench examples tests
 
 # --- Layer 2: thread-safety analysis build --------------------------
 

@@ -21,7 +21,7 @@ Status Control1::Insert(const Record& record) {
   if (size() >= MaxRecords()) {
     return Status::CapacityExceeded("file already holds N = d*M records");
   }
-  BeginCommand();
+  BeginCommand(CommandKind::kInsert);
   // Step A: locate the target block and insert. If the key is already
   // present it necessarily lives in the target block (the block whose key
   // interval covers it), so one read doubles as the duplicate probe.
@@ -62,7 +62,7 @@ Status Control1::Insert(const Record& record) {
 Status Control1::Delete(Key key) {
   const Address block = BlockPossiblyContaining(key);
   if (block == 0) return Status::NotFound("key absent");
-  BeginCommand();
+  BeginCommand(CommandKind::kDelete);
   StatusOr<std::vector<Record>> read = ReadBlock(block);
   if (!read.ok()) {
     return EndCommand(read.status());

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metric_names.h"
 #include "util/check.h"
 
 namespace dsf {
@@ -40,6 +41,25 @@ Control2::Control2(const Options& options, DensitySpec logical_spec,
   if (options_.track_episodes) {
     open_by_node_.assign(n, WarningEpisode{});
     open_flag_.assign(n, 0);
+  }
+}
+
+void Control2::SetObservability(MetricsRegistry* metrics,
+                                CommandTracer* tracer,
+                                BoundCertifier* certifier,
+                                const std::string& label) {
+  ControlBase::SetObservability(metrics, tracer, certifier, label);
+  m_shifts_ = nullptr;
+  m_shift_records_ = nullptr;
+  m_activations_ = nullptr;
+  m_warnings_lowered_ = nullptr;
+  if (metrics != nullptr) {
+    m_shifts_ = metrics->FindOrCreateCounter(kMetricShifts, label);
+    m_shift_records_ =
+        metrics->FindOrCreateCounter(kMetricShiftRecords, label);
+    m_activations_ = metrics->FindOrCreateCounter(kMetricActivations, label);
+    m_warnings_lowered_ =
+        metrics->FindOrCreateCounter(kMetricWarningsLowered, label);
   }
 }
 
@@ -92,6 +112,7 @@ void Control2::LowerIfCalm(int v) {
                                   options_.lower_threshold_thirds)) {
     SetWarning(v, false);
     ++stats_.warnings_lowered;
+    if (m_warnings_lowered_ != nullptr) m_warnings_lowered_->Increment();
   }
 }
 
@@ -114,6 +135,7 @@ void Control2::CheckRaiseOnPath(Address block) {
 void Control2::Activate(int w) {
   DSF_DCHECK(w != calibrator_.root()) << "root must not be activated";
   ++stats_.activations;
+  if (m_activations_ != nullptr) m_activations_->Increment();
   // Step 1: raise w.
   SetWarning(w, true);
   const int fw = calibrator_.Parent(w);
@@ -122,6 +144,8 @@ void Control2::Activate(int w) {
   // Step 2: DEST(w) starts at the far end of the father's range, so the
   // whole sibling region can absorb (or yield) records.
   dest_[w] = calibrator_.IsRightChild(w) ? fw_lo : fw_hi;
+  // ACTIVATE is pure calibrator bookkeeping: no page accesses to report.
+  RecordSpan(SpanKind::kActivate, w, dest_[w], IoStats());
 
   if (options_.disable_rollback_for_testing) return;
 
@@ -188,6 +212,7 @@ int Control2::SelectNode(Address leaf_block) const {
 
 Status Control2::Shift(int v) {
   ++stats_.shifts;
+  if (m_shifts_ != nullptr) m_shifts_->Increment();
   const int f = calibrator_.Parent(v);
   DSF_DCHECK(f != Calibrator::kNoNode) << "SHIFT on the root";
   const bool moves_left = calibrator_.IsRightChild(v);  // DIR(v) == 1
@@ -259,6 +284,7 @@ Status Control2::Shift(int v) {
     DSF_RETURN_IF_ERROR(WriteBlock(dest, dest_records));
     DSF_RETURN_IF_ERROR(WriteBlock(source, src_records));
     stats_.records_shifted += moves;
+    if (m_shift_records_ != nullptr) m_shift_records_->Increment(moves);
   }
 
   // Step 3: hop DEST past the shallowest saturated UP node.
@@ -282,6 +308,11 @@ Status Control2::Shift(int v) {
 Status Control2::RunMaintenance(Address leaf_block) {
   for (int64_t cycle = 0; cycle < j_; ++cycle) {
     const int v = SelectNode(leaf_block);  // step 4a
+    if (tracing()) {
+      // SELECT is an in-memory tree walk: no page accesses to report.
+      RecordSpan(SpanKind::kSelect, v == Calibrator::kNoNode ? -1 : v,
+                 cycle, IoStats());
+    }
     if (v == Calibrator::kNoNode) {
       stats_.idle_cycles += j_ - cycle;
       break;  // nothing warns; the remaining cycles would be no-ops
@@ -300,7 +331,10 @@ Status Control2::RunMaintenance(Address leaf_block) {
       }
     }
     const int64_t moved_before = stats_.records_shifted;
+    const IoStats shift_start = file_.stats();
     const Status s = Shift(v);  // step 4b (4c runs inside)
+    RecordSpan(SpanKind::kShift, v, stats_.records_shifted - moved_before,
+               file_.stats() - shift_start);
     if (options_.track_episodes &&
         open_flag_[static_cast<size_t>(v)] != 0) {
       open_by_node_[static_cast<size_t>(v)].records_moved +=
@@ -321,7 +355,7 @@ Status Control2::Insert(const Record& record) {
   if (size() >= MaxRecords()) {
     return Status::CapacityExceeded("file already holds N = d*M records");
   }
-  BeginCommand();
+  BeginCommand(CommandKind::kInsert);
   // Step 1: place the record. A duplicate would live in the target block.
   const Address target = TargetBlockForInsert(record.key);
   StatusOr<std::vector<Record>> read = ReadBlock(target);
@@ -356,7 +390,7 @@ Status Control2::Insert(const Record& record) {
 Status Control2::Delete(Key key) {
   const Address block = BlockPossiblyContaining(key);
   if (block == 0) return Status::NotFound("key absent");
-  BeginCommand();
+  BeginCommand(CommandKind::kDelete);
   StatusOr<std::vector<Record>> read = ReadBlock(block);
   if (!read.ok()) {
     return EndCommand(read.status());

@@ -156,6 +156,13 @@ class Control2 : public ControlBase {
     step_callback_ = std::move(callback);
   }
 
+  // Extends the base hook with CONTROL 2's maintenance metrics (SHIFT
+  // counts, records moved, activations, warnings lowered) and per-phase
+  // span recording.
+  void SetObservability(MetricsRegistry* metrics, CommandTracer* tracer,
+                        BoundCertifier* certifier,
+                        const std::string& label = "") override;
+
  protected:
   void AfterBulkLoad() override;
   void AfterWholesaleReorganization() override;
@@ -203,6 +210,12 @@ class Control2 : public ControlBase {
   std::vector<WarningEpisode> open_by_node_;
   std::vector<char> open_flag_;
   Address command_inserted_block_ = 0;  // 0 if no insert this command
+
+  // Cached metric handles (null without a registry; see obs/metrics.h).
+  Counter* m_shifts_ = nullptr;
+  Counter* m_shift_records_ = nullptr;
+  Counter* m_activations_ = nullptr;
+  Counter* m_warnings_lowered_ = nullptr;
 
   StepCallback step_callback_;
 };

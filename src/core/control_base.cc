@@ -4,6 +4,7 @@
 #include <limits>
 #include <sstream>
 
+#include "obs/metric_names.h"
 #include "util/check.h"
 #include "util/math.h"
 
@@ -359,7 +360,7 @@ Cursor ControlBase::NewCursor(Key start) { return Cursor(this, start); }
 
 StatusOr<int64_t> ControlBase::DeleteRange(Key lo, Key hi) {
   if (lo > hi) return static_cast<int64_t>(0);
-  BeginCommand();
+  BeginCommand(CommandKind::kRange);
   int64_t removed = 0;
   Address first_touched = 0;
   Address last_touched = 0;
@@ -417,6 +418,11 @@ Status ControlBase::RedistributeRangeCrashSafe(Address lo, Address hi) {
   DSF_DCHECK(lo >= 1 && hi <= num_blocks_ && lo <= hi)
       << "redistribution range [" << lo << "," << hi << "] invalid";
   const int64_t range_blocks = hi - lo + 1;
+  if (m_redistributions_ != nullptr) m_redistributions_->Increment();
+  if (m_redistribution_blocks_ != nullptr) {
+    m_redistribution_blocks_->Observe(range_blocks);
+  }
+  const IoStats span_start = file_.stats();
 
   // One scratch buffer for the whole reorganization: the read pass
   // appends into it, both write passes hand page-sized slices straight
@@ -425,7 +431,11 @@ Status ControlBase::RedistributeRangeCrashSafe(Address lo, Address hi) {
   for (Address b = calibrator_.FirstNonEmptyPageIn(lo, hi); b != 0;
        b = calibrator_.FirstNonEmptyPageIn(b + 1, hi)) {
     const Status s = ReadBlockInto(b, &all);
-    if (!s.ok()) return s;  // nothing written yet: clean abort
+    if (!s.ok()) {  // nothing written yet: clean abort
+      RecordSpan(SpanKind::kRedistribution, lo, hi,
+                 file_.stats() - span_start);
+      return s;
+    }
   }
   const int64_t n = static_cast<int64_t>(all.size());
   const int64_t capacity = block_size_ * page_D_;
@@ -452,6 +462,8 @@ Status ControlBase::RedistributeRangeCrashSafe(Address lo, Address hi) {
     }
     if (!fault.ok()) {
       ResyncRangeFromRaw(lo, hi);
+      RecordSpan(SpanKind::kRedistribution, lo, hi,
+                 file_.stats() - span_start);
       return fault;
     }
     calibrator_.SyncLeaves(lo, leaves);
@@ -476,15 +488,18 @@ Status ControlBase::RedistributeRangeCrashSafe(Address lo, Address hi) {
     }
     if (!fault.ok()) {
       ResyncRangeFromRaw(lo, hi);
+      RecordSpan(SpanKind::kRedistribution, lo, hi,
+                 file_.stats() - span_start);
       return fault;
     }
     calibrator_.SyncLeaves(lo, leaves);
   }
+  RecordSpan(SpanKind::kRedistribution, lo, hi, file_.stats() - span_start);
   return Status::OK();
 }
 
 Status ControlBase::Compact() {
-  BeginCommand();
+  BeginCommand(CommandKind::kCompact);
   const Status s = RedistributeRangeCrashSafe(1, num_blocks_);
   if (!s.ok()) {
     return EndCommand(s);
@@ -629,10 +644,67 @@ double ControlBase::ScanEfficiency() const {
   return static_cast<double>(size()) / static_cast<double>(pages_touched);
 }
 
-void ControlBase::BeginCommand() {
+void ControlBase::SetObservability(MetricsRegistry* metrics,
+                                   CommandTracer* tracer,
+                                   BoundCertifier* certifier,
+                                   const std::string& label) {
+  metrics_ = metrics;
+  tracer_ = tracer;
+  certifier_ = certifier;
+  metrics_label_ = label;
+  m_commands_ = nullptr;
+  m_command_accesses_ = nullptr;
+  m_command_sim_ns_ = nullptr;
+  m_redistributions_ = nullptr;
+  m_redistribution_blocks_ = nullptr;
+  if (metrics != nullptr) {
+    m_commands_ = metrics->FindOrCreateCounter(kMetricCommands, label);
+    m_command_accesses_ =
+        metrics->FindOrCreateHistogram(kMetricCommandAccesses, label);
+    m_command_sim_ns_ =
+        metrics->FindOrCreateHistogram(kMetricCommandSimNs, label);
+    m_redistributions_ =
+        metrics->FindOrCreateCounter(kMetricRedistributions, label);
+    m_redistribution_blocks_ =
+        metrics->FindOrCreateHistogram(kMetricRedistributionBlocks, label);
+  }
+  if (certifier != nullptr) {
+    certifier->set_violations_counter(
+        metrics == nullptr
+            ? nullptr
+            : metrics->FindOrCreateCounter(kMetricBoundViolations, label));
+  }
+  if (pool_ != nullptr) {
+    if (metrics == nullptr) {
+      pool_->SetMetrics(nullptr, nullptr, nullptr, nullptr);
+    } else {
+      pool_->SetMetrics(
+          metrics->FindOrCreateCounter(kMetricPoolHits, label),
+          metrics->FindOrCreateCounter(kMetricPoolMisses, label),
+          metrics->FindOrCreateCounter(kMetricPoolWritebacks, label),
+          metrics->FindOrCreateHistogram(kMetricPoolFlushRunLength, label));
+    }
+  }
+}
+
+void ControlBase::RecordSpan(SpanKind kind, int64_t a, int64_t b,
+                             const IoStats& io) {
+  if (tracer_ == nullptr) return;
+  SpanEvent event;
+  event.kind = kind;
+  event.seq = command_seq_;
+  event.a = a;
+  event.b = b;
+  event.io = io;
+  tracer_->Record(event);
+}
+
+void ControlBase::BeginCommand(CommandKind kind) {
   DSF_DCHECK(!in_command_) << "nested command";
   in_command_ = true;
-  command_start_accesses_ = file_.stats().TotalAccesses();
+  command_kind_ = kind;
+  command_seq_ = command_stats_.commands;
+  command_start_stats_ = file_.stats();
 }
 
 Status ControlBase::EndCommand() {
@@ -643,13 +715,37 @@ Status ControlBase::EndCommand() {
   // return from a successful command, the device holds it in full, so a
   // crash leaves at most the in-flight command unflushed.
   Status flush = Status::OK();
-  if (pool_ != nullptr) flush = pool_->FlushAll();
-  const int64_t used = file_.stats().TotalAccesses() - command_start_accesses_;
+  if (pool_ != nullptr) {
+    const IoStats pre_flush = file_.stats();
+    const BufferPool::Stats pre_pool = pool_->stats();
+    flush = pool_->FlushAll();
+    if (tracer_ != nullptr) {
+      const BufferPool::Stats post_pool = pool_->stats();
+      RecordSpan(SpanKind::kFlush,
+                 post_pool.flushed_pages - pre_pool.flushed_pages,
+                 post_pool.flush_runs - pre_pool.flush_runs,
+                 file_.stats() - pre_flush);
+    }
+  }
+  const IoStats delta = file_.stats() - command_start_stats_;
+  const int64_t used = delta.TotalAccesses();
   ++command_stats_.commands;
   command_stats_.last_command_accesses = used;
   command_stats_.max_command_accesses =
       std::max(command_stats_.max_command_accesses, used);
   command_stats_.total_accesses += used;
+  if (m_commands_ != nullptr) m_commands_->Increment();
+  if (m_command_accesses_ != nullptr) m_command_accesses_->Observe(used);
+  if (m_command_sim_ns_ != nullptr) {
+    m_command_sim_ns_->Observe(delta.sim_elapsed_ns);
+  }
+  // The certifier watches *logical* accesses: what the algorithm asked
+  // for, independent of cache absorption (see obs/bound_certifier.h).
+  if (certifier_ != nullptr) {
+    certifier_->Observe(command_kind_, delta.TotalLogical());
+  }
+  RecordSpan(SpanKind::kCommand, static_cast<int64_t>(command_kind_),
+             flush.ok() ? 1 : 0, delta);
   return flush;
 }
 

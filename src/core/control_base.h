@@ -26,6 +26,9 @@
 #include "core/calibrator.h"
 #include "core/cursor.h"
 #include "core/density.h"
+#include "obs/bound_certifier.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/buffer_pool.h"
 #include "storage/page_file.h"
 #include "storage/record.h"
@@ -184,6 +187,20 @@ class ControlBase {
   const CommandStats& command_stats() const { return command_stats_; }
   void ResetCommandStats();
 
+  // Installs observability sinks, any of which may be null: a metrics
+  // registry (handles are resolved once, here — the command hot path
+  // then only tests cached pointers), a span tracer, and a bound
+  // certifier fed each command's logical access count. `label` is an
+  // optional `key="value"` metric qualifier distinguishing this file's
+  // series (e.g. per-shard). Virtual so subclasses cache handles for
+  // their own phase metrics. Call before issuing commands; calling with
+  // nulls detaches. Also attaches the buffer pool's counters when a
+  // pool is configured.
+  virtual void SetObservability(MetricsRegistry* metrics,
+                                CommandTracer* tracer,
+                                BoundCertifier* certifier,
+                                const std::string& label = "");
+
   // The page as the algorithms see it: the resident dirty/clean frame
   // when pooled, the device page otherwise. Unaccounted; for validators,
   // the invariant auditor (analysis/auditor.h) and resync.
@@ -269,16 +286,27 @@ class ControlBase {
   Address MaybeSpillAfter(Address block, Address limit) const;
 
   // Wraps a user command for cost accounting; call at entry/exit of
-  // Insert/Delete implementations. EndCommand flushes the buffer pool
-  // first (command-granularity durability: at most the in-flight command
-  // is unflushed at a crash) and returns the flush status — OK without a
-  // pool. The one-argument form folds a command's own status with the
-  // flush status (the command's error wins; flush errors surface when
-  // the command itself succeeded), so implementations can write
-  // `return EndCommand(s);` at every exit.
-  void BeginCommand();
+  // Insert/Delete implementations. `kind` drives the bound certifier's
+  // exemption rules and is recorded on the command span. EndCommand
+  // flushes the buffer pool first (command-granularity durability: at
+  // most the in-flight command is unflushed at a crash) and returns the
+  // flush status — OK without a pool. The one-argument form folds a
+  // command's own status with the flush status (the command's error
+  // wins; flush errors surface when the command itself succeeded), so
+  // implementations can write `return EndCommand(s);` at every exit.
+  void BeginCommand(CommandKind kind);
   Status EndCommand();
   Status EndCommand(const Status& command_status);
+
+  // --- Observability helpers for subclasses ---
+  // Records a phase span (no-op without a tracer), stamped with the
+  // enclosing command's ordinal. `io` is the IoStats delta measured
+  // across the phase by the caller.
+  void RecordSpan(SpanKind kind, int64_t a, int64_t b, const IoStats& io);
+  // The enclosing command's ordinal (CommandStats::commands at
+  // BeginCommand time); what span seq fields carry.
+  int64_t current_command_seq() const { return command_seq_; }
+  bool tracing() const { return tracer_ != nullptr; }
 
   // BALANCE(d,D) over the calibrator (every node p(v) <= g(v,1)).
   Status ValidateBalance() const;
@@ -293,6 +321,13 @@ class ControlBase {
   std::unique_ptr<BufferPool> pool_;  // null when cache_frames == 0
   Calibrator calibrator_;
   CommandStats command_stats_;
+
+  // Observability sinks (all optional; see SetObservability). Subclasses
+  // read metrics_ / metrics_label_ to resolve their own handles.
+  MetricsRegistry* metrics_ = nullptr;
+  CommandTracer* tracer_ = nullptr;
+  BoundCertifier* certifier_ = nullptr;
+  std::string metrics_label_;
 
   // Crash-safe range redistribution: rewrites blocks [lo, hi] at uniform
   // density in two passes — pack every record into the leftmost blocks
@@ -336,8 +371,21 @@ class ControlBase {
                          const Record* end,
                          BlockWriteOrder order = BlockWriteOrder::kAuto);
 
-  int64_t command_start_accesses_ = 0;
+  // Full IoStats at BeginCommand, so EndCommand can split the delta into
+  // physical accesses (CommandStats), logical accesses (certifier) and
+  // simulated time (histogram) from one snapshot.
+  IoStats command_start_stats_;
+  CommandKind command_kind_ = CommandKind::kInsert;
+  int64_t command_seq_ = 0;
   bool in_command_ = false;
+
+  // Cached metric handles, null until SetObservability installs a
+  // registry (constraint 1 in obs/metrics.h: one branch per site).
+  Counter* m_commands_ = nullptr;
+  Histogram* m_command_accesses_ = nullptr;
+  Histogram* m_command_sim_ns_ = nullptr;
+  Counter* m_redistributions_ = nullptr;
+  Histogram* m_redistribution_blocks_ = nullptr;
 };
 
 }  // namespace dsf

@@ -49,6 +49,10 @@ StatusOr<std::unique_ptr<DenseFile>> DenseFile::Create(
   config.cache_eviction = options.cache_eviction;
 
   std::unique_ptr<ControlBase> control;
+  // CONTROL 2's resolved J, captured for the bound certifier; 0 for the
+  // other policies (they are certified against the CONTROL 2 envelope at
+  // the recommended J for the same geometry).
+  int64_t control2_j = 0;
   switch (options.policy) {
     case Policy::kControl1: {
       StatusOr<std::unique_ptr<Control1>> c = Control1::Create(config);
@@ -62,6 +66,7 @@ StatusOr<std::unique_ptr<DenseFile>> DenseFile::Create(
       c2.J = options.J;
       StatusOr<std::unique_ptr<Control2>> c = Control2::Create(c2);
       if (!c.ok()) return c.status();
+      control2_j = (*c)->J();
       control = std::move(*c);
       break;
     }
@@ -74,8 +79,24 @@ StatusOr<std::unique_ptr<DenseFile>> DenseFile::Create(
   }
   Options resolved = options;
   resolved.block_size = block_size;
-  return std::unique_ptr<DenseFile>(
+  std::unique_ptr<DenseFile> file(
       new DenseFile(resolved, std::move(control)));
+  if (options.certify_bound) {
+    const int64_t j =
+        control2_j > 0
+            ? control2_j
+            : file->control_->logical_spec().RecommendedJ(
+                  Control2::kDefaultJSafety);
+    file->certifier_ = std::make_unique<BoundCertifier>(
+        options.num_pages, options.d, options.D, block_size, j);
+  }
+  if (options.metrics != nullptr || options.tracer != nullptr ||
+      file->certifier_ != nullptr) {
+    file->control_->SetObservability(options.metrics, options.tracer,
+                                     file->certifier_.get(),
+                                     options.metrics_label);
+  }
+  return file;
 }
 
 StatusOr<Value> DenseFile::Get(Key key) {

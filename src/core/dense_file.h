@@ -69,6 +69,27 @@ class DenseFile {
     // any violation as a Corruption status. O(M) per command — a test
     // and fuzzing harness, not a production setting.
     bool audit_every_command = false;
+
+    // --- Observability (src/obs/; see docs/OBSERVABILITY.md) ---
+    // Registry the file publishes its metrics into (commands, per-command
+    // access/latency histograms, SHIFT/activation counters, pool hit
+    // rates). Null (default) compiles the instrumentation down to cached
+    // null-handle checks: IoStats stay byte-identical to an
+    // uninstrumented run. The registry must outlive the file.
+    MetricsRegistry* metrics = nullptr;
+    // Span tracer recording each command's internal phases (SHIFT /
+    // SELECT / ACTIVATE / redistribution / flush) with per-phase IoStats
+    // deltas. Null disables tracing. Must outlive the file.
+    CommandTracer* tracer = nullptr;
+    // Attach a live BoundCertifier checking every point command against
+    // the Theorem-5.7 access budget K*(4J+2) (see obs/bound_certifier.h).
+    // For CONTROL 2 the budget uses the file's resolved J; for other
+    // policies the CONTROL 2 envelope at the same geometry — the
+    // deamortization comparison bench/obs_certify.cc records.
+    bool certify_bound = false;
+    // Optional `key="value"` label distinguishing this file's metric
+    // series (e.g. `shard="3"`); empty for unlabeled series.
+    std::string metrics_label;
   };
 
   // Validates options and builds the file. All pages start empty.
@@ -172,6 +193,17 @@ class DenseFile {
   // The options the file was created with (block_size resolved).
   const Options& options() const { return options_; }
 
+  // The live bound certificate, or nullptr when certify_bound is off.
+  // report().ok() means no command has exceeded the budget so far.
+  const BoundReport* bound_report() const {
+    return certifier_ == nullptr ? nullptr : &certifier_->report();
+  }
+  // The per-command logical-access budget being enforced; 0 when
+  // certification is off.
+  int64_t bound_budget() const {
+    return certifier_ == nullptr ? 0 : certifier_->budget();
+  }
+
   // Escape hatch for benches and tests needing algorithm internals.
   ControlBase& control() { return *control_; }
   const ControlBase& control() const { return *control_; }
@@ -188,6 +220,9 @@ class DenseFile {
 
   Options options_;
   std::unique_ptr<ControlBase> control_;
+  // Owned certifier (certify_bound only); fed by ControlBase::EndCommand
+  // through the raw pointer installed via SetObservability.
+  std::unique_ptr<BoundCertifier> certifier_;
 };
 
 }  // namespace dsf

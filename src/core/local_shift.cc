@@ -100,7 +100,7 @@ Status LocalShift::Insert(const Record& record) {
   if (size() >= MaxRecords()) {
     return Status::CapacityExceeded("file already holds N = d*M records");
   }
-  BeginCommand();
+  BeginCommand(CommandKind::kInsert);
   const Address target = TargetBlockForInsert(record.key);
   StatusOr<std::vector<Record>> read = ReadBlock(target);
   if (!read.ok()) {
@@ -135,7 +135,7 @@ Status LocalShift::Insert(const Record& record) {
 Status LocalShift::Delete(Key key) {
   const Address block = BlockPossiblyContaining(key);
   if (block == 0) return Status::NotFound("key absent");
-  BeginCommand();
+  BeginCommand(CommandKind::kDelete);
   StatusOr<std::vector<Record>> read = ReadBlock(block);
   if (!read.ok()) {
     return EndCommand(read.status());

@@ -1,0 +1,41 @@
+// Text exporters for MetricsSnapshot — the read side of the
+// observability layer.
+//
+// Two formats, both built from the same merged snapshot so they can
+// never disagree:
+//
+//   ToPrometheusText   the Prometheus exposition format (text/plain
+//                      version 0.0.4): counters and gauges as single
+//                      samples, histograms as cumulative `_bucket{le=}`
+//                      series plus `_sum` and `_count`. Bucket edges are
+//                      the power-of-two edges of obs/metrics.h; only
+//                      non-empty buckets (plus the +Inf catch-all) are
+//                      emitted, keeping 63-bucket histograms compact.
+//
+//   ToJsonSnapshot     a self-contained JSON object for artifacts and
+//                      tests: {"counters":{name:value},
+//                      "gauges":{name:value},
+//                      "histograms":{name:{"count","sum","max",
+//                      "buckets":{upper_edge:count}}}}. This is the
+//                      format the integration test uploads as a CI
+//                      artifact and bench/obs_certify embeds in
+//                      BENCH_obs.json.
+//
+// Both render a snapshot, not the live registry — take the snapshot at
+// a quiescent point (threads joined) for exact values.
+
+#ifndef DSF_OBS_EXPORT_H_
+#define DSF_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace dsf {
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot);
+std::string ToJsonSnapshot(const MetricsSnapshot& snapshot);
+
+}  // namespace dsf
+
+#endif  // DSF_OBS_EXPORT_H_

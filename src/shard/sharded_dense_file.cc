@@ -5,11 +5,17 @@
 #include <string>
 
 #include "analysis/auditor.h"
+#include "obs/metric_names.h"
 
 namespace dsf {
 
 namespace {
 constexpr Key kMaxKey = std::numeric_limits<Key>::max();
+
+// The metric label qualifying shard i's series: `shard="i"`.
+std::string ShardLabel(int shard) {
+  return "shard=\"" + std::to_string(shard) + "\"";
+}
 }  // namespace
 
 StatusOr<std::unique_ptr<ShardedDenseFile>> ShardedDenseFile::Create(
@@ -54,8 +60,15 @@ StatusOr<std::unique_ptr<ShardedDenseFile>> ShardedDenseFile::Create(
   shards.reserve(static_cast<size_t>(s));
   int64_t resolved_block_size = 0;
   for (int i = 0; i < s; ++i) {
+    DenseFile::Options per_shard = shard_options;
+    if (per_shard.metrics != nullptr || per_shard.tracer != nullptr ||
+        per_shard.certify_bound) {
+      // Every shard publishes the same catalog names; series differ only
+      // by the shard label, so dashboards scale with S for free.
+      per_shard.metrics_label = ShardLabel(i);
+    }
     StatusOr<std::unique_ptr<DenseFile>> file =
-        DenseFile::Create(shard_options);
+        DenseFile::Create(per_shard);
     if (!file.ok()) return file.status();
     resolved_block_size = (*file)->block_size();
     shards.push_back(std::make_unique<Shard>(std::move(*file)));
@@ -389,6 +402,25 @@ void ShardedDenseFile::SetAccessLatency(std::chrono::nanoseconds latency) {
     MutexLock lock(shard->mu);
     shard->file->control().file().set_access_latency(latency);
   }
+}
+
+void ShardedDenseFile::PublishMetrics() const {
+  MetricsRegistry* registry = options_.shard.metrics;
+  if (registry == nullptr) return;
+  int64_t total = 0;
+  int64_t heaviest = 0;
+  for (int i = 0; i < num_shards(); ++i) {
+    const int64_t n = shard_size(i);
+    registry->FindOrCreateGauge(kMetricShardRecords, ShardLabel(i))->Set(n);
+    total += n;
+    heaviest = std::max(heaviest, n);
+  }
+  // 1000 * (most loaded / mean); an empty file reads as balanced.
+  const int64_t imbalance =
+      total == 0 ? 1000
+                 : heaviest * 1000 * static_cast<int64_t>(num_shards()) /
+                       total;
+  registry->FindOrCreateGauge(kMetricShardImbalance)->Set(imbalance);
 }
 
 void ShardedDenseFile::ResetStats() {

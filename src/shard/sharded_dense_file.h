@@ -153,6 +153,15 @@ class ShardedDenseFile {
   // shards overlap their page-access waits.
   void SetAccessLatency(std::chrono::nanoseconds latency);
 
+  // Publishes the current per-shard load distribution into the metrics
+  // registry the shards were created with (Options::shard.metrics):
+  // one kMetricShardRecords gauge per shard (label `shard="i"`) plus the
+  // kMetricShardImbalance gauge, 1000 * (most loaded / mean) — 1000 is
+  // perfectly balanced. Pull-based: call at snapshot points rather than
+  // per command, so shard routing stays O(log S) with no gauge traffic.
+  // No-op when no registry was installed. Locks one shard at a time.
+  void PublishMetrics() const;
+
   const Options& options() const { return options_; }
 
  private:

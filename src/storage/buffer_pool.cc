@@ -3,6 +3,7 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -93,6 +94,7 @@ StatusOr<int64_t> BufferPool::AcquireFrame(Address address, bool load) {
   auto it = resident_.find(address);
   if (it != resident_.end()) {
     ++stats_.hits;
+    if (m_hits_ != nullptr) m_hits_->Increment();
     Touch(frames_[static_cast<size_t>(it->second)]);
     return it->second;
   }
@@ -111,6 +113,9 @@ StatusOr<int64_t> BufferPool::AcquireFrame(Address address, bool load) {
     }
     index = *victim;
   }
+  // The metric is bumped only once the miss actually took a frame (the
+  // registry counter is monotonic and cannot be undone like stats_).
+  if (m_misses_ != nullptr) m_misses_->Increment();
   Frame& f = frames_[static_cast<size_t>(index)];
   DSF_DCHECK(f.address == 0 && !f.dirty && f.pins == 0);
   if (load) {
@@ -222,6 +227,7 @@ Status BufferPool::FlushFrame(int64_t frame) {
     if (!device.ok()) return device.status();
     **device = f.page;
     ++stats_.writebacks;
+    if (m_writebacks_ != nullptr) m_writebacks_->Increment();
   }
   f.dirty = false;
   dirty_order_.erase(f.dirty_it);
@@ -289,6 +295,7 @@ Status BufferPool::MarkFree(Address address) {
 Status BufferPool::FlushAll() {
   MutexLock lock(mu_);
   Address previous = -1;
+  int64_t run_length = 0;
   while (!dirty_order_.empty()) {
     const int64_t front = dirty_order_.front();
     const Address address = frames_[static_cast<size_t>(front)].address;
@@ -296,10 +303,20 @@ Status BufferPool::FlushAll() {
         (address != previous && address != previous + 1 &&
          address != previous - 1)) {
       ++stats_.flush_runs;
+      // A completed run's length goes to the coalescing histogram; a
+      // faulted partial run is simply not observed (FlushAll retries).
+      if (m_flush_run_length_ != nullptr && run_length > 0) {
+        m_flush_run_length_->Observe(run_length);
+      }
+      run_length = 0;
     }
     DSF_RETURN_IF_ERROR(FlushFrame(front));
     ++stats_.flushed_pages;
+    ++run_length;
     previous = address;
+  }
+  if (m_flush_run_length_ != nullptr && run_length > 0) {
+    m_flush_run_length_->Observe(run_length);
   }
   return Status::OK();
 }
@@ -375,6 +392,16 @@ void BufferPool::ReorderDirtyListForTesting() {
   std::swap(*first, *second);
   frames_[static_cast<size_t>(*first)].dirty_it = first;
   frames_[static_cast<size_t>(*second)].dirty_it = second;
+}
+
+void BufferPool::SetMetrics(Counter* hits, Counter* misses,
+                            Counter* writebacks,
+                            Histogram* flush_run_length) {
+  MutexLock lock(mu_);
+  m_hits_ = hits;
+  m_misses_ = misses;
+  m_writebacks_ = writebacks;
+  m_flush_run_length_ = flush_run_length;
 }
 
 void BufferPool::Unpin(int64_t frame) {

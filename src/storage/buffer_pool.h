@@ -74,6 +74,11 @@
 namespace dsf {
 
 class BufferPool;
+// Metric handles (obs/metrics.h). Forward-declared so storage/ headers
+// stay free of obs/ includes: the owner (core layer) resolves the
+// handles from its registry and hands the pool raw pointers.
+class Counter;
+class Histogram;
 
 // RAII pin on a buffer-pool frame. While alive, the frame cannot be
 // evicted or written back. Movable, not copyable; unpins on destruction.
@@ -245,6 +250,14 @@ class BufferPool {
     stats_ = Stats();
   }
 
+  // Attaches live metric handles (any may be null): hit/miss/write-back
+  // counters and the flush-run-length histogram — the write-coalescing
+  // distribution (1 = an isolated seek). Handles must outlive the pool
+  // or be detached by a second call with nulls. Metric updates mirror
+  // the internal Stats counters they duplicate.
+  void SetMetrics(Counter* hits, Counter* misses, Counter* writebacks,
+                  Histogram* flush_run_length) DSF_EXCLUDES(mu_);
+
  private:
   friend class PageGuard;
 
@@ -296,6 +309,10 @@ class BufferPool {
   int64_t next_dirty_seq_ DSF_GUARDED_BY(mu_) = 0;
   int64_t live_guards_ DSF_GUARDED_BY(mu_) = 0;
   Stats stats_ DSF_GUARDED_BY(mu_);
+  Counter* m_hits_ DSF_GUARDED_BY(mu_) = nullptr;
+  Counter* m_misses_ DSF_GUARDED_BY(mu_) = nullptr;
+  Counter* m_writebacks_ DSF_GUARDED_BY(mu_) = nullptr;
+  Histogram* m_flush_run_length_ DSF_GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace dsf

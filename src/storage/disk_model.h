@@ -26,6 +26,19 @@ struct DiskModel {
   double LatencyMs(const IoStats& stats) const;
   double LatencyMs(int64_t seeks, int64_t total_accesses) const;
 
+  // Per-access charges for AccessTracker::SetChargeNs: an access that
+  // moved the arm pays seek + transfer, a sequential one transfer only.
+  // With these installed, IoStats::sim_elapsed_ns accumulates exactly
+  // LatencyMs worth of nanoseconds access by access — one source of
+  // truth shared by elapsed-time totals, latency histograms and the
+  // optional real sleep (PageFile::set_disk_model).
+  int64_t SeekChargeNs() const {
+    return static_cast<int64_t>((seek_ms + transfer_ms) * 1e6);
+  }
+  int64_t SequentialChargeNs() const {
+    return static_cast<int64_t>(transfer_ms * 1e6);
+  }
+
   std::string ToString() const;
 };
 

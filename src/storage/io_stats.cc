@@ -17,6 +17,7 @@ IoStats IoStats::operator-(const IoStats& other) const {
       ClampedDiff(sequential_accesses, other.sequential_accesses);
   out.logical_reads = ClampedDiff(logical_reads, other.logical_reads);
   out.logical_writes = ClampedDiff(logical_writes, other.logical_writes);
+  out.sim_elapsed_ns = ClampedDiff(sim_elapsed_ns, other.sim_elapsed_ns);
   return out;
 }
 
@@ -27,25 +28,31 @@ IoStats& IoStats::operator+=(const IoStats& other) {
   sequential_accesses += other.sequential_accesses;
   logical_reads += other.logical_reads;
   logical_writes += other.logical_writes;
+  sim_elapsed_ns += other.sim_elapsed_ns;
   return *this;
 }
 
 void IoStats::Reset() { *this = IoStats(); }
 
-void AccessTracker::OnAccess(int64_t address, bool is_write) {
+int64_t AccessTracker::OnAccess(int64_t address, bool is_write) {
   if (is_write) {
     ++stats_.page_writes;
   } else {
     ++stats_.page_reads;
   }
+  int64_t charge;
   if (last_address_ >= 0 &&
       (address == last_address_ || address == last_address_ + 1 ||
        address == last_address_ - 1)) {
     ++stats_.sequential_accesses;
+    charge = sequential_charge_ns_;
   } else {
     ++stats_.seeks;
+    charge = seek_charge_ns_;
   }
+  stats_.sim_elapsed_ns += charge;
   last_address_ = address;
+  return charge;
 }
 
 void AccessTracker::OnLogical(bool is_write) {
@@ -66,7 +73,8 @@ std::string IoStats::ToString() const {
   os << "reads=" << page_reads << " writes=" << page_writes
      << " seeks=" << seeks << " sequential=" << sequential_accesses
      << " logical_reads=" << logical_reads
-     << " logical_writes=" << logical_writes;
+     << " logical_writes=" << logical_writes
+     << " sim_elapsed_ns=" << sim_elapsed_ns;
   return os.str();
 }
 

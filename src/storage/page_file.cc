@@ -23,14 +23,17 @@ PageFile::PageFile(int64_t num_pages, int64_t page_capacity)
 
 // Fault charging and latency sleeping, in the order the fast path used to
 // interleave them: the access is already charged to the tracker by the
-// caller, the policy is consulted (charged-before-consult), and only a
-// surviving access pays the device sleep.
-Status PageFile::SlowPathAccess(Address address, bool is_write) {
+// caller (counters AND sim_elapsed_ns both follow the charged-before-
+// consult rule), the policy is consulted, and only a surviving access
+// pays the real sleep — for exactly the nanoseconds the tracker charged,
+// so wall time and sim_elapsed_ns derive from one classification.
+Status PageFile::SlowPathAccess(Address address, bool is_write,
+                                int64_t charge_ns) {
   if (fault_policy_ != nullptr) {
     DSF_RETURN_IF_ERROR(fault_policy_->OnAccess(address, is_write));
   }
-  if (access_latency_.count() > 0) {
-    std::this_thread::sleep_for(access_latency_);
+  if (sleep_on_access_ && charge_ns > 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(charge_ns));
   }
   return Status::OK();
 }
@@ -41,9 +44,10 @@ StatusOr<const Page*> PageFile::TryDeviceRead(Address address) {
                               " outside [1," + std::to_string(num_pages_) +
                               "]");
   }
-  tracker_.OnAccess(address, /*is_write=*/false);
+  const int64_t charge_ns = tracker_.OnAccess(address, /*is_write=*/false);
   if (DSF_PREDICT_FALSE(slow_path_)) {
-    DSF_RETURN_IF_ERROR(SlowPathAccess(address, /*is_write=*/false));
+    DSF_RETURN_IF_ERROR(
+        SlowPathAccess(address, /*is_write=*/false, charge_ns));
   }
   return const_cast<const Page*>(&pages_[static_cast<size_t>(address - 1)]);
 }
@@ -54,9 +58,10 @@ StatusOr<Page*> PageFile::TryDeviceWrite(Address address) {
                               " outside [1," + std::to_string(num_pages_) +
                               "]");
   }
-  tracker_.OnAccess(address, /*is_write=*/true);
+  const int64_t charge_ns = tracker_.OnAccess(address, /*is_write=*/true);
   if (DSF_PREDICT_FALSE(slow_path_)) {
-    DSF_RETURN_IF_ERROR(SlowPathAccess(address, /*is_write=*/true));
+    DSF_RETURN_IF_ERROR(
+        SlowPathAccess(address, /*is_write=*/true, charge_ns));
   }
   return &pages_[static_cast<size_t>(address - 1)];
 }

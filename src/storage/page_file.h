@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "storage/disk_model.h"
 #include "storage/fault_injection.h"
 #include "storage/io_stats.h"
 #include "storage/page.h"
@@ -88,17 +89,36 @@ class PageFile {
   const IoStats& stats() const { return tracker_.stats(); }
   void ResetStats();
 
-  // Simulated device latency, charged as a real sleep on every accounted
-  // Read/Write. Zero (the default) keeps the file purely in-memory.
-  // Experiments use this to model disk/flash-resident files, where page
-  // accesses — the paper's cost metric — dominate command time; sleeps on
-  // different PageFile instances overlap, as independent devices would.
-  // Peek/RawPage stay free, mirroring the accounting rule above.
+  // Simulated device latency: a uniform per-access charge, accumulated
+  // into IoStats::sim_elapsed_ns AND paid as a real sleep on every
+  // accounted access. Zero (the default) keeps the file purely
+  // in-memory. Experiments use this to model disk/flash-resident files,
+  // where page accesses — the paper's cost metric — dominate command
+  // time; sleeps on different PageFile instances overlap, as independent
+  // devices would. Peek/RawPage stay free, mirroring the accounting rule
+  // above. This is the flat special case of set_disk_model (seek and
+  // sequential accesses charged alike); both setters route through the
+  // AccessTracker's single charge model, so elapsed-time accounting and
+  // the sleep can never disagree.
   void set_access_latency(std::chrono::nanoseconds latency) {
-    access_latency_ = latency;
+    uniform_latency_ = latency;
+    tracker_.SetChargeNs(latency.count(), latency.count());
+    sleep_on_access_ = latency.count() > 0;
     UpdateSlowPath();
   }
-  std::chrono::nanoseconds access_latency() const { return access_latency_; }
+  std::chrono::nanoseconds access_latency() const { return uniform_latency_; }
+
+  // Seek-aware device model: a seek access charges SeekChargeNs, a
+  // sequential access SequentialChargeNs — so a coalesced flush run of
+  // R consecutive pages costs one seek charge plus R-1 transfer charges,
+  // in sim_elapsed_ns and (when `sleep` is set) in real wall time alike.
+  // Replaces any charge installed by set_access_latency.
+  void set_disk_model(const DiskModel& model, bool sleep = false) {
+    uniform_latency_ = std::chrono::nanoseconds(0);
+    tracker_.SetChargeNs(model.SeekChargeNs(), model.SequentialChargeNs());
+    sleep_on_access_ = sleep;
+    UpdateSlowPath();
+  }
 
   // Total records across all pages (O(M); for validation and loading).
   int64_t TotalRecords() const;
@@ -116,16 +136,17 @@ class PageFile {
   // for the two checks. The flag is maintained by the setters above, the
   // only places the policy or latency can change.
   void UpdateSlowPath() {
-    slow_path_ = fault_policy_ != nullptr || access_latency_.count() > 0;
+    slow_path_ = fault_policy_ != nullptr || sleep_on_access_;
   }
-  Status SlowPathAccess(Address address, bool is_write);
+  Status SlowPathAccess(Address address, bool is_write, int64_t charge_ns);
 
   int64_t num_pages_;
   int64_t page_capacity_;
   std::vector<Page> pages_;
   AccessTracker tracker_;
   std::shared_ptr<FaultPolicy> fault_policy_;
-  std::chrono::nanoseconds access_latency_{0};
+  std::chrono::nanoseconds uniform_latency_{0};
+  bool sleep_on_access_ = false;
   bool slow_path_ = false;
 };
 

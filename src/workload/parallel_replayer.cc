@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <barrier>
 #include <chrono>
+#include <string>
 #include <thread>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/thread_annotations.h"
 
@@ -38,10 +41,17 @@ struct ErrorSink {
   }
 };
 
+std::string ThreadLabel(int thread) {
+  return "thread=\"" + std::to_string(thread) + "\"";
+}
+
 // Runs one thread's trace; counters land in *stats (thread-local),
-// unexpected statuses in *errors (shared, locked).
+// unexpected statuses in *errors (shared, locked), per-op latencies in
+// *op_ns (this thread's own histogram series, or nullptr when no
+// registry is installed).
 void RunTrace(ShardedDenseFile& file, const Trace& trace,
-              ReplayThreadStats* stats, ErrorSink* errors) {
+              ReplayThreadStats* stats, ErrorSink* errors,
+              Histogram* op_ns) {
   std::vector<Record> scan_out;  // reused across scan ops
   for (const Op& op : trace) {
     const Clock::time_point start = Clock::now();
@@ -72,6 +82,7 @@ void RunTrace(ShardedDenseFile& file, const Trace& trace,
     ++stats->ops;
     stats->total_ns += ns;
     stats->max_op_ns = std::max(stats->max_op_ns, ns);
+    if (op_ns != nullptr) op_ns->Observe(ns);
     if (!status.ok()) {
       if (IsExpectedRejection(status)) {
         ++stats->rejected;
@@ -142,6 +153,18 @@ double ReplayResult::OpsPerSecond() const {
   return static_cast<double>(Aggregate().ops) / wall_seconds;
 }
 
+double ReplayResult::LogicalAccessesPerOp() const {
+  const int64_t ops = Aggregate().ops;
+  if (ops == 0) return 0.0;
+  return static_cast<double>(io.TotalLogical()) / static_cast<double>(ops);
+}
+
+double ReplayResult::PhysicalAccessesPerOp() const {
+  const int64_t ops = Aggregate().ops;
+  if (ops == 0) return 0.0;
+  return static_cast<double>(io.TotalAccesses()) / static_cast<double>(ops);
+}
+
 ReplayResult ParallelReplayer::Replay(ShardedDenseFile& file,
                                       const std::vector<Trace>& traces) {
   const int num_threads = options_.num_threads;
@@ -151,6 +174,19 @@ ReplayResult ParallelReplayer::Replay(ShardedDenseFile& file,
 
   ReplayResult result;
   result.per_thread.resize(static_cast<size_t>(traces.size()));
+
+  // Per-thread histogram series resolved up front: the worker hot path
+  // never touches the registry map, only its own handle.
+  std::vector<Histogram*> op_histograms(static_cast<size_t>(num_threads),
+                                        nullptr);
+  if (options_.metrics != nullptr) {
+    for (int t = 0; t < num_threads; ++t) {
+      op_histograms[static_cast<size_t>(t)] =
+          options_.metrics->FindOrCreateHistogram(kMetricReplayOpNs,
+                                                  ThreadLabel(t));
+    }
+  }
+  const IoStats io_before = file.io_stats();
 
   // The barrier's completion step runs exactly once, when the last thread
   // arrives: that instant is the common start line.
@@ -166,12 +202,14 @@ ReplayResult ParallelReplayer::Replay(ShardedDenseFile& file,
     threads.emplace_back([&, t]() {
       start_barrier.arrive_and_wait();
       RunTrace(file, traces[static_cast<size_t>(t)],
-               &result.per_thread[static_cast<size_t>(t)], &errors);
+               &result.per_thread[static_cast<size_t>(t)], &errors,
+               op_histograms[static_cast<size_t>(t)]);
     });
   }
   for (std::thread& t : threads) t.join();
   result.wall_seconds =
       static_cast<double>(ElapsedNs(start_time, Clock::now())) * 1e-9;
+  result.io = file.io_stats() - io_before;
   {
     MutexLock lock(errors.mu);
     result.unexpected_errors = errors.count;

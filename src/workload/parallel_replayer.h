@@ -22,10 +22,13 @@
 #include <vector>
 
 #include "shard/sharded_dense_file.h"
+#include "storage/io_stats.h"
 #include "util/status.h"
 #include "workload/workload.h"
 
 namespace dsf {
+
+class MetricsRegistry;
 
 // One replay thread's tallies. Owned and written by exactly one thread
 // during the run; read only after the join.
@@ -52,6 +55,15 @@ struct ReplayResult {
   std::vector<ReplayThreadStats> per_thread;
   double wall_seconds = 0;  // barrier release -> last thread done
 
+  // The file's IoStats delta over exactly this replay (snapshot before
+  // the threads start, subtracted after the join), so reports never
+  // conflate the replay's traffic with load-phase traffic. Keep the two
+  // sides of the split separate when reporting: logical_* counts are the
+  // algorithm's accesses (the paper's cost metric), page_* / seeks are
+  // what reached the device after the buffer pool — dividing logical ops
+  // by physical seeks mixes incompatible units.
+  IoStats io;
+
   // Statuses that were neither OK nor an expected workload rejection
   // (e.g. IoError from an injected fault, Corruption from an
   // audit_every_command shard). Collected across threads under an
@@ -65,12 +77,23 @@ struct ReplayResult {
   // Summation over per_thread (exact; see header comment).
   ReplayThreadStats Aggregate() const;
   double OpsPerSecond() const;
+
+  // Per-op cost, each side of the logical/physical split on its own:
+  // logical = TotalLogical() / ops (device-independent algorithmic
+  // work), physical = TotalAccesses() / ops (post-cache device work).
+  double LogicalAccessesPerOp() const;
+  double PhysicalAccessesPerOp() const;
 };
 
 class ParallelReplayer {
  public:
   struct Options {
     int num_threads = 1;
+    // When set, thread t observes each op's wall latency into the
+    // kMetricReplayOpNs histogram labelled `thread="t"` — one series per
+    // thread, resolved once before the threads start, so the hot path
+    // costs one striped-atomic Observe per op and no registry lookups.
+    MetricsRegistry* metrics = nullptr;
   };
 
   explicit ParallelReplayer(const Options& options) : options_(options) {}

@@ -2,15 +2,28 @@
 // structure in the repository — dense file under both controls, B+-tree,
 // overflow file, naive sequential file — must end in identical logical
 // contents, and each structure's own invariants must hold throughout.
+//
+// The dense files run fully instrumented (one shared MetricsRegistry,
+// `policy="..."` labels), and the first scenario dumps the end-of-run
+// snapshot as JSON — CI uploads it as the `integration-metrics`
+// artifact, so every push leaves an inspectable metrics trace of the
+// cross-structure run ($DSF_METRICS_SNAPSHOT_PATH overrides the
+// default integration_metrics.json in the test's working directory).
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <string>
 
 #include "baseline/btree.h"
 #include "baseline/naive_sequential.h"
 #include "baseline/overflow_file.h"
 #include "core/dense_file.h"
+#include "obs/export.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 #include "workload/reference_model.h"
 #include "workload/workload.h"
 
@@ -24,9 +37,12 @@ class Fixture {
     dense.num_pages = 64;
     dense.d = 4;
     dense.D = 44;
+    dense.metrics = &registry_;
     dense.policy = DenseFile::Policy::kControl2;
+    dense.metrics_label = "policy=\"control2\"";
     control2_ = std::move(*DenseFile::Create(dense));
     dense.policy = DenseFile::Policy::kControl1;
+    dense.metrics_label = "policy=\"control1\"";
     control1_ = std::move(*DenseFile::Create(dense));
 
     BTree::Options btree;
@@ -118,6 +134,33 @@ class Fixture {
     EXPECT_EQ(got, expected);
   }
 
+  // Cross-checks the per-policy metric series against the files' own
+  // command accounting, then writes the snapshot JSON for CI to pick up.
+  void WriteMetricsSnapshot() {
+    const MetricsSnapshot snapshot = registry_.Snapshot();
+    int64_t c2_commands = -1;
+    int64_t c1_commands = -1;
+    for (const auto& c : snapshot.counters) {
+      if (c.name == std::string(kMetricCommands) + "{policy=\"control2\"}") {
+        c2_commands = c.value;
+      }
+      if (c.name == std::string(kMetricCommands) + "{policy=\"control1\"}") {
+        c1_commands = c.value;
+      }
+    }
+    EXPECT_EQ(c2_commands, control2_->command_stats().commands);
+    EXPECT_EQ(c1_commands, control1_->command_stats().commands);
+
+    const char* env = std::getenv("DSF_METRICS_SNAPSHOT_PATH");
+    const std::string path =
+        (env != nullptr) ? env : "integration_metrics.json";
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot open " << path;
+    out << ToJsonSnapshot(snapshot) << "\n";
+    ASSERT_TRUE(out.good()) << "write failed: " << path;
+  }
+
+  MetricsRegistry registry_;
   std::unique_ptr<DenseFile> control2_;
   std::unique_ptr<DenseFile> control1_;
   std::unique_ptr<BTree> btree_;
@@ -139,6 +182,7 @@ TEST(Integration, MixedChurnAfterBulkLoad) {
   fx.CheckRangeScansAgree(500, 1500);
   fx.CheckRangeScansAgree(1, 10);
   fx.CheckRangeScansAgree(5000, 9000);  // empty range
+  fx.WriteMetricsSnapshot();
 }
 
 TEST(Integration, SurgeThenDrain) {
