@@ -22,7 +22,13 @@
 // first effect remains, and extra threads only add contention.
 //
 // Usage: shard_scaling [--ops=N] [--total_pages=M] [--fill_percent=F]
-//                      [--page_latency_us=U] [--out=PATH]
+//                      [--page_latency_us=U] [--staging_bytes=B]
+//                      [--out=PATH]
+//
+// --staging_bytes > 0 mounts write-burst staging (docs/INGEST.md): the
+// budget splits evenly into per-shard memtables and the replayer flushes
+// staging inside the measured wall time, so throughput stays honest.
+// Per-shard staging hit/drain counters land in the JSON rows.
 
 #include <algorithm>
 #include <cstdint>
@@ -61,13 +67,17 @@ struct Row {
   // is what the device model charges for; never divide one by the other.
   double logical_accesses_per_op = 0;
   double physical_accesses_per_op = 0;
+  StagingStats staging;
+  std::vector<StagingStats> per_shard_staging;
 };
 
 Row RunConfig(const Config& config, int64_t total_pages, int64_t total_ops,
-              Key key_space, int64_t fill_percent, int64_t page_latency_us) {
+              Key key_space, int64_t fill_percent, int64_t page_latency_us,
+              int64_t staging_bytes) {
   ShardedDenseFile::Options options;
   options.num_shards = config.shards;
   options.key_space = key_space;
+  options.staging_bytes = staging_bytes;
   // Same page geometry everywhere: d = 8, D = 36, so D - d = 28. The
   // unsharded 4096-page file misses Theorem 5.7's gap condition
   // (28 <= 3*ceil(log 4096) = 36) and runs on auto-selected K = 2
@@ -123,12 +133,17 @@ Row RunConfig(const Config& config, int64_t total_pages, int64_t total_ops,
   row.io = result.io;
   row.logical_accesses_per_op = result.LogicalAccessesPerOp();
   row.physical_accesses_per_op = result.PhysicalAccessesPerOp();
+  row.staging = (*file)->staging_stats();
+  for (int s = 0; s < config.shards; ++s) {
+    row.per_shard_staging.push_back((*file)->shard_staging_stats(s));
+  }
   return row;
 }
 
 void WriteJson(std::ostream& os, const std::vector<Row>& rows,
                int64_t total_pages, int64_t total_ops, Key key_space,
-               int64_t fill_percent, int64_t page_latency_us) {
+               int64_t fill_percent, int64_t page_latency_us,
+               int64_t staging_bytes) {
   const double base = rows.front().insert_delete_ops_per_second;
   os << "{\n";
   os << "  \"benchmark\": \"shard_scaling\",\n";
@@ -137,6 +152,7 @@ void WriteJson(std::ostream& os, const std::vector<Row>& rows,
   os << "  \"key_space\": " << key_space << ",\n";
   os << "  \"fill_percent\": " << fill_percent << ",\n";
   os << "  \"page_latency_us\": " << page_latency_us << ",\n";
+  os << "  \"staging_bytes\": " << staging_bytes << ",\n";
   os << "  \"workload\": {\"insert\": 0.40, \"delete\": 0.40, "
         "\"get\": 0.15, \"scan\": 0.05},\n";
   os << "  \"configs\": [\n";
@@ -158,8 +174,19 @@ void WriteJson(std::ostream& os, const std::vector<Row>& rows,
        << ", \"logical_writes\": " << r.io.logical_writes
        << ", \"logical_accesses_per_op\": " << r.logical_accesses_per_op
        << ", \"physical_accesses_per_op\": " << r.physical_accesses_per_op
-       << "}"
-       << (i + 1 < rows.size() ? "," : "") << "\n";
+       << ", \"staging_puts\": " << r.staging.puts
+       << ", \"staging_hits\": " << r.staging.hits
+       << ", \"staging_drain_steps\": " << r.staging.drain_steps
+       << ", \"staging_drained_entries\": " << r.staging.drained_entries
+       << ", \"per_shard_staging\": [";
+    for (size_t s = 0; s < r.per_shard_staging.size(); ++s) {
+      const StagingStats& ss = r.per_shard_staging[s];
+      os << (s == 0 ? "" : ", ") << "{\"hits\": " << ss.hits
+         << ", \"puts\": " << ss.puts
+         << ", \"drain_steps\": " << ss.drain_steps
+         << ", \"drained_entries\": " << ss.drained_entries << "}";
+    }
+    os << "]}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
 }
@@ -169,6 +196,7 @@ int Main(int argc, char** argv) {
   int64_t total_pages = 4096;
   int64_t fill_percent = 50;
   int64_t page_latency_us = 100;
+  int64_t staging_bytes = 0;
   std::string out = "-";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -182,6 +210,9 @@ int Main(int argc, char** argv) {
     } else if (arg.rfind("--page_latency_us=", 0) == 0) {
       page_latency_us = std::stoll(arg.substr(18));
       DSF_CHECK(page_latency_us >= 0);
+    } else if (arg.rfind("--staging_bytes=", 0) == 0) {
+      staging_bytes = std::stoll(arg.substr(16));
+      DSF_CHECK(staging_bytes >= 0);
     } else if (arg.rfind("--out=", 0) == 0) {
       out = arg.substr(6);
     } else {
@@ -197,7 +228,8 @@ int Main(int argc, char** argv) {
 
   bench::Section(
       "E14: shard x thread scaling, mixed workload (page latency " +
-      std::to_string(page_latency_us) + "us)");
+      std::to_string(page_latency_us) + "us, staging " +
+      std::to_string(staging_bytes) + "B)");
   bench::Table table({"threads", "shards", "wall s", "Mops/s",
                       "ins+del Mops/s", "speedup", "mean ns", "max us"});
   std::vector<Row> rows;
@@ -207,7 +239,7 @@ int Main(int argc, char** argv) {
     DSF_CHECK(total_ops % config.threads == 0)
         << "total_ops must divide evenly into threads";
     rows.push_back(RunConfig(config, total_pages, total_ops, key_space,
-                             fill_percent, page_latency_us));
+                             fill_percent, page_latency_us, staging_bytes));
     const Row& r = rows.back();
     table.Row(r.config.threads, r.config.shards, r.wall_seconds,
               r.ops_per_second * 1e-6,
@@ -220,12 +252,12 @@ int Main(int argc, char** argv) {
 
   if (out == "-") {
     WriteJson(std::cout, rows, total_pages, total_ops, key_space,
-              fill_percent, page_latency_us);
+              fill_percent, page_latency_us, staging_bytes);
   } else {
     std::ofstream f(out);
     DSF_CHECK(f.good()) << "cannot open " << out;
     WriteJson(f, rows, total_pages, total_ops, key_space, fill_percent,
-              page_latency_us);
+              page_latency_us, staging_bytes);
     bench::Note("JSON written to " + out);
   }
   return 0;

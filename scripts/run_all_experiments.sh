@@ -13,6 +13,9 @@
 #   BENCH_obs.json    obs_certify (live BoundCertifier replay: CONTROL 2
 #                     vs CONTROL 1 max-per-command access series and
 #                     violation counts against the Theorem-5.7 budget)
+#   BENCH_ingest.json ingest_sweep (E18: staged vs unstaged write bursts,
+#                     physical writes / seeks / drain-step certification,
+#                     single-file and sharded replay)
 #
 # With --sanitize, instead runs the sanitizer matrix: an
 # address,undefined build driving the fault-injection / crash-recovery /
@@ -36,7 +39,7 @@ if [[ "${1:-}" == "--sanitize" ]]; then
   cmake --build build-asan
   ASAN_OPTIONS=halt_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-asan --output-on-failure \
-      -R 'fault_injection_test|crash_recovery_fuzz_test|corruption_test|sharded_file_test|fuzz_all_test|buffer_pool_test'
+      -R 'fault_injection_test|crash_recovery_fuzz_test|corruption_test|sharded_file_test|fuzz_all_test|buffer_pool_test|ingest_test'
   cmake -B build-tsan -G Ninja -DDSF_SANITIZE=thread
   cmake --build build-tsan
   ctest --test-dir build-tsan --output-on-failure \
@@ -48,15 +51,16 @@ fi
 if [[ "${1:-}" == "--bench" ]]; then
   cmake -B build-bench -G Ninja -DCMAKE_BUILD_TYPE=Release
   cmake --build build-bench --target gbench_core shard_scaling cache_sweep \
-    obs_certify
+    obs_certify ingest_sweep
   ./build-bench/bench/gbench_core \
     --benchmark_format=json \
     --benchmark_min_time=0.2 > BENCH_core.json
   ./build-bench/bench/shard_scaling --out=BENCH_shard.json
   ./build-bench/bench/cache_sweep --out=BENCH_cache.json
   ./build-bench/bench/obs_certify --out=BENCH_obs.json
-  echo "Wrote BENCH_core.json, BENCH_shard.json, BENCH_cache.json and" \
-    "BENCH_obs.json"
+  ./build-bench/bench/ingest_sweep --out=BENCH_ingest.json
+  echo "Wrote BENCH_core.json, BENCH_shard.json, BENCH_cache.json," \
+    "BENCH_obs.json and BENCH_ingest.json"
   exit 0
 fi
 

@@ -76,15 +76,16 @@ lint() {
 
 echo "== project-rule linter =="
 lint raw-page-io '\.RawPage\(' \
-    src/core src/shard src/baseline src/varsize src/workload src/analysis
+    src/core src/shard src/baseline src/varsize src/workload src/analysis \
+    src/ingest
 lint check-on-fault-path 'DSF_D?CHECK\([^)]*\.ok\(\)' \
-    src/core src/storage src/shard src/varsize
+    src/core src/storage src/shard src/varsize src/ingest
 lint no-naked-mutex 'std::(mutex|lock_guard|scoped_lock|unique_lock)' \
     src/core src/shard src/storage src/workload src/analysis src/baseline \
-    src/varsize src/repro
+    src/varsize src/repro src/ingest
 lint unregistered-metric-name 'FindOrCreate(Counter|Gauge|Histogram)\( *"' \
     src/core src/shard src/storage src/workload src/analysis src/baseline \
-    src/varsize src/repro bench examples tests
+    src/varsize src/repro src/ingest bench examples tests
 
 # --- Layer 2: thread-safety analysis build --------------------------
 

@@ -35,6 +35,7 @@ namespace dsf {
 
 class BufferPool;
 class ControlBase;
+class Memtable;
 
 // Every distinct way the audited structures can be wrong. One enumerator
 // per check so a test seeding a specific corruption can assert the exact
@@ -67,6 +68,12 @@ enum class AuditViolationKind {
   kPinnedFrameAtQuiescence,   // pins outstanding between commands
   // --- sharding ---
   kShardBoundaryViolation,  // a shard holds keys outside its range
+  // --- ingest staging (src/ingest/memtable.h kind invariants) ---
+  kStagingOrderViolation,   // memtable keys not strictly ascending, or
+                            // per-kind counts out of sync
+  kStagingOverCapacity,     // staged entries exceed the configured budget
+  kStagingDuplicateOfFile,  // a staged kInsert key is already durable
+  kStagingTombstoneOrphan,  // a kUpdate/kTombstone key missing from file
 };
 
 const char* AuditViolationKindToString(AuditViolationKind kind);
@@ -125,6 +132,15 @@ class Auditor {
   // Pool-only audit: dirty-order list, frame directory, pin accounting.
   static AuditReport AuditPool(const BufferPool& pool,
                                const AuditOptions& options = {});
+
+  // Staging audit (docs/INGEST.md): memtable order/capacity/count sanity
+  // plus the entry-kind claims against the durable file — kInsert keys
+  // must be absent (disjointness: a drained entry leaves the buffer, so
+  // a key may never be staged-as-new *and* durable), kUpdate/kTombstone
+  // keys must be present. Membership uses unaccounted PeekContains over
+  // the logical view; O(staged entries * block pages).
+  static AuditReport AuditStaging(const Memtable& staging,
+                                  const ControlBase& control);
 };
 
 }  // namespace dsf

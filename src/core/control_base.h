@@ -132,6 +132,14 @@ class ControlBase {
   // (each insert keeps the worst-case bound). Stops at the first error.
   Status InsertBatch(const std::vector<Record>& records);
 
+  // Trusted fast path of InsertBatch: the caller guarantees [begin, end)
+  // is strictly ascending and duplicate-free (DCHECKed, not validated),
+  // so the O(n) pre-scan and any defensive slice copy are skipped. Takes
+  // a raw pointer range so callers holding a larger sorted buffer (the
+  // staging drain, ShardedDenseFile's per-shard slices) pass a window of
+  // it without materializing a vector.
+  Status InsertBatchSorted(const Record* begin, const Record* end);
+
   // Rewrites the whole file at uniform density, with accounted I/O — an
   // explicit O(M) reorganization restoring Theorem 5.5's initial
   // condition: insert headroom spread evenly, so no region is primed to
@@ -205,6 +213,36 @@ class ControlBase {
   // when pooled, the device page otherwise. Unaccounted; for validators,
   // the invariant auditor (analysis/auditor.h) and resync.
   const Page& PeekLogical(Address page) const;
+
+  // Unaccounted point lookup over the logical view (resident frames
+  // first, device pages otherwise). Outside the paper's cost model — for
+  // the staging layer's membership checks during crash reconciliation and
+  // the invariant auditor, never for serving reads. Fills *value when the
+  // key is present and value is non-null.
+  bool PeekContains(Key key, Value* value = nullptr) const;
+
+  // --- Ingest drain support (core/dense_file.cc; docs/INGEST.md) ---
+  // Between BeginFlushDeferral and EndFlushDeferral, EndCommand skips its
+  // end-of-command pool flush: the commands of one drain step share a
+  // single FlushAll, so a hot page dirtied by several staged inserts is
+  // written once per step instead of once per command. Crash order stays
+  // safe — the pool's eviction path flushes the dirty-order prefix, so
+  // DEST-before-SOURCE write ordering holds even when a frame leaves the
+  // pool mid-window. Costs wider crash ambiguity (a whole step, not one
+  // command, may be unflushed), which the staging layer's volatile-until-
+  // drained contract already covers. No-ops without a pool.
+  void BeginFlushDeferral() { defer_flush_ = true; }
+  // Ends the window: flushes everything deferred (recording the usual
+  // kFlush span) and returns the flush status.
+  Status EndFlushDeferral();
+  bool flush_deferred() const { return defer_flush_; }
+  // DenseFile's hook for the kDrain span: `a` = entries drained, `b` =
+  // entries still staged, `io` the step's accesses (RecordSpan itself is
+  // protected; the drain scheduler sits outside the class).
+  void RecordDrainSpan(int64_t entries_drained, int64_t entries_remaining,
+                       const IoStats& io) {
+    RecordSpan(SpanKind::kDrain, entries_drained, entries_remaining, io);
+  }
 
   // Corruption hook for auditor tests: mutable calibrator access, used
   // to seed stale N_v counters that Audit() must catch. Never called
@@ -378,6 +416,7 @@ class ControlBase {
   CommandKind command_kind_ = CommandKind::kInsert;
   int64_t command_seq_ = 0;
   bool in_command_ = false;
+  bool defer_flush_ = false;  // see BeginFlushDeferral
 
   // Cached metric handles, null until SetObservability installs a
   // registry (constraint 1 in obs/metrics.h: one branch per site).

@@ -1,6 +1,7 @@
 #include "core/cursor.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "core/control_base.h"
 #include "util/check.h"
@@ -12,13 +13,29 @@ Cursor::Cursor(ControlBase* control, Key start) : control_(control) {
   if (first != 0) LoadFrom(first, start);
 }
 
+Cursor::Cursor(ControlBase* control, Key start,
+               std::vector<StagedEntry> overlay)
+    : control_(control), merged_(true), overlay_(std::move(overlay)) {
+  const Address first = control_->calibrator().FirstNonEmptyPageWithMaxGE(start);
+  if (first != 0) LoadFrom(first, start);
+  Settle();
+}
+
 const Record& Cursor::record() const {
   DSF_CHECK(Valid()) << "record() on exhausted cursor";
-  return buffer_[index_];
+  return merged_ ? current_ : buffer_[index_];
 }
 
 void Cursor::Next() {
   DSF_CHECK(Valid()) << "Next() on exhausted cursor";
+  if (merged_) {
+    Settle();
+    return;
+  }
+  AdvanceFile();
+}
+
+void Cursor::AdvanceFile() {
   ++index_;
   if (index_ < buffer_.size()) return;
   // Buffer exhausted: move to the next non-empty block.
@@ -27,6 +44,46 @@ void Cursor::Next() {
   buffer_.clear();
   index_ = 0;
   if (next != 0) LoadFrom(next, 0);
+}
+
+void Cursor::Settle() {
+  current_valid_ = false;
+  while (true) {
+    // A block-read fault ends the stream even with overlay entries left:
+    // yielding staged records past the fault would silently skip the
+    // durable records interleaved with them.
+    if (!status_.ok()) return;
+    const bool file_ok = index_ < buffer_.size();
+    const bool overlay_ok = overlay_index_ < overlay_.size();
+    if (!file_ok && !overlay_ok) return;
+    if (!overlay_ok ||
+        (file_ok &&
+         buffer_[index_].key < overlay_[overlay_index_].record.key)) {
+      // File side strictly first: no staged entry covers this key.
+      current_ = buffer_[index_];
+      current_valid_ = true;
+      AdvanceFile();
+      return;
+    }
+    const StagedEntry& entry = overlay_[overlay_index_];
+    ++overlay_index_;
+    if (file_ok && buffer_[index_].key == entry.record.key) {
+      // Both sides hold the key: the staged entry decides visibility — a
+      // tombstone hides the file record, an update's record shadows it.
+      AdvanceFile();
+      if (entry.kind == StagedEntry::Kind::kTombstone) continue;
+      current_ = entry.record;
+      current_valid_ = true;
+      return;
+    }
+    // Overlay strictly first: a staged insert at a key the file lacks.
+    // (A tombstone or update without a file twin would mean the staging
+    // invariants are broken; skip tombstones defensively.)
+    if (entry.kind == StagedEntry::Kind::kTombstone) continue;
+    current_ = entry.record;
+    current_valid_ = true;
+    return;
+  }
 }
 
 void Cursor::LoadFrom(Address block, Key min_key) {

@@ -9,6 +9,14 @@
 //
 //   for (dsf::Cursor cur = file.NewCursor(1000); cur.Valid(); cur.Next())
 //     Use(cur.record());
+//
+// With ingest staging enabled (docs/INGEST.md), DenseFile::NewCursor
+// hands the cursor a snapshot of the staged entries at or after `start`
+// and the cursor runs a two-way merge: staged inserts and updates appear
+// at their key position (an update's record shadows the file's), staged
+// tombstones suppress the file record they cover. The overlay is a copy
+// taken at cursor creation, so it follows the same no-MVCC contract as
+// the block snapshots.
 
 #ifndef DSF_CORE_CURSOR_H_
 #define DSF_CORE_CURSOR_H_
@@ -17,19 +25,23 @@
 #include <cstdint>
 #include <vector>
 
+#include "ingest/memtable.h"
 #include "storage/record.h"
 #include "util/status.h"
 
 namespace dsf {
 
 class ControlBase;
+class DenseFile;
 
 class Cursor {
  public:
   // True while the cursor points at a record. A cursor that hit a read
   // fault becomes invalid with a non-OK status(); callers distinguish
   // exhaustion from failure by checking status() once Valid() is false.
-  bool Valid() const { return index_ < buffer_.size(); }
+  bool Valid() const {
+    return merged_ ? current_valid_ : index_ < buffer_.size();
+  }
 
   // OK unless a block read faulted while (re)filling the buffer.
   const Status& status() const { return status_; }
@@ -43,17 +55,36 @@ class Cursor {
 
  private:
   friend class ControlBase;
+  friend class DenseFile;
   Cursor(ControlBase* control, Key start);
+  // The merged form: `overlay` is the staged-entry snapshot, already
+  // sliced to keys >= start and in strict key order.
+  Cursor(ControlBase* control, Key start, std::vector<StagedEntry> overlay);
 
   // Loads the first non-empty block at or after `block` whose records
   // reach `min_key`, filling buffer_ from min_key on.
   void LoadFrom(Address block, Key min_key);
+
+  // Steps the file side to its next record, loading the next non-empty
+  // block when the buffer runs out (shared by both cursor forms).
+  void AdvanceFile();
+
+  // Merge step: consumes overlay/file entries until one visible record is
+  // found (copied into current_) or both sides are exhausted.
+  void Settle();
 
   ControlBase* control_;
   Address block_ = 0;  // block currently buffered
   std::vector<Record> buffer_;
   size_t index_ = 0;
   Status status_;
+
+  // Two-way merge state (merged_ cursors only).
+  bool merged_ = false;
+  std::vector<StagedEntry> overlay_;
+  size_t overlay_index_ = 0;
+  Record current_{0, 0};
+  bool current_valid_ = false;
 };
 
 }  // namespace dsf

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "core/control_base.h"
+#include "ingest/memtable.h"
 #include "util/status.h"
 
 namespace dsf {
@@ -70,6 +71,24 @@ class DenseFile {
     // and fuzzing harness, not a production setting.
     bool audit_every_command = false;
 
+    // --- Ingest staging (src/ingest/; see docs/INGEST.md) ---
+    // Mount a sorted in-memory staging buffer (memtable) in front of the
+    // file: point writes land there in zero page accesses and a bounded
+    // drain scheduler moves them into the file through ordinary certified
+    // commands, one deferred pool flush per step. Reads see the merged
+    // view. 0 (default) disables staging entirely. Staged entries are
+    // volatile until drained — call FlushStaging() for durability points.
+    int64_t staging_entries = 0;
+    // Byte-denominated alternative budget (entries * sizeof(StagedEntry));
+    // the effective capacity is the smaller of the two set budgets.
+    // ShardedDenseFile splits its staging_bytes across shards into this.
+    int64_t staging_bytes = 0;
+    // Max staged entries applied per drain step; 0 = auto-size so a step
+    // of typical inserts stays inside the CONTROL 2 per-command budget
+    // K*(4J+2) (the step also stops early when its logical accesses reach
+    // that budget — see docs/INGEST.md for the math).
+    int64_t drain_batch = 0;
+
     // --- Observability (src/obs/; see docs/OBSERVABILITY.md) ---
     // Registry the file publishes its metrics into (commands, per-command
     // access/latency histograms, SHIFT/activation counters, pool hit
@@ -106,25 +125,33 @@ class DenseFile {
   Status Insert(const Record& record);
   Status Delete(Key key);
 
-  // --- Queries ---
+  // --- Queries (staging-aware: the merged view when staging is on) ---
   StatusOr<Value> Get(Key key);
-  bool Contains(Key key) { return control_->Contains(key); }
+  bool Contains(Key key);
   // Stream retrieval: all records with lo <= key <= hi, in key order,
-  // touching consecutive page addresses.
-  Status Scan(Key lo, Key hi, std::vector<Record>* out) {
-    return control_->Scan(lo, hi, out);
-  }
-  StatusOr<std::vector<Record>> ScanAll() { return control_->ScanAll(); }
+  // touching consecutive page addresses. With staging, a two-way merge of
+  // the staged entries and the file with tombstone suppression.
+  Status Scan(Key lo, Key hi, std::vector<Record>* out);
+  StatusOr<std::vector<Record>> ScanAll();
   // Streaming retrieval: records with key >= start, one block buffered at
-  // a time (see core/cursor.h for the iterator contract).
-  Cursor NewCursor(Key start = 0) { return control_->NewCursor(start); }
+  // a time (see core/cursor.h for the iterator contract, including the
+  // staged-overlay merge).
+  Cursor NewCursor(Key start = 0);
 
   // --- Range / bulk operations ---
-  // Removes all records in [lo, hi]; returns how many. One command, cost
-  // proportional to the blocks touched.
+  // Removes all records in [lo, hi]; returns how many records were
+  // visible in the merged view (staged inserts in range die in place,
+  // staged tombstones were already hidden).
   StatusOr<int64_t> DeleteRange(Key lo, Key hi);
-  // Inserts strictly-ascending records one command at a time.
+  // Inserts strictly-ascending records one command at a time. Batch paths
+  // drain the staging buffer first so duplicate/capacity checks run
+  // against the full merged state.
   Status InsertBatch(const std::vector<Record>& records);
+  // Trusted fast path: records in [begin, end) must be strictly
+  // ascending and duplicate-free (DCHECKed only) — skips InsertBatch's
+  // O(n) validation and lets callers pass a window of a larger buffer
+  // without a defensive copy. See ControlBase::InsertBatchSorted.
+  Status InsertBatchSorted(const Record* begin, const Record* end);
   // Explicit O(M) reorganization to uniform density — Theorem 5.5's
   // initial condition, restoring even insert headroom after skew.
   Status Compact();
@@ -135,8 +162,51 @@ class DenseFile {
   // Records must ascend strictly by key; spread at uniform density.
   Status BulkLoad(const std::vector<Record>& records);
 
+  // --- Ingest staging (src/ingest/; see docs/INGEST.md) ---
+  bool staging_enabled() const { return staging_ != nullptr; }
+  // Entries currently staged (volatile until drained).
+  int64_t staging_size() const {
+    return staging_ == nullptr ? 0 : staging_->size();
+  }
+  // Counters for the staging layer (puts/hits/annihilations/drains), with
+  // `entries` refreshed to the current gauge value.
+  StagingStats staging_stats() const;
+  // The resolved per-step entry cap and logical-access budget (0 when
+  // staging is off). Every drain step stops at whichever it hits first;
+  // each drained entry is still an individually certified command.
+  int64_t drain_batch() const { return drain_batch_; }
+  int64_t drain_access_budget() const { return drain_access_budget_; }
+  // Fill level at which the piggyback scheduler starts draining.
+  int64_t drain_trigger() const { return drain_trigger_; }
+  // True when the buffer has reached the trigger fill — the signal
+  // ShardedDenseFile's drain-on-rotate uses to spend a foreign command's
+  // piggyback budget here (draining below the trigger would defeat the
+  // batching that makes staging pay).
+  bool staging_wants_drain() const {
+    return staging_ != nullptr && staging_->size() >= drain_trigger_;
+  }
+  // One bounded drain step: moves at most drain_batch() staged entries
+  // into the file through ordinary commands sharing one deferred pool
+  // flush, stopping early at the access budget. No-op when staging is
+  // off or empty. The scheduler calls this automatically on every
+  // mutating command once the buffer passes its trigger fill.
+  Status DrainStep();
+  // Drains everything staged (a sequence of bounded steps) — the
+  // staging layer's durability point.
+  Status FlushStaging();
+  // Drops every staged entry without draining — the RAM-loss half of a
+  // simulated crash (staging is volatile); pair with DiscardCache().
+  void DiscardStaging();
+  // The staging memtable, or nullptr when staging is off. Read-only; for
+  // the auditor, shard boundary checks and tests.
+  const Memtable* staging() const { return staging_.get(); }
+
   // --- Introspection ---
-  int64_t size() const { return control_->size(); }
+  // Merged record count: durable records plus staged inserts minus
+  // staged tombstones.
+  int64_t size() const {
+    return control_->size() + (staging_ == nullptr ? 0 : staging_->net_size());
+  }
   bool empty() const { return size() == 0; }
   int64_t capacity() const { return control_->MaxRecords(); }  // d*M
   int64_t num_pages() const { return control_->file().num_pages(); }
@@ -160,7 +230,9 @@ class DenseFile {
   std::string PolicyName() const { return control_->Name(); }
 
   // Full structural + algorithmic invariant sweep (O(M); for tests).
-  Status ValidateInvariants() const { return control_->ValidateInvariants(); }
+  // With staging, also checks the memtable's order/count invariants (the
+  // staged-vs-file membership half needs page walks and lives in Audit).
+  Status ValidateInvariants() const;
 
   // Full invariant audit with a typed report of every violation found
   // (violation kind, page address, calibrator node, expected vs. found).
@@ -174,10 +246,10 @@ class DenseFile {
   void set_fault_policy(std::shared_ptr<FaultPolicy> policy) {
     control_->file().set_fault_policy(std::move(policy));
   }
-  // Writes all dirty cached pages to the device (no-op without a pool).
-  // Commands already flush at their end; this is for explicit durability
-  // points.
-  Status Flush() { return control_->Flush(); }
+  // Full durability point: drains the staging buffer, then writes all
+  // dirty cached pages to the device. Commands already flush the pool at
+  // their end (or at each drain step's end inside a deferral window).
+  Status Flush();
   // Simulates the RAM half of a crash: every cached frame (including
   // dirty ones) is dropped without write-back, leaving only what the
   // device holds. Follow with CheckAndRepair(), exactly as after an
@@ -218,11 +290,58 @@ class DenseFile {
   // audit and surfaces its verdict (the command's own error wins).
   Status MaybeAudit(Status s) const;
 
+  // --- Staging internals (docs/INGEST.md) ---
+  // The per-key state machine: classifies the key against staged entries
+  // and (one accounted probe) the durable file, then stages the mutation.
+  Status StageInsert(const Record& record);
+  Status StageDelete(Key key);
+  // The piggyback trigger: runs a drain step once the buffer holds
+  // drain_trigger_ entries.
+  Status MaybeDrain();
+  // DrainStep/FlushStaging minus the audit hook (callers inside a
+  // command path audit once, at their own exit).
+  Status DrainStepInternal();
+  Status FlushStagingInternal();
+  // Applies one staged entry as ordinary certified command(s): kInsert →
+  // Insert, kTombstone → Delete, kUpdate → Delete then Insert.
+  Status ApplyStaged(const StagedEntry& entry);
+  // Drains the first staged tombstone to free a durable slot when a
+  // drained insert hits N = d*M (the merged-capacity accounting
+  // guarantees one exists).
+  Status ApplyFirstTombstone();
+  // Makes room for one more staged entry, force-draining when full.
+  Status EnsureStagingRoom();
+  // Post-repair reconciliation: a drain step that died mid-apply may
+  // have committed some entries (or the delete half of an update);
+  // re-classify every staged entry against the repaired file so the
+  // kind invariants hold again. Unaccounted (PeekContains).
+  void ReconcileStagingWithFile();
+  void BumpPut();
+  void BumpHit(int64_t n = 1);
+  void SyncStagingGauge();
+
   Options options_;
   std::unique_ptr<ControlBase> control_;
   // Owned certifier (certify_bound only); fed by ControlBase::EndCommand
   // through the raw pointer installed via SetObservability.
   std::unique_ptr<BoundCertifier> certifier_;
+
+  // Ingest staging (null when staging_entries == 0). drain_trigger_ is
+  // the fill level at which MaybeDrain runs a step: max(drain_batch,
+  // capacity/2), leaving headroom so forced whole-buffer drains are rare.
+  std::unique_ptr<Memtable> staging_;
+  int64_t drain_batch_ = 0;
+  int64_t drain_trigger_ = 0;
+  int64_t drain_access_budget_ = 0;
+  mutable StagingStats staging_stats_;
+
+  // Cached staging metric handles (null without a registry).
+  Counter* m_staging_puts_ = nullptr;
+  Counter* m_staging_hits_ = nullptr;
+  Counter* m_staging_annihilations_ = nullptr;
+  Counter* m_staging_drain_steps_ = nullptr;
+  Counter* m_staging_drained_ = nullptr;
+  Gauge* m_staging_entries_ = nullptr;
 };
 
 }  // namespace dsf

@@ -64,6 +64,26 @@ inline constexpr char kMetricShardImbalance[] = "dsf_shard_imbalance_x1000";
 // Histogram, per-thread label: wall-clock latency per operation, ns.
 inline constexpr char kMetricReplayOpNs[] = "dsf_replay_op_ns";
 
+// --- Ingest staging (core/dense_file.cc; see docs/INGEST.md) ---
+// Mutations absorbed into the staging memtable (inserts, updates,
+// tombstones) instead of going straight to the file.
+inline constexpr char kMetricStagingPuts[] = "dsf_staging_puts_total";
+// Point reads (Get/Contains) answered by a staged entry.
+inline constexpr char kMetricStagingHits[] = "dsf_staging_hits_total";
+// Staged inserts cancelled in place by a later delete — mutations that
+// never cost a single page access.
+inline constexpr char kMetricStagingAnnihilations[] =
+    "dsf_staging_annihilations_total";
+// Bounded drain steps executed (each one kDrain tracer span).
+inline constexpr char kMetricStagingDrainSteps[] =
+    "dsf_staging_drain_steps_total";
+// Entries moved from staging into the file by drain steps.
+inline constexpr char kMetricStagingDrainedEntries[] =
+    "dsf_staging_drained_entries_total";
+// Gauge, per-file label: entries currently staged (volatile until
+// drained).
+inline constexpr char kMetricStagingEntries[] = "dsf_staging_entries";
+
 }  // namespace dsf
 
 #endif  // DSF_OBS_METRIC_NAMES_H_

@@ -20,6 +20,8 @@ const char* SpanKindToString(SpanKind kind) {
       return "REDISTRIBUTION";
     case SpanKind::kFlush:
       return "FLUSH";
+    case SpanKind::kDrain:
+      return "DRAIN";
   }
   return "UNKNOWN";
 }

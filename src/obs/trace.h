@@ -42,6 +42,7 @@ enum class SpanKind {
   kActivate,        // a = activated node w, b = DEST assigned
   kRedistribution,  // a = first block, b = last block of the range
   kFlush,           // a = pages flushed, b = flush runs
+  kDrain,           // a = staged entries drained, b = entries remaining
 };
 
 const char* SpanKindToString(SpanKind kind);

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "analysis/auditor.h"
+#include "ingest/memtable.h"
 #include "obs/metric_names.h"
 
 namespace dsf {
@@ -56,6 +57,17 @@ StatusOr<std::unique_ptr<ShardedDenseFile>> ShardedDenseFile::Create(
     shard_options.cache_frames =
         std::max<int64_t>(1, options.cache_bytes / s / frame_bytes);
   }
+  if (options.staging_bytes < 0) {
+    return Status::InvalidArgument("staging_bytes must be >= 0");
+  }
+  if (options.staging_bytes > 0 && shard_options.staging_entries == 0 &&
+      shard_options.staging_bytes == 0) {
+    // Same even split as cache_bytes: each shard gets its own memtable
+    // sized in entries, at least 1 so a tiny budget still stages.
+    shard_options.staging_entries = std::max<int64_t>(
+        1, options.staging_bytes / s /
+               static_cast<int64_t>(sizeof(StagedEntry)));
+  }
   std::vector<std::unique_ptr<Shard>> shards;
   shards.reserve(static_cast<size_t>(s));
   int64_t resolved_block_size = 0;
@@ -77,8 +89,12 @@ StatusOr<std::unique_ptr<ShardedDenseFile>> ShardedDenseFile::Create(
   resolved.splitters = splitters;
   resolved.shard.block_size = resolved_block_size;
   resolved.shard.cache_frames = shard_options.cache_frames;
-  return std::unique_ptr<ShardedDenseFile>(new ShardedDenseFile(
+  resolved.shard.staging_entries = shard_options.staging_entries;
+  std::unique_ptr<ShardedDenseFile> file(new ShardedDenseFile(
       resolved, std::move(splitters), std::move(shards)));
+  file->staging_ = shard_options.staging_entries > 0 ||
+                   shard_options.staging_bytes > 0;
+  return file;
 }
 
 std::vector<Key> ShardedDenseFile::LearnSplitters(
@@ -128,15 +144,46 @@ Key ShardedDenseFile::ShardUpperBound(int shard) const {
 }
 
 Status ShardedDenseFile::Insert(const Record& record) {
-  Shard& shard = *shards_[static_cast<size_t>(ShardOf(record.key))];
-  MutexLock lock(shard.mu);
-  return shard.file->Insert(record);
+  Status s;
+  {
+    Shard& shard = *shards_[static_cast<size_t>(ShardOf(record.key))];
+    MutexLock lock(shard.mu);
+    s = shard.file->Insert(record);
+  }
+  // Owning lock released: spend this command's piggyback drain budget on
+  // the next shard round-robin so idle shards' staging never starves.
+  DrainRotate();
+  return s;
 }
 
 Status ShardedDenseFile::Delete(Key key) {
-  Shard& shard = *shards_[static_cast<size_t>(ShardOf(key))];
+  Status s;
+  {
+    Shard& shard = *shards_[static_cast<size_t>(ShardOf(key))];
+    MutexLock lock(shard.mu);
+    s = shard.file->Delete(key);
+  }
+  DrainRotate();
+  return s;
+}
+
+void ShardedDenseFile::DrainRotate() {
+  if (!staging_ || num_shards() <= 1) return;
+  const int target = static_cast<int>(
+      rotate_.fetch_add(1, std::memory_order_relaxed) %
+      static_cast<int64_t>(num_shards()));
+  Shard& shard = *shards_[static_cast<size_t>(target)];
   MutexLock lock(shard.mu);
-  return shard.file->Delete(key);
+  // Only drain a buffer that has reached its trigger: the rotation
+  // guards against a shard whose write traffic dried up while staged
+  // entries pile at the trigger — not against entries merely existing
+  // (those drain on the shard's own commands, or at FlushStaging).
+  // Below-trigger peeks make the rotation a near-free lock-and-look.
+  if (!shard.file->staging_wants_drain()) return;
+  // A drain error on an independent shard is not this command's fault to
+  // report: the entry stays staged and the error resurfaces (with the
+  // right attribution) on that shard's own next command or flush.
+  IgnoreStatus(shard.file->DrainStep());
 }
 
 StatusOr<Value> ShardedDenseFile::Get(Key key) {
@@ -214,6 +261,38 @@ void ShardedDenseFile::DiscardCaches() {
   }
 }
 
+Status ShardedDenseFile::FlushStaging() {
+  Status first_error = Status::OK();
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    const Status s = shard->file->FlushStaging();
+    if (!s.ok() && first_error.ok()) first_error = s;
+  }
+  return first_error;
+}
+
+void ShardedDenseFile::DiscardStaging() {
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    shard->file->DiscardStaging();
+  }
+}
+
+StagingStats ShardedDenseFile::staging_stats() const {
+  StagingStats total;
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    total += shard->file->staging_stats();
+  }
+  return total;
+}
+
+StagingStats ShardedDenseFile::shard_staging_stats(int shard) const {
+  const Shard& s = *shards_[static_cast<size_t>(shard)];
+  MutexLock lock(s.mu);
+  return s.file->staging_stats();
+}
+
 BufferPool::Stats ShardedDenseFile::cache_stats() const {
   BufferPool::Stats total;
   for (const auto& shard : shards_) {
@@ -258,12 +337,14 @@ Status ShardedDenseFile::InsertBatch(const std::vector<Record>& records) {
           records.begin());
     }
     if (end > begin) {
-      const std::vector<Record> slice(
-          records.begin() + static_cast<int64_t>(begin),
-          records.begin() + static_cast<int64_t>(end));
+      // Ascent was validated once above, so each shard takes its slice
+      // through the sorted fast path — a pointer range straight into the
+      // caller's vector, no defensive copy and no re-validation.
       Shard& shard = *shards_[static_cast<size_t>(i)];
       MutexLock lock(shard.mu);
-      DSF_RETURN_IF_ERROR(shard.file->InsertBatch(slice));
+      DSF_RETURN_IF_ERROR(
+          shard.file->InsertBatchSorted(records.data() + begin,
+                                        records.data() + end));
     }
     begin = end;
   }
@@ -311,6 +392,18 @@ Status ShardedDenseFile::ValidateInvariants() const {
     const Shard& shard = *shards_[static_cast<size_t>(i)];
     MutexLock lock(shard.mu);
     DSF_RETURN_IF_ERROR(shard.file->ValidateInvariants());
+    // Routing invariant also covers the staging buffer: a staged key
+    // that drains into a foreign range would break the global order.
+    const Memtable* staging = shard.file->staging();
+    if (staging != nullptr && !staging->empty()) {
+      const Key staged_min = staging->entries().front().record.key;
+      const Key staged_max = staging->entries().back().record.key;
+      if (staged_min < ShardLowerBound(i) ||
+          (i < num_shards() - 1 && staged_max >= ShardUpperBound(i))) {
+        return Status::Corruption("shard " + std::to_string(i) +
+                                  " staged keys outside its routed range");
+      }
+    }
     // Routing invariant: every stored key lies in the shard's range.
     const Calibrator& cal = shard.file->control().calibrator();
     if (cal.TotalRecords() == 0) continue;
@@ -331,6 +424,24 @@ AuditReport ShardedDenseFile::Audit() const {
     const Shard& shard = *shards_[static_cast<size_t>(i)];
     MutexLock lock(shard.mu);
     report.Merge(shard.file->Audit(), i);
+    // Staged keys obey the same routing boundary as durable ones.
+    const Memtable* staging = shard.file->staging();
+    if (staging != nullptr && !staging->empty()) {
+      ++report.checks_run;
+      const Key staged_min = staging->entries().front().record.key;
+      const Key staged_max = staging->entries().back().record.key;
+      if (staged_min < ShardLowerBound(i) ||
+          (i < num_shards() - 1 && staged_max >= ShardUpperBound(i))) {
+        AuditViolation v;
+        v.kind = AuditViolationKind::kShardBoundaryViolation;
+        v.shard = i;
+        v.detail = "staged keys [" + std::to_string(staged_min) + "," +
+                   std::to_string(staged_max) + "] outside routed range [" +
+                   std::to_string(ShardLowerBound(i)) + "," +
+                   std::to_string(ShardUpperBound(i)) + ")";
+        report.violations.push_back(std::move(v));
+      }
+    }
     // Boundary disjointness: the shard's whole key range (root fences)
     // must sit inside [ShardLowerBound, ShardUpperBound) — ranges of
     // distinct shards cannot overlap.
@@ -401,6 +512,13 @@ void ShardedDenseFile::SetAccessLatency(std::chrono::nanoseconds latency) {
   for (const auto& shard : shards_) {
     MutexLock lock(shard->mu);
     shard->file->control().file().set_access_latency(latency);
+  }
+}
+
+void ShardedDenseFile::SetDiskModel(const DiskModel& model, bool sleep) {
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    shard->file->control().file().set_disk_model(model, sleep);
   }
 }
 

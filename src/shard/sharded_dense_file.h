@@ -26,6 +26,7 @@
 #ifndef DSF_SHARD_SHARDED_DENSE_FILE_H_
 #define DSF_SHARD_SHARDED_DENSE_FILE_H_
 
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <vector>
@@ -62,6 +63,13 @@ class ShardedDenseFile {
     // shard = cache_bytes / S / page bytes, at least 1 when any budget
     // is given. Ignored when shard.cache_frames is set explicitly.
     int64_t cache_bytes = 0;
+    // Shared staging byte budget, split evenly into per-shard memtables
+    // exactly like cache_bytes: entries per shard = staging_bytes / S /
+    // sizeof(StagedEntry), at least 1 when any budget is given. Ignored
+    // when shard.staging_entries / shard.staging_bytes is set explicitly.
+    // 0 with neither per-shard field set disables staging. See
+    // docs/INGEST.md.
+    int64_t staging_bytes = 0;
   };
 
   // Validates options (splitter count/order, per-shard geometry) and
@@ -119,12 +127,25 @@ class ShardedDenseFile {
   // Runs DenseFile::CheckAndRepair on every shard (ascending, one lock at
   // a time) and aggregates the reports: counters summed, flags OR-ed.
   StatusOr<RepairReport> CheckAndRepair();
-  // Flushes every shard's pool (ascending, one lock at a time); first
-  // error wins, remaining shards still flush.
+  // Flushes every shard's staging buffer and pool (ascending, one lock
+  // at a time); first error wins, remaining shards still flush.
   Status Flush();
   // Drops every shard's cached frames without write-back — the RAM half
-  // of a whole-machine crash. Follow with CheckAndRepair().
+  // of a whole-machine crash. Follow with CheckAndRepair(). (Staged
+  // entries are dropped separately by DiscardStaging — both halves are
+  // RAM, but tests exercise them independently.)
   void DiscardCaches();
+
+  // --- Ingest staging (per-shard memtables; see docs/INGEST.md) ---
+  // Drains every shard's staging buffer to its file (ascending, one lock
+  // at a time) — the staging durability point.
+  Status FlushStaging();
+  // Drops every shard's staged entries without draining — the volatile
+  // half of a crash (pair with DiscardCaches()).
+  void DiscardStaging();
+  // Summed / per-shard staging counters (zeroes when staging is off).
+  StagingStats staging_stats() const;
+  StagingStats shard_staging_stats(int shard) const;
 
   // --- Introspection ---
   int num_shards() const { return static_cast<int>(shards_.size()); }
@@ -152,6 +173,9 @@ class ShardedDenseFile {
   // shard models its own device, so concurrent commands on different
   // shards overlap their page-access waits.
   void SetAccessLatency(std::chrono::nanoseconds latency);
+  // Seek-aware variant: installs the disk model on every shard's page
+  // store (see PageFile::set_disk_model).
+  void SetDiskModel(const DiskModel& model, bool sleep);
 
   // Publishes the current per-shard load distribution into the metrics
   // registry the shards were created with (Options::shard.metrics):
@@ -188,9 +212,20 @@ class ShardedDenseFile {
   Key ShardLowerBound(int shard) const;
   Key ShardUpperBound(int shard) const;
 
+  // Drain-on-rotate: after a point command on one shard releases its
+  // lock, spend that command's piggyback budget on the *next* shard in
+  // round-robin order instead, so a shard whose own write traffic dried
+  // up still gets its staged entries drained. One lock at a time (the
+  // owning shard's lock is already released), so no ordering cycles.
+  void DrainRotate();
+
   Options options_;
   std::vector<Key> splitters_;  // strictly ascending, size num_shards - 1
   std::vector<std::unique_ptr<Shard>> shards_;
+  bool staging_ = false;  // any shard built with a staging buffer
+  // Round-robin cursor for DrainRotate; relaxed atomics suffice — the
+  // rotation is a fairness heuristic, not a correctness invariant.
+  std::atomic<int64_t> rotate_{0};
 };
 
 }  // namespace dsf

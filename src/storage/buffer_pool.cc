@@ -1,5 +1,6 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
 #include <sstream>
 #include <utility>
 
@@ -38,6 +39,8 @@ BufferPool::Stats& BufferPool::Stats::operator+=(const Stats& other) {
   writebacks += other.writebacks;
   write_combines += other.write_combines;
   ordered_flushes += other.ordered_flushes;
+  additive_absorbs += other.additive_absorbs;
+  relocations += other.relocations;
   flush_runs += other.flush_runs;
   flushed_pages += other.flushed_pages;
   free_writes += other.free_writes;
@@ -49,6 +52,8 @@ std::string BufferPool::Stats::ToString() const {
   os << "hits=" << hits << " misses=" << misses << " evictions=" << evictions
      << " writebacks=" << writebacks << " combines=" << write_combines
      << " ordered_flushes=" << ordered_flushes
+     << " additive_absorbs=" << additive_absorbs
+     << " relocations=" << relocations
      << " flush_runs=" << flush_runs << " flushed_pages=" << flushed_pages;
   return os.str();
 }
@@ -130,6 +135,8 @@ StatusOr<int64_t> BufferPool::AcquireFrame(Address address, bool load) {
   }
   f.address = address;
   f.free_write = false;
+  f.removed_keys.clear();
+  f.removed_unknown = false;
   Touch(f);
   resident_.emplace(address, index);
   return index;
@@ -182,6 +189,9 @@ StatusOr<int64_t> BufferPool::EvictFrame() {
 
 Status BufferPool::MarkDirty(int64_t frame) {
   Frame& f = frames_[static_cast<size_t>(frame)];
+  // This path never sees the replacement content, so the dirty lifetime
+  // must conservatively block rule-3† relocations past this frame.
+  f.removed_unknown = true;
   if (f.dirty) {
     if (f.dirty_it == std::prev(dirty_order_.end())) {
       // Tail of L: the newer version simply replaces the older one.
@@ -192,6 +202,7 @@ Status BufferPool::MarkDirty(int64_t frame) {
     // dirtied before it) first, then re-enter at the tail.
     ++stats_.ordered_flushes;
     DSF_RETURN_IF_ERROR(FlushPrefixThrough(frame));
+    f.removed_unknown = true;  // FlushFrame reset it; this write hides content
   }
   f.dirty = true;
   f.dirty_seq = ++next_dirty_seq_;
@@ -230,17 +241,47 @@ Status BufferPool::FlushFrame(int64_t frame) {
     if (m_writebacks_ != nullptr) m_writebacks_->Increment();
   }
   f.dirty = false;
+  f.removed_keys.clear();
+  f.removed_unknown = false;
   dirty_order_.erase(f.dirty_it);
   return Status::OK();
 }
 
-Status BufferPool::FlushPrefixThrough(int64_t frame) {
-  while (!dirty_order_.empty()) {
-    const int64_t front = dirty_order_.front();
-    DSF_RETURN_IF_ERROR(FlushFrame(front));
-    if (front == frame) break;
+Status BufferPool::FlushFramesInSafeOrder(std::vector<int64_t> to_flush) {
+  // Partition into pure-addition frames (empty removal ledger: their
+  // pending image is a superset of every image the device may hold for
+  // that page, so landing them at ANY point loses nothing) and removal
+  // frames. Additions flush first in address order — one sequential
+  // sweep instead of an L-order scatter — then removals in L order, by
+  // which point every frame that duplicated their removed records has
+  // already landed. Every intermediate crash point keeps the no-lost-
+  // record guarantee that plain L-order flushing provides.
+  std::vector<int64_t> adds;
+  std::vector<int64_t> removals;
+  for (const int64_t frame : to_flush) {
+    const Frame& f = frames_[static_cast<size_t>(frame)];
+    if (OrderFree(f)) {
+      adds.push_back(frame);
+    } else {
+      removals.push_back(frame);
+    }
   }
+  std::sort(adds.begin(), adds.end(), [this](int64_t a, int64_t b) {
+    return frames_[static_cast<size_t>(a)].address <
+           frames_[static_cast<size_t>(b)].address;
+  });
+  for (const int64_t frame : adds) DSF_RETURN_IF_ERROR(FlushFrame(frame));
+  for (const int64_t frame : removals) DSF_RETURN_IF_ERROR(FlushFrame(frame));
   return Status::OK();
+}
+
+Status BufferPool::FlushPrefixThrough(int64_t frame) {
+  std::vector<int64_t> prefix;
+  for (const int64_t dirty : dirty_order_) {
+    prefix.push_back(dirty);
+    if (dirty == frame) break;
+  }
+  return FlushFramesInSafeOrder(std::move(prefix));
 }
 
 StatusOr<PageGuard> BufferPool::PinRead(Address address, const char* owner) {
@@ -278,15 +319,161 @@ StatusOr<PageGuard> BufferPool::PinForOverwrite(Address address,
   return PageGuard(this, *frame);
 }
 
+namespace {
+
+// True when every record of `page` (key AND value) appears in the sorted
+// range [begin, end) — the rewrite only adds records. A value change
+// counts as a removal of the old record.
+bool IsSortedSuperset(const Page& page, const Record* begin,
+                      const Record* end) {
+  const Record* it = begin;
+  for (const Record& old : page.records()) {
+    while (it != end && it->key < old.key) ++it;
+    if (it == end || !(*it == old)) return false;
+    ++it;
+  }
+  return true;
+}
+
+}  // namespace
+
+void BufferPool::AccumulateRemoved(Frame* f, const Record* begin,
+                                   const Record* end) {
+  if (f->removed_unknown) return;  // already maximally conservative
+  const Record* it = begin;
+  for (const Record& old : f->page.records()) {
+    while (it != end && it->key < old.key) ++it;
+    if (it == end || !(*it == old)) f->removed_keys.push_back(old.key);
+  }
+  // Appended batches are each ascending but may interleave with earlier
+  // ones; RelocationSafe binary-searches the pending page instead, so
+  // only dedup growth matters — keep the vector sorted and unique.
+  std::sort(f->removed_keys.begin(), f->removed_keys.end());
+  f->removed_keys.erase(
+      std::unique(f->removed_keys.begin(), f->removed_keys.end()),
+      f->removed_keys.end());
+}
+
+bool BufferPool::RelocationSafe(const Frame& f) const {
+  // Frames dirtied after f, in L order. Any of them whose flush removes
+  // a key that f's pending image still carries is (or may be, for the
+  // content-blind removed_unknown case) relying on f flushing first —
+  // f must then take the rule-3 prefix flush instead of relocating.
+  const std::vector<Record>& pending = f.page.records();
+  for (auto it = std::next(f.dirty_it); it != dirty_order_.end(); ++it) {
+    const Frame& g = frames_[static_cast<size_t>(*it)];
+    if (g.removed_unknown) return false;
+    for (const Key key : g.removed_keys) {
+      // A volatile key was never durability-promised; losing it on a
+      // crash is within the recovery contract, so its removal does not
+      // pin f's flush position.
+      if (volatile_keys_.count(key) != 0) continue;
+      const auto pos =
+          std::lower_bound(pending.begin(), pending.end(), key,
+                           [](const Record& r, Key k) { return r.key < k; });
+      if (pos != pending.end() && pos->key == key) return false;
+    }
+  }
+  return true;
+}
+
+bool BufferPool::OrderFree(const Frame& f) const {
+  if (f.removed_unknown) return false;
+  for (const Key key : f.removed_keys) {
+    if (volatile_keys_.count(key) == 0) return false;
+  }
+  return true;
+}
+
+void BufferPool::NoteVolatile(Key key) {
+  MutexLock lock(mu_);
+  volatile_keys_.insert(key);
+}
+
+Status BufferPool::MarkDirtyWithContent(int64_t frame, bool was_resident,
+                                        const Record* begin,
+                                        const Record* end) {
+  Frame& f = frames_[static_cast<size_t>(frame)];
+  if (!f.dirty) {
+    DSF_RETURN_IF_ERROR(MarkDirty(frame));
+    if (was_resident) {
+      // Clean resident frame: pending == device, so this rewrite's
+      // removals are exactly old content minus new — record them
+      // instead of MarkDirty's content-blind removed_unknown.
+      f.removed_unknown = false;
+      AccumulateRemoved(&f, begin, end);
+    }
+  } else if (f.dirty_it == std::prev(dirty_order_.end())) {
+    // Rule 2: tail combine, with the removal ledger kept accurate.
+    ++stats_.write_combines;
+    AccumulateRemoved(&f, begin, end);
+  } else if (IsSortedSuperset(f.page, begin, end)) {
+    // Rule 2': pure addition absorbs at the frame's original slot.
+    ++stats_.additive_absorbs;
+  } else if (RelocationSafe(f)) {
+    // Rule 3†: nothing after f depends on its pending image, so the
+    // merged rewrite moves to the tail without touching the device.
+    AccumulateRemoved(&f, begin, end);
+    dirty_order_.erase(f.dirty_it);
+    f.dirty_seq = ++next_dirty_seq_;
+    dirty_order_.push_back(frame);
+    f.dirty_it = std::prev(dirty_order_.end());
+    ++stats_.relocations;
+  } else if (OrderFree(f)) {
+    // Rule 3 (minimal form): the old image adds or only removes
+    // volatile keys versus the device, so it may land alone and out of
+    // order — nothing durable can be lost at any crash point. No
+    // prefix flush.
+    ++stats_.ordered_flushes;
+    DSF_RETURN_IF_ERROR(FlushFrame(frame));
+    DSF_RETURN_IF_ERROR(MarkDirty(frame));
+    f.removed_unknown = false;
+    AccumulateRemoved(&f, begin, end);
+  } else {
+    // Rule 3: flush the old image (and everything before it) in order,
+    // then re-enter at the tail. The device now holds the old pending
+    // image, so the fresh lifetime's removals are old minus new.
+    ++stats_.ordered_flushes;
+    DSF_RETURN_IF_ERROR(FlushPrefixThrough(frame));
+    DSF_RETURN_IF_ERROR(MarkDirty(frame));
+    f.removed_unknown = false;
+    AccumulateRemoved(&f, begin, end);
+  }
+  return Status::OK();
+}
+
+StatusOr<PageGuard> BufferPool::PinForRewrite(Address address,
+                                              const Record* begin,
+                                              const Record* end,
+                                              const char* owner) {
+  file_->CountLogical(/*is_write=*/true);
+  MutexLock lock(mu_);
+  const bool was_resident = resident_.find(address) != resident_.end();
+  StatusOr<int64_t> frame = AcquireFrame(address, /*load=*/false);
+  if (!frame.ok()) return frame.status();
+  DSF_RETURN_IF_ERROR(MarkDirtyWithContent(*frame, was_resident, begin, end));
+  Frame& f = frames_[static_cast<size_t>(*frame)];
+  f.page.Clear();
+  f.free_write = false;
+  RecordPin(*frame, owner);
+  return PageGuard(this, *frame);
+}
+
 Status BufferPool::MarkFree(Address address) {
   // Unaccounted (parity with the unpooled RawPage clear), but ordered:
   // the clear rides L so it cannot overtake the in-cache writes that
   // moved this page's records elsewhere.
   MutexLock lock(mu_);
+  const bool was_resident = resident_.find(address) != resident_.end();
   StatusOr<int64_t> frame = AcquireFrame(address, /*load=*/false);
   if (!frame.ok()) return frame.status();
+  // A clear is a rewrite with empty content: the same placement rules
+  // apply, and the removal ledger stays exact (everything the pending
+  // image held is removed) instead of poisoning later relocations with
+  // removed_unknown.
+  DSF_RETURN_IF_ERROR(
+      MarkDirtyWithContent(*frame, was_resident, nullptr, nullptr));
   Frame& f = frames_[static_cast<size_t>(*frame)];
-  DSF_RETURN_IF_ERROR(MarkDirty(*frame));
   f.page.Clear();
   f.free_write = true;
   return Status::OK();
@@ -294,11 +481,27 @@ Status BufferPool::MarkFree(Address address) {
 
 Status BufferPool::FlushAll() {
   MutexLock lock(mu_);
+  // Safe-order schedule (see FlushFramesInSafeOrder): address-sorted
+  // additions, then removals in L order.
+  std::vector<int64_t> adds;
+  std::vector<int64_t> removals;
+  for (const int64_t frame : dirty_order_) {
+    const Frame& f = frames_[static_cast<size_t>(frame)];
+    if (OrderFree(f)) {
+      adds.push_back(frame);
+    } else {
+      removals.push_back(frame);
+    }
+  }
+  std::sort(adds.begin(), adds.end(), [this](int64_t a, int64_t b) {
+    return frames_[static_cast<size_t>(a)].address <
+           frames_[static_cast<size_t>(b)].address;
+  });
+  adds.insert(adds.end(), removals.begin(), removals.end());
   Address previous = -1;
   int64_t run_length = 0;
-  while (!dirty_order_.empty()) {
-    const int64_t front = dirty_order_.front();
-    const Address address = frames_[static_cast<size_t>(front)].address;
+  for (const int64_t frame : adds) {
+    const Address address = frames_[static_cast<size_t>(frame)].address;
     if (previous < 0 ||
         (address != previous && address != previous + 1 &&
          address != previous - 1)) {
@@ -310,7 +513,7 @@ Status BufferPool::FlushAll() {
       }
       run_length = 0;
     }
-    DSF_RETURN_IF_ERROR(FlushFrame(front));
+    DSF_RETURN_IF_ERROR(FlushFrame(frame));
     ++stats_.flushed_pages;
     ++run_length;
     previous = address;
@@ -318,11 +521,15 @@ Status BufferPool::FlushAll() {
   if (m_flush_run_length_ != nullptr && run_length > 0) {
     m_flush_run_length_->Observe(run_length);
   }
+  // Everything pending has landed: this is the durability point, so no
+  // key is volatile any more.
+  volatile_keys_.clear();
   return Status::OK();
 }
 
 void BufferPool::DropAll() {
   MutexLock lock(mu_);
+  volatile_keys_.clear();
   dirty_order_.clear();
   resident_.clear();
   free_frames_.clear();
@@ -333,6 +540,8 @@ void BufferPool::DropAll() {
     f.dirty = false;
     f.free_write = false;
     f.ref = false;
+    f.removed_keys.clear();
+    f.removed_unknown = false;
     f.page.Clear();
     free_frames_.push_back(i);
   }

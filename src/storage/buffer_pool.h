@@ -34,6 +34,34 @@
 // touches each block once), so almost all repeated writes combine; rule
 // 2 is what makes the pool safe rather than merely fast.
 //
+// Content-aware write-back (rules 2' and 3†, PinForRewrite). Rule 3
+// treats every out-of-order re-dirty as potentially unsafe because
+// MarkDirty cannot see what the write changes. PinForRewrite receives
+// the replacement content up front, so the pool can prove two cheaper
+// escapes sound:
+//   2'. Additive absorption — the new content is a SUPERSET of the
+//       frame's pending content (a block page growing under an
+//       ascending drain, a SHIFT destination accumulating records).
+//       The rewrite is absorbed at the frame's *original* position in
+//       L with no flush: a record can only be lost by a write that
+//       REMOVES it, and this write removes nothing.
+//   3†. Safe relocation — the rewrite removes records, but no
+//       later-dirtied frame depends on this frame's pending image.
+//       Each dirty frame tracks the keys its flush will remove from
+//       the device (removed_keys, conservative removed_unknown when a
+//       legacy write hid the content); the pending image that protects
+//       such a removal — the duplicate written first — always sits at
+//       an EARLIER position in L. If no frame after F lists a removed
+//       key that F's pending image still holds, then nothing between
+//       F's slot and the tail needs F flushed first, and F simply
+//       moves to the tail with its new content — no device traffic.
+//       (The classic unsafe chain — a record hopping P→Q→R, where
+//       P's pending removal relies on Q's pending image — fails the
+//       check: Q still holds the key P removed, so Q takes the rule-3
+//       prefix flush instead.)
+// Removal writes that fail both tests keep the full rule-3 prefix
+// flush, so duplicate-before-delete holds at every crash point.
+//
 // Write coalescing. Because SHIFT writes blocks of consecutive pages in
 // a deliberate direction, entries of L are typically address-adjacent
 // in the order they will be flushed; the flush loop detects maximal
@@ -63,6 +91,7 @@
 #include <list>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "storage/page.h"
@@ -137,6 +166,10 @@ class BufferPool {
     int64_t writebacks = 0;      // dirty frames written to the device
     int64_t write_combines = 0;  // re-dirties absorbed at the tail of L
     int64_t ordered_flushes = 0;  // prefix flushes forced by rule 3
+    int64_t additive_absorbs = 0;  // superset rewrites absorbed in place
+                                   // at their original L position (rule 2')
+    int64_t relocations = 0;  // removal rewrites safely moved to the
+                              // tail of L without a flush (rule 3†)
     int64_t flush_runs = 0;      // maximal consecutive-address runs flushed
     int64_t flushed_pages = 0;   // pages written by FlushAll (incl. frees)
     int64_t free_writes = 0;     // freed-page clears applied at flush
@@ -191,9 +224,31 @@ class BufferPool {
                                       const char* owner = nullptr)
       DSF_EXCLUDES(mu_);
 
+  // Content-aware PinForOverwrite: [begin, end) is the exact sorted
+  // record content the caller will place in the page. Knowing the
+  // replacement up front lets the pool absorb additive rewrites in
+  // place (rule 2') and relocate dependency-free removal rewrites to
+  // the tail (rule 3†) instead of forcing the rule-3 prefix flush —
+  // see the header note. The returned frame arrives cleared; the
+  // caller must fill it with exactly the declared records before
+  // releasing the guard.
+  StatusOr<PageGuard> PinForRewrite(Address address, const Record* begin,
+                                    const Record* end,
+                                    const char* owner = nullptr)
+      DSF_EXCLUDES(mu_);
+
   // Enqueues "this page becomes empty" through the dirty order; the
   // eventual device clear is unaccounted bookkeeping (see header note).
   Status MarkFree(Address address) DSF_EXCLUDES(mu_);
+
+  // Declares `key` never-yet-durable: it was created after the last
+  // durability point (e.g. drained from a volatile memtable inside a
+  // flush-deferral window), so losing it on a crash is within the
+  // recovery contract. Removals of volatile keys impose no write-order
+  // constraint — RelocationSafe and the safe-order flush scheduler
+  // ignore them. The set clears itself once every dirty frame lands
+  // (successful FlushAll = the durability point) or the cache drops.
+  void NoteVolatile(Key key) DSF_EXCLUDES(mu_);
 
   // Writes every dirty frame to the device in dirty-order. On a fault
   // the failed frame and everything after it stay dirty (and keep their
@@ -273,6 +328,16 @@ class BufferPool {
     int64_t dirty_seq = 0;    // serial stamped when going clean -> dirty
     const char* owner = nullptr;            // last pinner's tag
     std::list<int64_t>::iterator dirty_it;  // valid iff dirty
+    // Keys this frame's flush will remove from (or change on) the
+    // device, accumulated over the dirty lifetime — the dependency
+    // record behind rule 3† (see header note). removed_unknown marks a
+    // dirty lifetime that went through a content-blind write path
+    // (PinWrite / PinForOverwrite), which conservatively blocks
+    // relocations past this frame; content-aware paths (PinForRewrite,
+    // MarkFree) keep the ledger exact instead. Both reset when the
+    // frame goes clean.
+    std::vector<Key> removed_keys;
+    bool removed_unknown = false;
   };
 
   // Returns a pinned frame holding `address`; fills from the device iff
@@ -284,10 +349,33 @@ class BufferPool {
   StatusOr<int64_t> EvictFrame() DSF_REQUIRES(mu_);
   // Applies the dirty-order rules (combine at tail / prefix-flush).
   Status MarkDirty(int64_t frame) DSF_REQUIRES(mu_);
+  // True when no dirty frame ordered after `f` in L lists a removed key
+  // that f's pending image still holds — the rule-3† safety condition.
+  // Volatile keys are exempt.
+  bool RelocationSafe(const Frame& f) const DSF_REQUIRES(mu_);
+  // True when flushing `f` at any position loses nothing durable: its
+  // ledger is exact and every removed key is volatile.
+  bool OrderFree(const Frame& f) const DSF_REQUIRES(mu_);
+  // Dirties `frame` ahead of a rewrite whose full replacement content is
+  // [begin, end): applies rules 2 / 2' / 3† / 3 to place the frame in L
+  // and keeps the removal ledger exact. `was_resident` tells whether the
+  // frame held the device image before AcquireFrame.
+  Status MarkDirtyWithContent(int64_t frame, bool was_resident,
+                              const Record* begin, const Record* end)
+      DSF_REQUIRES(mu_);
+  // Appends to f.removed_keys every key of f's pending page that the
+  // replacement [begin, end) drops or rebinds to a new value. No-op
+  // when the frame is already conservatively removed_unknown.
+  static void AccumulateRemoved(Frame* f, const Record* begin,
+                                const Record* end);
   // Writes one dirty frame to the device and removes it from L.
   Status FlushFrame(int64_t frame) DSF_REQUIRES(mu_);
   // Flushes L front-to-back up to and including `frame`.
   Status FlushPrefixThrough(int64_t frame) DSF_REQUIRES(mu_);
+  // Flushes the given frames with pure additions first in address order,
+  // then removal frames in L order — crash-safe (see the .cc comment).
+  Status FlushFramesInSafeOrder(std::vector<int64_t> to_flush)
+      DSF_REQUIRES(mu_);
   void Unpin(int64_t frame) DSF_EXCLUDES(mu_);
   void Touch(Frame& f) DSF_REQUIRES(mu_);
   void RecordPin(int64_t frame, const char* owner) DSF_REQUIRES(mu_);
@@ -308,6 +396,8 @@ class BufferPool {
   int64_t tick_ DSF_GUARDED_BY(mu_) = 0;
   int64_t next_dirty_seq_ DSF_GUARDED_BY(mu_) = 0;
   int64_t live_guards_ DSF_GUARDED_BY(mu_) = 0;
+  // Keys created after the last durability point (see NoteVolatile).
+  std::unordered_set<Key> volatile_keys_ DSF_GUARDED_BY(mu_);
   Stats stats_ DSF_GUARDED_BY(mu_);
   Counter* m_hits_ DSF_GUARDED_BY(mu_) = nullptr;
   Counter* m_misses_ DSF_GUARDED_BY(mu_) = nullptr;

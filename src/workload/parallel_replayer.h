@@ -94,6 +94,13 @@ class ParallelReplayer {
     // thread, resolved once before the threads start, so the hot path
     // costs one striped-atomic Observe per op and no registry lookups.
     MetricsRegistry* metrics = nullptr;
+    // Drain every shard's ingest staging buffer after the workers join,
+    // INSIDE the measured wall time: a staged run's throughput then pays
+    // for making its writes durable, keeping staged-vs-unstaged replay
+    // comparisons honest (see docs/INGEST.md). Flush errors count into
+    // unexpected_errors like any worker-thread fault. No-op when the
+    // file has no staging configured.
+    bool flush_staging_at_end = true;
   };
 
   explicit ParallelReplayer(const Options& options) : options_(options) {}

@@ -320,6 +320,175 @@ TEST_F(BufferPoolTest, MarkFreeRidesDirtyOrderUnaccounted) {
   EXPECT_EQ(delta.page_writes, 1);
 }
 
+// --- Content-aware write-back: rules 2' and 3† (PinForRewrite) ---
+
+TEST_F(BufferPoolTest, RewriteSupersetAbsorbsWithoutFlush) {
+  SeedPage(3, 30);
+  auto pool = MakePool(4);
+  { ASSERT_TRUE(pool->PinRead(3).ok()); }  // resident: exact ledger
+  const std::vector<Record> v1 = {{30, 30}, {40, 40}};
+  {
+    StatusOr<PageGuard> g = pool->PinForRewrite(3, v1.data(), v1.data() + 2);
+    ASSERT_TRUE(g.ok());
+    for (const Record& r : v1) ASSERT_TRUE(g->mutable_page()->Insert(r).ok());
+  }
+  // A second dirty frame makes page 3 non-tail.
+  {
+    StatusOr<PageGuard> g = pool->PinForOverwrite(5);
+    ASSERT_TRUE(g.ok());
+    ASSERT_TRUE(g->mutable_page()->Insert(Record{50, 50}).ok());
+  }
+  // Rule 2': the rewrite only adds a record, so it absorbs at page 3's
+  // original position in L — no flush, no device traffic.
+  const IoStats before = file_.stats();
+  const std::vector<Record> v2 = {{30, 30}, {35, 35}, {40, 40}};
+  {
+    StatusOr<PageGuard> g = pool->PinForRewrite(3, v2.data(), v2.data() + 3);
+    ASSERT_TRUE(g.ok());
+    for (const Record& r : v2) ASSERT_TRUE(g->mutable_page()->Insert(r).ok());
+  }
+  EXPECT_EQ(pool->stats().additive_absorbs, 1);
+  EXPECT_EQ(pool->stats().ordered_flushes, 0);
+  EXPECT_EQ((file_.stats() - before).page_writes, 0);
+  ASSERT_TRUE(pool->FlushAll().ok());
+  EXPECT_EQ(file_.Peek(3).size(), 3);
+}
+
+TEST_F(BufferPoolTest, RewriteRelocatesWhenNothingDependsOnIt) {
+  SeedPage(3, 30);
+  SeedPage(5, 50);
+  auto pool = MakePool(4);
+  { ASSERT_TRUE(pool->PinRead(3).ok()); }
+  { ASSERT_TRUE(pool->PinRead(5).ok()); }
+  const std::vector<Record> p3 = {{30, 30}, {40, 40}};
+  {
+    StatusOr<PageGuard> g = pool->PinForRewrite(3, p3.data(), p3.data() + 2);
+    ASSERT_TRUE(g.ok());
+    for (const Record& r : p3) ASSERT_TRUE(g->mutable_page()->Insert(r).ok());
+  }
+  const std::vector<Record> p5 = {{50, 50}, {60, 60}};
+  {
+    StatusOr<PageGuard> g = pool->PinForRewrite(5, p5.data(), p5.data() + 2);
+    ASSERT_TRUE(g.ok());
+    for (const Record& r : p5) ASSERT_TRUE(g->mutable_page()->Insert(r).ok());
+  }
+  // Rule 3†: dropping key 40 from non-tail page 3 is safe to relocate to
+  // the tail — no later frame's ledger lists a key page 3 still holds.
+  const IoStats before = file_.stats();
+  const std::vector<Record> p3b = {{30, 30}};
+  {
+    StatusOr<PageGuard> g = pool->PinForRewrite(3, p3b.data(), p3b.data() + 1);
+    ASSERT_TRUE(g.ok());
+    ASSERT_TRUE(g->mutable_page()->Insert(p3b[0]).ok());
+  }
+  EXPECT_EQ(pool->stats().relocations, 1);
+  EXPECT_EQ(pool->stats().ordered_flushes, 0);
+  EXPECT_EQ((file_.stats() - before).page_writes, 0);
+  ASSERT_TRUE(pool->FlushAll().ok());
+  EXPECT_EQ(file_.Peek(3).size(), 1);
+  EXPECT_EQ(file_.Peek(5).size(), 2);
+}
+
+TEST_F(BufferPoolTest, RewriteRefusesRelocationWhenRemovalDependsOnIt) {
+  // The record-hop chain: key 10 lives on page 2 (device), duplicates to
+  // page 3, then page 2's removal enters L. Rewriting page 3 to drop key
+  // 10 again must NOT relocate past page 2's pending removal — a crash
+  // after the removal landed would lose the key's only durable copy. The
+  // old image is order-free (pure addition), so the minimal rule 3 lands
+  // it alone: exactly one accounted device write, no full prefix flush.
+  SeedPage(2, 10);
+  SeedPage(3, 30);
+  auto pool = MakePool(4);
+  { ASSERT_TRUE(pool->PinRead(2).ok()); }
+  { ASSERT_TRUE(pool->PinRead(3).ok()); }
+  const std::vector<Record> dup = {{10, 10}, {30, 30}};
+  {
+    StatusOr<PageGuard> g = pool->PinForRewrite(3, dup.data(), dup.data() + 2);
+    ASSERT_TRUE(g.ok());
+    for (const Record& r : dup) ASSERT_TRUE(g->mutable_page()->Insert(r).ok());
+  }
+  {
+    StatusOr<PageGuard> g = pool->PinForRewrite(2, nullptr, nullptr);
+    ASSERT_TRUE(g.ok());
+  }
+  const IoStats before = file_.stats();
+  const std::vector<Record> drop = {{30, 30}};
+  {
+    StatusOr<PageGuard> g =
+        pool->PinForRewrite(3, drop.data(), drop.data() + 1);
+    ASSERT_TRUE(g.ok());
+    ASSERT_TRUE(g->mutable_page()->Insert(drop[0]).ok());
+  }
+  EXPECT_EQ(pool->stats().relocations, 0);
+  EXPECT_EQ(pool->stats().ordered_flushes, 1);
+  EXPECT_EQ((file_.stats() - before).page_writes, 1);
+  ASSERT_TRUE(pool->FlushAll().ok());
+  EXPECT_EQ(file_.Peek(3).size(), 1);
+  EXPECT_TRUE(file_.Peek(2).empty());
+}
+
+TEST_F(BufferPoolTest, VolatileKeyLiftsRelocationConstraint) {
+  // Same chain as above, but key 10 is declared volatile (never
+  // durability-promised): its removal imposes no ordering, so the
+  // rewrite relocates for free.
+  SeedPage(2, 10);
+  SeedPage(3, 30);
+  auto pool = MakePool(4);
+  { ASSERT_TRUE(pool->PinRead(2).ok()); }
+  { ASSERT_TRUE(pool->PinRead(3).ok()); }
+  const std::vector<Record> dup = {{10, 10}, {30, 30}};
+  {
+    StatusOr<PageGuard> g = pool->PinForRewrite(3, dup.data(), dup.data() + 2);
+    ASSERT_TRUE(g.ok());
+    for (const Record& r : dup) ASSERT_TRUE(g->mutable_page()->Insert(r).ok());
+  }
+  {
+    StatusOr<PageGuard> g = pool->PinForRewrite(2, nullptr, nullptr);
+    ASSERT_TRUE(g.ok());
+  }
+  pool->NoteVolatile(10);
+  const IoStats before = file_.stats();
+  const std::vector<Record> drop = {{30, 30}};
+  {
+    StatusOr<PageGuard> g =
+        pool->PinForRewrite(3, drop.data(), drop.data() + 1);
+    ASSERT_TRUE(g.ok());
+    ASSERT_TRUE(g->mutable_page()->Insert(drop[0]).ok());
+  }
+  EXPECT_EQ(pool->stats().relocations, 1);
+  EXPECT_EQ(pool->stats().ordered_flushes, 0);
+  EXPECT_EQ((file_.stats() - before).page_writes, 0);
+  ASSERT_TRUE(pool->FlushAll().ok());
+  EXPECT_EQ(file_.Peek(3).size(), 1);
+  EXPECT_TRUE(file_.Peek(2).empty());
+}
+
+TEST_F(BufferPoolTest, FlushAllSweepsOrderFreeFramesByAddress) {
+  // Three adjacent pages dirtied out of address order, all pure
+  // additions: the safe-order scheduler sorts them into one sequential
+  // run instead of two L-order runs.
+  SeedPage(5, 50);
+  SeedPage(6, 60);
+  SeedPage(7, 70);
+  auto pool = MakePool(4);
+  for (const Address a : {Address{7}, Address{5}, Address{6}}) {
+    { ASSERT_TRUE(pool->PinRead(a).ok()); }
+    // Values match the seeded records: a changed value would count as a
+    // removal and pin the frame to L order.
+    const std::vector<Record> v = {
+        {static_cast<Key>(10 * a), static_cast<Key>(10 * a)},
+        {static_cast<Key>(10 * a + 1), static_cast<Key>(10 * a + 1)}};
+    StatusOr<PageGuard> g = pool->PinForRewrite(a, v.data(), v.data() + 2);
+    ASSERT_TRUE(g.ok());
+    for (const Record& r : v) ASSERT_TRUE(g->mutable_page()->Insert(r).ok());
+  }
+  ASSERT_TRUE(pool->FlushAll().ok());
+  EXPECT_EQ(pool->stats().flush_runs, 1);
+  EXPECT_EQ(file_.Peek(5).size(), 2);
+  EXPECT_EQ(file_.Peek(6).size(), 2);
+  EXPECT_EQ(file_.Peek(7).size(), 2);
+}
+
 TEST_F(BufferPoolTest, DropAllLosesDirtyDataByDesign) {
   SeedPage(1, 1);
   auto pool = MakePool(4);

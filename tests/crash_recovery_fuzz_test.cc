@@ -14,7 +14,10 @@
 // torn half-state, never a lost unrelated record.
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <optional>
+#include <set>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -209,6 +212,222 @@ INSTANTIATE_TEST_SUITE_P(
       const int64_t frames = std::get<1>(param_info.param);
       return name + (frames == 0 ? "Direct"
                                  : "Pool" + std::to_string(frames));
+    });
+
+// ---------------------------------------------------------------------
+// Staged-ingest crash sweep.
+//
+// With a memtable in front of the file, per-command durability is gone by
+// design: staged entries are RAM, and drained-but-unflushed entries sit in
+// a deferred buffer pool whose write-back order the volatile-key exemption
+// deliberately relaxes. A crash therefore loses an arbitrary *suffix of
+// effects* since the last durability point, not just the in-flight
+// command. The single-op AlignModelAfterCrash is unsound here.
+//
+// The widened ambiguity protocol: track every key mutated since the last
+// durability point together with every state (absent / present-with-value)
+// it legitimately passed through in that window. After crash + repair,
+// each tracked key must be in SOME state from its own history — anything
+// else is a torn write — and the model adopts the file's verdict. Keys
+// outside the window must be byte-identical, which the final ScanAll
+// equality enforces. Periodic Flush() calls create durability points
+// mid-trace (and are themselves crash targets), so the window stays small
+// and the sweep exercises the flush path too.
+
+// One key's permitted post-crash states: absent is modeled as nullopt.
+using KeyStates = std::set<std::optional<Value>>;
+
+std::optional<Value> ModelState(const ReferenceModel& model, Key key) {
+  if (!model.Contains(key)) return std::nullopt;
+  return model.Get(key)->value;
+}
+
+// Seeds the key's window entry with its pre-op state (first touch in this
+// window only), to be followed by RecordState after the op lands.
+void TouchKey(std::map<Key, KeyStates>& window, const ReferenceModel& model,
+              Key key) {
+  auto [it, inserted] = window.try_emplace(key);
+  if (inserted) it->second.insert(ModelState(model, key));
+}
+
+void RunStagedCrashPoint(DenseFile::Policy policy_kind, int64_t cache_frames,
+                         int64_t staging_entries, int64_t flush_every,
+                         const std::vector<Record>& initial,
+                         const Trace& trace, int64_t k, bool* fault_fired) {
+  DenseFile::Options options = FileOptions(policy_kind, cache_frames);
+  options.staging_entries = staging_entries;
+  StatusOr<std::unique_ptr<DenseFile>> created = DenseFile::Create(options);
+  ASSERT_TRUE(created.ok()) << created.status();
+  DenseFile& file = **created;
+  ASSERT_TRUE(file.BulkLoad(initial).ok());
+  ReferenceModel model(file.capacity());
+  ASSERT_TRUE(model.Load(initial).ok());
+
+  auto policy = std::make_shared<FaultPolicy>();
+  policy->CrashAfterAccesses(k);
+  file.set_fault_policy(policy);
+
+  std::map<Key, KeyStates> window;
+
+  // Crash landed (inside op i, or inside a periodic Flush when i names the
+  // op just before it): discard all volatile state, repair, then resolve
+  // the whole window against the repaired file.
+  const auto recover = [&](size_t i) {
+    *fault_fired = true;
+    file.DiscardStaging();  // the memtable is RAM and dies first
+    file.DiscardCache();
+    policy->ClearCrash();  // restart
+    StatusOr<RepairReport> report = file.CheckAndRepair();
+    ASSERT_TRUE(report.ok())
+        << "k=" << k << " op=" << i << ": " << report.status();
+    ASSERT_TRUE(file.ValidateInvariants().ok()) << "k=" << k << " op=" << i;
+    for (const auto& [key, states] : window) {
+      std::optional<Value> got;
+      if (file.Contains(key)) got = *file.Get(key);
+      ASSERT_TRUE(states.count(got) > 0)
+          << "k=" << k << " op=" << i << " key=" << key
+          << ": recovered state is outside the key's mutation history "
+          << "(torn write)";
+      // Adopt the file's verdict.
+      if (model.Contains(key)) {
+        ASSERT_TRUE(model.Delete(key).ok());
+      }
+      if (got.has_value()) {
+        ASSERT_TRUE(model.Insert(Record{key, *got}).ok());
+      }
+    }
+    ASSERT_EQ(*file.ScanAll(), model.ScanAll())
+        << "k=" << k << " diverged at op " << i << " after repair";
+    // Post-repair the device alone holds the state: a durability point.
+    window.clear();
+  };
+
+  bool crashed = false;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const Op& op = trace[i];
+    // Seed the pre-op state and the op's intended outcome BEFORE touching
+    // the file: if the command crashes mid-drain, its effect (and any
+    // older staged effect) may or may not have reached the device. An op
+    // the model would reject (duplicate insert, missing delete) changes
+    // nothing and must not widen the permitted set — file and model are
+    // in lockstep up to here, so the model predicts the rejection.
+    if (op.kind == Op::Kind::kInsert) {
+      TouchKey(window, model, op.record.key);
+      if (!model.Contains(op.record.key)) {
+        window[op.record.key].insert(op.record.value);
+      }
+    } else if (op.kind == Op::Kind::kDelete) {
+      TouchKey(window, model, op.record.key);
+      if (model.Contains(op.record.key)) {
+        window[op.record.key].insert(std::nullopt);
+      }
+    }
+    const Status file_status = ApplyToFile(file, op);
+    if (!crashed && file_status.IsIoError()) {
+      crashed = true;
+      recover(i);
+      if (::testing::Test::HasFatalFailure()) return;
+      continue;
+    }
+    ASSERT_FALSE(file_status.IsIoError()) << "k=" << k << " op=" << i;
+    const Status model_status = ApplyToModel(model, op);
+    ASSERT_EQ(file_status.code(), model_status.code())
+        << "k=" << k << " op=" << i << " file=" << file_status
+        << " model=" << model_status;
+    if ((i + 1) % static_cast<size_t>(flush_every) == 0) {
+      const Status flushed = file.Flush();
+      if (!crashed && flushed.IsIoError()) {
+        crashed = true;
+        recover(i);
+        if (::testing::Test::HasFatalFailure()) return;
+        continue;
+      }
+      ASSERT_TRUE(flushed.ok()) << "k=" << k << " flush after op " << i;
+      window.clear();  // durability point
+    }
+  }
+  policy->ClearCrash();
+  // The merged view (device + whatever is still staged) must match the
+  // model exactly — the sweep's clean-completion check.
+  ASSERT_TRUE(file.ValidateInvariants().ok()) << "k=" << k;
+  ASSERT_EQ(*file.ScanAll(), model.ScanAll()) << "k=" << k;
+}
+
+// Clean-run access budget for the staged sweep (same trace, same periodic
+// flush schedule, no faults).
+int64_t StagedCleanRunAccesses(DenseFile::Policy policy, int64_t cache_frames,
+                               int64_t staging_entries, int64_t flush_every,
+                               const std::vector<Record>& initial,
+                               const Trace& trace) {
+  DenseFile::Options options = FileOptions(policy, cache_frames);
+  options.staging_entries = staging_entries;
+  std::unique_ptr<DenseFile> file = *DenseFile::Create(options);
+  EXPECT_TRUE(file->BulkLoad(initial).ok());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    IgnoreStatus(ApplyToFile(*file, trace[i]));
+    if ((i + 1) % static_cast<size_t>(flush_every) == 0) {
+      EXPECT_TRUE(file->Flush().ok());
+    }
+  }
+  EXPECT_TRUE(file->Flush().ok());
+  return file->io_stats().TotalAccesses();
+}
+
+// Sweep parameter: (policy, pool frames, staging entries). The staged
+// configurations crash through drain steps, deferred flush windows, and
+// the volatile-key reordered write-back — every place the ingest layer
+// bends the seed's per-command durability.
+class StagedCrashRecoverySweep
+    : public ::testing::TestWithParam<
+          std::tuple<DenseFile::Policy, int64_t, int64_t>> {};
+
+TEST_P(StagedCrashRecoverySweep, EveryCrashPointRecovers) {
+  const DenseFile::Policy policy = std::get<0>(GetParam());
+  const int64_t cache_frames = std::get<1>(GetParam());
+  const int64_t staging_entries = std::get<2>(GetParam());
+  const int64_t flush_every = 25;
+  // Same shape as the unstaged sweep: an ascending burst that piles into
+  // one block (the staging layer's best case — and its riskiest drain,
+  // since every drained insert lands in the same rewrite neighborhood),
+  // then a uniform mix with deletes.
+  Rng rng(20260807);
+  const std::vector<Record> initial = MakeAscendingRecords(80, 30, 30);
+  Trace trace = AscendingInserts(24, 601, 1);
+  const Trace tail = UniformMix(60, 0.35, 0.55, 2700, rng);
+  trace.insert(trace.end(), tail.begin(), tail.end());
+  const int64_t total = StagedCleanRunAccesses(
+      policy, cache_frames, staging_entries, flush_every, initial, trace);
+  ASSERT_GT(total, 0);
+
+  bool fault_fired = false;
+  for (int64_t k = 0; k <= total; ++k) {
+    RunStagedCrashPoint(policy, cache_frames, staging_entries, flush_every,
+                        initial, trace, k, &fault_fired);
+    if (HasFatalFailure()) return;
+  }
+  EXPECT_TRUE(fault_fired);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Staging, StagedCrashRecoverySweep,
+    ::testing::Values(
+        // Staging without a pool: drains write straight to the device.
+        std::make_tuple(DenseFile::Policy::kControl2, int64_t{0}, int64_t{6}),
+        // Staging + pool: the full deferral + volatile-key write-back path.
+        std::make_tuple(DenseFile::Policy::kControl2, int64_t{4}, int64_t{6}),
+        std::make_tuple(DenseFile::Policy::kLocalShift, int64_t{4},
+                        int64_t{6})),
+    [](const auto& param_info) {
+      std::string name;
+      switch (std::get<0>(param_info.param)) {
+        case DenseFile::Policy::kControl2: name = "Control2"; break;
+        case DenseFile::Policy::kControl1: name = "Control1"; break;
+        case DenseFile::Policy::kLocalShift: name = "LocalShift"; break;
+      }
+      name += std::get<1>(param_info.param) == 0
+                  ? "Direct"
+                  : "Pool" + std::to_string(std::get<1>(param_info.param));
+      return name + "Staged" + std::to_string(std::get<2>(param_info.param));
     });
 
 // A transient read fault (not a crash) must abort the command cleanly:

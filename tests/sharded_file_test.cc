@@ -246,14 +246,19 @@ TEST(ParallelReplayerTest, RangeMixesPartitionTheKeySpace) {
 // The storm: T threads of mixed traffic against S shards, then a full
 // differential and invariant audit. The third parameter is per-shard
 // buffer-pool frames (0 = direct to device); with pools the storm also
-// exercises concurrent pin/flush cycles, one pool per shard mutex.
+// exercises concurrent pin/flush cycles, one pool per shard mutex. The
+// fourth is per-shard staging entries (0 = staging off); staged storms
+// drive concurrent memtable puts, piggybacked drain steps, and the
+// merged read view under contention, and must FlushStaging before the
+// differential compare so the device+staging union is fully drained.
 class ShardedStormTest
-    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
 
 TEST_P(ShardedStormTest, ConcurrentMixedTrafficMatchesReference) {
   const int num_shards = std::get<0>(GetParam());
   const int num_threads = std::get<1>(GetParam());
   const int cache_frames = std::get<2>(GetParam());
+  const int staging_entries = std::get<3>(GetParam());
   const Key key_space = 4000;
 
   // Total capacity held constant across configurations: 512 pages split
@@ -265,6 +270,7 @@ TEST_P(ShardedStormTest, ConcurrentMixedTrafficMatchesReference) {
   options.shard.d = 8;
   options.shard.D = 8 + 4 * 9 + 1;
   options.shard.cache_frames = cache_frames;
+  options.shard.staging_entries = staging_entries;
   // Aggregate capacity comfortably above the number of distinct keys, so
   // no interleaving can hit CapacityExceeded and per-key outcomes stay
   // deterministic.
@@ -331,6 +337,23 @@ TEST_P(ShardedStormTest, ConcurrentMixedTrafficMatchesReference) {
   EXPECT_EQ(total.page_writes, summed.page_writes);
   EXPECT_EQ(file->command_stats().commands, summed_commands);
 
+  if (staging_entries > 0) {
+    // The replayer's end-of-run FlushStaging drained every shard: the
+    // staged storm saw real memtable traffic, nothing lingers staged,
+    // and the per-shard counters sum to the aggregate.
+    const StagingStats staged = file->staging_stats();
+    EXPECT_GT(staged.puts, 0);
+    EXPECT_GT(staged.drained_entries, 0);
+    EXPECT_EQ(staged.entries, 0);
+    StagingStats summed_staging;
+    for (int i = 0; i < file->num_shards(); ++i) {
+      summed_staging += file->shard_staging_stats(i);
+    }
+    EXPECT_EQ(staged.puts, summed_staging.puts);
+    EXPECT_EQ(staged.drain_steps, summed_staging.drain_steps);
+    EXPECT_EQ(staged.drained_entries, summed_staging.drained_entries);
+  }
+
   if (cache_frames > 0) {
     // The pools saw traffic, and after the final per-command flushes no
     // dirty page may linger: the device alone must hold the full state.
@@ -344,15 +367,23 @@ TEST_P(ShardedStormTest, ConcurrentMixedTrafficMatchesReference) {
 
 INSTANTIATE_TEST_SUITE_P(
     Storms, ShardedStormTest,
-    ::testing::Values(std::make_tuple(1, 4, 0), std::make_tuple(4, 1, 0),
-                      std::make_tuple(4, 4, 0), std::make_tuple(8, 4, 0),
-                      std::make_tuple(8, 8, 0), std::make_tuple(4, 4, 8),
-                      std::make_tuple(8, 8, 8)),
-    [](const ::testing::TestParamInfo<std::tuple<int, int, int>>& param) {
-      const std::string base = "S" + std::to_string(std::get<0>(param.param)) +
-                               "T" + std::to_string(std::get<1>(param.param));
+    ::testing::Values(std::make_tuple(1, 4, 0, 0), std::make_tuple(4, 1, 0, 0),
+                      std::make_tuple(4, 4, 0, 0), std::make_tuple(8, 4, 0, 0),
+                      std::make_tuple(8, 8, 0, 0), std::make_tuple(4, 4, 8, 0),
+                      std::make_tuple(8, 8, 8, 0),
+                      // Staged storms: memtable + drain under contention,
+                      // without and with a per-shard pool (the latter runs
+                      // the deferred-flush + volatile-key path too).
+                      std::make_tuple(4, 4, 0, 16),
+                      std::make_tuple(8, 8, 8, 16)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int, int, int>>& param) {
+      std::string base = "S" + std::to_string(std::get<0>(param.param)) + "T" +
+                         std::to_string(std::get<1>(param.param));
       const int frames = std::get<2>(param.param);
-      return frames == 0 ? base : base + "Pool" + std::to_string(frames);
+      const int staged = std::get<3>(param.param);
+      if (frames > 0) base += "Pool" + std::to_string(frames);
+      if (staged > 0) base += "Staged" + std::to_string(staged);
+      return base;
     });
 
 }  // namespace
