@@ -16,12 +16,18 @@
 #   BENCH_ingest.json ingest_sweep (E18: staged vs unstaged write bursts,
 #                     physical writes / seeks / drain-step certification,
 #                     single-file and sharded replay)
+#   BENCH_rwlock.json shard_scaling --mode=rwlock (E19: 90/10 read-mostly
+#                     mix, shared read path vs exclusive_reads baseline,
+#                     per-config read-throughput speedup)
 #
 # With --sanitize, instead runs the sanitizer matrix: an
 # address,undefined build driving the fault-injection / crash-recovery /
 # corruption / buffer-pool tests (the error paths ordinary runs rarely
-# execute), then a thread build driving the sharded concurrency test
-# (including the pooled storm: one buffer pool per shard mutex).
+# execute), then a thread build driving the concurrency tests: the
+# sharded storms (exclusive and read-mostly shared-lock variants, with
+# the pooled storm running one buffer pool per shard mutex), the
+# concurrent shared-reader pin test in buffer_pool_test, and the obs
+# registry tests.
 #
 # With --analyze, instead runs the static-analysis gate: the project-rule
 # linter, the Clang -Wthread-safety -Werror build, and clang-tidy (layers
@@ -43,7 +49,7 @@ if [[ "${1:-}" == "--sanitize" ]]; then
   cmake -B build-tsan -G Ninja -DDSF_SANITIZE=thread
   cmake --build build-tsan
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'sharded_file_test|obs_test'
+    -R 'sharded_file_test|obs_test|buffer_pool_test'
   echo "Sanitizer matrix clean"
   exit 0
 fi
@@ -59,8 +65,10 @@ if [[ "${1:-}" == "--bench" ]]; then
   ./build-bench/bench/cache_sweep --out=BENCH_cache.json
   ./build-bench/bench/obs_certify --out=BENCH_obs.json
   ./build-bench/bench/ingest_sweep --out=BENCH_ingest.json
+  ./build-bench/bench/shard_scaling --mode=rwlock --ops=8000 \
+    --out=BENCH_rwlock.json
   echo "Wrote BENCH_core.json, BENCH_shard.json, BENCH_cache.json," \
-    "BENCH_obs.json and BENCH_ingest.json"
+    "BENCH_obs.json, BENCH_ingest.json and BENCH_rwlock.json"
   exit 0
 fi
 

@@ -14,11 +14,14 @@
 #                               aborting on an injected IoError turns a
 #                               recoverable fault into a crash. Same
 #                               `lint:allow(check-on-fault-path)` escape.
-#        no-naked-mutex         src/ uses dsf::Mutex / dsf::MutexLock
+#        no-naked-mutex         src/ uses dsf::Mutex / dsf::SharedMutex
+#                               and their scoped lockers
 #                               (util/thread_annotations.h) so Clang's
 #                               -Wthread-safety sees every lock; raw
-#                               std::mutex / std::lock_guard are invisible
-#                               to the analysis and therefore banned.
+#                               std::mutex / std::shared_mutex /
+#                               std::lock_guard / std::shared_lock are
+#                               invisible to the analysis and therefore
+#                               banned.
 #        unregistered-metric-name
 #                               MetricsRegistry::FindOrCreate* outside
 #                               src/obs/ must name metrics through the
@@ -80,7 +83,8 @@ lint raw-page-io '\.RawPage\(' \
     src/ingest
 lint check-on-fault-path 'DSF_D?CHECK\([^)]*\.ok\(\)' \
     src/core src/storage src/shard src/varsize src/ingest
-lint no-naked-mutex 'std::(mutex|lock_guard|scoped_lock|unique_lock)' \
+lint no-naked-mutex \
+    'std::(mutex|shared_mutex|shared_timed_mutex|lock_guard|scoped_lock|unique_lock|shared_lock)' \
     src/core src/shard src/storage src/workload src/analysis src/baseline \
     src/varsize src/repro src/ingest
 lint unregistered-metric-name 'FindOrCreate(Counter|Gauge|Histogram)\( *"' \

@@ -55,7 +55,7 @@ class BTree {
   int64_t size() const { return size_; }
   int64_t height() const;       // 1 for a lone leaf
   int64_t num_nodes() const;    // live nodes
-  const IoStats& stats() const { return tracker_.stats(); }
+  IoStats stats() const { return tracker_.stats(); }
   void ResetStats() { tracker_.Reset(); }
 
   // Structural checks: key order, separator correctness, occupancy

@@ -45,7 +45,7 @@ class NaiveSequentialFile {
   StatusOr<std::vector<Record>> ScanAll();
 
   int64_t size() const { return size_; }
-  const IoStats& stats() const { return file_.stats(); }
+  IoStats stats() const { return file_.stats(); }
   void ResetStats() { file_.ResetStats(); }
 
   // Packing, order, and fence consistency.

@@ -56,7 +56,7 @@ class OverflowFile {
   std::vector<Record> ScanAll();
 
   int64_t size() const { return size_; }
-  const IoStats& stats() const { return tracker_.stats(); }
+  IoStats stats() const { return tracker_.stats(); }
   void ResetStats() { tracker_.Reset(); }
   ChainStats chain_stats() const;
 

@@ -21,8 +21,10 @@
 #ifndef DSF_CORE_CURSOR_H_
 #define DSF_CORE_CURSOR_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "ingest/memtable.h"
@@ -36,6 +38,46 @@ class DenseFile;
 
 class Cursor {
  public:
+  // Move-only: the cursor registers itself with its owning DenseFile so
+  // piggyback drains are suspended while it lives (see
+  // DenseFile::NewCursor); the registration travels with moves and is
+  // dropped exactly once at destruction.
+  Cursor(Cursor&& other) noexcept
+      : control_(other.control_),
+        block_(other.block_),
+        buffer_(std::move(other.buffer_)),
+        index_(other.index_),
+        status_(std::move(other.status_)),
+        merged_(other.merged_),
+        overlay_(std::move(other.overlay_)),
+        overlay_index_(other.overlay_index_),
+        current_(other.current_),
+        current_valid_(other.current_valid_),
+        live_counter_(other.live_counter_) {
+    other.live_counter_ = nullptr;
+  }
+  Cursor& operator=(Cursor&& other) noexcept {
+    if (this != &other) {
+      Unregister();
+      control_ = other.control_;
+      block_ = other.block_;
+      buffer_ = std::move(other.buffer_);
+      index_ = other.index_;
+      status_ = std::move(other.status_);
+      merged_ = other.merged_;
+      overlay_ = std::move(other.overlay_);
+      overlay_index_ = other.overlay_index_;
+      current_ = other.current_;
+      current_valid_ = other.current_valid_;
+      live_counter_ = other.live_counter_;
+      other.live_counter_ = nullptr;
+    }
+    return *this;
+  }
+  Cursor(const Cursor&) = delete;
+  Cursor& operator=(const Cursor&) = delete;
+  ~Cursor() { Unregister(); }
+
   // True while the cursor points at a record. A cursor that hit a read
   // fault becomes invalid with a non-OK status(); callers distinguish
   // exhaustion from failure by checking status() once Valid() is false.
@@ -73,6 +115,15 @@ class Cursor {
   // found (copied into current_) or both sides are exhausted.
   void Settle();
 
+  // DenseFile::NewCursor points the cursor at the file's live-cursor
+  // count (already incremented by the caller); destruction decrements.
+  void Unregister() {
+    if (live_counter_ != nullptr) {
+      live_counter_->fetch_sub(1, std::memory_order_acq_rel);
+      live_counter_ = nullptr;
+    }
+  }
+
   ControlBase* control_;
   Address block_ = 0;  // block currently buffered
   std::vector<Record> buffer_;
@@ -85,6 +136,7 @@ class Cursor {
   size_t overlay_index_ = 0;
   Record current_{0, 0};
   bool current_valid_ = false;
+  std::atomic<int64_t>* live_counter_ = nullptr;
 };
 
 }  // namespace dsf

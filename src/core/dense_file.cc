@@ -145,7 +145,7 @@ StatusOr<std::unique_ptr<DenseFile>> DenseFile::Create(
   return file;
 }
 
-StatusOr<Value> DenseFile::Get(Key key) {
+StatusOr<Value> DenseFile::Get(Key key) const {
   if (staging_ != nullptr) {
     const StagedEntry* entry = staging_->Find(key);
     if (entry != nullptr) {
@@ -161,7 +161,7 @@ StatusOr<Value> DenseFile::Get(Key key) {
   return r->value;
 }
 
-bool DenseFile::Contains(Key key) {
+bool DenseFile::Contains(Key key) const {
   if (staging_ != nullptr) {
     const StagedEntry* entry = staging_->Find(key);
     if (entry != nullptr) {
@@ -172,7 +172,7 @@ bool DenseFile::Contains(Key key) {
   return control_->Contains(key);
 }
 
-Status DenseFile::Scan(Key lo, Key hi, std::vector<Record>* out) {
+Status DenseFile::Scan(Key lo, Key hi, std::vector<Record>* out) const {
   if (staging_ == nullptr || staging_->empty()) {
     return control_->Scan(lo, hi, out);
   }
@@ -205,21 +205,44 @@ Status DenseFile::Scan(Key lo, Key hi, std::vector<Record>* out) {
   return Status::OK();
 }
 
-StatusOr<std::vector<Record>> DenseFile::ScanAll() {
+StatusOr<std::vector<Record>> DenseFile::ScanAll() const {
   if (staging_ == nullptr || staging_->empty()) return control_->ScanAll();
   std::vector<Record> out;
   DSF_RETURN_IF_ERROR(Scan(0, std::numeric_limits<Key>::max(), &out));
   return out;
 }
 
-Cursor DenseFile::NewCursor(Key start) {
-  if (staging_ == nullptr || staging_->empty()) {
-    return control_->NewCursor(start);
-  }
-  const std::vector<StagedEntry>& entries = staging_->entries();
-  std::vector<StagedEntry> overlay(
-      entries.begin() + staging_->LowerBound(start), entries.end());
-  return Cursor(control_.get(), start, std::move(overlay));
+Cursor DenseFile::NewCursor(Key start) const {
+  Cursor cursor = [&]() -> Cursor {
+    if (staging_ == nullptr || staging_->empty()) {
+      return control_->NewCursor(start);
+    }
+    const std::vector<StagedEntry>& entries = staging_->entries();
+    std::vector<StagedEntry> overlay(
+        entries.begin() + staging_->LowerBound(start), entries.end());
+    return Cursor(control_.get(), start, std::move(overlay));
+  }();
+  // Register the cursor so piggyback drains suspend until it dies — a
+  // drain's SHIFTs can push records forward across the cursor's block
+  // frontier, double-visiting them (see the NewCursor contract in
+  // dense_file.h and the regression in tests/cursor_range_test.cc).
+  live_cursors_.fetch_add(1, std::memory_order_acq_rel);
+  cursor.live_counter_ = &live_cursors_;
+  return cursor;
+}
+
+bool DenseFile::TryEpochGet(Key key, Value* value) const {
+  BufferPool* pool = control_->pool();
+  if (pool == nullptr) return false;
+  // A staged tombstone/update must shadow the durable twin; that merge
+  // needs the locked view, so any observable staging occupancy forces
+  // the fallback (zero concurrent with a writer's very first stage is
+  // fine — the lookup linearizes before that incomplete command).
+  if (staging_size_relaxed() != 0) return false;
+  Record r{0, 0};
+  if (!pool->TryEpochGet(key, &r)) return false;
+  *value = r.value;
+  return true;
 }
 
 AuditReport DenseFile::Audit() const {
@@ -339,6 +362,13 @@ Status DenseFile::MaybeDrain() {
   if (staging_ == nullptr || staging_->size() < drain_trigger_) {
     return Status::OK();
   }
+  // Piggyback drains suspend while a cursor is live: draining moves
+  // staged entries into the file mid-iteration, and the SHIFTs that
+  // placement triggers can push records forward across the cursor's
+  // block frontier — the cursor would visit them twice. The buffer
+  // simply runs hotter until the cursor dies (EnsureStagingRoom's
+  // force drain, on a completely full buffer, still fires).
+  if (live_cursors() > 0) return Status::OK();
   return DrainStepInternal();
 }
 
@@ -489,7 +519,9 @@ void DenseFile::ReconcileStagingWithFile() {
 
 StagingStats DenseFile::staging_stats() const {
   StagingStats stats = staging_stats_;
+  stats.hits = staging_hits_.load(std::memory_order_relaxed);
   stats.entries = staging_size();
+  if (staging_ != nullptr) stats.capacity = staging_->capacity();
   return stats;
 }
 
@@ -499,14 +531,19 @@ void DenseFile::BumpPut() {
   SyncStagingGauge();
 }
 
-void DenseFile::BumpHit(int64_t n) {
+void DenseFile::BumpHit(int64_t n) const {
   if (n <= 0) return;
-  staging_stats_.hits += n;
+  // Relaxed atomic: concurrent shared-lock readers hit the staging
+  // buffer simultaneously; each increment stays exact.
+  staging_hits_.fetch_add(n, std::memory_order_relaxed);
   if (m_staging_hits_ != nullptr) m_staging_hits_->Increment(n);
 }
 
 void DenseFile::SyncStagingGauge() {
   staging_stats_.entries = staging_ == nullptr ? 0 : staging_->size();
+  // Release-publish the occupancy for lock-free epoch-read gating
+  // (staging_size_relaxed); every staging mutation path ends here.
+  staging_gauge_.store(staging_stats_.entries, std::memory_order_release);
   if (m_staging_entries_ != nullptr) {
     m_staging_entries_->Set(staging_stats_.entries);
   }

@@ -25,6 +25,7 @@
 #ifndef DSF_CORE_DENSE_FILE_H_
 #define DSF_CORE_DENSE_FILE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -126,17 +127,39 @@ class DenseFile {
   Status Delete(Key key);
 
   // --- Queries (staging-aware: the merged view when staging is on) ---
-  StatusOr<Value> Get(Key key);
-  bool Contains(Key key);
+  // The read surface is const: logically read-only, mutating only the
+  // atomic access counters and the mutex-protected buffer pool, so any
+  // number of threads may read concurrently as long as no writer runs
+  // (enforced by the owner's reader-writer lock — see
+  // shard/sharded_dense_file.h and docs/CONCURRENCY.md).
+  StatusOr<Value> Get(Key key) const;
+  bool Contains(Key key) const;
   // Stream retrieval: all records with lo <= key <= hi, in key order,
   // touching consecutive page addresses. With staging, a two-way merge of
   // the staged entries and the file with tombstone suppression.
-  Status Scan(Key lo, Key hi, std::vector<Record>* out);
-  StatusOr<std::vector<Record>> ScanAll();
+  Status Scan(Key lo, Key hi, std::vector<Record>* out) const;
+  StatusOr<std::vector<Record>> ScanAll() const;
   // Streaming retrieval: records with key >= start, one block buffered at
   // a time (see core/cursor.h for the iterator contract, including the
-  // staged-overlay merge).
-  Cursor NewCursor(Key start = 0);
+  // staged-overlay merge). While any cursor from this file is alive, the
+  // piggyback drain scheduler is suspended (MaybeDrain no-ops and
+  // staging_wants_drain() reports false): a drain moves staged entries
+  // into the file mid-iteration, and the SHIFTs it triggers can push
+  // records forward across the cursor's block frontier — visiting them
+  // twice. Explicit DrainStep()/FlushStaging() calls and the force-drain
+  // of a completely full staging buffer are not suspended; callers that
+  // invoke those with live cursors accept the consequences.
+  Cursor NewCursor(Key start = 0) const;
+
+  // Lock-free point-lookup attempt for the epoch read path
+  // (docs/CONCURRENCY.md): answers POSITIVE hits only, served from the
+  // buffer pool's stable resident frames, and only while the staging
+  // buffer is observably empty (a staged tombstone or update must win
+  // over the durable twin, which requires the locked merged view).
+  // Callable without any external lock, concurrently with a writer.
+  // Returns true and fills *value on a hit; false means "unanswerable
+  // here — take the locked path", never "absent".
+  bool TryEpochGet(Key key, Value* value) const;
 
   // --- Range / bulk operations ---
   // Removes all records in [lo, hi]; returns how many records were
@@ -183,7 +206,22 @@ class DenseFile {
   // piggyback budget here (draining below the trigger would defeat the
   // batching that makes staging pay).
   bool staging_wants_drain() const {
-    return staging_ != nullptr && staging_->size() >= drain_trigger_;
+    return staging_ != nullptr && live_cursors() == 0 &&
+           staging_->size() >= drain_trigger_;
+  }
+  // Cursors currently alive from NewCursor (piggyback drains are
+  // suspended while nonzero — see NewCursor).
+  int64_t live_cursors() const {
+    return live_cursors_.load(std::memory_order_acquire);
+  }
+  // Lock-free staging occupancy gauge for the epoch read path: the
+  // occupancy as of the last completed staging mutation. May lag the
+  // true size mid-command, but only in ways an epoch read may ignore:
+  // a nonzero stale value merely forces a fallback, and a zero read
+  // concurrent with a writer staging its first entry linearizes the
+  // lookup before that still-incomplete command (docs/CONCURRENCY.md).
+  int64_t staging_size_relaxed() const {
+    return staging_gauge_.load(std::memory_order_acquire);
   }
   // One bounded drain step: moves at most drain_batch() staged entries
   // into the file through ordinary commands sharing one deferred pool
@@ -211,7 +249,9 @@ class DenseFile {
   int64_t capacity() const { return control_->MaxRecords(); }  // d*M
   int64_t num_pages() const { return control_->file().num_pages(); }
   int64_t block_size() const { return control_->block_size(); }
-  const IoStats& io_stats() const { return control_->file().stats(); }
+  // By value: the underlying tracker counters are atomics (readable
+  // concurrently with writers); there is no stable IoStats to reference.
+  IoStats io_stats() const { return control_->file().stats(); }
   void ResetIoStats() { control_->file().ResetStats(); }
   // Whether a buffer pool is interposed (cache_frames > 0).
   bool cache_enabled() const { return control_->pool() != nullptr; }
@@ -317,7 +357,9 @@ class DenseFile {
   // kind invariants hold again. Unaccounted (PeekContains).
   void ReconcileStagingWithFile();
   void BumpPut();
-  void BumpHit(int64_t n = 1);
+  // Const: shared-lock readers bump the hit counter concurrently, so it
+  // lives in an atomic (staging_hits_) merged into staging_stats().
+  void BumpHit(int64_t n = 1) const;
   void SyncStagingGauge();
 
   Options options_;
@@ -334,6 +376,14 @@ class DenseFile {
   int64_t drain_trigger_ = 0;
   int64_t drain_access_budget_ = 0;
   mutable StagingStats staging_stats_;
+  // Staging read hits, split out of staging_stats_ because shared-lock
+  // readers increment it concurrently (staging_stats() merges it back).
+  mutable std::atomic<int64_t> staging_hits_{0};
+  // Published staging occupancy (see staging_size_relaxed).
+  std::atomic<int64_t> staging_gauge_{0};
+  // Cursors alive from NewCursor; piggyback drains suspend while > 0.
+  // Mutable: opening a cursor is a logically-const read operation.
+  mutable std::atomic<int64_t> live_cursors_{0};
 
   // Cached staging metric handles (null without a registry).
   Counter* m_staging_puts_ = nullptr;

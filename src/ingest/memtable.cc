@@ -35,6 +35,7 @@ StagingStats& StagingStats::operator+=(const StagingStats& other) {
   drain_steps += other.drain_steps;
   drained_entries += other.drained_entries;
   entries += other.entries;
+  capacity += other.capacity;
   return *this;
 }
 

@@ -66,6 +66,10 @@ struct StagingStats {
   int64_t drain_steps = 0;      // bounded drain steps executed
   int64_t drained_entries = 0;  // entries moved into the file
   int64_t entries = 0;          // currently staged (a gauge, not a sum)
+  // Staged-entry budget (a gauge). Summed across shards this is the
+  // whole file's staging capacity, which makes budget-split policies
+  // (ShardedDenseFile::Options::staging_bytes) externally checkable.
+  int64_t capacity = 0;
 
   StagingStats& operator+=(const StagingStats& other);
 };

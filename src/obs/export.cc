@@ -81,9 +81,13 @@ std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
     std::string label;
     SplitKey(h.name, &name, &label);
     // Cumulative buckets, Prometheus-style; empty buckets elided except
-    // the mandatory +Inf.
+    // the mandatory +Inf. The top bucket is the saturated catch-all
+    // (everything >= 2^(kHistogramBuckets-1) lands there), so it has no
+    // finite upper edge: a `le="<int64 max>"` line would duplicate the
+    // +Inf cumulative count while claiming a finite bound the bucket
+    // does not enforce. Fold it into +Inf instead of emitting it.
     int64_t cumulative = 0;
-    for (int i = 0; i < kHistogramBuckets; ++i) {
+    for (int i = 0; i < kHistogramBuckets - 1; ++i) {
       const int64_t count = h.buckets[static_cast<size_t>(i)];
       if (count == 0) continue;
       cumulative += count;

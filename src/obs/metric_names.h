@@ -55,6 +55,16 @@ inline constexpr char kMetricPoolFlushRunLength[] =
     "dsf_pool_flush_run_length";
 
 // --- Sharding (shard/sharded_dense_file.cc) ---
+// Read-path branch counters (docs/CONCURRENCY.md): point reads that
+// took the shard lock shared without waiting ...
+inline constexpr char kMetricReadLockShared[] = "dsf_read_lock_shared_total";
+// ... that were answered by an epoch-validated buffer-pool read while a
+// writer held the shard ...
+inline constexpr char kMetricReadLockEpochHits[] =
+    "dsf_read_lock_epoch_hits_total";
+// ... and that missed the epoch read and blocked on the shared lock.
+inline constexpr char kMetricReadLockEpochFallbacks[] =
+    "dsf_read_lock_epoch_fallbacks_total";
 // Gauge, per-shard label: records currently held by the shard.
 inline constexpr char kMetricShardRecords[] = "dsf_shard_records";
 // Gauge: 1000 * (most loaded shard / mean shard load); 1000 = balanced.

@@ -22,6 +22,8 @@ const char* SpanKindToString(SpanKind kind) {
       return "FLUSH";
     case SpanKind::kDrain:
       return "DRAIN";
+    case SpanKind::kSharedRead:
+      return "SHARED_READ";
   }
   return "UNKNOWN";
 }

@@ -43,6 +43,8 @@ enum class SpanKind {
   kRedistribution,  // a = first block, b = last block of the range
   kFlush,           // a = pages flushed, b = flush runs
   kDrain,           // a = staged entries drained, b = entries remaining
+  kSharedRead,      // a = branch (0 shared lock, 1 epoch hit, 2 epoch
+                    //     miss blocking), b = shard index
 };
 
 const char* SpanKindToString(SpanKind kind);

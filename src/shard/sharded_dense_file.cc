@@ -7,6 +7,8 @@
 #include "analysis/auditor.h"
 #include "ingest/memtable.h"
 #include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dsf {
 
@@ -17,7 +19,48 @@ constexpr Key kMaxKey = std::numeric_limits<Key>::max();
 std::string ShardLabel(int shard) {
   return "shard=\"" + std::to_string(shard) + "\"";
 }
+
+// One kSharedRead span per point read when tracing is on: `a` is the
+// branch taken (0 = shared lock, 1 = epoch pool hit, 2 = epoch miss
+// blocking on the shared lock), `b` the shard index. CommandTracer is
+// internally locked, so concurrent readers may record freely.
+void TraceReadBranch(CommandTracer* tracer, int branch, int shard) {
+  if (tracer == nullptr) return;
+  SpanEvent event;
+  event.kind = SpanKind::kSharedRead;
+  event.a = branch;
+  event.b = shard;
+  tracer->Record(event);
+}
 }  // namespace
+
+ShardedDenseFile::MultiShardLock::MultiShardLock(
+    const std::vector<std::unique_ptr<Shard>>& shards, int first, int last,
+    bool exclusive)
+    : shards_(shards), first_(first), last_(last), exclusive_(exclusive) {
+  // Ascending acquisition — the one global lock order (DrainRotate and
+  // every point operation hold a single lock, trivially consistent with
+  // any total order), hence no deadlock between overlapping range ops.
+  for (int i = first_; i <= last_; ++i) {
+    SharedMutex& mu = shards_[static_cast<size_t>(i)]->mu;
+    if (exclusive_) {
+      mu.Lock();
+    } else {
+      mu.ReaderLock();
+    }
+  }
+}
+
+ShardedDenseFile::MultiShardLock::~MultiShardLock() {
+  for (int i = last_; i >= first_; --i) {
+    SharedMutex& mu = shards_[static_cast<size_t>(i)]->mu;
+    if (exclusive_) {
+      mu.Unlock();
+    } else {
+      mu.ReaderUnlock();
+    }
+  }
+}
 
 StatusOr<std::unique_ptr<ShardedDenseFile>> ShardedDenseFile::Create(
     const Options& options) {
@@ -60,19 +103,38 @@ StatusOr<std::unique_ptr<ShardedDenseFile>> ShardedDenseFile::Create(
   if (options.staging_bytes < 0) {
     return Status::InvalidArgument("staging_bytes must be >= 0");
   }
-  if (options.staging_bytes > 0 && shard_options.staging_entries == 0 &&
-      shard_options.staging_bytes == 0) {
-    // Same even split as cache_bytes: each shard gets its own memtable
-    // sized in entries, at least 1 so a tiny budget still stages.
-    shard_options.staging_entries = std::max<int64_t>(
-        1, options.staging_bytes / s /
-               static_cast<int64_t>(sizeof(StagedEntry)));
+  const bool split_staging = options.staging_bytes > 0 &&
+                             shard_options.staging_entries == 0 &&
+                             shard_options.staging_bytes == 0;
+  int64_t staging_base = 0;
+  int64_t staging_extra = 0;
+  if (split_staging) {
+    // The budget buys floor(staging_bytes / entry) staged entries total.
+    // Divide them as evenly as possible; the remainder goes one entry
+    // each to the first shards, so no slice of the budget is silently
+    // dropped (an even split used to lose up to S-1 entries). A budget
+    // whose per-shard share cannot hold even one entry is a
+    // configuration error, not something to round up: rounding would
+    // manufacture capacity the caller never paid for.
+    const int64_t entry_bytes = static_cast<int64_t>(sizeof(StagedEntry));
+    if (options.staging_bytes / s < entry_bytes) {
+      return Status::InvalidArgument(
+          "staging_bytes too small: per-shard budget (staging_bytes / "
+          "num_shards) must hold at least one staged entry");
+    }
+    const int64_t total_entries = options.staging_bytes / entry_bytes;
+    staging_base = total_entries / s;
+    staging_extra = total_entries % s;
   }
   std::vector<std::unique_ptr<Shard>> shards;
   shards.reserve(static_cast<size_t>(s));
   int64_t resolved_block_size = 0;
   for (int i = 0; i < s; ++i) {
     DenseFile::Options per_shard = shard_options;
+    if (split_staging) {
+      per_shard.staging_entries =
+          staging_base + (i < static_cast<int>(staging_extra) ? 1 : 0);
+    }
     if (per_shard.metrics != nullptr || per_shard.tracer != nullptr ||
         per_shard.certify_bound) {
       // Every shard publishes the same catalog names; series differ only
@@ -89,11 +151,24 @@ StatusOr<std::unique_ptr<ShardedDenseFile>> ShardedDenseFile::Create(
   resolved.splitters = splitters;
   resolved.shard.block_size = resolved_block_size;
   resolved.shard.cache_frames = shard_options.cache_frames;
-  resolved.shard.staging_entries = shard_options.staging_entries;
+  // When the byte budget was split, the first staging_extra shards hold
+  // one entry more than this base (remainder distribution above).
+  resolved.shard.staging_entries =
+      split_staging ? staging_base : shard_options.staging_entries;
   std::unique_ptr<ShardedDenseFile> file(new ShardedDenseFile(
       resolved, std::move(splitters), std::move(shards)));
-  file->staging_ = shard_options.staging_entries > 0 ||
+  file->staging_ = split_staging || shard_options.staging_entries > 0 ||
                    shard_options.staging_bytes > 0;
+  if (options.shard.metrics != nullptr) {
+    MetricsRegistry& reg = *options.shard.metrics;
+    const std::string& label = options.shard.metrics_label;
+    file->m_read_shared_ =
+        reg.FindOrCreateCounter(kMetricReadLockShared, label);
+    file->m_read_epoch_hits_ =
+        reg.FindOrCreateCounter(kMetricReadLockEpochHits, label);
+    file->m_read_epoch_fallbacks_ =
+        reg.FindOrCreateCounter(kMetricReadLockEpochFallbacks, label);
+  }
   return file;
 }
 
@@ -147,7 +222,7 @@ Status ShardedDenseFile::Insert(const Record& record) {
   Status s;
   {
     Shard& shard = *shards_[static_cast<size_t>(ShardOf(record.key))];
-    MutexLock lock(shard.mu);
+    WriterMutexLock lock(shard.mu);
     s = shard.file->Insert(record);
   }
   // Owning lock released: spend this command's piggyback drain budget on
@@ -160,7 +235,7 @@ Status ShardedDenseFile::Delete(Key key) {
   Status s;
   {
     Shard& shard = *shards_[static_cast<size_t>(ShardOf(key))];
-    MutexLock lock(shard.mu);
+    WriterMutexLock lock(shard.mu);
     s = shard.file->Delete(key);
   }
   DrainRotate();
@@ -173,7 +248,7 @@ void ShardedDenseFile::DrainRotate() {
       rotate_.fetch_add(1, std::memory_order_relaxed) %
       static_cast<int64_t>(num_shards()));
   Shard& shard = *shards_[static_cast<size_t>(target)];
-  MutexLock lock(shard.mu);
+  WriterMutexLock lock(shard.mu);
   // Only drain a buffer that has reached its trigger: the rotation
   // guards against a shard whose write traffic dried up while staged
   // entries pile at the trigger — not against entries merely existing
@@ -186,33 +261,91 @@ void ShardedDenseFile::DrainRotate() {
   IgnoreStatus(shard.file->DrainStep());
 }
 
-StatusOr<Value> ShardedDenseFile::Get(Key key) {
-  Shard& shard = *shards_[static_cast<size_t>(ShardOf(key))];
-  MutexLock lock(shard.mu);
+StatusOr<Value> ShardedDenseFile::Get(Key key) const {
+  const int index = ShardOf(key);
+  const Shard& shard = *shards_[static_cast<size_t>(index)];
+  if (options_.exclusive_reads) {
+    WriterMutexLock lock(shard.mu);
+    return shard.file->Get(key);
+  }
+  // Branch 0 — uncontended (or reader-shared) shard: a shared hold lets
+  // any number of point reads overlap each other and the range scans.
+  if (shard.mu.ReaderTryLock()) {
+    StatusOr<Value> result = shard.file->Get(key);
+    shard.mu.ReaderUnlock();
+    if (m_read_shared_ != nullptr) m_read_shared_->Increment();
+    TraceReadBranch(options_.shard.tracer, 0, index);
+    return result;
+  }
+  // Branch 1 — a writer holds the shard: epoch-validated read straight
+  // from the buffer pool. Positive hits only; a miss proves nothing
+  // (page not resident, frame mid-write, staged entries pending), so it
+  // cannot answer "not found".
+  Value value = 0;
+  if (shard.epoch->TryEpochGet(key, &value)) {
+    if (m_read_epoch_hits_ != nullptr) m_read_epoch_hits_->Increment();
+    TraceReadBranch(options_.shard.tracer, 1, index);
+    return value;
+  }
+  // Branch 2 — epoch miss: queue behind the writer like before.
+  if (m_read_epoch_fallbacks_ != nullptr) {
+    m_read_epoch_fallbacks_->Increment();
+  }
+  TraceReadBranch(options_.shard.tracer, 2, index);
+  ReaderMutexLock lock(shard.mu);
   return shard.file->Get(key);
 }
 
-bool ShardedDenseFile::Contains(Key key) {
-  Shard& shard = *shards_[static_cast<size_t>(ShardOf(key))];
-  MutexLock lock(shard.mu);
+bool ShardedDenseFile::Contains(Key key) const {
+  const int index = ShardOf(key);
+  const Shard& shard = *shards_[static_cast<size_t>(index)];
+  if (options_.exclusive_reads) {
+    WriterMutexLock lock(shard.mu);
+    return shard.file->Contains(key);
+  }
+  // Same three branches as Get; see there for the rationale.
+  if (shard.mu.ReaderTryLock()) {
+    const bool found = shard.file->Contains(key);
+    shard.mu.ReaderUnlock();
+    if (m_read_shared_ != nullptr) m_read_shared_->Increment();
+    TraceReadBranch(options_.shard.tracer, 0, index);
+    return found;
+  }
+  Value value = 0;
+  if (shard.epoch->TryEpochGet(key, &value)) {
+    if (m_read_epoch_hits_ != nullptr) m_read_epoch_hits_->Increment();
+    TraceReadBranch(options_.shard.tracer, 1, index);
+    return true;
+  }
+  if (m_read_epoch_fallbacks_ != nullptr) {
+    m_read_epoch_fallbacks_->Increment();
+  }
+  TraceReadBranch(options_.shard.tracer, 2, index);
+  ReaderMutexLock lock(shard.mu);
   return shard.file->Contains(key);
 }
 
-Status ShardedDenseFile::Scan(Key lo, Key hi, std::vector<Record>* out) {
+Status ShardedDenseFile::Scan(Key lo, Key hi,
+                              std::vector<Record>* out) const {
   if (lo > hi) return Status::OK();
   const int first = ShardOf(lo);
   const int last = ShardOf(hi);
-  // Shards partition the key space in order, so appending per-shard
-  // results in ascending shard order yields global key order.
+  // All affected shards locked shared for the whole scan: concurrent
+  // point reads still overlap, while a racing DeleteRange (which takes
+  // the same set exclusive) is either entirely before or entirely after
+  // this snapshot — never interleaved shard-by-shard. Shards partition
+  // the key space in order, so appending per-shard results in ascending
+  // shard order yields global key order.
+  MultiShardLock lock(shards_, first, last,
+                      /*exclusive=*/options_.exclusive_reads);
   for (int i = first; i <= last; ++i) {
-    Shard& shard = *shards_[static_cast<size_t>(i)];
-    MutexLock lock(shard.mu);
-    DSF_RETURN_IF_ERROR(shard.file->Scan(lo, hi, out));
+    const Shard& shard = *shards_[static_cast<size_t>(i)];
+    DSF_RETURN_IF_ERROR(shard.epoch->Scan(lo, hi, out));
   }
   return Status::OK();
 }
 
-StatusOr<std::vector<Record>> ShardedDenseFile::ScanAll() {
+StatusOr<std::vector<Record>> ShardedDenseFile::ScanAll() const {
   std::vector<Record> out;
   DSF_RETURN_IF_ERROR(Scan(0, kMaxKey, &out));
   return out;
@@ -221,14 +354,14 @@ StatusOr<std::vector<Record>> ShardedDenseFile::ScanAll() {
 void ShardedDenseFile::SetFaultPolicy(int shard,
                                       std::shared_ptr<FaultPolicy> policy) {
   Shard& s = *shards_[static_cast<size_t>(shard)];
-  MutexLock lock(s.mu);
+  WriterMutexLock lock(s.mu);
   s.file->set_fault_policy(std::move(policy));
 }
 
 StatusOr<RepairReport> ShardedDenseFile::CheckAndRepair() {
   RepairReport total;
   for (const auto& shard : shards_) {
-    MutexLock lock(shard->mu);
+    WriterMutexLock lock(shard->mu);
     StatusOr<RepairReport> part = shard->file->CheckAndRepair();
     if (!part.ok()) return part.status();
     total.blocks_scanned += part->blocks_scanned;
@@ -247,7 +380,7 @@ StatusOr<RepairReport> ShardedDenseFile::CheckAndRepair() {
 Status ShardedDenseFile::Flush() {
   Status first_error = Status::OK();
   for (const auto& shard : shards_) {
-    MutexLock lock(shard->mu);
+    WriterMutexLock lock(shard->mu);
     const Status s = shard->file->Flush();
     if (!s.ok() && first_error.ok()) first_error = s;
   }
@@ -256,7 +389,7 @@ Status ShardedDenseFile::Flush() {
 
 void ShardedDenseFile::DiscardCaches() {
   for (const auto& shard : shards_) {
-    MutexLock lock(shard->mu);
+    WriterMutexLock lock(shard->mu);
     shard->file->DiscardCache();
   }
 }
@@ -264,7 +397,7 @@ void ShardedDenseFile::DiscardCaches() {
 Status ShardedDenseFile::FlushStaging() {
   Status first_error = Status::OK();
   for (const auto& shard : shards_) {
-    MutexLock lock(shard->mu);
+    WriterMutexLock lock(shard->mu);
     const Status s = shard->file->FlushStaging();
     if (!s.ok() && first_error.ok()) first_error = s;
   }
@@ -273,7 +406,7 @@ Status ShardedDenseFile::FlushStaging() {
 
 void ShardedDenseFile::DiscardStaging() {
   for (const auto& shard : shards_) {
-    MutexLock lock(shard->mu);
+    WriterMutexLock lock(shard->mu);
     shard->file->DiscardStaging();
   }
 }
@@ -281,7 +414,7 @@ void ShardedDenseFile::DiscardStaging() {
 StagingStats ShardedDenseFile::staging_stats() const {
   StagingStats total;
   for (const auto& shard : shards_) {
-    MutexLock lock(shard->mu);
+    ReaderMutexLock lock(shard->mu);
     total += shard->file->staging_stats();
   }
   return total;
@@ -289,14 +422,14 @@ StagingStats ShardedDenseFile::staging_stats() const {
 
 StagingStats ShardedDenseFile::shard_staging_stats(int shard) const {
   const Shard& s = *shards_[static_cast<size_t>(shard)];
-  MutexLock lock(s.mu);
+  ReaderMutexLock lock(s.mu);
   return s.file->staging_stats();
 }
 
 BufferPool::Stats ShardedDenseFile::cache_stats() const {
   BufferPool::Stats total;
   for (const auto& shard : shards_) {
-    MutexLock lock(shard->mu);
+    ReaderMutexLock lock(shard->mu);
     total += shard->file->cache_stats();
   }
   return total;
@@ -307,10 +440,15 @@ StatusOr<int64_t> ShardedDenseFile::DeleteRange(Key lo, Key hi) {
   int64_t removed = 0;
   const int first = ShardOf(lo);
   const int last = ShardOf(hi);
+  // Every affected shard stays locked exclusive until the whole range is
+  // deleted. Before this, shards were tombstoned one lock at a time, so
+  // a concurrent Scan over the same range (or even a single-threaded
+  // interleaving via the piggybacked drain) could observe a half-deleted
+  // prefix; now a scan orders entirely before or after the range op.
+  MultiShardLock lock(shards_, first, last, /*exclusive=*/true);
   for (int i = first; i <= last; ++i) {
     Shard& shard = *shards_[static_cast<size_t>(i)];
-    MutexLock lock(shard.mu);
-    StatusOr<int64_t> part = shard.file->DeleteRange(lo, hi);
+    StatusOr<int64_t> part = shard.held_file()->DeleteRange(lo, hi);
     if (!part.ok()) return part.status();
     removed += *part;
   }
@@ -341,7 +479,7 @@ Status ShardedDenseFile::InsertBatch(const std::vector<Record>& records) {
       // through the sorted fast path — a pointer range straight into the
       // caller's vector, no defensive copy and no re-validation.
       Shard& shard = *shards_[static_cast<size_t>(i)];
-      MutexLock lock(shard.mu);
+      WriterMutexLock lock(shard.mu);
       DSF_RETURN_IF_ERROR(
           shard.file->InsertBatchSorted(records.data() + begin,
                                         records.data() + end));
@@ -372,7 +510,7 @@ Status ShardedDenseFile::BulkLoad(const std::vector<Record>& records) {
         records.begin() + static_cast<int64_t>(begin),
         records.begin() + static_cast<int64_t>(end));
     Shard& shard = *shards_[static_cast<size_t>(i)];
-    MutexLock lock(shard.mu);
+    WriterMutexLock lock(shard.mu);
     DSF_RETURN_IF_ERROR(shard.file->BulkLoad(slice));
     begin = end;
   }
@@ -381,7 +519,7 @@ Status ShardedDenseFile::BulkLoad(const std::vector<Record>& records) {
 
 Status ShardedDenseFile::Compact() {
   for (const auto& shard : shards_) {
-    MutexLock lock(shard->mu);
+    WriterMutexLock lock(shard->mu);
     DSF_RETURN_IF_ERROR(shard->file->Compact());
   }
   return Status::OK();
@@ -390,7 +528,7 @@ Status ShardedDenseFile::Compact() {
 Status ShardedDenseFile::ValidateInvariants() const {
   for (int i = 0; i < num_shards(); ++i) {
     const Shard& shard = *shards_[static_cast<size_t>(i)];
-    MutexLock lock(shard.mu);
+    WriterMutexLock lock(shard.mu);
     DSF_RETURN_IF_ERROR(shard.file->ValidateInvariants());
     // Routing invariant also covers the staging buffer: a staged key
     // that drains into a foreign range would break the global order.
@@ -422,7 +560,7 @@ AuditReport ShardedDenseFile::Audit() const {
   AuditReport report;
   for (int i = 0; i < num_shards(); ++i) {
     const Shard& shard = *shards_[static_cast<size_t>(i)];
-    MutexLock lock(shard.mu);
+    WriterMutexLock lock(shard.mu);
     report.Merge(shard.file->Audit(), i);
     // Staged keys obey the same routing boundary as durable ones.
     const Memtable* staging = shard.file->staging();
@@ -468,7 +606,7 @@ AuditReport ShardedDenseFile::Audit() const {
 int64_t ShardedDenseFile::size() const {
   int64_t total = 0;
   for (const auto& shard : shards_) {
-    MutexLock lock(shard->mu);
+    ReaderMutexLock lock(shard->mu);
     total += shard->file->size();
   }
   return total;
@@ -480,7 +618,7 @@ int64_t ShardedDenseFile::capacity() const {
     // Capacity is immutable, but the guarded file pointer is reached
     // under the lock so the access stays analyzable (and uncontended
     // lock acquisition is trivially cheap on this cold path).
-    MutexLock lock(shard->mu);
+    ReaderMutexLock lock(shard->mu);
     total += shard->file->capacity();
   }
   return total;
@@ -489,7 +627,7 @@ int64_t ShardedDenseFile::capacity() const {
 IoStats ShardedDenseFile::io_stats() const {
   IoStats total;
   for (const auto& shard : shards_) {
-    MutexLock lock(shard->mu);
+    ReaderMutexLock lock(shard->mu);
     total += shard->file->io_stats();
   }
   return total;
@@ -498,7 +636,7 @@ IoStats ShardedDenseFile::io_stats() const {
 CommandStats ShardedDenseFile::command_stats() const {
   CommandStats total;
   for (const auto& shard : shards_) {
-    MutexLock lock(shard->mu);
+    ReaderMutexLock lock(shard->mu);
     const CommandStats& s = shard->file->command_stats();
     total.commands += s.commands;
     total.total_accesses += s.total_accesses;
@@ -510,14 +648,14 @@ CommandStats ShardedDenseFile::command_stats() const {
 
 void ShardedDenseFile::SetAccessLatency(std::chrono::nanoseconds latency) {
   for (const auto& shard : shards_) {
-    MutexLock lock(shard->mu);
+    WriterMutexLock lock(shard->mu);
     shard->file->control().file().set_access_latency(latency);
   }
 }
 
 void ShardedDenseFile::SetDiskModel(const DiskModel& model, bool sleep) {
   for (const auto& shard : shards_) {
-    MutexLock lock(shard->mu);
+    WriterMutexLock lock(shard->mu);
     shard->file->control().file().set_disk_model(model, sleep);
   }
 }
@@ -543,7 +681,7 @@ void ShardedDenseFile::PublishMetrics() const {
 
 void ShardedDenseFile::ResetStats() {
   for (const auto& shard : shards_) {
-    MutexLock lock(shard->mu);
+    WriterMutexLock lock(shard->mu);
     shard->file->ResetIoStats();
     shard->file->ResetCommandStats();
   }
@@ -551,19 +689,19 @@ void ShardedDenseFile::ResetStats() {
 
 IoStats ShardedDenseFile::shard_io_stats(int shard) const {
   const Shard& s = *shards_[static_cast<size_t>(shard)];
-  MutexLock lock(s.mu);
+  ReaderMutexLock lock(s.mu);
   return s.file->io_stats();
 }
 
 CommandStats ShardedDenseFile::shard_command_stats(int shard) const {
   const Shard& s = *shards_[static_cast<size_t>(shard)];
-  MutexLock lock(s.mu);
+  ReaderMutexLock lock(s.mu);
   return s.file->command_stats();
 }
 
 int64_t ShardedDenseFile::shard_size(int shard) const {
   const Shard& s = *shards_[static_cast<size_t>(shard)];
-  MutexLock lock(s.mu);
+  ReaderMutexLock lock(s.mu);
   return s.file->size();
 }
 

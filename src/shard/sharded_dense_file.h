@@ -8,12 +8,24 @@
 // different shards run genuinely in parallel: each shard is guarded by
 // its own mutex and there is no global lock.
 //
-// Locking protocol: point operations lock exactly the owning shard.
-// Cross-shard operations (Scan, DeleteRange, ScanAll, Compact, BulkLoad,
-// ValidateInvariants, stats) visit shards in ascending order, holding at
-// most one shard lock at a time — no lock ordering cycles, hence no
-// deadlock, at the price that a cross-shard scan is not one atomic
-// snapshot (each shard's slice is internally consistent).
+// Locking protocol (reader-writer; see docs/CONCURRENCY.md):
+//  - Mutating point operations take the owning shard's lock exclusive.
+//  - Point reads (Get/Contains) run a three-branch protocol: try the
+//    shard lock shared (uncontended case, readers overlap freely); if a
+//    writer holds it, attempt an epoch-validated read straight from the
+//    shard's BufferPool (DenseFile::TryEpochGet — positive hits only,
+//    never blocks, never touches the device); if that misses, block on
+//    the shared lock. dsf_read_lock_* counters expose the branch taken.
+//  - Range reads (Scan/ScanAll) hold ALL affected shards' locks shared
+//    for the whole operation; range writes (DeleteRange) hold them all
+//    exclusive. Locks are always acquired in ascending shard order —
+//    one global order, hence no deadlock — so a scan racing a range
+//    delete sees all-or-nothing, never a half-deleted prefix.
+//  - Whole-file maintenance (Flush, Compact, BulkLoad, ...) visits
+//    shards in ascending order, one exclusive lock at a time; read-only
+//    aggregates (stats, size) visit one shared lock at a time.
+// Options::exclusive_reads restores the pre-reader/writer behavior
+// (every operation exclusive) for A/B benchmarking.
 //
 // Routing: splitter keys s_1 < ... < s_{S-1} assign key k to shard
 // upper_bound(splitters, k), i.e. shard i serves [s_i, s_{i+1}) with
@@ -41,6 +53,7 @@
 namespace dsf {
 
 struct AuditReport;
+class Counter;
 
 class ShardedDenseFile {
  public:
@@ -63,13 +76,20 @@ class ShardedDenseFile {
     // shard = cache_bytes / S / page bytes, at least 1 when any budget
     // is given. Ignored when shard.cache_frames is set explicitly.
     int64_t cache_bytes = 0;
-    // Shared staging byte budget, split evenly into per-shard memtables
-    // exactly like cache_bytes: entries per shard = staging_bytes / S /
-    // sizeof(StagedEntry), at least 1 when any budget is given. Ignored
+    // Shared staging byte budget, split into per-shard memtables: the
+    // budget buys floor(staging_bytes / sizeof(StagedEntry)) entries
+    // total, divided as evenly as possible with the remainder going to
+    // the first shards (no byte of the budget is silently dropped). A
+    // budget too small to stage one entry per shard is rejected with
+    // kInvalidArgument rather than rounded up. Ignored
     // when shard.staging_entries / shard.staging_bytes is set explicitly.
     // 0 with neither per-shard field set disables staging. See
     // docs/INGEST.md.
     int64_t staging_bytes = 0;
+    // Ablation knob: take every shard lock exclusive, as before the
+    // reader-writer split — the baseline the rwlock benchmark compares
+    // against. Leave false outside A/B measurements.
+    bool exclusive_reads = false;
   };
 
   // Validates options (splitter count/order, per-shard geometry) and
@@ -88,17 +108,19 @@ class ShardedDenseFile {
   static std::vector<Key> LearnSplitters(const std::vector<Record>& sample,
                                          int num_shards);
 
-  // --- Point operations (lock the owning shard only) ---
+  // --- Point operations (lock the owning shard only; writes exclusive,
+  // reads via the shared-lock / epoch protocol in the header comment) ---
   Status Insert(Key key, Value value) { return Insert(Record{key, value}); }
   Status Insert(const Record& record);
   Status Delete(Key key);
-  StatusOr<Value> Get(Key key);
-  bool Contains(Key key);
+  StatusOr<Value> Get(Key key) const;
+  bool Contains(Key key) const;
 
-  // --- Cross-shard operations (ascending shard visits, one lock at a
-  // time; per-shard results stitched in key order) ---
-  Status Scan(Key lo, Key hi, std::vector<Record>* out);
-  StatusOr<std::vector<Record>> ScanAll();
+  // --- Cross-shard range operations (all affected shards locked for the
+  // whole call, ascending order: shared for reads, exclusive for
+  // DeleteRange; per-shard results stitched in key order) ---
+  Status Scan(Key lo, Key hi, std::vector<Record>* out) const;
+  StatusOr<std::vector<Record>> ScanAll() const;
   StatusOr<int64_t> DeleteRange(Key lo, Key hi);
   // Strictly-ascending records, routed per shard, inserted one command at
   // a time. Stops at the first error.
@@ -155,8 +177,10 @@ class ShardedDenseFile {
   int64_t size() const;
   int64_t capacity() const;
 
-  // Exact aggregates: each shard's trackers are single-writer under that
-  // shard's mutex, so summation under the locks loses nothing.
+  // Aggregates summed one shared shard lock at a time. Counters are
+  // exact (AccessTracker fields are atomics); only the seek/sequential
+  // split is approximate while concurrent epoch readers interleave
+  // addresses (see storage/io_stats.h).
   IoStats io_stats() const;
   CommandStats command_stats() const;  // last_command_accesses is 0
   void ResetStats();
@@ -190,15 +214,51 @@ class ShardedDenseFile {
 
  private:
   // One key range's independent DenseFile behind its own annotated
-  // mutex. `file` is GUARDED_BY(mu): Clang's -Wthread-safety analysis
-  // (DSF_ANALYZE mode) rejects any access without the lock, which makes
-  // the one-lock-at-a-time protocol above machine-checked. The file is
-  // handed over at construction (exempt from the analysis — the shard is
-  // not shared yet).
+  // reader-writer mutex. `file` is GUARDED_BY(mu): Clang's
+  // -Wthread-safety analysis (DSF_ANALYZE mode) rejects any access
+  // without at least a shared hold, which makes the locking protocol in
+  // the header comment machine-checked. `epoch` is a lock-free alias of
+  // the same DenseFile reserved for the epoch read branch: TryEpochGet
+  // is internally synchronized (buffer-pool mutex + frame version
+  // validation + staging gauge), so that one entry point is sound to
+  // reach while a writer holds `mu`. Both pointers are set at
+  // construction, before the shard is shared, and never reassigned.
   struct Shard {
-    explicit Shard(std::unique_ptr<DenseFile> f) : file(std::move(f)) {}
-    mutable Mutex mu;
+    explicit Shard(std::unique_ptr<DenseFile> f)
+        : file(std::move(f)), epoch(file.get()) {}
+    mutable SharedMutex mu;
     std::unique_ptr<DenseFile> file DSF_GUARDED_BY(mu);
+    const DenseFile* const epoch;
+
+    // Analysis-exempt access for MultiShardLock regions: the lock IS
+    // held (shared or exclusive), the static analysis just cannot model
+    // a dynamic lock set. Never call without a MultiShardLock covering
+    // this shard.
+    DenseFile* held_file() const DSF_NO_THREAD_SAFETY_ANALYSIS {
+      return file.get();
+    }
+  };
+
+  // Holds shards [first, last] of `shards`, shared or exclusive,
+  // acquired in ascending index order (the global lock order) and
+  // released in descending order. The lock set is dynamic, so the
+  // thread-safety analysis cannot model it; the bodies are exempt and
+  // callers touch the guarded files through Shard::epoch (reads) or an
+  // analysis-exempt helper (DeleteRange).
+  class MultiShardLock {
+   public:
+    MultiShardLock(const std::vector<std::unique_ptr<Shard>>& shards,
+                   int first, int last,
+                   bool exclusive) DSF_NO_THREAD_SAFETY_ANALYSIS;
+    ~MultiShardLock() DSF_NO_THREAD_SAFETY_ANALYSIS;
+    MultiShardLock(const MultiShardLock&) = delete;
+    MultiShardLock& operator=(const MultiShardLock&) = delete;
+
+   private:
+    const std::vector<std::unique_ptr<Shard>>& shards_;
+    const int first_;
+    const int last_;
+    const bool exclusive_;
   };
 
   ShardedDenseFile(const Options& options, std::vector<Key> splitters,
@@ -226,6 +286,12 @@ class ShardedDenseFile {
   // Round-robin cursor for DrainRotate; relaxed atomics suffice — the
   // rotation is a fairness heuristic, not a correctness invariant.
   std::atomic<int64_t> rotate_{0};
+  // Read-path branch counters (null without a metrics registry; see
+  // docs/OBSERVABILITY.md): shared lock taken / epoch-validated pool hit
+  // / epoch miss that fell back to blocking on the shared lock.
+  Counter* m_read_shared_ = nullptr;
+  Counter* m_read_epoch_hits_ = nullptr;
+  Counter* m_read_epoch_fallbacks_ = nullptr;
 };
 
 }  // namespace dsf

@@ -27,7 +27,7 @@ Address PageGuard::address() const {
 
 void PageGuard::Release() {
   if (pool_ != nullptr) {
-    pool_->Unpin(frame_);
+    pool_->Unpin(frame_, write_);
     pool_ = nullptr;
   }
 }
@@ -173,12 +173,35 @@ StatusOr<int64_t> BufferPool::EvictFrame() {
     return Status::ResourceExhausted(
         "all " + std::to_string(n) + " buffer-pool frames are pinned");
   }
-  Frame& f = frames_[static_cast<size_t>(victim)];
-  if (f.dirty) {
+  if (frames_[static_cast<size_t>(victim)].dirty) {
     // Evicting a dirty frame must not reorder writes: flush the dirty
     // prefix through the victim so its content lands in order.
-    DSF_RETURN_IF_ERROR(FlushPrefixThrough(victim));
+    Status flushed = FlushPrefixThrough(victim);
+    if (flushed.code() == StatusCode::kFailedPrecondition) {
+      // A concurrent shared reader holds a pin on some frame in the
+      // dirty prefix (legal under docs/CONCURRENCY.md — read pins on
+      // dirty frames are ordinary when readers share the shard lock).
+      // The write order must not bend around it, so fall back to a
+      // clean unpinned victim instead of failing the read; only when
+      // every unpinned frame is dirty-and-blocked does the error
+      // propagate.
+      int64_t clean = -1;
+      int64_t best_tick = 0;
+      for (int64_t i = 0; i < n; ++i) {
+        const Frame& g = frames_[static_cast<size_t>(i)];
+        if (g.address == 0 || g.pins > 0 || g.dirty) continue;
+        if (clean < 0 || g.lru_tick < best_tick) {
+          clean = i;
+          best_tick = g.lru_tick;
+        }
+      }
+      if (clean < 0) return flushed;
+      victim = clean;
+    } else {
+      DSF_RETURN_IF_ERROR(flushed);
+    }
   }
+  Frame& f = frames_[static_cast<size_t>(victim)];
   resident_.erase(f.address);
   f.address = 0;
   f.ref = false;
@@ -211,11 +234,15 @@ Status BufferPool::MarkDirty(int64_t frame) {
   return Status::OK();
 }
 
-void BufferPool::RecordPin(int64_t frame, const char* owner) {
+void BufferPool::RecordPin(int64_t frame, const char* owner, bool write) {
   Frame& f = frames_[static_cast<size_t>(frame)];
   ++f.pins;
   f.owner = owner != nullptr ? owner : "untagged";
   ++live_guards_;
+  // Destabilize the epoch version: the guard holder may now mutate the
+  // page contents outside mu_, so epoch readers must skip this frame
+  // until the guard releases (see the header note).
+  if (write) ++f.version;
 }
 
 Status BufferPool::FlushFrame(int64_t frame) {
@@ -284,13 +311,39 @@ Status BufferPool::FlushPrefixThrough(int64_t frame) {
   return FlushFramesInSafeOrder(std::move(prefix));
 }
 
+bool BufferPool::TryEpochGet(Key key, Record* out) {
+  MutexLock lock(mu_);
+  for (const Frame& f : frames_) {
+    if (f.address == 0 || f.free_write) continue;
+    // Odd version: a write guard may be mutating the bytes outside mu_.
+    if ((f.version & 1) != 0) continue;
+    const std::vector<Record>& records = f.page.records();
+    if (records.empty() || key < records.front().key ||
+        records.back().key < key) {
+      continue;
+    }
+    const auto it =
+        std::lower_bound(records.begin(), records.end(), key,
+                         [](const Record& r, Key k) { return r.key < k; });
+    if (it == records.end() || it->key != key) continue;
+    // Positive hit from a stable resident frame — the current logical
+    // image of its page. Negative answers are never derived here: a
+    // frame covering `key` without holding it may be a stale snapshot
+    // of a reorganization in flight (see docs/CONCURRENCY.md).
+    *out = *it;
+    file_->CountLogical(/*is_write=*/false);
+    return true;
+  }
+  return false;
+}
+
 StatusOr<PageGuard> BufferPool::PinRead(Address address, const char* owner) {
   file_->CountLogical(/*is_write=*/false);
   MutexLock lock(mu_);
   StatusOr<int64_t> frame = AcquireFrame(address, /*load=*/true);
   if (!frame.ok()) return frame.status();
-  RecordPin(*frame, owner);
-  return PageGuard(this, *frame);
+  RecordPin(*frame, owner, /*write=*/false);
+  return PageGuard(this, *frame, /*write=*/false);
 }
 
 StatusOr<PageGuard> BufferPool::PinWrite(Address address, const char* owner) {
@@ -299,8 +352,8 @@ StatusOr<PageGuard> BufferPool::PinWrite(Address address, const char* owner) {
   StatusOr<int64_t> frame = AcquireFrame(address, /*load=*/true);
   if (!frame.ok()) return frame.status();
   DSF_RETURN_IF_ERROR(MarkDirty(*frame));
-  RecordPin(*frame, owner);
-  return PageGuard(this, *frame);
+  RecordPin(*frame, owner, /*write=*/true);
+  return PageGuard(this, *frame, /*write=*/true);
 }
 
 StatusOr<PageGuard> BufferPool::PinForOverwrite(Address address,
@@ -315,8 +368,8 @@ StatusOr<PageGuard> BufferPool::PinForOverwrite(Address address,
   DSF_RETURN_IF_ERROR(MarkDirty(*frame));
   f.page.Clear();
   f.free_write = false;
-  RecordPin(*frame, owner);
-  return PageGuard(this, *frame);
+  RecordPin(*frame, owner, /*write=*/true);
+  return PageGuard(this, *frame, /*write=*/true);
 }
 
 namespace {
@@ -455,8 +508,8 @@ StatusOr<PageGuard> BufferPool::PinForRewrite(Address address,
   Frame& f = frames_[static_cast<size_t>(*frame)];
   f.page.Clear();
   f.free_write = false;
-  RecordPin(*frame, owner);
-  return PageGuard(this, *frame);
+  RecordPin(*frame, owner, /*write=*/true);
+  return PageGuard(this, *frame, /*write=*/true);
 }
 
 Status BufferPool::MarkFree(Address address) {
@@ -613,12 +666,16 @@ void BufferPool::SetMetrics(Counter* hits, Counter* misses,
   m_flush_run_length_ = flush_run_length;
 }
 
-void BufferPool::Unpin(int64_t frame) {
+void BufferPool::Unpin(int64_t frame, bool write) {
   MutexLock lock(mu_);
   Frame& f = frames_[static_cast<size_t>(frame)];
   DSF_DCHECK(f.pins > 0) << "unbalanced Unpin";
   --f.pins;
   --live_guards_;
+  // Write guard released: the contents are stable again (even version),
+  // and the bump invalidates nothing retroactively — epoch readers never
+  // copied from this frame while the version was odd.
+  if (write) ++f.version;
 }
 
 }  // namespace dsf

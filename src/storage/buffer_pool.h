@@ -81,8 +81,24 @@
 // Frame *contents* are protected by pinning, not by the mutex: a
 // PageGuard holder reads or writes its page without taking any lock, so
 // concurrent guards to the SAME page still need external serialization
-// (in practice: one pool per shard, writers serialized by the shard
-// mutex; see shard/sharded_dense_file.h).
+// (in practice: one pool per shard, writers serialized exclusively and
+// readers sharing the shard lock; see shard/sharded_dense_file.h and
+// docs/CONCURRENCY.md).
+//
+// Epoch point reads (TryEpochGet). Each frame carries a version counter
+// (odd = a live write guard may be mutating the contents outside the
+// pool mutex, even = stable), bumped under the mutex when a write guard
+// is handed out and again when it releases. TryEpochGet serves a point
+// lookup from a resident *stable* frame entirely under the pool's own
+// short mutex — never touching the owner's shard lock and never pinning
+// — so lookups proceed while a writer runs in the same shard. The
+// version check under the mutex is what validates the copy-out: content
+// mutations happen either under the mutex (loads, clears, eviction) or
+// only while the version is odd (write guards), so an even version
+// proves the bytes read cannot be mid-mutation. Only POSITIVE hits are
+// answered; absence is never inferred from the cache (a reorganization
+// in another page may be moving the key), and callers fall back to the
+// locked path (see docs/CONCURRENCY.md for the soundness argument).
 
 #ifndef DSF_STORAGE_BUFFER_POOL_H_
 #define DSF_STORAGE_BUFFER_POOL_H_
@@ -115,7 +131,7 @@ class PageGuard {
  public:
   PageGuard() = default;
   PageGuard(PageGuard&& other) noexcept
-      : pool_(other.pool_), frame_(other.frame_) {
+      : pool_(other.pool_), frame_(other.frame_), write_(other.write_) {
     other.pool_ = nullptr;
   }
   PageGuard& operator=(PageGuard&& other) noexcept {
@@ -123,6 +139,7 @@ class PageGuard {
       Release();
       pool_ = other.pool_;
       frame_ = other.frame_;
+      write_ = other.write_;
       other.pool_ = nullptr;
     }
     return *this;
@@ -141,10 +158,14 @@ class PageGuard {
 
  private:
   friend class BufferPool;
-  PageGuard(BufferPool* pool, int64_t frame) : pool_(pool), frame_(frame) {}
+  PageGuard(BufferPool* pool, int64_t frame, bool write)
+      : pool_(pool), frame_(frame), write_(write) {}
 
   BufferPool* pool_ = nullptr;
   int64_t frame_ = -1;
+  // Write guards re-stabilize the frame's version counter on release
+  // (see the epoch-read note above).
+  bool write_ = false;
 };
 
 class BufferPool {
@@ -237,6 +258,17 @@ class BufferPool {
                                     const char* owner = nullptr)
       DSF_EXCLUDES(mu_);
 
+  // Epoch point lookup (see the header note): if some resident, stable
+  // (even-version, non-free) frame's key range covers `key` AND the page
+  // holds it, copies the record into *out and returns true — all under
+  // the pool's own mutex, without pinning and without the owner's
+  // external lock. Returns false when the lookup cannot be answered
+  // positively from the cache (absent, uncovered, or the covering frame
+  // has a live write guard); the caller falls back to its locked read
+  // path. Charges one logical read only on a hit (the fallback path
+  // charges its own). Never touches the device.
+  bool TryEpochGet(Key key, Record* out) DSF_EXCLUDES(mu_);
+
   // Enqueues "this page becomes empty" through the dirty order; the
   // eventual device clear is unaccounted bookkeeping (see header note).
   Status MarkFree(Address address) DSF_EXCLUDES(mu_);
@@ -327,6 +359,10 @@ class BufferPool {
     int64_t lru_tick = 0;
     int64_t dirty_seq = 0;    // serial stamped when going clean -> dirty
     const char* owner = nullptr;            // last pinner's tag
+    // Epoch-read stability counter (see the header note): odd while a
+    // write guard is outstanding, even otherwise. Mutated only under
+    // mu_; content mutations outside mu_ happen only while odd.
+    int64_t version = 0;
     std::list<int64_t>::iterator dirty_it;  // valid iff dirty
     // Keys this frame's flush will remove from (or change on) the
     // device, accumulated over the dirty lifetime — the dependency
@@ -376,9 +412,12 @@ class BufferPool {
   // then removal frames in L order — crash-safe (see the .cc comment).
   Status FlushFramesInSafeOrder(std::vector<int64_t> to_flush)
       DSF_REQUIRES(mu_);
-  void Unpin(int64_t frame) DSF_EXCLUDES(mu_);
+  void Unpin(int64_t frame, bool write) DSF_EXCLUDES(mu_);
   void Touch(Frame& f) DSF_REQUIRES(mu_);
-  void RecordPin(int64_t frame, const char* owner) DSF_REQUIRES(mu_);
+  // Records a pin; a `write` pin additionally destabilizes the frame's
+  // epoch version (odd) until its guard releases.
+  void RecordPin(int64_t frame, const char* owner, bool write)
+      DSF_REQUIRES(mu_);
 
   PageFile* file_;
   Options options_;

@@ -35,37 +35,61 @@ IoStats& IoStats::operator+=(const IoStats& other) {
 void IoStats::Reset() { *this = IoStats(); }
 
 int64_t AccessTracker::OnAccess(int64_t address, bool is_write) {
+  constexpr auto kRelaxed = std::memory_order_relaxed;
   if (is_write) {
-    ++stats_.page_writes;
+    page_writes_.fetch_add(1, kRelaxed);
   } else {
-    ++stats_.page_reads;
+    page_reads_.fetch_add(1, kRelaxed);
   }
+  // One exchange both reads the previous arm position and claims this
+  // access as the new one; each access classifies against its global
+  // predecessor (see the class comment on concurrent approximation).
+  const int64_t prev = last_address_.exchange(address, kRelaxed);
   int64_t charge;
-  if (last_address_ >= 0 &&
-      (address == last_address_ || address == last_address_ + 1 ||
-       address == last_address_ - 1)) {
-    ++stats_.sequential_accesses;
+  if (prev >= 0 &&
+      (address == prev || address == prev + 1 || address == prev - 1)) {
+    sequential_accesses_.fetch_add(1, kRelaxed);
     charge = sequential_charge_ns_;
   } else {
-    ++stats_.seeks;
+    seeks_.fetch_add(1, kRelaxed);
     charge = seek_charge_ns_;
   }
-  stats_.sim_elapsed_ns += charge;
-  last_address_ = address;
+  sim_elapsed_ns_.fetch_add(charge, kRelaxed);
   return charge;
 }
 
 void AccessTracker::OnLogical(bool is_write) {
+  constexpr auto kRelaxed = std::memory_order_relaxed;
   if (is_write) {
-    ++stats_.logical_writes;
+    logical_writes_.fetch_add(1, kRelaxed);
   } else {
-    ++stats_.logical_reads;
+    logical_reads_.fetch_add(1, kRelaxed);
   }
 }
 
+IoStats AccessTracker::stats() const {
+  constexpr auto kRelaxed = std::memory_order_relaxed;
+  IoStats out;
+  out.page_reads = page_reads_.load(kRelaxed);
+  out.page_writes = page_writes_.load(kRelaxed);
+  out.seeks = seeks_.load(kRelaxed);
+  out.sequential_accesses = sequential_accesses_.load(kRelaxed);
+  out.logical_reads = logical_reads_.load(kRelaxed);
+  out.logical_writes = logical_writes_.load(kRelaxed);
+  out.sim_elapsed_ns = sim_elapsed_ns_.load(kRelaxed);
+  return out;
+}
+
 void AccessTracker::Reset() {
-  stats_.Reset();
-  last_address_ = -1;
+  constexpr auto kRelaxed = std::memory_order_relaxed;
+  page_reads_.store(0, kRelaxed);
+  page_writes_.store(0, kRelaxed);
+  seeks_.store(0, kRelaxed);
+  sequential_accesses_.store(0, kRelaxed);
+  logical_reads_.store(0, kRelaxed);
+  logical_writes_.store(0, kRelaxed);
+  sim_elapsed_ns_.store(0, kRelaxed);
+  last_address_.store(-1, kRelaxed);
 }
 
 std::string IoStats::ToString() const {

@@ -10,6 +10,7 @@
 #ifndef DSF_STORAGE_IO_STATS_H_
 #define DSF_STORAGE_IO_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -71,6 +72,17 @@ struct IoStats {
 // accesses even if shard B reads address 1000 between them, exactly as
 // two physical disks each keep their own arm position. Only accesses to
 // the same PageFile (and Reset()) affect run detection.
+//
+// Thread safety: the counters are relaxed atomics, so concurrent shared
+// readers (docs/CONCURRENCY.md) can charge accesses without a data race
+// and every individual count stays exact. The seek/sequential
+// *classification* uses an atomic exchange on `last_address_`: under
+// concurrent access each accessor classifies against whichever access
+// globally preceded it, so the split is approximate when readers
+// interleave (a reader injected between two writer accesses can turn a
+// sequential pair into two seeks) but still exact for single-threaded
+// runs, and seeks + sequential_accesses always equals TotalAccesses().
+// Reset() is not concurrency-safe; callers quiesce first (tests do).
 class AccessTracker {
  public:
   // Charges one *physical* access (device transfer + arm movement) and
@@ -94,12 +106,21 @@ class AccessTracker {
     sequential_charge_ns_ = sequential_ns;
   }
 
-  const IoStats& stats() const { return stats_; }
+  // Consistent-enough snapshot of the counters (each field individually
+  // exact; the set may straddle a concurrent access). By value: the
+  // internal counters are atomics, not an IoStats.
+  IoStats stats() const;
   void Reset();
 
  private:
-  IoStats stats_;
-  int64_t last_address_ = -1;
+  std::atomic<int64_t> page_reads_{0};
+  std::atomic<int64_t> page_writes_{0};
+  std::atomic<int64_t> seeks_{0};
+  std::atomic<int64_t> sequential_accesses_{0};
+  std::atomic<int64_t> logical_reads_{0};
+  std::atomic<int64_t> logical_writes_{0};
+  std::atomic<int64_t> sim_elapsed_ns_{0};
+  std::atomic<int64_t> last_address_{-1};
   int64_t seek_charge_ns_ = 0;
   int64_t sequential_charge_ns_ = 0;
 };

@@ -86,7 +86,10 @@ class PageFile {
   // Algorithm logic must use Read()/Write().
   Page& RawPage(Address address);
 
-  const IoStats& stats() const { return tracker_.stats(); }
+  // Counter snapshot, by value: the tracker's counters are atomics so
+  // concurrent shared readers (docs/CONCURRENCY.md) can charge accesses
+  // race-free, and there is no stable IoStats object to reference.
+  IoStats stats() const { return tracker_.stats(); }
   void ResetStats();
 
   // Simulated device latency: a uniform per-access charge, accumulated

@@ -74,7 +74,7 @@ class VarControl2 {
   int64_t total_units() const { return calibrator_.TotalRecords(); }
   int64_t MaxUnits() const { return spec_.MaxRecords(); }
   int64_t J() const { return j_; }
-  const IoStats& stats() const { return tracker_.stats(); }
+  IoStats stats() const { return tracker_.stats(); }
   void ResetStats() { tracker_.Reset(); }
   const Stats& maintenance_stats() const { return maintenance_stats_; }
   const CommandCost& command_cost() const { return command_cost_; }

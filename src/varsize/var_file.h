@@ -76,7 +76,7 @@ class VarFile {
   int64_t record_count() const { return record_count_; }
   int64_t total_units() const { return calibrator_.TotalRecords(); }
   int64_t MaxUnits() const { return spec_.MaxRecords(); }  // d*M
-  const IoStats& stats() const { return tracker_.stats(); }
+  IoStats stats() const { return tracker_.stats(); }
   void ResetStats() { tracker_.Reset(); }
   const Stats& maintenance_stats() const { return maintenance_stats_; }
 

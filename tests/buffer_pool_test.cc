@@ -9,8 +9,10 @@
 // durability (EndCommand flush), crash-at-flush recovery back to the
 // reference model, and the sharded byte-budget split.
 
+#include <atomic>
 #include <memory>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <vector>
 
@@ -759,6 +761,76 @@ TEST_F(BufferPoolTest, PinLeakReportNamesOwnerTags) {
   EXPECT_EQ(pool->PinLeakReport(), "");
   EXPECT_EQ(pool->live_guards(), 0);
   ASSERT_TRUE(pool->FlushAll().ok());
+}
+
+TEST_F(BufferPoolTest, TryEpochGetServesResidentStableFrames) {
+  SeedPage(1, 10);
+  SeedPage(2, 20);
+  auto pool = MakePool(4);
+  Record r{0, 0};
+  // Nothing resident yet: the epoch read answers nothing and never
+  // touches the device.
+  EXPECT_FALSE(pool->TryEpochGet(10, &r));
+  EXPECT_EQ(file_.stats().page_reads, 0);
+
+  ASSERT_TRUE(pool->PinRead(1).ok());
+  const int64_t device_reads = file_.stats().page_reads;
+  EXPECT_TRUE(pool->TryEpochGet(10, &r));
+  EXPECT_EQ(r.key, 10u);
+  EXPECT_EQ(r.value, 10u);
+  EXPECT_EQ(file_.stats().page_reads, device_reads);  // RAM only
+  // Positive hits only: an absent key — or a key on a non-resident page
+  // — is "don't know", never "not found".
+  EXPECT_FALSE(pool->TryEpochGet(11, &r));
+  EXPECT_FALSE(pool->TryEpochGet(20, &r));
+}
+
+TEST_F(BufferPoolTest, TryEpochGetSkipsFramesUnderWriteGuard) {
+  SeedPage(1, 10);
+  auto pool = MakePool(4);
+  Record r{0, 0};
+  {
+    StatusOr<PageGuard> g = pool->PinWrite(1);
+    ASSERT_TRUE(g.ok());
+    // The frame's version is odd while a write guard is outstanding:
+    // the epoch read must refuse it even though the key is present.
+    EXPECT_FALSE(pool->TryEpochGet(10, &r));
+  }
+  // Guard released — version even again — so the frame is readable.
+  EXPECT_TRUE(pool->TryEpochGet(10, &r));
+  EXPECT_EQ(r.value, 10u);
+}
+
+TEST_F(BufferPoolTest, ConcurrentSharedReadersLeakNoPins) {
+  // Readers hammer overlapping pages through guarded pins and epoch
+  // reads; after they join, not a single pin may remain and every read
+  // must have seen its page's seeded contents. Run under TSan this is
+  // the reader-vs-reader race check for the pool's pin accounting.
+  for (Address a = 1; a <= 8; ++a) {
+    SeedPage(a, static_cast<Key>(10 * static_cast<Key>(a)));
+  }
+  auto pool = MakePool(4);
+  std::atomic<bool> wrong_contents{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(static_cast<uint64_t>(t) + 1);
+      for (int i = 0; i < 500; ++i) {
+        const Address a = static_cast<Address>(rng.Uniform(8) + 1);
+        const Key k = static_cast<Key>(10 * static_cast<Key>(a));
+        StatusOr<PageGuard> g = pool->PinRead(a);
+        if (g.ok() && g->page().MinKey() != k) wrong_contents.store(true);
+        Record r{0, 0};
+        if (pool->TryEpochGet(k, &r) && r.value != k) {
+          wrong_contents.store(true);
+        }
+      }
+    });
+  }
+  for (auto& thread : readers) thread.join();
+  EXPECT_FALSE(wrong_contents.load());
+  EXPECT_EQ(pool->live_guards(), 0) << pool->PinLeakReport();
+  EXPECT_EQ(pool->PinLeakReport(), "");
 }
 
 TEST(BufferPoolShardedTest, NegativeCacheBytesRejected) {

@@ -183,6 +183,57 @@ TEST(ExportTest, PrometheusTextFormat) {
       << text;
 }
 
+TEST(ExportTest, PrometheusSaturatedTopBucketFoldsIntoInf) {
+  // Regression: a sample landing in the saturated top bucket used to
+  // emit a finite le="<int64 max>" series next to +Inf — two series
+  // claiming the same cumulative count, one of them asserting a finite
+  // bound the catch-all bucket does not enforce. The top bucket must
+  // surface only through the mandatory +Inf series.
+  MetricsRegistry registry;
+  Histogram* h = registry.FindOrCreateHistogram(kMetricCommandAccesses);
+  h->Observe(2);                                     // bucket 1, edge 3
+  h->Observe(std::numeric_limits<int64_t>::max());   // top bucket
+  const std::string text = ToPrometheusText(registry.Snapshot());
+
+  EXPECT_EQ(text.find("le=\"9223372036854775807\""), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("dsf_command_accesses_bucket{le=\"3\"} 1\n"),
+            std::string::npos)
+      << text;
+  // +Inf still reports the full count, top-bucket sample included.
+  EXPECT_NE(text.find("dsf_command_accesses_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("dsf_command_accesses_count 2\n"), std::string::npos)
+      << text;
+}
+
+TEST(ExportTest, PrometheusExactPowerOfTwoLandsInItsOwnBucket) {
+  // An exact power of two belongs to the bucket it opens: 128 is in
+  // [128, 255], so the emitted edge must be le="255" — not the previous
+  // bucket's le="127".
+  MetricsRegistry registry;
+  Histogram* h = registry.FindOrCreateHistogram(kMetricCommandAccesses);
+  h->Observe(128);
+  const std::string text = ToPrometheusText(registry.Snapshot());
+  EXPECT_NE(text.find("dsf_command_accesses_bucket{le=\"255\"} 1\n"),
+            std::string::npos)
+      << text;
+  EXPECT_EQ(text.find("le=\"127\""), std::string::npos) << text;
+}
+
+TEST(ExportTest, PrometheusEmptyHistogramStillEmitsInf) {
+  // The +Inf series is mandatory even when no bucket has a sample.
+  MetricsRegistry registry;
+  registry.FindOrCreateHistogram(kMetricCommandAccesses);
+  const std::string text = ToPrometheusText(registry.Snapshot());
+  EXPECT_NE(text.find("dsf_command_accesses_bucket{le=\"+Inf\"} 0\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("dsf_command_accesses_count 0\n"), std::string::npos)
+      << text;
+}
+
 TEST(ExportTest, JsonSnapshotFormat) {
   MetricsRegistry registry;
   registry.FindOrCreateCounter(kMetricCommands)->Increment(7);

@@ -9,12 +9,18 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <vector>
 
 #include "analysis/auditor.h"
+#include "ingest/memtable.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 #include "shard/sharded_dense_file.h"
 #include "workload/parallel_replayer.h"
 #include "workload/reference_model.h"
@@ -94,6 +100,81 @@ TEST(ShardedDenseFileTest, PointOpsMatchSingleFileSemantics) {
   EXPECT_EQ(file->size(), 0);
 }
 
+TEST(ShardedDenseFileTest, StagingBudgetTooSmallPerShardIsRejected) {
+  // Regression: a byte budget whose per-shard share cannot hold one
+  // staged entry used to be silently rounded UP to one entry per shard,
+  // quietly multiplying the caller's budget by up to S. It must be a
+  // configuration error instead.
+  ShardedDenseFile::Options options = SmallOptions(4, 1000);
+  options.staging_bytes = 2 * static_cast<int64_t>(sizeof(StagedEntry));
+  EXPECT_TRUE(ShardedDenseFile::Create(options).status().IsInvalidArgument());
+}
+
+TEST(ShardedDenseFileTest, StagingBudgetRemainderGoesToFirstShards) {
+  // Regression: the even split used to drop the remainder, losing up to
+  // S-1 entries of the budget. 14 entries over 4 shards must come out
+  // as 4+4+3+3, not 3+3+3+3.
+  ShardedDenseFile::Options options = SmallOptions(4, 1000);
+  const int64_t entry = static_cast<int64_t>(sizeof(StagedEntry));
+  options.staging_bytes = 14 * entry;
+  std::unique_ptr<ShardedDenseFile> file = MakeFile(options);
+  EXPECT_EQ(file->shard_staging_stats(0).capacity, 4);
+  EXPECT_EQ(file->shard_staging_stats(1).capacity, 4);
+  EXPECT_EQ(file->shard_staging_stats(2).capacity, 3);
+  EXPECT_EQ(file->shard_staging_stats(3).capacity, 3);
+  EXPECT_EQ(file->staging_stats().capacity, 14);
+
+  // An exactly-even budget still splits evenly.
+  options.staging_bytes = 8 * entry;
+  file = MakeFile(options);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(file->shard_staging_stats(i).capacity, 2) << "shard " << i;
+  }
+}
+
+TEST(ShardedDenseFileTest, ReadBranchCountersAccountEveryPointRead) {
+  MetricsRegistry registry;
+  ShardedDenseFile::Options options = SmallOptions(4, 1000);
+  options.shard.metrics = &registry;
+  std::unique_ptr<ShardedDenseFile> file = MakeFile(options);
+  ASSERT_TRUE(file->Insert(10, 1).ok());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(file->Get(10).ok());
+    EXPECT_FALSE(file->Contains(11));
+  }
+  // Single-threaded there is never a writer to contend with, so every
+  // point read takes the uncontended shared-lock branch.
+  int64_t shared = 0;
+  int64_t epoch_hits = 0;
+  int64_t fallbacks = 0;
+  for (const auto& c : registry.Snapshot().counters) {
+    if (c.name == kMetricReadLockShared) shared = c.value;
+    if (c.name == kMetricReadLockEpochHits) epoch_hits = c.value;
+    if (c.name == kMetricReadLockEpochFallbacks) fallbacks = c.value;
+  }
+  EXPECT_EQ(shared, 10);
+  EXPECT_EQ(epoch_hits, 0);
+  EXPECT_EQ(fallbacks, 0);
+}
+
+TEST(ShardedDenseFileTest, ExclusiveReadsKnobBypassesSharedPath) {
+  MetricsRegistry registry;
+  ShardedDenseFile::Options options = SmallOptions(4, 1000);
+  options.shard.metrics = &registry;
+  options.exclusive_reads = true;
+  std::unique_ptr<ShardedDenseFile> file = MakeFile(options);
+  ASSERT_TRUE(file->Insert(10, 1).ok());
+  EXPECT_TRUE(file->Get(10).ok());
+  EXPECT_TRUE(file->Contains(10));
+  for (const auto& c : registry.Snapshot().counters) {
+    if (c.name == kMetricReadLockShared ||
+        c.name == kMetricReadLockEpochHits ||
+        c.name == kMetricReadLockEpochFallbacks) {
+      EXPECT_EQ(c.value, 0) << c.name;
+    }
+  }
+}
+
 TEST(ShardedDenseFileTest, LearnSplittersBalancesSkewedSample) {
   // A heavily skewed sample: 90% of keys in [1, 100], the rest spread out.
   std::vector<Record> sample;
@@ -161,6 +242,86 @@ TEST(ShardedDenseFileTest, CrossShardDeleteRangeMatchesModel) {
   EXPECT_EQ(*removed, model_removed);
   EXPECT_EQ(*file->ScanAll(), model.ScanAll());
   EXPECT_TRUE(file->ValidateInvariants().ok());
+}
+
+TEST(ShardedDenseFileTest, DeleteRangeWithStagingMatchesModel) {
+  // Differential check for the range op over the staged+durable union:
+  // half the records are still in per-shard memtables when the
+  // cross-shard range delete lands.
+  ShardedDenseFile::Options options = SmallOptions(4, 1000);
+  options.shard.staging_entries = 32;
+  std::unique_ptr<ShardedDenseFile> file = MakeFile(options);
+  ReferenceModel model;
+  Rng rng(17);
+  const std::vector<Record> records = MakeUniformRecords(300, 1000, rng);
+  ASSERT_TRUE(file->BulkLoad(records).ok());
+  ASSERT_TRUE(model.Load(records).ok());
+  for (Key k = 3; k <= 1000; k += 9) {
+    const Record r{k, k + 1};
+    const Status s = file->Insert(r);
+    ASSERT_TRUE(s.ok() || s.IsAlreadyExists());
+    if (s.ok()) ASSERT_TRUE(model.Insert(r).ok());
+  }
+
+  const int64_t expected =
+      static_cast<int64_t>(model.Scan(200, 800).size());
+  for (const Record& r : model.Scan(200, 800)) {
+    ASSERT_TRUE(model.Delete(r.key).ok());
+  }
+  StatusOr<int64_t> removed = file->DeleteRange(200, 800);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, expected);
+  EXPECT_EQ(*file->ScanAll(), model.ScanAll());
+  ASSERT_TRUE(file->FlushStaging().ok());
+  EXPECT_EQ(*file->ScanAll(), model.ScanAll());
+  EXPECT_TRUE(file->ValidateInvariants().ok());
+}
+
+TEST(ShardedDenseFileTest, DeleteRangeIsAtomicAgainstConcurrentScan) {
+  // Regression: the range delete used to tombstone shard-by-shard, one
+  // lock at a time, so a concurrent scan over the same range could see
+  // a half-deleted prefix. Now the delete holds every affected shard
+  // exclusive and scans hold them all shared: each scan observes either
+  // the full pre-delete contents or the empty post-delete state, never
+  // a torn middle.
+  std::unique_ptr<ShardedDenseFile> file = MakeFile(SmallOptions(4, 1000));
+  std::vector<Record> initial;
+  for (Key k = 1; k <= 1000; k += 2) initial.push_back(Record{k, k});
+  ASSERT_TRUE(file->BulkLoad(initial).ok());
+  const int64_t full = static_cast<int64_t>(initial.size());
+  // Widen the race window: every page access sleeps, so the shard-by-
+  // shard pre-fix interleaving is all but guaranteed to be observed.
+  file->SetAccessLatency(std::chrono::microseconds(20));
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> scans_done{0};
+  std::atomic<int64_t> torn{0};
+  std::atomic<bool> scan_failed{false};
+  std::thread scanner([&] {
+    std::vector<Record> out;
+    while (!stop.load(std::memory_order_acquire)) {
+      out.clear();
+      if (!file->Scan(1, 1000, &out).ok()) {
+        scan_failed.store(true);
+        break;
+      }
+      const int64_t n = static_cast<int64_t>(out.size());
+      if (n != 0 && n != full) torn.fetch_add(1);
+      scans_done.fetch_add(1);
+    }
+  });
+  while (scans_done.load() < 2) std::this_thread::yield();
+  StatusOr<int64_t> removed = file->DeleteRange(1, 1000);
+  const int64_t after_delete = scans_done.load();
+  while (scans_done.load() < after_delete + 2) std::this_thread::yield();
+  stop.store(true, std::memory_order_release);
+  scanner.join();
+
+  ASSERT_FALSE(scan_failed.load());
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, full);
+  EXPECT_EQ(torn.load(), 0) << torn.load() << " torn scans";
+  EXPECT_EQ(file->size(), 0);
 }
 
 TEST(ShardedDenseFileTest, InsertBatchRoutesAcrossShards) {
@@ -251,15 +412,24 @@ TEST(ParallelReplayerTest, RangeMixesPartitionTheKeySpace) {
 // drive concurrent memtable puts, piggybacked drain steps, and the
 // merged read view under contention, and must FlushStaging before the
 // differential compare so the device+staging union is fully drained.
+// The fifth parameter selects the read-mostly shared-path storm: ~90%
+// point reads exercising all three read branches (shared lock, epoch
+// pool read, blocking fallback) against concurrent writers and drains,
+// with audit_every_command and certify_bound on so every interleaving
+// is auditor- and bound-certified. Run under TSan this is the data-race
+// battery for the reader-writer lock split.
 class ShardedStormTest
-    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int, bool>> {
+};
 
 TEST_P(ShardedStormTest, ConcurrentMixedTrafficMatchesReference) {
   const int num_shards = std::get<0>(GetParam());
   const int num_threads = std::get<1>(GetParam());
   const int cache_frames = std::get<2>(GetParam());
   const int staging_entries = std::get<3>(GetParam());
+  const bool read_mostly = std::get<4>(GetParam());
   const Key key_space = 4000;
+  const int64_t ops_per_thread = read_mostly ? 1500 : 4000;
 
   // Total capacity held constant across configurations: 512 pages split
   // evenly over the shards, same (d, D) everywhere.
@@ -271,6 +441,12 @@ TEST_P(ShardedStormTest, ConcurrentMixedTrafficMatchesReference) {
   options.shard.D = 8 + 4 * 9 + 1;
   options.shard.cache_frames = cache_frames;
   options.shard.staging_entries = staging_entries;
+  MetricsRegistry registry;
+  if (read_mostly) {
+    options.shard.metrics = &registry;
+    options.shard.audit_every_command = true;
+    options.shard.certify_bound = true;
+  }
   // Aggregate capacity comfortably above the number of distinct keys, so
   // no interleaving can hit CapacityExceeded and per-key outcomes stay
   // deterministic.
@@ -285,8 +461,10 @@ TEST_P(ShardedStormTest, ConcurrentMixedTrafficMatchesReference) {
   ASSERT_TRUE(file->BulkLoad(initial).ok());
 
   const std::vector<Trace> traces = ParallelReplayer::DisjointUniformMixes(
-      num_threads, /*ops_per_thread=*/4000, /*insert_fraction=*/0.35,
-      /*delete_fraction=*/0.30, /*scan_fraction=*/0.05, key_space,
+      num_threads, ops_per_thread,
+      /*insert_fraction=*/read_mostly ? 0.05 : 0.35,
+      /*delete_fraction=*/read_mostly ? 0.04 : 0.30,
+      /*scan_fraction=*/read_mostly ? 0.01 : 0.05, key_space,
       /*scan_span=*/64, /*seed=*/42);
 
   ParallelReplayer replayer({num_threads});
@@ -296,7 +474,7 @@ TEST_P(ShardedStormTest, ConcurrentMixedTrafficMatchesReference) {
                            << result.first_unexpected_error.ToString();
 
   const ReplayThreadStats agg = result.Aggregate();
-  EXPECT_EQ(agg.ops, static_cast<int64_t>(num_threads) * 4000);
+  EXPECT_EQ(agg.ops, static_cast<int64_t>(num_threads) * ops_per_thread);
   EXPECT_EQ(agg.inserts + agg.deletes + agg.gets + agg.scans, agg.ops);
   EXPECT_GT(result.wall_seconds, 0.0);
 
@@ -363,26 +541,56 @@ TEST_P(ShardedStormTest, ConcurrentMixedTrafficMatchesReference) {
     EXPECT_EQ(*file->ScanAll(), model.ScanAll());
     EXPECT_TRUE(file->ValidateInvariants().ok());
   }
+
+  if (read_mostly) {
+    // Every point read took exactly one of the three branches, and the
+    // live bound certificate saw no violation on any interleaving.
+    int64_t shared = 0;
+    int64_t epoch_hits = 0;
+    int64_t fallbacks = 0;
+    int64_t bound_violations = 0;
+    for (const auto& c : registry.Snapshot().counters) {
+      if (c.name == kMetricReadLockShared) shared = c.value;
+      if (c.name == kMetricReadLockEpochHits) epoch_hits = c.value;
+      if (c.name == kMetricReadLockEpochFallbacks) fallbacks = c.value;
+      if (c.name.rfind(kMetricBoundViolations, 0) == 0) {
+        bound_violations += c.value;
+      }
+    }
+    EXPECT_EQ(shared + epoch_hits + fallbacks, agg.gets);
+    EXPECT_EQ(bound_violations, 0);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
     Storms, ShardedStormTest,
-    ::testing::Values(std::make_tuple(1, 4, 0, 0), std::make_tuple(4, 1, 0, 0),
-                      std::make_tuple(4, 4, 0, 0), std::make_tuple(8, 4, 0, 0),
-                      std::make_tuple(8, 8, 0, 0), std::make_tuple(4, 4, 8, 0),
-                      std::make_tuple(8, 8, 8, 0),
+    ::testing::Values(std::make_tuple(1, 4, 0, 0, false),
+                      std::make_tuple(4, 1, 0, 0, false),
+                      std::make_tuple(4, 4, 0, 0, false),
+                      std::make_tuple(8, 4, 0, 0, false),
+                      std::make_tuple(8, 8, 0, 0, false),
+                      std::make_tuple(4, 4, 8, 0, false),
+                      std::make_tuple(8, 8, 8, 0, false),
                       // Staged storms: memtable + drain under contention,
                       // without and with a per-shard pool (the latter runs
                       // the deferred-flush + volatile-key path too).
-                      std::make_tuple(4, 4, 0, 16),
-                      std::make_tuple(8, 8, 8, 16)),
-    [](const ::testing::TestParamInfo<std::tuple<int, int, int, int>>& param) {
+                      std::make_tuple(4, 4, 0, 16, false),
+                      std::make_tuple(8, 8, 8, 16, false),
+                      // Read-mostly shared-path storms: readers racing
+                      // writers racing drains, audited and certified per
+                      // command; the epoch pool-read branch needs frames
+                      // to hit, so both pool-less and pooled shapes run.
+                      std::make_tuple(4, 4, 0, 16, true),
+                      std::make_tuple(8, 8, 8, 16, true)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int, int, int, bool>>&
+           param) {
       std::string base = "S" + std::to_string(std::get<0>(param.param)) + "T" +
                          std::to_string(std::get<1>(param.param));
       const int frames = std::get<2>(param.param);
       const int staged = std::get<3>(param.param);
       if (frames > 0) base += "Pool" + std::to_string(frames);
       if (staged > 0) base += "Staged" + std::to_string(staged);
+      if (std::get<4>(param.param)) base += "ReadMostly";
       return base;
     });
 
