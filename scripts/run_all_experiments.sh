@@ -19,6 +19,11 @@
 #   BENCH_rwlock.json shard_scaling --mode=rwlock (E19: 90/10 read-mostly
 #                     mix, shared read path vs exclusive_reads baseline,
 #                     per-config read-throughput speedup)
+#   BENCH_adaptive.json adaptive_sweep (E20: adversarial workload suite,
+#                     self-tuning controller vs a grid of static
+#                     configurations: physical accesses, actuations,
+#                     frame conservation, zero certified-bound
+#                     violations)
 #
 # With --sanitize, instead runs the sanitizer matrix: an
 # address,undefined build driving the fault-injection / crash-recovery /
@@ -49,7 +54,7 @@ if [[ "${1:-}" == "--sanitize" ]]; then
   cmake -B build-tsan -G Ninja -DDSF_SANITIZE=thread
   cmake --build build-tsan
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'sharded_file_test|obs_test|buffer_pool_test'
+    -R 'sharded_file_test|obs_test|buffer_pool_test|tune_test'
   echo "Sanitizer matrix clean"
   exit 0
 fi
@@ -57,7 +62,7 @@ fi
 if [[ "${1:-}" == "--bench" ]]; then
   cmake -B build-bench -G Ninja -DCMAKE_BUILD_TYPE=Release
   cmake --build build-bench --target gbench_core shard_scaling cache_sweep \
-    obs_certify ingest_sweep
+    obs_certify ingest_sweep adaptive_sweep
   ./build-bench/bench/gbench_core \
     --benchmark_format=json \
     --benchmark_min_time=0.2 > BENCH_core.json
@@ -67,8 +72,10 @@ if [[ "${1:-}" == "--bench" ]]; then
   ./build-bench/bench/ingest_sweep --out=BENCH_ingest.json
   ./build-bench/bench/shard_scaling --mode=rwlock --ops=8000 \
     --out=BENCH_rwlock.json
+  ./build-bench/bench/adaptive_sweep --out=BENCH_adaptive.json
   echo "Wrote BENCH_core.json, BENCH_shard.json, BENCH_cache.json," \
-    "BENCH_obs.json, BENCH_ingest.json and BENCH_rwlock.json"
+    "BENCH_obs.json, BENCH_ingest.json, BENCH_rwlock.json and" \
+    "BENCH_adaptive.json"
   exit 0
 fi
 

@@ -80,16 +80,16 @@ lint() {
 echo "== project-rule linter =="
 lint raw-page-io '\.RawPage\(' \
     src/core src/shard src/baseline src/varsize src/workload src/analysis \
-    src/ingest
+    src/ingest src/tune
 lint check-on-fault-path 'DSF_D?CHECK\([^)]*\.ok\(\)' \
-    src/core src/storage src/shard src/varsize src/ingest
+    src/core src/storage src/shard src/varsize src/ingest src/tune
 lint no-naked-mutex \
     'std::(mutex|shared_mutex|shared_timed_mutex|lock_guard|scoped_lock|unique_lock|shared_lock)' \
     src/core src/shard src/storage src/workload src/analysis src/baseline \
-    src/varsize src/repro src/ingest
+    src/varsize src/repro src/ingest src/tune
 lint unregistered-metric-name 'FindOrCreate(Counter|Gauge|Histogram)\( *"' \
     src/core src/shard src/storage src/workload src/analysis src/baseline \
-    src/varsize src/repro src/ingest bench examples tests
+    src/varsize src/repro src/ingest src/tune bench examples tests
 
 # --- Layer 2: thread-safety analysis build --------------------------
 

@@ -122,7 +122,10 @@ std::string ToJsonSnapshot(const MetricsSnapshot& snapshot) {
     if (!first_h) os << ",";
     first_h = false;
     os << "\"" << JsonEscape(h.name) << "\":{\"count\":" << h.count
-       << ",\"sum\":" << h.sum << ",\"max\":" << h.max << ",\"buckets\":{";
+       << ",\"sum\":" << h.sum << ",\"max\":" << h.max
+       << ",\"p50\":" << Histogram::QuantileFromBuckets(h.buckets, 0.50)
+       << ",\"p99\":" << Histogram::QuantileFromBuckets(h.buckets, 0.99)
+       << ",\"buckets\":{";
     bool first_b = true;
     for (int i = 0; i < kHistogramBuckets; ++i) {
       const int64_t count = h.buckets[static_cast<size_t>(i)];

@@ -81,6 +81,31 @@ int64_t Histogram::Max() const {
   return max;
 }
 
+int64_t Histogram::QuantileFromBuckets(
+    const std::array<int64_t, kHistogramBuckets>& buckets, double q) {
+  int64_t total = 0;
+  for (const int64_t c : buckets) total += c;
+  if (total <= 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the quantile observation, 1-based; ceil without drifting
+  // through floating point at the top end.
+  int64_t rank = static_cast<int64_t>(q * static_cast<double>(total));
+  if (static_cast<double>(rank) < q * static_cast<double>(total)) ++rank;
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+  int64_t seen = 0;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    seen += buckets[static_cast<size_t>(i)];
+    if (seen >= rank) return BucketUpperEdge(i);
+  }
+  return BucketUpperEdge(kHistogramBuckets - 1);
+}
+
+int64_t Histogram::ApproxQuantile(double q) const {
+  return QuantileFromBuckets(BucketCounts(), q);
+}
+
 std::array<int64_t, kHistogramBuckets> Histogram::BucketCounts() const {
   std::array<int64_t, kHistogramBuckets> out{};
   for (const Stripe& s : stripes_) {

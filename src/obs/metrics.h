@@ -112,6 +112,20 @@ class Histogram {
   // Merged per-bucket counts, index = bucket.
   std::array<int64_t, kHistogramBuckets> BucketCounts() const;
 
+  // Upper-edge quantile estimate over a merged bucket array: the
+  // inclusive upper edge of the bucket holding the rank-ceil(q*count)
+  // observation (rank clamped into [1, count]). Because buckets are
+  // power-of-two ranges the estimate is exact to within 2x and, being
+  // an upper edge, never understates — the right polarity for headroom
+  // checks against a hard budget. Returns 0 on an empty array; q is
+  // clamped into [0, 1]. Static so callers can diff two snapshots'
+  // bucket arrays and take the quantile of the *window* between them
+  // (merges and diffs of per-bucket counts are exact).
+  static int64_t QuantileFromBuckets(
+      const std::array<int64_t, kHistogramBuckets>& buckets, double q);
+  // QuantileFromBuckets over this histogram's live merged counts.
+  int64_t ApproxQuantile(double q) const;
+
  private:
   // One stripe row: the full bucket array plus sum/max, padded so
   // distinct stripes never share a cache line.

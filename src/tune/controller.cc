@@ -1,0 +1,380 @@
+#include "tune/controller.h"
+
+#include <algorithm>
+#include <string>
+
+#include "obs/metric_names.h"
+#include "util/check.h"
+
+namespace dsf {
+
+namespace {
+
+// Same rendering as ShardedDenseFile's per-shard metric labels, so the
+// controller's gauges line up with the shard gauges in one export.
+std::string ShardLabel(int shard) {
+  return "shard=\"" + std::to_string(shard) + "\"";
+}
+
+TuneOptions Sanitize(TuneOptions o) {
+  o.tick_every_commands = std::max<int64_t>(1, o.tick_every_commands);
+  o.consecutive_ticks = std::max(1, o.consecutive_ticks);
+  o.cooldown_ticks = std::max(0, o.cooldown_ticks);
+  o.min_frames_per_shard = std::max<int64_t>(1, o.min_frames_per_shard);
+  o.min_miss_signal = std::max<int64_t>(1, o.min_miss_signal);
+  o.pool_regret_backoff_ticks = std::max(0, o.pool_regret_backoff_ticks);
+  o.min_staging_entries = std::max<int64_t>(1, o.min_staging_entries);
+  o.min_drain_batch = std::max<int64_t>(1, o.min_drain_batch);
+  o.headroom_trigger_x1000 =
+      std::min<int64_t>(1000, std::max<int64_t>(1, o.headroom_trigger_x1000));
+  o.j_max_multiplier = std::max<int64_t>(1, o.j_max_multiplier);
+  return o;
+}
+
+}  // namespace
+
+AdaptiveController::AdaptiveController(const TuneOptions& options,
+                                       int num_shards,
+                                       MetricsRegistry* metrics)
+    : options_(Sanitize(options)), num_shards_(num_shards) {
+  DSF_CHECK(num_shards >= 1) << "controller needs at least one shard";
+  MutexLock lock(mu_);
+  drain_up_.resize(static_cast<size_t>(num_shards));
+  drain_down_.resize(static_cast<size_t>(num_shards));
+  drain_shrink_.resize(static_cast<size_t>(num_shards));
+  drain_raised_.resize(static_cast<size_t>(num_shards), 0);
+  headroom_.resize(static_cast<size_t>(num_shards));
+  calm_streak_.resize(static_cast<size_t>(num_shards), 0);
+  recent_recals_.resize(static_cast<size_t>(num_shards), 0);
+  if (metrics != nullptr) {
+    m_ticks_ = metrics->FindOrCreateCounter(kMetricTuneTicks);
+    m_actuations_ = metrics->FindOrCreateCounter(kMetricTuneActuations);
+    m_frames_moved_ = metrics->FindOrCreateCounter(kMetricTuneFramesMoved);
+    m_recalibrations_ =
+        metrics->FindOrCreateCounter(kMetricTuneRecalibrations);
+    m_headroom_ = metrics->FindOrCreateGauge(kMetricTuneHeadroomX1000);
+    for (int i = 0; i < num_shards; ++i) {
+      const std::string label = ShardLabel(i);
+      m_pool_frames_.push_back(
+          metrics->FindOrCreateGauge(kMetricTunePoolFrames, label));
+      m_drain_batch_.push_back(
+          metrics->FindOrCreateGauge(kMetricTuneDrainBatch, label));
+      m_staging_capacity_.push_back(
+          metrics->FindOrCreateGauge(kMetricTuneStagingCapacity, label));
+      m_j_.push_back(metrics->FindOrCreateGauge(kMetricTuneJ, label));
+    }
+  }
+}
+
+TuneDecision AdaptiveController::Tick(
+    const std::vector<TuneShardSignals>& now) {
+  MutexLock lock(mu_);
+  DSF_CHECK(static_cast<int>(now.size()) == num_shards_)
+      << "signal vector covers " << now.size() << " shards, controller built "
+      << "for " << num_shards_;
+  ++stats_.ticks;
+  if (m_ticks_ != nullptr) m_ticks_->Increment();
+  PublishGauges(now);
+
+  TuneDecision decision;
+  if (!seeded_) {
+    // First tick: no window to diff yet — just seed the baseline.
+    prev_ = now;
+    seeded_ = true;
+    return decision;
+  }
+  if (options_.tune_pool) DecidePool(now, &decision);
+  if (options_.tune_drain) DecideDrain(now, &decision);
+  if (options_.tune_headroom) DecideHeadroom(now, &decision);
+  prev_ = now;
+  if (!decision.empty()) ++stats_.decisions;
+  return decision;
+}
+
+// Actuator (a): move frames from the coldest pool to the hottest. The
+// trigger is a window-miss imbalance — recipient misses must dominate
+// donor misses (2x + noise floor) — and the streak only accumulates
+// while consecutive ticks elect the *same* donor/recipient pair, so a
+// wandering hotspot never triggers a move it would immediately regret.
+void AdaptiveController::DecidePool(const std::vector<TuneShardSignals>& now,
+                                    TuneDecision* decision) {
+  // Judge the previous move once it has had a settling window: if the
+  // recipient's misses failed to drop by at least a tenth of what
+  // justified the move, the frames bought nothing (the working set
+  // dwarfs the pool — a drifting hotspot, say) and the balancer backs
+  // off rather than chase it with more futile flush-heavy moves.
+  if (pool_eval_wait_ > 0 && --pool_eval_wait_ == 0 && pool_eval_to_ >= 0) {
+    const int64_t after =
+        now[pool_eval_to_].pool_misses - prev_[pool_eval_to_].pool_misses;
+    if (10 * after >= 9 * pool_eval_misses_) {
+      pool_backoff_ = options_.pool_regret_backoff_ticks;
+    }
+    pool_eval_to_ = -1;
+  }
+  if (pool_backoff_ > 0) {
+    --pool_backoff_;
+    pool_damper_.Step(false, options_.consecutive_ticks,
+                      options_.cooldown_ticks);
+    return;
+  }
+  int to = -1;
+  int64_t to_misses = -1;
+  for (int i = 0; i < num_shards_; ++i) {
+    if (now[i].pool_frames <= 0) continue;  // shard runs uncached
+    const int64_t w = now[i].pool_misses - prev_[i].pool_misses;
+    if (w > to_misses) {
+      to = i;
+      to_misses = w;
+    }
+  }
+  int from = -1;
+  int64_t from_misses = 0;
+  for (int i = 0; i < num_shards_; ++i) {
+    if (i == to || now[i].pool_frames <= options_.min_frames_per_shard) {
+      continue;
+    }
+    const int64_t w = now[i].pool_misses - prev_[i].pool_misses;
+    if (from < 0 || w < from_misses) {
+      from = i;
+      from_misses = w;
+    }
+  }
+  const bool triggered =
+      to >= 0 && from >= 0 && to_misses >= options_.min_miss_signal &&
+      to_misses >= 2 * from_misses + options_.min_miss_signal;
+  if (triggered && (to != pool_last_to_ || from != pool_last_from_)) {
+    pool_damper_.streak = 0;  // pair changed — restart the agreement
+  }
+  pool_last_to_ = to;
+  pool_last_from_ = from;
+  if (!pool_damper_.Step(triggered, options_.consecutive_ticks,
+                         options_.cooldown_ticks)) {
+    return;
+  }
+  // Donate a quarter of the donor's pool per firing — geometric, so
+  // repeated firings converge without ever stranding the donor below
+  // the floor.
+  const int64_t spare = now[from].pool_frames - options_.min_frames_per_shard;
+  const int64_t frames =
+      std::max<int64_t>(1, std::min(now[from].pool_frames / 4, spare));
+  decision->frame_moves.push_back(TuneDecision::FrameMove{from, to, frames});
+  if (options_.pool_regret_backoff_ticks > 0) {
+    pool_eval_to_ = to;
+    pool_eval_misses_ = to_misses;
+    pool_eval_wait_ = 2;  // one window to settle, judged on the next
+  }
+}
+
+// Actuator (b): a shard whose staging buffer sits >= 3/4 full while
+// window arrivals outpace drains gets its drain batch doubled (one
+// piggybacked drain then retires more entries against the same
+// certified per-command budget) and, if some other shard's buffer
+// idles <= 1/10 full with capacity to spare, staged capacity donated.
+// When the pressure clears (fill <= 1/4) the batch returns to the
+// auto default.
+//
+// The opposite correction — absorption shrink — fires when window
+// annihilations show the buffer cancelling a meaningful share of the
+// arriving work in memory (delete-heavy or churny workloads): a
+// smaller drain batch keeps the buffer fuller, entries stay resident
+// longer, and more inserts die to later deletes before ever touching
+// the file. The shrink jumps straight to min_drain_batch — there is no
+// gradient worth descending, because the correction is cheap to undo:
+// if a burst arrives the pressure branch doubles back out of the floor
+// within two windows, while every window spent at the floor is file
+// work saved.
+void AdaptiveController::DecideDrain(const std::vector<TuneShardSignals>& now,
+                                     TuneDecision* decision) {
+  for (int i = 0; i < num_shards_; ++i) {
+    const int64_t cap = now[i].staging_capacity;
+    if (cap <= 0) {
+      // Staging off for this shard; still step the dampers so cooldowns
+      // tick down uniformly.
+      drain_up_[static_cast<size_t>(i)].Step(false, options_.consecutive_ticks,
+                                             options_.cooldown_ticks);
+      drain_down_[static_cast<size_t>(i)].Step(
+          false, options_.consecutive_ticks, options_.cooldown_ticks);
+      drain_shrink_[static_cast<size_t>(i)].Step(
+          false, options_.consecutive_ticks, options_.cooldown_ticks);
+      continue;
+    }
+    const int64_t arrivals = now[i].staging_puts - prev_[i].staging_puts;
+    const int64_t drains = now[i].drained_entries - prev_[i].drained_entries;
+    const bool pressed =
+        now[i].staging_entries * 4 >= cap * 3 && arrivals > drains;
+    const bool idle = now[i].staging_entries * 4 <= cap;
+
+    if (drain_up_[static_cast<size_t>(i)].Step(pressed,
+                                               options_.consecutive_ticks,
+                                               options_.cooldown_ticks)) {
+      decision->drain_changes.push_back(
+          TuneDecision::DrainChange{i, now[i].drain_batch * 2});
+      drain_raised_[static_cast<size_t>(i)] = 1;
+      // Capacity donation: the emptiest other shard with room to give.
+      int from = -1;
+      int64_t best_fill_x1000 = 101;  // <= 10% qualifies (fill in x1000)
+      for (int j = 0; j < num_shards_; ++j) {
+        const int64_t jcap = now[j].staging_capacity;
+        if (j == i || jcap < 2 * options_.min_staging_entries) continue;
+        const int64_t fill_x1000 = 1000 * now[j].staging_entries / jcap;
+        if (fill_x1000 < best_fill_x1000) {
+          from = j;
+          best_fill_x1000 = fill_x1000;
+        }
+      }
+      if (from >= 0) {
+        const int64_t give =
+            (now[from].staging_capacity - options_.min_staging_entries) / 2;
+        if (give > 0) {
+          decision->staging_moves.push_back(
+              TuneDecision::StagingMove{from, i, give});
+        }
+      }
+    }
+    // Absorption shrink: the window annihilated staged work in memory
+    // while the buffer was not under pressure, and the batch is above
+    // the floor. Any sustained annihilation is evidence enough — the
+    // observed rate is attenuated by the current fill (a half-empty
+    // buffer can only absorb deletes aimed at the few entries still
+    // resident), so demanding a high measured rate before shrinking
+    // would wait for evidence the shrink itself produces. Requires a
+    // full window of arrivals so a trickle can't masquerade as a
+    // signal.
+    const int64_t absorbed =
+        now[i].staging_annihilations - prev_[i].staging_annihilations;
+    const bool absorbing = !pressed && absorbed > 0 &&
+                           arrivals >= options_.min_staging_entries &&
+                           now[i].drain_batch > options_.min_drain_batch;
+    if (drain_shrink_[static_cast<size_t>(i)].Step(absorbing,
+                                                   options_.consecutive_ticks,
+                                                   options_.cooldown_ticks)) {
+      decision->drain_changes.push_back(
+          TuneDecision::DrainChange{i, options_.min_drain_batch});
+      drain_raised_[static_cast<size_t>(i)] = 1;
+    }
+    const bool restore = idle && drain_raised_[static_cast<size_t>(i)] != 0;
+    if (drain_down_[static_cast<size_t>(i)].Step(restore,
+                                                 options_.consecutive_ticks,
+                                                 options_.cooldown_ticks)) {
+      decision->drain_changes.push_back(TuneDecision::DrainChange{i, 0});
+      drain_raised_[static_cast<size_t>(i)] = 0;
+    }
+  }
+}
+
+// Actuator (c): the J-headroom advisory. Windowed p99 command accesses
+// (upper-edge estimate — never understates, so it errs toward acting
+// early) approaching the certified budget K*(4J+2) predicts a breach;
+// the response is a bounded re-calibration — Compact rebuilds uniform
+// density, resetting the evolutionary state that was eating headroom —
+// and, when collapse recurs within the horizon, a J raise (capped at
+// default * j_max_multiplier, floored at the open-time default). A
+// sustained calm stretch restores the default J so the steady-state
+// per-command ceiling comes back down.
+void AdaptiveController::DecideHeadroom(
+    const std::vector<TuneShardSignals>& now, TuneDecision* decision) {
+  for (int i = 0; i < num_shards_; ++i) {
+    const size_t si = static_cast<size_t>(i);
+    const int64_t budget = now[i].budget;
+    std::array<int64_t, kHistogramBuckets> window{};
+    int64_t count = 0;
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      window[static_cast<size_t>(b)] = now[i].access_buckets[static_cast<size_t>(b)] -
+                                       prev_[i].access_buckets[static_cast<size_t>(b)];
+      count += window[static_cast<size_t>(b)];
+    }
+    const int64_t p99 =
+        count > 0 ? Histogram::QuantileFromBuckets(window, 0.99) : 0;
+    const bool collapse = budget > 0 && count > 0 &&
+                          1000 * p99 >= options_.headroom_trigger_x1000 * budget;
+
+    if (headroom_[si].Step(collapse, options_.consecutive_ticks,
+                           options_.cooldown_ticks)) {
+      TuneDecision::Recalibration recal;
+      recal.shard = i;
+      recal.compact = true;
+      ++recent_recals_[si];
+      if (recent_recals_[si] >= 2) {
+        // Compact alone did not hold the line — raise J (doubling,
+        // capped), which widens the certified envelope itself.
+        const int64_t cap = now[i].default_j * options_.j_max_multiplier;
+        const int64_t want = std::min(cap, 2 * std::max<int64_t>(1, now[i].j));
+        if (want > now[i].j) recal.set_j = want;
+      }
+      decision->recalibrations.push_back(recal);
+      calm_streak_[si] = 0;
+    } else if (!collapse) {
+      if (++calm_streak_[si] >= 2 * std::max(1, options_.cooldown_ticks)) {
+        if (now[i].j > now[i].default_j && now[i].default_j >= 1) {
+          // Calm long enough: restore the open-time J (no Compact —
+          // narrowing the envelope needs no density repair).
+          decision->recalibrations.push_back(
+              TuneDecision::Recalibration{i, now[i].default_j, false});
+        }
+        recent_recals_[si] = 0;
+        calm_streak_[si] = 0;
+      }
+    } else {
+      calm_streak_[si] = 0;
+    }
+  }
+}
+
+void AdaptiveController::PublishGauges(
+    const std::vector<TuneShardSignals>& now) {
+  for (int i = 0; i < num_shards_; ++i) {
+    const size_t si = static_cast<size_t>(i);
+    if (si < m_pool_frames_.size() && m_pool_frames_[si] != nullptr) {
+      m_pool_frames_[si]->Set(now[i].pool_frames);
+      m_drain_batch_[si]->Set(now[i].drain_batch);
+      m_staging_capacity_[si]->Set(now[i].staging_capacity);
+      m_j_[si]->Set(now[i].j);
+    }
+  }
+  // Worst-case (minimum) remaining headroom across certified shards,
+  // from the windowed p99 when a window exists.
+  if (m_headroom_ == nullptr || !seeded_) return;
+  int64_t worst = -1;
+  for (int i = 0; i < num_shards_; ++i) {
+    if (now[i].budget <= 0) continue;
+    std::array<int64_t, kHistogramBuckets> window{};
+    int64_t count = 0;
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      window[static_cast<size_t>(b)] =
+          now[i].access_buckets[static_cast<size_t>(b)] -
+          prev_[i].access_buckets[static_cast<size_t>(b)];
+      count += window[static_cast<size_t>(b)];
+    }
+    if (count <= 0) continue;
+    const int64_t p99 = Histogram::QuantileFromBuckets(window, 0.99);
+    const int64_t headroom_x1000 =
+        1000 * (now[i].budget - std::min(p99, now[i].budget)) / now[i].budget;
+    if (worst < 0 || headroom_x1000 < worst) worst = headroom_x1000;
+  }
+  if (worst >= 0) m_headroom_->Set(worst);
+}
+
+void AdaptiveController::RecordApplied(int64_t actuations,
+                                       int64_t frames_moved,
+                                       int64_t recalibrations) {
+  MutexLock lock(mu_);
+  stats_.applied_actuations += actuations;
+  stats_.applied_frames_moved += frames_moved;
+  stats_.applied_recalibrations += recalibrations;
+  if (m_actuations_ != nullptr && actuations > 0) {
+    m_actuations_->Increment(actuations);
+  }
+  if (m_frames_moved_ != nullptr && frames_moved > 0) {
+    m_frames_moved_->Increment(frames_moved);
+  }
+  if (m_recalibrations_ != nullptr && recalibrations > 0) {
+    m_recalibrations_->Increment(recalibrations);
+  }
+}
+
+TuneStats AdaptiveController::stats() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
+}  // namespace dsf

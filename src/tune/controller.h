@@ -1,0 +1,223 @@
+// AdaptiveController — the closed-loop self-tuning controller.
+//
+// The controller runs *inside* the command loop: ShardedDenseFile calls
+// MaybeTune() after every point command (the MaybeDrain piggyback
+// pattern — no background thread, no timer), and every
+// TuneOptions::tick_every_commands commands that call collects one
+// cumulative signal snapshot per shard and feeds it here. Tick() diffs
+// the snapshot against the previous tick's to get *windowed* rates and
+// decides, per actuator, whether to correct:
+//
+//   (a) buffer-pool frame balance — the shard with the most window
+//       misses receives frames donated by the shard with the fewest,
+//       so the global frame budget follows the working set;
+//   (b) drain batch / staging capacity — a shard whose staging buffer
+//       stays near-full while arrivals outpace drains gets a larger
+//       drain batch (amortizing its certified drain budget over more
+//       entries) and, when another shard's buffer idles near-empty,
+//       capacity donated from it;
+//   (c) J-headroom advisory — a shard whose windowed p99 command
+//       accesses approach the certifier budget K*(4J+2) is predicted
+//       to breach; the controller orders a bounded re-calibration
+//       (Compact, which rebuilds density headroom) and, if collapse
+//       repeats, a J raise (never below the open-time default:
+//       Theorem 5.5's floor), restoring the default once calm.
+//
+// Every decision is hysteresis-damped (consecutive agreeing ticks to
+// arm, cooldown ticks after firing) so one noisy window never moves an
+// actuator, and every decision is *advisory*: the owner applies it
+// under the shard locks with apply-time clamping (frames conserve
+// exactly, staging never shrinks below its fill), and BoundCertifier
+// remains the hard envelope — the controller widens or narrows real
+// resource allocation but never loosens the certified bound; after a
+// J change the certifier is recalibrated so subsequent commands are
+// checked against the *new* budget, with the switch itself on the
+// audit record (BoundReport::recalibrations).
+//
+// Thread safety: Tick() and stats() are serialized on an internal
+// mutex; concurrent commands that cross the tick boundary at once
+// simply queue. Decisions are returned by value, applied outside.
+
+#ifndef DSF_TUNE_CONTROLLER_H_
+#define DSF_TUNE_CONTROLLER_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "tune/tune_options.h"
+#include "util/thread_annotations.h"
+
+namespace dsf {
+
+// Cumulative per-shard signal snapshot, collected by the owner under
+// each shard's reader lock. Counters are since-open totals (the
+// controller diffs consecutive snapshots itself); *gauge* fields are
+// instantaneous.
+struct TuneShardSignals {
+  int64_t commands = 0;        // point commands completed
+  int64_t pool_hits = 0;       // buffer-pool counters (0 when no pool)
+  int64_t pool_misses = 0;
+  int64_t pool_frames = 0;     // gauge: current frame count
+  int64_t pool_dirty = 0;      // gauge: currently dirty frames
+  int64_t staging_puts = 0;    // staging counters (0 when staging off)
+  int64_t drained_entries = 0;
+  int64_t staging_annihilations = 0;  // staged inserts cancelled in memory
+  int64_t staging_entries = 0;   // gauge: current fill
+  int64_t staging_capacity = 0;  // gauge
+  int64_t drain_batch = 0;       // gauge
+  int64_t records = 0;           // gauge
+  int64_t j = 0;                 // gauge: current maintenance J
+  int64_t default_j = 0;         // open-time J — the tuning floor
+  int64_t budget = 0;            // certifier envelope; 0 when uncertified
+  // Cumulative per-command access histogram buckets (all-zero when the
+  // file runs without a metrics registry — the headroom actuator then
+  // has no signal and never fires).
+  std::array<int64_t, kHistogramBuckets> access_buckets{};
+};
+
+// What the controller wants changed. Advisory: the owner applies each
+// entry under the proper locks and may clamp or skip (e.g. a pool
+// shrink refused while a cursor pins pages).
+struct TuneDecision {
+  struct FrameMove {
+    int from = 0;
+    int to = 0;
+    int64_t frames = 0;
+  };
+  struct DrainChange {
+    int shard = 0;
+    int64_t batch = 0;  // 0 = restore the auto default
+  };
+  struct StagingMove {
+    int from = 0;
+    int to = 0;
+    int64_t entries = 0;
+  };
+  struct Recalibration {
+    int shard = 0;
+    int64_t set_j = 0;  // 0 = keep current J
+    bool compact = true;
+  };
+
+  std::vector<FrameMove> frame_moves;
+  std::vector<DrainChange> drain_changes;
+  std::vector<StagingMove> staging_moves;
+  std::vector<Recalibration> recalibrations;
+
+  bool empty() const {
+    return frame_moves.empty() && drain_changes.empty() &&
+           staging_moves.empty() && recalibrations.empty();
+  }
+};
+
+struct TuneStats {
+  int64_t ticks = 0;
+  int64_t decisions = 0;        // ticks that proposed at least one change
+  int64_t applied_actuations = 0;
+  int64_t applied_frames_moved = 0;
+  int64_t applied_recalibrations = 0;
+};
+
+class AdaptiveController {
+ public:
+  // `metrics` may be null (controller still works, just unexported).
+  // Exports under the dsf_tune_* catalog names; per-shard gauges carry
+  // the same shard="i" labels as the rest of the sharded file.
+  AdaptiveController(const TuneOptions& options, int num_shards,
+                     MetricsRegistry* metrics);
+
+  // One control tick. The first call only seeds the window baseline and
+  // returns an empty decision.
+  TuneDecision Tick(const std::vector<TuneShardSignals>& now)
+      DSF_EXCLUDES(mu_);
+
+  // Owner's report of what was actually applied (post-clamping), so the
+  // exported counters reflect reality, not intent.
+  void RecordApplied(int64_t actuations, int64_t frames_moved,
+                     int64_t recalibrations) DSF_EXCLUDES(mu_);
+
+  TuneStats stats() const DSF_EXCLUDES(mu_);
+  const TuneOptions& options() const { return options_; }
+
+ private:
+  // Per-shard hysteresis state for one actuator: how many consecutive
+  // ticks the trigger condition held, and how many cooldown ticks
+  // remain before it may fire again.
+  struct Damper {
+    int streak = 0;
+    int cooldown = 0;
+
+    // Feeds one tick's trigger evaluation; returns true when the
+    // actuator should fire now (streak reached with cooldown expired —
+    // firing restarts the cooldown and clears the streak).
+    bool Step(bool triggered, int need_streak, int cooldown_ticks) {
+      if (cooldown > 0) --cooldown;
+      if (!triggered) {
+        streak = 0;
+        return false;
+      }
+      if (++streak < need_streak || cooldown > 0) return false;
+      streak = 0;
+      cooldown = cooldown_ticks;
+      return true;
+    }
+  };
+
+  void DecidePool(const std::vector<TuneShardSignals>& now,
+                  TuneDecision* decision) DSF_REQUIRES(mu_);
+  void DecideDrain(const std::vector<TuneShardSignals>& now,
+                   TuneDecision* decision) DSF_REQUIRES(mu_);
+  void DecideHeadroom(const std::vector<TuneShardSignals>& now,
+                      TuneDecision* decision) DSF_REQUIRES(mu_);
+  void PublishGauges(const std::vector<TuneShardSignals>& now)
+      DSF_REQUIRES(mu_);
+
+  const TuneOptions options_;
+  const int num_shards_;
+
+  mutable Mutex mu_;
+  bool seeded_ DSF_GUARDED_BY(mu_) = false;
+  std::vector<TuneShardSignals> prev_ DSF_GUARDED_BY(mu_);
+  // Actuator dampers. The pool balancer's streak additionally requires
+  // the same (donor, recipient) pair across the streak.
+  Damper pool_damper_ DSF_GUARDED_BY(mu_);
+  int pool_last_from_ DSF_GUARDED_BY(mu_) = -1;
+  int pool_last_to_ DSF_GUARDED_BY(mu_) = -1;
+  // Regret guard state: which recipient the last frame move targeted,
+  // the window misses that justified it, how many ticks until the move
+  // is judged, and how many backoff ticks remain after a judged regret.
+  int pool_eval_to_ DSF_GUARDED_BY(mu_) = -1;
+  int64_t pool_eval_misses_ DSF_GUARDED_BY(mu_) = 0;
+  int pool_eval_wait_ DSF_GUARDED_BY(mu_) = 0;
+  int pool_backoff_ DSF_GUARDED_BY(mu_) = 0;
+  std::vector<Damper> drain_up_ DSF_GUARDED_BY(mu_);
+  std::vector<Damper> drain_down_ DSF_GUARDED_BY(mu_);
+  std::vector<Damper> drain_shrink_ DSF_GUARDED_BY(mu_);
+  // 1 while shard i's drain batch sits above the auto default (so the
+  // restore path only fires after an actual raise).
+  std::vector<char> drain_raised_ DSF_GUARDED_BY(mu_);
+  std::vector<Damper> headroom_ DSF_GUARDED_BY(mu_);
+  // Consecutive *calm* ticks per shard while J sits above the default
+  // (drives the restore-to-default path), and recalibrations ordered
+  // within the recent-collapse horizon (drives the J raise).
+  std::vector<int> calm_streak_ DSF_GUARDED_BY(mu_);
+  std::vector<int> recent_recals_ DSF_GUARDED_BY(mu_);
+  TuneStats stats_ DSF_GUARDED_BY(mu_);
+
+  // Cached metric handles (null without a registry).
+  Counter* m_ticks_ = nullptr;
+  Counter* m_actuations_ = nullptr;
+  Counter* m_frames_moved_ = nullptr;
+  Counter* m_recalibrations_ = nullptr;
+  Gauge* m_headroom_ = nullptr;
+  std::vector<Gauge*> m_pool_frames_;
+  std::vector<Gauge*> m_drain_batch_;
+  std::vector<Gauge*> m_staging_capacity_;
+  std::vector<Gauge*> m_j_;
+};
+
+}  // namespace dsf
+
+#endif  // DSF_TUNE_CONTROLLER_H_

@@ -1,0 +1,66 @@
+// TuneOptions — configuration for the closed-loop self-tuning
+// controller (tune/controller.h; see docs/TUNING.md).
+//
+// Kept in its own header with no dependencies so ShardedDenseFile's
+// Options can embed it without pulling the controller (and its obs/
+// includes) into every translation unit that opens a sharded file.
+
+#ifndef DSF_TUNE_TUNE_OPTIONS_H_
+#define DSF_TUNE_TUNE_OPTIONS_H_
+
+#include <cstdint>
+
+namespace dsf {
+
+struct TuneOptions {
+  // Master switch; everything below is ignored when false.
+  bool enabled = false;
+
+  // Controller cadence: one tick (signal collection + decision) per this
+  // many point commands, piggybacked on the command that crosses the
+  // boundary — the MaybeDrain pattern, no background thread.
+  int64_t tick_every_commands = 256;
+
+  // Hysteresis: an actuator fires only after this many consecutive ticks
+  // agree on the same correction (damps one-window noise) ...
+  int consecutive_ticks = 2;
+  // ... and then holds quiet for this many ticks before it may fire
+  // again (lets the previous correction's effect reach the signals).
+  int cooldown_ticks = 4;
+
+  // --- Actuator (a): per-shard buffer-pool frame balance ---
+  bool tune_pool = true;
+  // No shard's pool ever shrinks below this.
+  int64_t min_frames_per_shard = 1;
+  // Window miss counts below this are noise the frame balancer ignores.
+  int64_t min_miss_signal = 16;
+  // Regret guard: once a frame move has had a window to settle, the
+  // recipient's window misses are re-measured; if they failed to drop
+  // by at least a quarter the working set evidently dwarfs the pool
+  // (the move bought nothing but flush churn) and the balancer
+  // suspends further moves for this many ticks. 0 disables the guard.
+  int pool_regret_backoff_ticks = 6;
+
+  // --- Actuator (b): drain batch + staging-capacity balance ---
+  bool tune_drain = true;
+  // No shard's staging capacity ever shrinks below this (entries).
+  int64_t min_staging_entries = 8;
+  // Floor for the absorption shrink: when window annihilations show the
+  // staging buffer cancelling work in memory, the drain batch is halved
+  // (a fuller buffer absorbs more), but never below this.
+  int64_t min_drain_batch = 2;
+
+  // --- Actuator (c): J-headroom advisory ---
+  bool tune_headroom = true;
+  // Arms when windowed p99 command accesses reach this fraction of the
+  // certifier budget, in thousandths (850 = 85%).
+  int64_t headroom_trigger_x1000 = 850;
+  // Repeated collapse may boost J up to default * this; J is restored to
+  // the default after a sustained calm period. Never below the default —
+  // Theorem 5.5's guarantee is the floor.
+  int64_t j_max_multiplier = 4;
+};
+
+}  // namespace dsf
+
+#endif  // DSF_TUNE_TUNE_OPTIONS_H_

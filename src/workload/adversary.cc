@@ -1,0 +1,186 @@
+#include "workload/adversary.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dsf {
+
+namespace {
+
+// Value stored with every adversarial insert; the drivers only care
+// about keys, and a constant keeps traces comparable across runs.
+constexpr Value kAdversaryValue = 1;
+
+Op InsertOp(Key key) {
+  Op op;
+  op.kind = Op::Kind::kInsert;
+  op.record = Record{key, kAdversaryValue};
+  return op;
+}
+
+Op DeleteOp(Key key) {
+  Op op;
+  op.kind = Op::Kind::kDelete;
+  op.record = Record{key, 0};
+  return op;
+}
+
+Op GetOp(Key key) {
+  Op op;
+  op.kind = Op::Kind::kGet;
+  op.record = Record{key, 0};
+  return op;
+}
+
+}  // namespace
+
+Trace BucketAdversary(int64_t num_ops, Key lo, Key hi,
+                      int64_t delete_every, Rng& rng) {
+  DSF_CHECK(lo < hi) << "bucket adversary needs a non-empty open range";
+  Trace trace;
+  trace.reserve(static_cast<size_t>(num_ops));
+
+  // Live keys including the two sentinels (never emitted as ops), and
+  // the gap multiset keyed by (width, left endpoint): the adversary's
+  // whole strategy is "split the narrowest gap at its midpoint", so the
+  // minimum element is always the next target. Both structures stay in
+  // lockstep: O(log n) per op.
+  std::set<Key> live = {lo, hi};
+  std::set<std::pair<Key, Key>> gaps = {{hi - lo, lo}};
+  // Inserted (non-sentinel) keys, for random delete victims: a vector
+  // with swap-remove keeps the draw O(1).
+  std::vector<Key> inserted;
+
+  for (int64_t i = 0; i < num_ops; ++i) {
+    const bool wants_delete = delete_every > 0 && !inserted.empty() &&
+                              (i + 1) % delete_every == 0;
+    if (wants_delete) {
+      const size_t victim_index =
+          static_cast<size_t>(rng.Uniform(inserted.size()));
+      const Key victim = inserted[victim_index];
+      inserted[victim_index] = inserted.back();
+      inserted.pop_back();
+      // Merge the victim's two adjacent gaps back into one.
+      const auto it = live.find(victim);
+      const Key left = *std::prev(it);
+      const Key right = *std::next(it);
+      live.erase(it);
+      gaps.erase({victim - left, left});
+      gaps.erase({right - victim, victim});
+      gaps.insert({right - left, left});
+      trace.push_back(DeleteOp(victim));
+      continue;
+    }
+    // Narrowest splittable gap: widths are the primary key, so advance
+    // past width-1 gaps (no integer midpoint left) to the first >= 2.
+    auto gap = gaps.begin();
+    while (gap != gaps.end() && gap->first < 2) ++gap;
+    if (gap == gaps.end()) break;  // range saturated
+    const Key left = gap->second;
+    const Key width = gap->first;
+    const Key mid = left + width / 2;
+    gaps.erase(gap);
+    gaps.insert({mid - left, left});
+    gaps.insert({left + width - mid, mid});
+    live.insert(mid);
+    inserted.push_back(mid);
+    trace.push_back(InsertOp(mid));
+  }
+  return trace;
+}
+
+Trace DriftRamp(int64_t num_ops, Key key_space, Key window,
+                double read_fraction, int64_t delete_every, Rng& rng) {
+  DSF_CHECK(num_ops > 0);
+  DSF_CHECK(key_space >= 2);
+  window = std::min(window, key_space);
+  if (window < 1) window = 1;
+  Trace trace;
+  trace.reserve(static_cast<size_t>(num_ops));
+  std::vector<Key> inserted;
+  const Key travel = key_space - window;  // window start's full excursion
+  for (int64_t i = 0; i < num_ops; ++i) {
+    if (delete_every > 0 && !inserted.empty() &&
+        (i + 1) % delete_every == 0) {
+      const size_t victim_index =
+          static_cast<size_t>(rng.Uniform(inserted.size()));
+      trace.push_back(DeleteOp(inserted[victim_index]));
+      inserted[victim_index] = inserted.back();
+      inserted.pop_back();
+      continue;
+    }
+    // Window start slides linearly with trace progress.
+    const Key base =
+        1 + static_cast<Key>(static_cast<uint64_t>(travel) *
+                             static_cast<uint64_t>(i) /
+                             static_cast<uint64_t>(num_ops));
+    const Key key =
+        base + static_cast<Key>(rng.Uniform(static_cast<uint64_t>(window)));
+    if (!inserted.empty() && rng.Bernoulli(read_fraction)) {
+      // Read a recent insert — the tail of `inserted` trails the
+      // window, so reads press on the same pages the writes do.
+      const size_t span = std::min<size_t>(inserted.size(), 64);
+      trace.push_back(
+          GetOp(inserted[inserted.size() - 1 - rng.Uniform(span)]));
+      continue;
+    }
+    trace.push_back(InsertOp(key));
+    inserted.push_back(key);
+  }
+  return trace;
+}
+
+Trace HotspotMigration(int64_t num_ops, Key key_space, int num_phases,
+                       double read_fraction, int64_t delete_every,
+                       Rng& rng) {
+  DSF_CHECK(num_ops > 0);
+  DSF_CHECK(num_phases >= 1);
+  DSF_CHECK(key_space >= static_cast<Key>(num_phases) * 2);
+  Trace trace;
+  trace.reserve(static_cast<size_t>(num_ops));
+  const int64_t phase_len = std::max<int64_t>(1, num_ops / num_phases);
+  const Key slice = key_space / static_cast<Key>(num_phases);
+  std::vector<Key> phase_inserted;  // cleared at each migration
+  int current_phase = -1;
+  for (int64_t i = 0; i < num_ops; ++i) {
+    const int phase =
+        std::min(num_phases - 1, static_cast<int>(i / phase_len));
+    if (phase != current_phase) {
+      current_phase = phase;
+      phase_inserted.clear();
+    }
+    if (delete_every > 0 && !phase_inserted.empty() &&
+        (i + 1) % delete_every == 0) {
+      const size_t victim_index =
+          static_cast<size_t>(rng.Uniform(phase_inserted.size()));
+      trace.push_back(DeleteOp(phase_inserted[victim_index]));
+      phase_inserted[victim_index] = phase_inserted.back();
+      phase_inserted.pop_back();
+      continue;
+    }
+    if (!phase_inserted.empty() && rng.Bernoulli(read_fraction)) {
+      trace.push_back(GetOp(phase_inserted[static_cast<size_t>(
+          rng.Uniform(phase_inserted.size()))]));
+      continue;
+    }
+    // 90% of traffic in the phase's slice, 10% uniform background.
+    Key key;
+    if (rng.Bernoulli(0.9)) {
+      const Key base = 1 + slice * static_cast<Key>(phase);
+      key = base + static_cast<Key>(rng.Uniform(static_cast<uint64_t>(
+                       std::max<Key>(1, slice - 1))));
+    } else {
+      key = 1 + static_cast<Key>(
+                    rng.Uniform(static_cast<uint64_t>(key_space)));
+    }
+    trace.push_back(InsertOp(key));
+    phase_inserted.push_back(key);
+  }
+  return trace;
+}
+
+}  // namespace dsf
