@@ -311,7 +311,7 @@ Status DenseFile::StageInsert(const Record& record) {
   }
   if (durable.ok()) return Status::AlreadyExists("key already present");
   DSF_RETURN_IF_ERROR(EnsureStagingRoom());
-  DSF_CHECK(staging_->Add(record, StagedEntry::Kind::kInsert).ok());
+  DSF_RETURN_IF_ERROR(staging_->Add(record, StagedEntry::Kind::kInsert));
   BumpPut();
   return Status::OK();
 }
@@ -342,8 +342,8 @@ Status DenseFile::StageDelete(Key key) {
   StatusOr<Record> durable = control_->Get(key);
   if (!durable.ok()) return durable.status();  // NotFound or device fault
   DSF_RETURN_IF_ERROR(EnsureStagingRoom());
-  DSF_CHECK(
-      staging_->Add(Record{key, 0}, StagedEntry::Kind::kTombstone).ok());
+  DSF_RETURN_IF_ERROR(
+      staging_->Add(Record{key, 0}, StagedEntry::Kind::kTombstone));
   BumpPut();
   return Status::OK();
 }
