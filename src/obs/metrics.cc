@@ -11,7 +11,7 @@ namespace internal {
 int ThisThreadStripe() {
   static std::atomic<int> next{0};
   thread_local const int stripe =
-      next.fetch_add(1, std::memory_order_relaxed) % kMetricStripes;
+      next.fetch_add(1, std::memory_order_relaxed) % kStripesPerMetric;
   return stripe;
 }
 

@@ -13,7 +13,7 @@
 //
 //   2. Thread-sharded hot path. A counter or histogram may be hit from
 //      every replay thread at once (workload/parallel_replayer.h). Each
-//      metric is striped over kMetricStripes cache-line-aligned slots;
+//      metric is striped over kStripesPerMetric cache-line-aligned slots;
 //      a thread picks its stripe once (thread-local, round-robin
 //      assignment) and then only ever does relaxed atomic adds on its
 //      own line. Reads merge the stripes on demand — reads are rare
@@ -51,12 +51,12 @@
 
 namespace dsf {
 
-inline constexpr int kMetricStripes = 8;
+inline constexpr int kStripesPerMetric = 8;
 inline constexpr int kHistogramBuckets = 63;
 
 namespace internal {
 // The stripe this thread writes: assigned round-robin on first use, so
-// up to kMetricStripes concurrent writers get private cache lines.
+// up to kStripesPerMetric concurrent writers get private cache lines.
 // Striping (vs. true thread-local storage) bounds memory, survives
 // thread churn, and needs no at-exit merging.
 int ThisThreadStripe();
@@ -76,7 +76,7 @@ class Counter {
   struct alignas(64) Stripe {
     std::atomic<int64_t> v{0};
   };
-  std::array<Stripe, kMetricStripes> stripes_;
+  std::array<Stripe, kStripesPerMetric> stripes_;
 };
 
 // Last-writer-wins instantaneous value (fill level, imbalance ratio).
@@ -134,7 +134,7 @@ class Histogram {
     std::atomic<int64_t> sum{0};
     std::atomic<int64_t> max{0};
   };
-  std::array<Stripe, kMetricStripes> stripes_;
+  std::array<Stripe, kStripesPerMetric> stripes_;
 };
 
 // One exported metric value; `name` includes the label when present
