@@ -16,6 +16,7 @@
 #include "storage/page.h"
 #include "storage/page_file.h"
 #include "util/check.h"
+#include "util/deadlock.h"
 #include "workload/workload.h"
 
 namespace dsf {
@@ -316,6 +317,38 @@ void BM_MetricsOverhead(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2);
 }
 BENCHMARK(BM_MetricsOverhead)->Arg(0)->Arg(1);
+
+// The runtime lock-order detector's overhead gate (docs/ANALYSIS.md):
+// Arg(0) runs the pooled+traced command path with detection off (one
+// relaxed load per Lock/Unlock), Arg(1) with detection on, where every
+// pool/metrics acquisition under the command's hold records an edge
+// (cached thread-locally after the first sighting). CI compares the two
+// items_per_second and fails above a 5% delta.
+void BM_DeadlockDetectOverhead(benchmark::State& state) {
+  MetricsRegistry registry;
+  CommandTracer tracer;
+  DenseFile::Options options = FileOptions(1024);
+  options.metrics = &registry;
+  options.tracer = &tracer;
+  options.cache_frames = 8;  // nested shard -> pool acquisitions
+  std::unique_ptr<DenseFile> file = std::move(*DenseFile::Create(options));
+  Rng rng(8);
+  DSF_CHECK(
+      file->BulkLoad(MakeAscendingRecords(file->capacity() / 2, 2, 2)).ok());
+  deadlock::Enable(state.range(0) != 0);
+  for (auto _ : state) {
+    const Key k = 2 * rng.Uniform(file->capacity()) + 1;  // odd: absent
+    benchmark::DoNotOptimize(file->Insert(k, k));
+    benchmark::DoNotOptimize(file->Delete(k));
+  }
+  if (state.range(0) != 0) {
+    const deadlock::LockOrderReport report = deadlock::Report();
+    DSF_CHECK(report.ok());
+    deadlock::Enable(false);
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_DeadlockDetectOverhead)->Arg(0)->Arg(1);
 
 void BM_LocalShiftStationaryChurn(benchmark::State& state) {
   DenseFile::Options options = FileOptions(1024);

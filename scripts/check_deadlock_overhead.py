@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Gate the runtime lock-order detector's overhead.
+
+Reads google-benchmark JSON containing BM_DeadlockDetectOverhead/0
+(detector off) and /1 (detector on), compares median items_per_second,
+and exits nonzero when the throughput loss exceeds the given percentage
+(CI uses 5.0; see .github/workflows/ci.yml and docs/ANALYSIS.md).
+
+Usage: check_deadlock_overhead.py <benchmark.json> [max_loss_pct]
+"""
+
+import json
+import sys
+
+
+def median_items_per_second(benchmarks, suffix):
+    # Prefer the median aggregate; fall back to the median of raw
+    # iterations when aggregates were not requested.
+    name = "BM_DeadlockDetectOverhead/" + suffix
+    aggregates = [
+        b["items_per_second"]
+        for b in benchmarks
+        if b["name"] == name + "_median"
+    ]
+    if aggregates:
+        return aggregates[0]
+    raw = sorted(
+        b["items_per_second"]
+        for b in benchmarks
+        if b.get("run_type", "iteration") == "iteration" and b["name"] == name
+    )
+    if not raw:
+        sys.exit(f"no {name} results in the benchmark JSON")
+    return raw[len(raw) // 2]
+
+
+def main():
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    with open(sys.argv[1]) as f:
+        benchmarks = json.load(f)["benchmarks"]
+    max_loss_pct = float(sys.argv[2]) if len(sys.argv) > 2 else 5.0
+
+    off = median_items_per_second(benchmarks, "0")
+    on = median_items_per_second(benchmarks, "1")
+    loss_pct = 100.0 * (off - on) / off
+    print(
+        f"detector off: {off:.0f} items/s, on: {on:.0f} items/s, "
+        f"loss {loss_pct:+.2f}% (gate {max_loss_pct:.1f}%)"
+    )
+    if loss_pct > max_loss_pct:
+        sys.exit("deadlock detector overhead gate FAILED")
+    print("deadlock detector overhead gate passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,261 @@
+#include "util/deadlock.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <mutex>  // lint:allow(no-naked-mutex): the detector's own state
+                  // lock must be invisible to the detector (a dsf::Mutex
+                  // here would recurse into its own hooks).
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+namespace dsf {
+namespace deadlock {
+
+std::string LockOrderViolation::ToString() const {
+  std::string out = "lock-order cycle:";
+  for (size_t i = 0; i < cycle.size(); ++i) {
+    out += (i == 0 ? " " : " -> ");
+    out += names[i];
+  }
+  if (!cycle.empty()) out += " -> " + names[0];
+  return out;
+}
+
+std::string LockOrderReport::ToString() const {
+  if (ok()) return "lock order clean";
+  std::string out = "lock-order violations: " +
+                    std::to_string(violation_count) + "\n";
+  for (const LockOrderViolation& v : violations) {
+    out += "  " + v.ToString() + "\n";
+  }
+  return out;
+}
+
+namespace internal {
+
+std::atomic<bool> g_enabled{
+#ifdef DSF_DEADLOCK_DETECT_DEFAULT_ON
+    true
+#else
+    false
+#endif
+};
+std::atomic<bool> g_ever_enabled{g_enabled.load()};
+
+namespace {
+
+constexpr size_t kMaxViolations = 16;
+// Thread-local cache of edges already known to be in the global graph;
+// the hot nested pattern (shard mutex -> pool mutex, once per command)
+// hits here and skips the global mutex entirely. Small on purpose: it
+// is scanned linearly per held lock on every nested acquisition, and a
+// thread's working set of distinct edges is a handful.
+constexpr size_t kEdgeCacheSize = 16;
+// Deepest tracked per-thread hold stack. MultiShardLock over every
+// shard plus a pool and a tracer hold stays well inside this; holds
+// acquired beyond the cap are not tracked (their releases fall through
+// the stack scan harmlessly).
+constexpr int kMaxHeld = 64;
+
+// Guards the graph, names and violations. A plain std::mutex: the
+// detector must not observe its own locking.
+std::mutex g_mu;
+
+struct GlobalState {
+  // Adjacency: a -> b  <=>  some thread acquired b while holding a.
+  // Invariant: acyclic (a closing edge is reported, not inserted).
+  std::unordered_map<const void*, std::vector<const void*>> edges;
+  std::unordered_map<const void*, std::string> names;
+  // Edges already reported, so one ordering bug yields one violation.
+  std::unordered_set<uint64_t> reported;
+  std::vector<LockOrderViolation> violations;
+  int64_t violation_count = 0;
+  // Bumped by Enable(true); invalidates every thread's edge cache.
+  std::atomic<uint64_t> epoch{1};
+};
+
+GlobalState& State() {
+  static GlobalState* state = new GlobalState();  // leaked: outlives TLS
+  return *state;
+}
+
+// Plain aggregate of pointers and integers so the thread_local below is
+// constant-initialized: the fast path (empty held stack — leaf locks
+// like the metrics registry and the tracer ring) is then a TLS offset
+// load with no init guard and no allocation, which is what keeps the
+// detector inside its 5% overhead gate (BM_DeadlockDetectOverhead).
+struct ThreadState {
+  const void* held[kMaxHeld];
+  int held_count;
+  // (from, to) pairs confirmed present in the global graph.
+  std::pair<const void*, const void*> edge_cache[kEdgeCacheSize];
+  size_t edge_cache_next;
+  uint64_t epoch;
+};
+
+constinit thread_local ThreadState tls_state{};
+
+uint64_t EdgeKey(const void* from, const void* to) {
+  // Splittable mix of the two addresses; collisions in `reported` only
+  // risk suppressing a second distinct violation, never a false report.
+  uint64_t a = reinterpret_cast<uintptr_t>(from);
+  uint64_t b = reinterpret_cast<uintptr_t>(to);
+  a ^= a >> 33;
+  a *= 0xff51afd7ed558ccdULL;
+  return a ^ (b * 0xc4ceb9fe1a85ec53ULL);
+}
+
+std::string NameOf(const GlobalState& state, const void* lock) {
+  auto it = state.names.find(lock);
+  if (it != state.names.end()) return it->second;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "lock@%p", lock);
+  return buf;
+}
+
+// DFS: is `target` reachable from `from` in the edge graph?  Fills
+// `path` with the node chain from -> ... -> target when found.
+bool FindPath(const GlobalState& state, const void* from, const void* target,
+              std::unordered_set<const void*>* visited,
+              std::vector<const void*>* path) {
+  if (!visited->insert(from).second) return false;
+  path->push_back(from);
+  if (from == target) return true;
+  auto it = state.edges.find(from);
+  if (it != state.edges.end()) {
+    for (const void* next : it->second) {
+      if (FindPath(state, next, target, visited, path)) return true;
+    }
+  }
+  path->pop_back();
+  return false;
+}
+
+// Inserts edge held -> acquired, reporting (and not inserting) any edge
+// that would close a cycle. Caller holds g_mu.
+void AddEdgeLocked(GlobalState& state, const void* held,
+                   const void* acquired) {
+  std::vector<const void*>& out = state.edges[held];
+  if (std::find(out.begin(), out.end(), acquired) != out.end()) return;
+  // Would acquired ->* held?  Then held -> acquired closes a cycle.
+  std::unordered_set<const void*> visited;
+  std::vector<const void*> path;
+  if (FindPath(state, acquired, held, &visited, &path)) {
+    if (state.reported.insert(EdgeKey(held, acquired)).second) {
+      ++state.violation_count;
+      if (state.violations.size() < kMaxViolations) {
+        LockOrderViolation v;
+        v.cycle = std::move(path);  // acquired -> ... -> held
+        for (const void* lock : v.cycle) {
+          v.names.push_back(NameOf(state, lock));
+        }
+        state.violations.push_back(std::move(v));
+      }
+    }
+    return;
+  }
+  out.push_back(acquired);
+}
+
+}  // namespace
+
+void OnAcquire(const void* lock) {
+  ThreadState& tls = tls_state;
+  if (tls.held_count > 0) {
+    GlobalState& state = State();
+    const uint64_t epoch = state.epoch.load(std::memory_order_acquire);
+    if (tls.epoch != epoch) {
+      // Enable(true) reset the graph; cached edges are stale.
+      for (auto& e : tls.edge_cache) e = {nullptr, nullptr};
+      tls.epoch = epoch;
+    }
+    for (int i = 0; i < tls.held_count; ++i) {
+      const std::pair<const void*, const void*> edge(tls.held[i], lock);
+      bool cached = false;
+      for (const auto& e : tls.edge_cache) {
+        if (e == edge) {
+          cached = true;
+          break;
+        }
+      }
+      if (cached) continue;
+      {
+        std::lock_guard<std::mutex> g(g_mu);
+        AddEdgeLocked(state, tls.held[i], lock);
+      }
+      tls.edge_cache[tls.edge_cache_next] = edge;
+      tls.edge_cache_next = (tls.edge_cache_next + 1) % kEdgeCacheSize;
+    }
+  }
+  if (tls.held_count < kMaxHeld) tls.held[tls.held_count++] = lock;
+  // Past the cap the hold is simply not tracked; see kMaxHeld.
+}
+
+void OnRelease(const void* lock) {
+  ThreadState& tls = tls_state;
+  // Almost always the top of the stack; search back-to-front for the
+  // general case (MultiShardLock releases in descending order).
+  for (int i = tls.held_count - 1; i >= 0; --i) {
+    if (tls.held[i] == lock) {
+      for (int j = i; j < tls.held_count - 1; ++j) {
+        tls.held[j] = tls.held[j + 1];
+      }
+      --tls.held_count;
+      return;
+    }
+  }
+  // Released a lock acquired before Enable(true) (or past the cap):
+  // ignore.
+}
+
+void OnDestroy(const void* lock) {
+  GlobalState& state = State();
+  std::lock_guard<std::mutex> g(g_mu);
+  state.edges.erase(lock);
+  for (auto& [from, out] : state.edges) {
+    (void)from;
+    out.erase(std::remove(out.begin(), out.end(), lock), out.end());
+  }
+  state.names.erase(lock);
+  // A destroyed address may be recycled by a new lock; cached edges
+  // naming it must not survive. Bump the epoch to flush all caches.
+  state.epoch.fetch_add(1, std::memory_order_acq_rel);
+}
+
+}  // namespace internal
+
+void Enable(bool on) {
+  using internal::State;
+  internal::GlobalState& state = State();
+  std::lock_guard<std::mutex> g(internal::g_mu);
+  if (on) {
+    state.edges.clear();
+    state.names.clear();
+    state.reported.clear();
+    state.violations.clear();
+    state.violation_count = 0;
+    state.epoch.fetch_add(1, std::memory_order_acq_rel);
+    internal::g_ever_enabled.store(true, std::memory_order_relaxed);
+  }
+  internal::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void RegisterName(const void* lock, const std::string& name) {
+  if (!Enabled()) return;
+  internal::GlobalState& state = internal::State();
+  std::lock_guard<std::mutex> g(internal::g_mu);
+  state.names[lock] = name;
+}
+
+LockOrderReport Report() {
+  internal::GlobalState& state = internal::State();
+  LockOrderReport report;
+  std::lock_guard<std::mutex> g(internal::g_mu);
+  report.violations = state.violations;
+  report.violation_count = state.violation_count;
+  return report;
+}
+
+}  // namespace deadlock
+}  // namespace dsf

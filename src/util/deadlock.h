@@ -1,0 +1,123 @@
+// Runtime lock-order (deadlock) detection for dsf::Mutex / dsf::SharedMutex.
+//
+// The static half of the locking gate — Clang's -Wthread-safety build and
+// dsflint's lock-order rule (tools/dsflint/) — proves each *source
+// pattern* consistent with the declared hierarchy. This module checks the
+// *executions*: every acquisition made while other dsf locks are held
+// records a directed edge (held -> acquired) in a global lock graph, in
+// the spirit of abseil's deadlock graph, and a cycle in that graph is a
+// witness that two code paths acquire the same locks in opposite orders —
+// a latent deadlock even if the schedules observed so far never hung.
+//
+// Protocol (docs/ANALYSIS.md "Runtime lock-order detection"):
+//  - Each thread keeps a stack of the dsf locks it currently holds
+//    (shared holds included: our SharedMutex blocks readers behind
+//    waiting writers, so reader acquisitions participate in cycles).
+//  - Acquiring lock B while holding A inserts edge A -> B *before*
+//    blocking, so an actual deadlock is still diagnosed.
+//  - Edges are per lock *instance*: the per-shard mutexes acquired in
+//    ascending index order by MultiShardLock form a chain, not a cycle;
+//    any pair of instances ever taken in both orders forms a 2-cycle and
+//    is reported.
+//  - A detected cycle is recorded as a LockOrderReport::Violation (the
+//    offending edge is NOT added, so the graph stays acyclic and each
+//    ordering bug is reported once, not per occurrence). Detection never
+//    aborts; tests assert on the report (tests/deadlock_test.cc, the
+//    TSan storm configs in tests/sharded_file_test.cc).
+//
+// Cost: disabled (the default), each Lock/Unlock pays one relaxed atomic
+// load and a predicted branch. Enabled, an acquisition with an empty held
+// stack (the overwhelmingly common case — leaf locks like the metrics
+// registry) touches only thread-local state; nested acquisitions consult
+// a small thread-local edge cache before falling back to the global
+// graph mutex. The overhead gate is BM_DeadlockDetectOverhead
+// (bench/gbench_core.cc): < 5% throughput delta on the pooled+traced
+// command path, BM_MetricsOverhead-style.
+//
+// Enable per process with dsf::deadlock::Enable(true) (tests), or build
+// with -DDSF_DEADLOCK_DETECT=ON (CMake option; defaults ON when
+// DSF_SANITIZE=thread so the TSan storms always run under the detector).
+
+#ifndef DSF_UTIL_DEADLOCK_H_
+#define DSF_UTIL_DEADLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dsf {
+namespace deadlock {
+
+// A lock-order violation: the cycle the rejected edge would have closed.
+// `cycle` lists the lock instances in acquisition order; cycle[0] is the
+// lock being acquired and cycle.back() is a lock already held by the
+// acquiring thread with an edge back to cycle[0] — i.e. the path
+// cycle[0] -> cycle[1] -> ... -> cycle.back() -> cycle[0] exists.
+struct LockOrderViolation {
+  std::vector<const void*> cycle;
+  // RegisterName() names when known, "lock@0x..." otherwise; parallel to
+  // `cycle`.
+  std::vector<std::string> names;
+
+  std::string ToString() const;
+};
+
+// Snapshot of every violation observed since Enable(true) (bounded; see
+// kMaxViolations in deadlock.cc).
+struct LockOrderReport {
+  std::vector<LockOrderViolation> violations;
+  // Total violations detected, including any dropped past the bound.
+  int64_t violation_count = 0;
+
+  bool ok() const { return violation_count == 0; }
+  std::string ToString() const;
+};
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+extern std::atomic<bool> g_ever_enabled;
+
+// Out-of-line slow paths; call only when Enabled() (OnDestroy: when
+// EverEnabled()).
+void OnAcquire(const void* lock);
+void OnRelease(const void* lock);
+void OnDestroy(const void* lock);
+}  // namespace internal
+
+// The fast-path gate, inlined into every Lock/Unlock.
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+inline bool EverEnabled() {
+  return internal::g_ever_enabled.load(std::memory_order_relaxed);
+}
+
+// Turns detection on (clearing all prior graph state, names and
+// violations) or off. Enable while no dsf locks are held anywhere:
+// holds taken before Enable(true) are invisible, so their releases are
+// ignored, but edges recorded mid-hold would be incomplete.
+void Enable(bool on);
+
+// Associates a diagnostic name with a lock instance for reports.
+// Optional; unnamed locks report as "lock@0x...". No-op while disabled.
+void RegisterName(const void* lock, const std::string& name);
+
+// The violations observed since the last Enable(true).
+LockOrderReport Report();
+
+// Hooks for the annotated lock types (util/thread_annotations.h).
+inline void NoteAcquire(const void* lock) {
+  if (Enabled()) internal::OnAcquire(lock);
+}
+inline void NoteRelease(const void* lock) {
+  if (Enabled()) internal::OnRelease(lock);
+}
+inline void NoteDestroy(const void* lock) {
+  if (EverEnabled()) internal::OnDestroy(lock);
+}
+
+}  // namespace deadlock
+}  // namespace dsf
+
+#endif  // DSF_UTIL_DEADLOCK_H_

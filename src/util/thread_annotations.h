@@ -21,6 +21,8 @@
 #include <cstdint>
 #include <mutex>
 
+#include "util/deadlock.h"
+
 #if defined(__clang__) && defined(__has_attribute)
 #if __has_attribute(guarded_by)
 #define DSF_THREAD_ANNOTATION(x) __attribute__((x))
@@ -67,15 +69,31 @@ namespace dsf {
 
 // std::mutex with capability attributes. Same size and cost; exists only
 // because the analysis needs the attribute on the lock type itself.
+// Both lock types report acquisitions to the runtime lock-order detector
+// (util/deadlock.h) when it is enabled: one relaxed load and a predicted
+// branch per operation otherwise. NoteAcquire runs *before* blocking so
+// an actual deadlock is still diagnosed, and TryLock reports only on
+// success (a failed try holds nothing and orders nothing).
 class DSF_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  ~Mutex() { deadlock::NoteDestroy(this); }
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() DSF_ACQUIRE() { mu_.lock(); }
-  void Unlock() DSF_RELEASE() { mu_.unlock(); }
-  bool TryLock() DSF_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() DSF_ACQUIRE() {
+    deadlock::NoteAcquire(this);
+    mu_.lock();
+  }
+  void Unlock() DSF_RELEASE() {
+    deadlock::NoteRelease(this);
+    mu_.unlock();
+  }
+  bool TryLock() DSF_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    deadlock::NoteAcquire(this);
+    return true;
+  }
 
  private:
   std::mutex mu_;
@@ -118,10 +136,15 @@ class DSF_SCOPED_CAPABILITY MutexLock {
 class DSF_CAPABILITY("shared_mutex") SharedMutex {
  public:
   SharedMutex() = default;
+  ~SharedMutex() { deadlock::NoteDestroy(this); }
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
   void Lock() DSF_ACQUIRE() {
+    // Shared and exclusive holds report to the same detector node:
+    // readers block behind waiting writers here, so reader acquisitions
+    // participate in deadlock cycles like any exclusive hold.
+    deadlock::NoteAcquire(this);
     std::unique_lock<std::mutex> lock(mu_);
     ++waiting_writers_;
     writer_cv_.wait(lock,
@@ -130,6 +153,7 @@ class DSF_CAPABILITY("shared_mutex") SharedMutex {
     writer_active_ = true;
   }
   void Unlock() DSF_RELEASE() {
+    deadlock::NoteRelease(this);
     bool more_writers = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -145,19 +169,24 @@ class DSF_CAPABILITY("shared_mutex") SharedMutex {
     }
   }
   bool TryLock() DSF_TRY_ACQUIRE(true) {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (writer_active_ || readers_ != 0) return false;
-    writer_active_ = true;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (writer_active_ || readers_ != 0) return false;
+      writer_active_ = true;
+    }
+    deadlock::NoteAcquire(this);
     return true;
   }
 
   void ReaderLock() DSF_ACQUIRE_SHARED() {
+    deadlock::NoteAcquire(this);
     std::unique_lock<std::mutex> lock(mu_);
     readers_cv_.wait(
         lock, [this] { return !writer_active_ && waiting_writers_ == 0; });
     ++readers_;
   }
   void ReaderUnlock() DSF_RELEASE_SHARED() {
+    deadlock::NoteRelease(this);
     bool wake_writer = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -166,9 +195,12 @@ class DSF_CAPABILITY("shared_mutex") SharedMutex {
     if (wake_writer) writer_cv_.notify_one();
   }
   bool ReaderTryLock() DSF_TRY_ACQUIRE_SHARED(true) {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (writer_active_ || waiting_writers_ != 0) return false;
-    ++readers_;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (writer_active_ || waiting_writers_ != 0) return false;
+      ++readers_;
+    }
+    deadlock::NoteAcquire(this);
     return true;
   }
 

@@ -1,0 +1,24 @@
+// dsflint fixture: a file every rule passes — guards held where
+// required, no raw primitives, no raw page access, no bare Status
+// calls. Never compiled — lint fodder only.
+
+namespace fixture {
+
+class CleanCounter {
+ public:
+  void Bump() {
+    MutexLock lock(mu_);
+    ++value_;
+  }
+
+  long Read() {
+    MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  Mutex mu_;
+  long value_ DSF_GUARDED_BY(mu_);
+};
+
+}  // namespace fixture

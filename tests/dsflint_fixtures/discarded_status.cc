@@ -1,0 +1,17 @@
+// dsflint fixture: a Status-returning call used as a bare expression
+// statement. Never compiled — lint fodder only.
+
+namespace fixture {
+
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+
+Status FlushFixture() { return Status(); }
+
+void Caller() {
+  FlushFixture();  // SEEDED VIOLATION: discarded-status (line 14)
+}
+
+}  // namespace fixture

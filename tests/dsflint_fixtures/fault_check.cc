@@ -1,0 +1,13 @@
+// dsflint fixture: DSF_CHECK over a Status in fault-reachable code
+// (the test maps this directory into fault_dirs). Never compiled —
+// lint fodder only.
+
+namespace fixture {
+
+class Status;
+
+void Verify(const Status& st) {
+  DSF_CHECK(st.ok());  // SEEDED VIOLATION: check-on-fault-path (line 10)
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// dsflint fixture: one seeded guarded-by violation (see dsflint_test.cc
+// for the pinned rule kind and line). Never compiled — lint fodder only.
+
+namespace fixture {
+
+class Account {
+ public:
+  void Deposit(long amount) {
+    MutexLock lock(mu_);
+    balance_ += amount;  // clean: hold in scope
+  }
+
+  long Peek() const {
+    return balance_;  // SEEDED VIOLATION: guarded-by (line 14)
+  }
+
+ private:
+  mutable Mutex mu_;
+  long balance_ DSF_GUARDED_BY(mu_);
+};
+
+}  // namespace fixture

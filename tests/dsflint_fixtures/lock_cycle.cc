@@ -1,0 +1,27 @@
+// dsflint fixture: two functions whose nesting directions close a cycle
+// in the extracted acquisition graph (no hierarchy file needed). Never
+// compiled — lint fodder only.
+
+namespace fixture {
+
+class RingA {
+ public:
+  Mutex ring_a;
+};
+
+class RingB {
+ public:
+  Mutex ring_b;
+};
+
+void Forward(RingA& a, RingB& b) {
+  MutexLock first(a.ring_a);
+  MutexLock second(b.ring_b);
+}
+
+void Backward(RingA& a, RingB& b) {
+  MutexLock first(b.ring_b);
+  MutexLock second(a.ring_a);  // SEEDED VIOLATION: lock-order cycle (line 24)
+}
+
+}  // namespace fixture

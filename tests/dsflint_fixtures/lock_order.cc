@@ -1,0 +1,22 @@
+// dsflint fixture: a nested acquisition that contradicts the declared
+// hierarchy in fixture_hierarchy.txt (PoolA::mu_a ranks above
+// PoolB::mu_b). Never compiled — lint fodder only.
+
+namespace fixture {
+
+class PoolA {
+ public:
+  Mutex mu_a;
+};
+
+class PoolB {
+ public:
+  Mutex mu_b;
+};
+
+void Inverted(PoolA& a, PoolB& b) {
+  MutexLock hold_b(b.mu_b);
+  MutexLock hold_a(a.mu_a);  // SEEDED VIOLATION: lock-order (line 19)
+}
+
+}  // namespace fixture

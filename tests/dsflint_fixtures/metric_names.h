@@ -1,0 +1,10 @@
+// dsflint fixture catalog (basename matches the real catalog so the
+// metric-catalog rule treats it as the closed set). Never compiled.
+
+namespace fixture {
+
+inline constexpr char kMetricFixtureOk[] = "dsf_fixture_ok_total";
+// SEEDED VIOLATION: stale catalog constant, never referenced (line 8).
+inline constexpr char kMetricFixtureStale[] = "dsf_fixture_stale_total";
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// dsflint fixture: metric-catalog violations. The multiline raw-literal
+// registration is exactly the shape the old single-line grep linter
+// could not see. Never compiled — lint fodder only.
+
+namespace fixture {
+
+void RegisterFixtureMetrics() {
+  FindOrCreateCounter(kMetricFixtureOk);     // clean: declared constant
+  FindOrCreateCounter(kMetricFixtureRogue);  // SEEDED VIOLATION: unknown metric (line 9)
+  FindOrCreateCounter(
+      "dsf_fixture_raw_total");  // SEEDED VIOLATION: raw literal string (line 11)
+}
+
+}  // namespace fixture

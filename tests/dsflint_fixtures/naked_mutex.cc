@@ -1,0 +1,11 @@
+// dsflint fixture: a std:: synchronization primitive outside the
+// annotated wrapper layer. Never compiled — lint fodder only.
+
+namespace fixture {
+
+class Cache {
+ private:
+  std::mutex mu_;  // SEEDED VIOLATION: no-naked-mutex (line 8)
+};
+
+}  // namespace fixture

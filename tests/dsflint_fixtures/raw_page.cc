@@ -1,0 +1,15 @@
+// dsflint fixture: raw page access outside the storage layer. Never
+// compiled — lint fodder only.
+
+namespace fixture {
+
+class PageFileLike {
+ public:
+  char* RawPage(int page_index);
+};
+
+void Touch(PageFileLike& pf) {
+  pf.RawPage(0);  // SEEDED VIOLATION: raw-page-io (line 12)
+}
+
+}  // namespace fixture

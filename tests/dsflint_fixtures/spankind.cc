@@ -1,0 +1,21 @@
+// dsflint fixture: a SpanKind exporter missing an enumerator. Never
+// compiled — lint fodder only.
+
+namespace fixture {
+
+enum class SpanKind {
+  kAlpha,
+  kBeta,
+};
+
+// SEEDED VIOLATION: spankind-catalog — kBeta unhandled (line 12).
+const char* SpanKindToString(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kAlpha:
+      return "alpha";
+    default:
+      return "?";
+  }
+}
+
+}  // namespace fixture

@@ -22,6 +22,7 @@
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "shard/sharded_dense_file.h"
+#include "util/deadlock.h"
 #include "workload/parallel_replayer.h"
 #include "workload/reference_model.h"
 #include "workload/workload.h"
@@ -559,6 +560,15 @@ TEST_P(ShardedStormTest, ConcurrentMixedTrafficMatchesReference) {
     }
     EXPECT_EQ(shared + epoch_hits + fallbacks, agg.gets);
     EXPECT_EQ(bound_violations, 0);
+  }
+
+  // Under -DDSF_DEADLOCK_DETECT=ON (the default in TSan builds) the
+  // runtime lock-order detector watched every acquisition this storm
+  // made — shard mutexes, pool mutexes, the metrics registry — and its
+  // graph must have stayed acyclic.
+  if (deadlock::EverEnabled()) {
+    const deadlock::LockOrderReport lock_order = deadlock::Report();
+    EXPECT_TRUE(lock_order.ok()) << lock_order.ToString();
   }
 }
 

@@ -1,0 +1,195 @@
+#include "lexer.h"
+
+#include <cctype>
+#include <cstring>
+
+namespace dsflint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character operators, longest first (maximal munch).
+const char* kPunct3[] = {"<<=", ">>=", "->*", "...", "<=>"};
+const char* kPunct2[] = {"::", "->", "<<", ">>", "<=", ">=", "==", "!=",
+                         "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=",
+                         "|=", "^=", "++", "--", ".*", "##"};
+
+}  // namespace
+
+bool SourceFile::Allowed(const std::string& rule, int line) const {
+  const std::string needle = "lint:allow(" + rule + ")";
+  const int lo = line > 3 ? line - 3 : 1;
+  for (auto it = comments.lower_bound(lo);
+       it != comments.end() && it->first <= line; ++it) {
+    if (it->second.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+SourceFile Lex(const std::string& path, const std::string& text) {
+  SourceFile out;
+  out.path = path;
+  size_t i = 0;
+  const size_t n = text.size();
+  int line = 1;
+
+  auto advance_line = [&](char c) {
+    if (c == '\n') ++line;
+  };
+  auto add_comment = [&](int at, const std::string& body) {
+    out.comments[at] += body;
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    // Whitespace.
+    if (c == '\n' || c == '\r' || c == ' ' || c == '\t' || c == '\f' ||
+        c == '\v') {
+      advance_line(c);
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      const size_t start = i;
+      while (i < n && text[i] != '\n') ++i;
+      add_comment(line, text.substr(start, i - start));
+      continue;
+    }
+    // Block comment (may span lines; body attributed to each line it
+    // covers so lint:allow proximity works).
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      i += 2;
+      size_t seg_start = i;
+      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
+        if (text[i] == '\n') {
+          add_comment(line, text.substr(seg_start, i - seg_start));
+          ++line;
+          seg_start = i + 1;
+        }
+        ++i;
+      }
+      add_comment(line, text.substr(seg_start, i >= seg_start ? i - seg_start
+                                                              : 0));
+      i = i + 2 <= n ? i + 2 : n;
+      continue;
+    }
+    // Preprocessor directive: drop to end of line, honoring backslash
+    // continuations (macro bodies are not analyzable token text).
+    if (c == '#') {
+      while (i < n) {
+        if (text[i] == '\n') {
+          // Continuation if previous non-space char is a backslash.
+          size_t j = i;
+          while (j > 0 && (text[j - 1] == ' ' || text[j - 1] == '\t' ||
+                           text[j - 1] == '\r')) {
+            --j;
+          }
+          if (j > 0 && text[j - 1] == '\\') {
+            ++line;
+            ++i;
+            continue;
+          }
+          break;
+        }
+        ++i;
+      }
+      continue;
+    }
+    // Raw string literal.
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+      size_t j = i + 2;
+      std::string delim;
+      while (j < n && text[j] != '(') delim += text[j++];
+      const std::string close = ")" + delim + "\"";
+      const size_t end = text.find(close, j);
+      const int at = line;
+      size_t stop = end == std::string::npos ? n : end + close.size();
+      for (size_t k = i; k < stop; ++k) advance_line(text[k]);
+      out.tokens.push_back({TokKind::kString, "\"<raw>\"", at});
+      i = stop;
+      continue;
+    }
+    // String / char literal (prefixes like u8, L handled by the ident
+    // path first; a quote directly after an identifier token is rare and
+    // treated as a fresh literal).
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const int at = line;
+      size_t j = i + 1;
+      std::string body;
+      body += quote;
+      while (j < n && text[j] != quote) {
+        if (text[j] == '\\' && j + 1 < n) {
+          body += text[j];
+          body += text[j + 1];
+          advance_line(text[j + 1]);
+          j += 2;
+          continue;
+        }
+        advance_line(text[j]);
+        body += text[j++];
+      }
+      body += quote;
+      out.tokens.push_back(
+          {quote == '"' ? TokKind::kString : TokKind::kChar, body, at});
+      i = j < n ? j + 1 : n;
+      continue;
+    }
+    // Identifier / keyword.
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(text[j])) ++j;
+      out.tokens.push_back({TokKind::kIdent, text.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Number (loose: digits plus the usual suffix/exponent characters;
+    // the rules never inspect numeric values).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      size_t j = i;
+      while (j < n && (IsIdentChar(text[j]) || text[j] == '.' ||
+                       ((text[j] == '+' || text[j] == '-') && j > i &&
+                        (text[j - 1] == 'e' || text[j - 1] == 'E' ||
+                         text[j - 1] == 'p' || text[j - 1] == 'P')))) {
+        ++j;
+      }
+      out.tokens.push_back({TokKind::kNumber, text.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Punctuation, maximal munch.
+    bool matched = false;
+    for (const char* p : kPunct3) {
+      if (i + 3 <= n && text.compare(i, 3, p) == 0) {
+        out.tokens.push_back({TokKind::kPunct, p, line});
+        i += 3;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    for (const char* p : kPunct2) {
+      if (i + 2 <= n && text.compare(i, 2, p) == 0) {
+        out.tokens.push_back({TokKind::kPunct, p, line});
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace dsflint

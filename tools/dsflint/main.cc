@@ -1,0 +1,152 @@
+// dsflint — the project-native static analyzer.
+//
+// Usage:
+//   dsflint [flags] <path>...
+//
+// Paths may be files or directories (directories are walked recursively
+// for *.h / *.cc). Exit status: 0 clean, 1 findings, 2 usage/IO error.
+//
+// Flags:
+//   --rules=a,b,c       run only the named rules (default: all).
+//   --hierarchy=FILE    declared lock hierarchy for the lock-order rule.
+//   --exclude=SUBSTR    skip paths containing SUBSTR (repeatable).
+//   --strict-dir=SUBSTR override the enforced-directory set (repeatable;
+//                       files elsewhere still feed the database).
+//   --dump-lock-graph   print the extracted lock acquisition graph and
+//                       exit (findings still computed, not printed).
+//   --list-rules        print the rule names and exit.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyzer.h"
+
+namespace {
+
+const char* const kRuleNames[] = {
+    "guarded-by",      "lock-order",     "discarded-status",
+    "metric-catalog",  "spankind-catalog", "raw-page-io",
+    "check-on-fault-path", "no-naked-mutex",
+};
+
+bool HasSuffix(const std::string& s, const char* suffix) {
+  const size_t n = std::string(suffix).size();
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+bool Excluded(const std::string& path,
+              const std::vector<std::string>& excludes) {
+  for (const std::string& e : excludes) {
+    if (path.find(e) != std::string::npos) return true;
+  }
+  return false;
+}
+
+int AddPath(dsflint::Analyzer& analyzer, const std::string& path,
+            const std::vector<std::string>& excludes, int* added) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::file_status st = fs::status(path, ec);
+  if (ec) {
+    std::cerr << "dsflint: cannot stat " << path << "\n";
+    return 2;
+  }
+  std::vector<std::string> files;
+  if (fs::is_directory(st)) {
+    for (fs::recursive_directory_iterator it(path, ec), end;
+         !ec && it != end; it.increment(ec)) {
+      if (!it->is_regular_file()) continue;
+      const std::string p = it->path().generic_string();
+      if ((HasSuffix(p, ".h") || HasSuffix(p, ".cc")) &&
+          !Excluded(p, excludes)) {
+        files.push_back(p);
+      }
+    }
+  } else if (!Excluded(path, excludes)) {
+    files.push_back(path);
+  }
+  std::sort(files.begin(), files.end());
+  for (const std::string& p : files) {
+    std::ifstream in(p, std::ios::binary);
+    if (!in) {
+      std::cerr << "dsflint: cannot read " << p << "\n";
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    analyzer.AddFile(p, text.str());
+    ++*added;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dsflint::AnalyzerOptions options;
+  std::vector<std::string> excludes;
+  std::vector<std::string> strict_dirs;
+  std::vector<std::string> paths;
+  bool dump_lock_graph = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--rules=", 0) == 0) {
+      std::istringstream ss(arg.substr(8));
+      std::string rule;
+      while (std::getline(ss, rule, ',')) {
+        if (!rule.empty()) options.rules.insert(rule);
+      }
+    } else if (arg.rfind("--hierarchy=", 0) == 0) {
+      options.hierarchy_file = arg.substr(12);
+    } else if (arg.rfind("--exclude=", 0) == 0) {
+      excludes.push_back(arg.substr(10));
+    } else if (arg.rfind("--strict-dir=", 0) == 0) {
+      strict_dirs.push_back(arg.substr(13));
+    } else if (arg == "--dump-lock-graph") {
+      dump_lock_graph = true;
+    } else if (arg == "--list-rules") {
+      for (const char* r : kRuleNames) std::cout << r << "\n";
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: dsflint [--rules=a,b] [--hierarchy=FILE] "
+                   "[--exclude=SUBSTR] [--strict-dir=SUBSTR] "
+                   "[--dump-lock-graph] <path>...\n";
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "dsflint: unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "dsflint: no paths given (try --help)\n";
+    return 2;
+  }
+  if (!strict_dirs.empty()) options.strict_dirs = strict_dirs;
+
+  dsflint::Analyzer analyzer(std::move(options));
+  int added = 0;
+  for (const std::string& p : paths) {
+    const int rc = AddPath(analyzer, p, excludes, &added);
+    if (rc != 0) return rc;
+  }
+  if (added == 0) {
+    std::cerr << "dsflint: no .h/.cc files under the given paths\n";
+    return 2;
+  }
+
+  const dsflint::LintReport report = analyzer.Run();
+  if (dump_lock_graph) {
+    std::cout << analyzer.DumpLockGraph();
+    return report.ok() ? 0 : 1;
+  }
+  std::cout << report.ToString();
+  return report.ok() ? 0 : 1;
+}
