@@ -24,6 +24,10 @@
 #                     configurations: physical accesses, actuations,
 #                     frame conservation, zero certified-bound
 #                     violations)
+#   BENCH_durable.json durable_sweep (E21: simulated vs MemoryBackend vs
+#                     FileBackend buffered/noverify/O_DIRECT — wall
+#                     time, preads/pwrites/fdatasyncs, identical
+#                     accounted IoStats in every row)
 #
 # With --sanitize, instead runs the sanitizer matrix: an
 # address,undefined build driving the fault-injection / crash-recovery /
@@ -62,7 +66,7 @@ fi
 if [[ "${1:-}" == "--bench" ]]; then
   cmake -B build-bench -G Ninja -DCMAKE_BUILD_TYPE=Release
   cmake --build build-bench --target gbench_core shard_scaling cache_sweep \
-    obs_certify ingest_sweep adaptive_sweep
+    obs_certify ingest_sweep adaptive_sweep durable_sweep
   ./build-bench/bench/gbench_core \
     --benchmark_format=json \
     --benchmark_min_time=0.2 > BENCH_core.json
@@ -73,9 +77,10 @@ if [[ "${1:-}" == "--bench" ]]; then
   ./build-bench/bench/shard_scaling --mode=rwlock --ops=8000 \
     --out=BENCH_rwlock.json
   ./build-bench/bench/adaptive_sweep --out=BENCH_adaptive.json
+  ./build-bench/bench/durable_sweep --out=BENCH_durable.json
   echo "Wrote BENCH_core.json, BENCH_shard.json, BENCH_cache.json," \
-    "BENCH_obs.json, BENCH_ingest.json, BENCH_rwlock.json and" \
-    "BENCH_adaptive.json"
+    "BENCH_obs.json, BENCH_ingest.json, BENCH_rwlock.json," \
+    "BENCH_adaptive.json and BENCH_durable.json"
   exit 0
 fi
 

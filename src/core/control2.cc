@@ -285,8 +285,13 @@ Status Control2::Shift(int v) {
     }
     // DEST before SOURCE: until the source write lands, the moved records
     // exist in both blocks, so a crash between the writes duplicates them
-    // (CheckAndRepair dedupes) rather than losing them.
+    // (CheckAndRepair dedupes) rather than losing them. The sync barrier
+    // extends the guarantee to durable storage: the duplicate copy is on
+    // the device before the delete can be — power loss cannot persist the
+    // delete alone. (No-op without a backend; under a pool the dirty-order
+    // flush at EndCommand enforces the same ordering.)
     DSF_RETURN_IF_ERROR(WriteBlock(dest, dest_records));
+    DSF_RETURN_IF_ERROR(file_.SyncBarrier());
     DSF_RETURN_IF_ERROR(WriteBlock(source, src_records));
     stats_.records_shifted += moves;
     if (m_shift_records_ != nullptr) m_shift_records_->Increment(moves);

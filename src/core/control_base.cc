@@ -96,8 +96,13 @@ bool ControlBase::LogicallyOrdered() const {
 }
 
 Status ControlBase::Flush() {
-  if (pool_ == nullptr) return Status::OK();
-  return pool_->FlushAll();
+  if (pool_ != nullptr) DSF_RETURN_IF_ERROR(pool_->FlushAll());
+  return file_.SyncBarrier();
+}
+
+Status ControlBase::AttachStorageBackend(
+    std::unique_ptr<StorageBackend> backend) {
+  return file_.AttachBackend(std::move(backend));
 }
 
 void ControlBase::DiscardCache() {
@@ -530,6 +535,19 @@ Status ControlBase::RedistributeRangeCrashSafe(Address lo, Address hi) {
     calibrator_.SyncLeaves(lo, leaves);
   }
 
+  // Durability point between the passes: every record's packed copy is
+  // on the device before the spread starts destroying packed positions.
+  // (A no-op without a storage backend, and under a pool mid-command —
+  // nothing has reached the device since the last flush.)
+  {
+    const Status sync = file_.SyncBarrier();
+    if (!sync.ok()) {
+      RecordSpan(SpanKind::kRedistribution, lo, hi,
+                 file_.stats() - span_start);
+      return sync;
+    }
+  }
+
   // Pass 2 — spread right. The uniform layout never places a record to
   // the left of its packed position, so writing blocks right-to-left —
   // pages inside each block right-to-left, intra-block content moving
@@ -644,7 +662,13 @@ StatusOr<RepairReport> ControlBase::CheckAndRepair() {
     calibrator_.SyncLeaves(1, leaves);
     AfterWholesaleReorganization();
     report.warning_state_rebuilt = true;
-    if (ValidateInvariants().ok()) return report;
+    // Nothing was rewritten, but a reopen may have left pending device
+    // state (e.g. the attach-time load found nothing to fix); the
+    // barrier is a cheap no-op then.
+    if (ValidateInvariants().ok()) {
+      DSF_RETURN_IF_ERROR(file_.SyncBarrier());
+      return report;
+    }
     // Ordered and duplicate-free but structurally unacceptable (e.g. a
     // crash mid-redistribution left a packed prefix that breaches
     // BALANCE(d,D)): fall through to the wholesale rewrite.
@@ -696,6 +720,10 @@ StatusOr<RepairReport> ControlBase::CheckAndRepair() {
   report.rewrote_file = true;
   report.warning_state_rebuilt = true;
   DSF_RETURN_IF_ERROR(ValidateInvariants());
+  // The repaired image must be durable before the file serves commands
+  // again — a second crash must reopen to the repaired state, not to
+  // the damage this pass just fixed.
+  DSF_RETURN_IF_ERROR(file_.SyncBarrier());
   return report;
 }
 
@@ -791,6 +819,14 @@ Status ControlBase::EndCommand() {
                  file_.stats() - pre_flush);
     }
   }
+  // Command-granularity durability extends to the storage backend: the
+  // device write-back above (or the command's direct writes) must be
+  // persistent before the command reports success. During a deferred
+  // window the barrier moves to EndFlushDeferral with the flush.
+  if (!defer_flush_) {
+    const Status sync = file_.SyncBarrier();
+    if (flush.ok()) flush = sync;
+  }
   const IoStats delta = file_.stats() - command_start_stats_;
   const int64_t used = delta.TotalAccesses();
   ++command_stats_.commands;
@@ -821,12 +857,12 @@ Status ControlBase::EndCommand(const Status& command_status) {
 
 Status ControlBase::EndFlushDeferral() {
   defer_flush_ = false;
-  if (pool_ == nullptr) return Status::OK();
+  if (pool_ == nullptr) return file_.SyncBarrier();
   // Same flush-and-trace shape as EndCommand's per-command flush, run
   // once for the whole deferred window.
   const IoStats pre_flush = file_.stats();
   const BufferPool::Stats pre_pool = pool_->stats();
-  const Status flush = pool_->FlushAll();
+  Status flush = pool_->FlushAll();
   if (tracer_ != nullptr) {
     const BufferPool::Stats post_pool = pool_->stats();
     RecordSpan(SpanKind::kFlush,
@@ -834,6 +870,8 @@ Status ControlBase::EndFlushDeferral() {
                post_pool.flush_runs - pre_pool.flush_runs,
                file_.stats() - pre_flush);
   }
+  const Status sync = file_.SyncBarrier();
+  if (flush.ok()) flush = sync;
   return flush;
 }
 
@@ -949,6 +987,9 @@ Status ControlBase::BulkLoad(const std::vector<Record>& records) {
     offset = end;
   }
   calibrator_.SyncLeaves(1, leaves);
+  // Make the load durable before handing the file to commands; the
+  // stats reset below keeps setup I/O out of the measured counters.
+  DSF_RETURN_IF_ERROR(file_.SyncBarrier());
   file_.ResetStats();
   ResetCommandStats();
   AfterBulkLoad();
@@ -1001,6 +1042,9 @@ Status ControlBase::LoadLayout(const std::vector<std::vector<Record>>& per_block
     leaves.push_back(MakeLeafUpdate(lo, hi));
   }
   calibrator_.SyncLeaves(1, leaves);
+  // Make the load durable before handing the file to commands; the
+  // stats reset below keeps setup I/O out of the measured counters.
+  DSF_RETURN_IF_ERROR(file_.SyncBarrier());
   file_.ResetStats();
   ResetCommandStats();
   AfterBulkLoad();

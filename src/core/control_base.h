@@ -189,6 +189,15 @@ class ControlBase {
   // of a simulated crash. The device is left as the last flush left it;
   // callers must follow with CheckAndRepair to re-sync in-memory state.
   void DiscardCache();
+  // Attaches a durable storage backend behind the page file and loads
+  // its device image as the working image (see PageFile::AttachBackend).
+  // When the backend held existing data — a reopen — the caller must
+  // follow with CheckAndRepair: the calibrator and warning state are
+  // in-memory structures that died with the previous process, and any
+  // unreadable device pages (file().corrupt_pages_at_open()) need the
+  // repair pass. Attach before loading or mutating data, so every write
+  // reaches the device.
+  Status AttachStorageBackend(std::unique_ptr<StorageBackend> backend);
   const Calibrator& calibrator() const { return calibrator_; }
   int64_t page_d() const { return page_d_; }
   int64_t page_D() const { return page_D_; }

@@ -91,6 +91,16 @@ StatusOr<std::unique_ptr<DenseFile>> DenseFile::Create(
   resolved.block_size = block_size;
   std::unique_ptr<DenseFile> file(
       new DenseFile(resolved, std::move(control)));
+  if (options.backend_factory != nullptr) {
+    // Attach the durable device before anything can land in the pages:
+    // from here on every device write is persisted in issue order.
+    PageFile& pf = file->control_->file();
+    StatusOr<std::unique_ptr<StorageBackend>> backend =
+        options.backend_factory(pf.num_pages(), pf.page_capacity());
+    DSF_RETURN_IF_ERROR(backend.status());
+    DSF_RETURN_IF_ERROR(
+        file->control_->AttachStorageBackend(std::move(*backend)));
+  }
   // The J the Theorem-5.7 envelope is evaluated at — shared by the bound
   // certifier and the drain scheduler's step budget, and retunable later
   // through SetMaintenanceJ (never below this resolved default).
@@ -249,6 +259,26 @@ Status DenseFile::ValidateInvariants() const {
     DSF_RETURN_IF_ERROR(staging_->ValidateOrder());
   }
   return Status::OK();
+}
+
+StatusOr<std::unique_ptr<DenseFile>> DenseFile::Open(const Options& options) {
+  if (options.backend_factory == nullptr) {
+    return Status::InvalidArgument(
+        "DenseFile::Open needs a backend_factory (use Create for a pure "
+        "in-memory file)");
+  }
+  StatusOr<std::unique_ptr<DenseFile>> file_or = Create(options);
+  DSF_RETURN_IF_ERROR(file_or.status());
+  std::unique_ptr<DenseFile> file = std::move(file_or).value();
+  // Create attached the backend and loaded the device image into the
+  // working pages; the calibrator and warning state are still empty.
+  // The repair pass rebuilds them and fixes crash damage — including
+  // dropping records from slots that failed their checksum (recorded in
+  // corrupt_pages_at_open()).
+  StatusOr<RepairReport> report = file->CheckAndRepair();
+  DSF_RETURN_IF_ERROR(report.status());
+  file->open_repair_report_ = *report;
+  return file;
 }
 
 Status DenseFile::MaybeAudit(Status s) const {

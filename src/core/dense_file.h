@@ -90,6 +90,17 @@ class DenseFile {
     // that budget — see docs/INGEST.md for the math).
     int64_t drain_batch = 0;
 
+    // --- Durable storage (src/storage/; see docs/STORAGE.md) ---
+    // Factory for the durable device behind the page file, called once
+    // at Create with the file's physical geometry (num_pages, page
+    // capacity D+1). The backend is attached before any data lands, so
+    // every device write is persisted in crash-safe order and fdatasync
+    // barriers fire at the documented durability points. Null (the
+    // default) keeps the file a pure in-memory simulation. Use
+    // FileBackend::CreateFactory for a fresh file pair and
+    // DenseFile::Open + FileBackend::OpenFactory to reopen one.
+    StorageBackendFactory backend_factory;
+
     // --- Observability (src/obs/; see docs/OBSERVABILITY.md) ---
     // Registry the file publishes its metrics into (commands, per-command
     // access/latency histograms, SHIFT/activation counters, pool hit
@@ -112,8 +123,18 @@ class DenseFile {
     std::string metrics_label;
   };
 
-  // Validates options and builds the file. All pages start empty.
+  // Validates options and builds the file. All pages start empty (with a
+  // backend_factory that loads existing data, the working image holds it
+  // but the in-memory calibrator does not — use Open for that path).
   static StatusOr<std::unique_ptr<DenseFile>> Create(const Options& options);
+
+  // The reopen path: Create with a data-bearing backend (e.g.
+  // FileBackend::OpenFactory), then CheckAndRepair to rebuild the
+  // calibrator and warning state from the loaded pages and repair any
+  // crash damage (torn-shift duplicates, unreadable pages). Requires
+  // options.backend_factory. What the repair pass found is kept on the
+  // file: open_repair_report().
+  static StatusOr<std::unique_ptr<DenseFile>> Open(const Options& options);
 
   // Picks the smallest K >= 1 dividing num_pages with
   // K*(D-d) > 3*ceil(log2(num_pages/K)) — Theorem 5.7's macro-block size.
@@ -343,6 +364,22 @@ class DenseFile {
   // full Audit()). See ControlBase::CheckAndRepair.
   StatusOr<RepairReport> CheckAndRepair();
 
+  // --- Durable storage (null/empty without a backend_factory) ---
+  // The attached backend, or nullptr for a pure in-memory file.
+  StorageBackend* storage_backend() const {
+    return control_->file().backend();
+  }
+  // What the Open-time CheckAndRepair found (all-zero for Create, or for
+  // an Open of an undamaged file).
+  const RepairReport& open_repair_report() const {
+    return open_repair_report_;
+  }
+  // Pages whose device slot failed integrity checks when the backend was
+  // attached (their records were dropped by the open-time repair).
+  const std::vector<Address>& corrupt_pages_at_open() const {
+    return control_->file().corrupt_pages_at_open();
+  }
+
   // The options the file was created with (block_size resolved).
   const Options& options() const { return options_; }
 
@@ -410,6 +447,8 @@ class DenseFile {
 
   Options options_;
   std::unique_ptr<ControlBase> control_;
+  // Filled by Open (zero for Create): the open-time repair verdict.
+  RepairReport open_repair_report_;
   // Owned certifier (certify_bound only); fed by ControlBase::EndCommand
   // through the raw pointer installed via SetObservability.
   std::unique_ptr<BoundCertifier> certifier_;

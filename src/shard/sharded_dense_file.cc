@@ -90,6 +90,12 @@ StatusOr<std::unique_ptr<ShardedDenseFile>> ShardedDenseFile::Create(
     }
   }
   DenseFile::Options shard_options = options.shard;
+  if (shard_options.backend_factory != nullptr) {
+    return Status::InvalidArgument(
+        "set shard_backend_factory, not shard.backend_factory: every shard "
+        "needs its own backend, an ordinal-blind factory would open one "
+        "file pair for all of them");
+  }
   if (options.cache_bytes < 0) {
     return Status::InvalidArgument("cache_bytes must be >= 0");
   }
@@ -141,6 +147,14 @@ StatusOr<std::unique_ptr<ShardedDenseFile>> ShardedDenseFile::Create(
       // Every shard publishes the same catalog names; series differ only
       // by the shard label, so dashboards scale with S for free.
       per_shard.metrics_label = ShardLabel(i);
+    }
+    if (options.shard_backend_factory != nullptr) {
+      // Bind the ordinal so each shard's DenseFile opens its own device.
+      const auto& factory = options.shard_backend_factory;
+      per_shard.backend_factory = [factory, i](int64_t num_pages,
+                                               int64_t page_capacity) {
+        return factory(i, num_pages, page_capacity);
+      };
     }
     StatusOr<std::unique_ptr<DenseFile>> file =
         DenseFile::Create(per_shard);

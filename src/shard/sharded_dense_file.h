@@ -91,6 +91,16 @@ class ShardedDenseFile {
     // 0 with neither per-shard field set disables staging. See
     // docs/INGEST.md.
     int64_t staging_bytes = 0;
+    // Per-shard durable backends: called once per shard with the shard
+    // ordinal and the shard's physical geometry. Each shard is an
+    // independent device and must get its own backend (e.g. its own
+    // FileBackend directory) — which is why shard.backend_factory must
+    // stay null here: copying one ordinal-blind factory into every
+    // shard would hand all of them the same file pair, and Create
+    // rejects that with kInvalidArgument. Null disables durable storage.
+    std::function<StatusOr<std::unique_ptr<StorageBackend>>(
+        int shard, int64_t num_pages, int64_t page_capacity)>
+        shard_backend_factory;
     // Ablation knob: take every shard lock exclusive, as before the
     // reader-writer split — the baseline the rwlock benchmark compares
     // against. Leave false outside A/B measurements.

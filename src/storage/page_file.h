@@ -25,6 +25,7 @@
 #include "storage/io_stats.h"
 #include "storage/page.h"
 #include "storage/record.h"
+#include "storage/storage_backend.h"
 #include "util/status.h"
 
 namespace dsf {
@@ -76,6 +77,48 @@ class PageFile {
     UpdateSlowPath();
   }
   FaultPolicy* fault_policy() const { return fault_policy_.get(); }
+
+  // Attaches a durable device behind the file. The in-memory pages stay
+  // the *working image* (what every accessor above returns); the backend
+  // is the state that survives a process death. On attach the device
+  // image is loaded INTO the working image — a fresh backend is all
+  // empty pages, so attaching one to a fresh file is a no-op, and
+  // attaching an existing file pair is the reopen path. Pages whose
+  // device slot fails integrity checks (torn/corrupt, kIoError from the
+  // backend) are left empty in the working image and recorded in
+  // corrupt_pages_at_open(); callers must follow with CheckAndRepair.
+  //
+  // Persistence model — one-slot write-behind. A device write hands the
+  // caller a Page* that is mutated *after* the call returns, so the
+  // write cannot be persisted inside TryDeviceWrite. Instead the
+  // address is parked in a pending slot and serialized to the backend
+  // at the next device access or SyncBarrier(), by which time the
+  // accounting discipline guarantees the mutation is complete (every
+  // page mutation is preceded by its charged access). Back-to-back
+  // writes to the same address combine into one backend write; distinct
+  // addresses flush in exactly the order the accesses were charged, so
+  // the device sees the crash-safe write ordering unchanged. RawPage
+  // bookkeeping mutations ride the same pending slot (unaccounted, but
+  // persisted). Fault injection composes: the FaultPolicy is consulted
+  // before the pending slot is touched, so an injected fault suppresses
+  // the durable write exactly as it suppresses the simulated one.
+  //
+  // Geometry must match the live file; a second attach is refused.
+  Status AttachBackend(std::unique_ptr<StorageBackend> backend);
+  StorageBackend* backend() const { return backend_.get(); }
+
+  // Persistence barrier: flushes the pending slot and, if anything was
+  // written since the last barrier, calls the backend's SyncBarrier
+  // (fdatasync for a file backend). No-op without a backend. ControlBase
+  // invokes this exactly at the points the crash-ordering argument
+  // assumes durability (docs/STORAGE.md).
+  Status SyncBarrier();
+
+  // Pages whose device slot was unreadable when AttachBackend loaded the
+  // image (empty for a clean open).
+  const std::vector<Address>& corrupt_pages_at_open() const {
+    return corrupt_pages_at_open_;
+  }
 
   // Unaccounted access for validators / tests / printing only.
   const Page& Peek(Address address) const;
@@ -139,15 +182,30 @@ class PageFile {
   // for the two checks. The flag is maintained by the setters above, the
   // only places the policy or latency can change.
   void UpdateSlowPath() {
-    slow_path_ = fault_policy_ != nullptr || sleep_on_access_;
+    slow_path_ =
+        fault_policy_ != nullptr || sleep_on_access_ || backend_ != nullptr;
   }
   Status SlowPathAccess(Address address, bool is_write, int64_t charge_ns);
+
+  // Parks `address` in the pending slot, flushing any different pending
+  // address first (write order!). Same-address re-arms combine.
+  Status ArmPending(Address address);
+  // Serializes the pending page to the backend, if any.
+  Status FlushPending();
+  // Reads `address` back from the backend and compares against the
+  // working image (VerifyOnRead mode). Never mutates pages_, so it is
+  // safe under concurrent shared-lock readers.
+  Status VerifyDeviceRead(Address address);
 
   int64_t num_pages_;
   int64_t page_capacity_;
   std::vector<Page> pages_;
   AccessTracker tracker_;
   std::shared_ptr<FaultPolicy> fault_policy_;
+  std::unique_ptr<StorageBackend> backend_;
+  Address pending_ = 0;  // 0 = no pending device write
+  bool dirty_since_sync_ = false;
+  std::vector<Address> corrupt_pages_at_open_;
   std::chrono::nanoseconds uniform_latency_{0};
   bool sleep_on_access_ = false;
   bool slow_path_ = false;

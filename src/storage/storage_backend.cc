@@ -1,0 +1,31 @@
+#include "storage/storage_backend.h"
+
+namespace dsf {
+
+MemoryBackend::MemoryBackend(int64_t num_pages, int64_t page_capacity)
+    : num_pages_(num_pages), page_capacity_(page_capacity) {
+  image_.reserve(static_cast<size_t>(num_pages));
+  for (int64_t i = 0; i < num_pages; ++i) image_.emplace_back(page_capacity);
+}
+
+Status MemoryBackend::WritePage(Address address, const Page& page) {
+  if (address < 1 || address > num_pages_) {
+    return Status::OutOfRange("backend write address " +
+                              std::to_string(address) + " outside [1," +
+                              std::to_string(num_pages_) + "]");
+  }
+  image_[static_cast<size_t>(address - 1)] = page;
+  return Status::OK();
+}
+
+Status MemoryBackend::ReadPage(Address address, Page* out) {
+  if (address < 1 || address > num_pages_) {
+    return Status::OutOfRange("backend read address " +
+                              std::to_string(address) + " outside [1," +
+                              std::to_string(num_pages_) + "]");
+  }
+  *out = image_[static_cast<size_t>(address - 1)];
+  return Status::OK();
+}
+
+}  // namespace dsf

@@ -1,0 +1,68 @@
+#include "util/temp_dir.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dsf {
+namespace {
+
+// Depth-first removal; symlinks are unlinked, not followed (the
+// directory only ever holds files this process created, but a test that
+// plants a stray symlink must not let it escape).
+void RemoveTree(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) {
+    ::unlink(path.c_str());
+    return;
+  }
+  std::vector<std::string> entries;
+  while (struct dirent* e = ::readdir(dir)) {
+    if (std::strcmp(e->d_name, ".") == 0 || std::strcmp(e->d_name, "..") == 0) {
+      continue;
+    }
+    entries.push_back(path + "/" + e->d_name);
+  }
+  ::closedir(dir);
+  for (const std::string& entry : entries) {
+    struct stat st;
+    if (::lstat(entry.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+      RemoveTree(entry);
+    } else {
+      ::unlink(entry.c_str());
+    }
+  }
+  ::rmdir(path.c_str());
+}
+
+}  // namespace
+
+ScopedTempDir::ScopedTempDir(const std::string& prefix) {
+  const char* base = std::getenv("TMPDIR");
+  if (base == nullptr || base[0] == '\0') base = "/tmp";
+  std::string tmpl = std::string(base) + "/" + prefix + ".XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  DSF_CHECK(::mkdtemp(buf.data()) != nullptr)
+      << "mkdtemp failed for " << tmpl << ": " << std::strerror(errno);
+  path_.assign(buf.data());
+}
+
+ScopedTempDir::~ScopedTempDir() {
+  if (!path_.empty()) RemoveTree(path_);
+}
+
+std::string ScopedTempDir::Release() {
+  std::string p = std::move(path_);
+  path_.clear();
+  return p;
+}
+
+}  // namespace dsf

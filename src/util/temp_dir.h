@@ -1,0 +1,41 @@
+// ScopedTempDir: RAII temp-directory hygiene for tests and benches.
+//
+// Creates a fresh mkdtemp directory under $TMPDIR (falling back to
+// /tmp) and removes it — recursively — when the object leaves scope,
+// including on early returns and failed ASSERTs (gtest failures unwind
+// normally). CI points TMPDIR at a tmpfs so kill-test sweeps and
+// backend parity tests never touch a slow disk and never leak files
+// into the workspace on a red run.
+
+#ifndef DSF_UTIL_TEMP_DIR_H_
+#define DSF_UTIL_TEMP_DIR_H_
+
+#include <string>
+
+namespace dsf {
+
+class ScopedTempDir {
+ public:
+  // `prefix` becomes part of the directory name (useful when a leaked
+  // directory must be attributable to its test). Aborts if the
+  // directory cannot be created — a temp dir is test infrastructure,
+  // and no caller has a meaningful fallback.
+  explicit ScopedTempDir(const std::string& prefix = "dsf");
+  ~ScopedTempDir();
+
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  // Releases ownership: the directory survives destruction (debugging a
+  // failing kill-test run). Returns the path.
+  std::string Release();
+
+ private:
+  std::string path_;
+};
+
+}  // namespace dsf
+
+#endif  // DSF_UTIL_TEMP_DIR_H_

@@ -111,6 +111,14 @@ TEST(DsflintFixtures, RawPageIoPinned) {
   EXPECT_EQ(report.findings[0].line, 12);
 }
 
+TEST(DsflintFixtures, RawSyscallIoPinned) {
+  const LintReport report =
+      RunOnFixtures(FixtureOptions(), {"raw_syscall.cc"});
+  ASSERT_EQ(report.findings.size(), 1u) << report.ToString();
+  EXPECT_EQ(report.findings[0].kind, RuleKind::kRawSyscallIo);
+  EXPECT_EQ(report.findings[0].line, 15);
+}
+
 TEST(DsflintFixtures, CheckOnFaultPathPinned) {
   const LintReport report =
       RunOnFixtures(FixtureOptions(), {"fault_check.cc"});

@@ -1,0 +1,462 @@
+// StorageBackend / FileBackend coverage: CRC32C vectors, differential
+// replay parity between the in-memory simulation and the durable file
+// backend, reopen round-trips through DenseFile::Open, superblock
+// version rejection, and torn-page (CRC) handling.
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <sys/stat.h>
+#include <vector>
+
+#include "analysis/auditor.h"
+#include "core/dense_file.h"
+#include "gtest/gtest.h"
+#include "shard/sharded_dense_file.h"
+#include "storage/file_backend.h"
+#include "storage/storage_backend.h"
+#include "util/crc32c.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/temp_dir.h"
+#include "workload/reference_model.h"
+#include "workload/workload.h"
+
+namespace dsf {
+namespace {
+
+// ---------------------------------------------------------------------
+// CRC32C
+
+TEST(Crc32c, KnownVectors) {
+  // The canonical check value for CRC-32C: "123456789".
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  // Empty input is the identity.
+  EXPECT_EQ(Crc32c("", 0), 0u);
+  // 32 zero bytes (iSCSI test vector).
+  unsigned char zeros[32] = {0};
+  EXPECT_EQ(Crc32c(zeros, sizeof(zeros)), 0x8A9136AAu);
+}
+
+TEST(Crc32c, ExtendComposes) {
+  const char* data = "deadbeefcafe";
+  const uint32_t whole = Crc32c(data, 12);
+  uint32_t split = Crc32cExtend(0, data, 5);
+  split = Crc32cExtend(split, data + 5, 7);
+  EXPECT_EQ(split, whole);
+}
+
+// ---------------------------------------------------------------------
+// ScopedTempDir
+
+TEST(ScopedTempDir, CreatesAndRemovesRecursively) {
+  std::string path;
+  {
+    ScopedTempDir dir("dsf-test");
+    path = dir.path();
+    struct stat st;
+    ASSERT_EQ(::stat(path.c_str(), &st), 0);
+    ASSERT_TRUE(S_ISDIR(st.st_mode));
+    // Populate a nested tree to prove removal recurses.
+    ASSERT_EQ(::mkdir((path + "/sub").c_str(), 0755), 0);
+    FILE* f = ::fopen((path + "/sub/file").c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    ::fputs("x", f);
+    ::fclose(f);
+  }
+  struct stat st;
+  EXPECT_NE(::stat(path.c_str(), &st), 0) << path << " leaked";
+}
+
+// ---------------------------------------------------------------------
+// Shared workload
+
+DenseFile::Options BaseOptions(int64_t cache_frames = 0) {
+  DenseFile::Options options;
+  options.num_pages = 32;
+  options.d = 4;
+  options.D = 20;
+  options.cache_frames = cache_frames;
+  options.audit_every_command = true;
+  return options;
+}
+
+struct Workload {
+  std::vector<Record> initial;
+  Trace trace;
+};
+
+Workload MakeWorkload() {
+  Workload w;
+  Rng rng(20260808);
+  w.initial = MakeAscendingRecords(80, 30, 30);
+  w.trace = AscendingInserts(24, 601, 1);
+  const Trace tail = UniformMix(120, 0.35, 0.55, 2700, rng);
+  w.trace.insert(w.trace.end(), tail.begin(), tail.end());
+  return w;
+}
+
+Status Apply(DenseFile& file, const Op& op) {
+  switch (op.kind) {
+    case Op::Kind::kInsert:
+      return file.Insert(op.record);
+    case Op::Kind::kDelete:
+      return file.Delete(op.record.key);
+    case Op::Kind::kGet:
+      return file.Get(op.record.key).status();
+    case Op::Kind::kScan: {
+      std::vector<Record> out;
+      return file.Scan(op.record.key, op.scan_hi, &out);
+    }
+  }
+  return Status::OK();
+}
+
+void Replay(DenseFile& file, const Workload& w) {
+  ASSERT_TRUE(file.BulkLoad(w.initial).ok());
+  for (const Op& op : w.trace) IgnoreStatus(Apply(file, op));
+}
+
+// ---------------------------------------------------------------------
+// Differential replay parity: the same trace against the pure in-memory
+// simulation, a MemoryBackend-attached file, and a FileBackend-attached
+// file must agree on the final contents, the audit verdict, AND the
+// accounted I/O (the backend must not perturb the paper's cost model).
+
+struct ParityRun {
+  IoStats stats;
+  std::vector<Record> contents;
+  bool audit_ok = false;
+};
+
+ParityRun RunParity(const Workload& w, DenseFile::Options options) {
+  ParityRun out;
+  std::unique_ptr<DenseFile> file = *DenseFile::Create(options);
+  Replay(*file, w);
+  out.stats = file->io_stats();
+  out.contents = *file->ScanAll();
+  out.audit_ok = file->Audit().ok();
+  return out;
+}
+
+void ExpectSameAccounting(const IoStats& a, const IoStats& b) {
+  EXPECT_EQ(a.page_reads, b.page_reads);
+  EXPECT_EQ(a.page_writes, b.page_writes);
+  EXPECT_EQ(a.logical_reads, b.logical_reads);
+  EXPECT_EQ(a.logical_writes, b.logical_writes);
+  EXPECT_EQ(a.seeks, b.seeks);
+  EXPECT_EQ(a.sequential_accesses, b.sequential_accesses);
+}
+
+class BackendParity : public ::testing::TestWithParam<DenseFile::Policy> {};
+
+TEST_P(BackendParity, SimulatedVsMemoryVsFile) {
+  const Workload w = MakeWorkload();
+
+  DenseFile::Options simulated = BaseOptions();
+  simulated.policy = GetParam();
+
+  DenseFile::Options with_memory = simulated;
+  with_memory.backend_factory = [](int64_t num_pages, int64_t page_capacity)
+      -> StatusOr<std::unique_ptr<StorageBackend>> {
+    return std::unique_ptr<StorageBackend>(
+        std::make_unique<MemoryBackend>(num_pages, page_capacity));
+  };
+
+  ScopedTempDir dir("dsf-parity");
+  DenseFile::Options with_file = simulated;
+  FileBackend::Options fb;
+  fb.directory = dir.path();
+  with_file.backend_factory = FileBackend::CreateFactory(fb);
+
+  const ParityRun base = RunParity(w, simulated);
+  const ParityRun mem = RunParity(w, with_memory);
+  const ParityRun file = RunParity(w, with_file);
+
+  EXPECT_TRUE(base.audit_ok);
+  EXPECT_TRUE(mem.audit_ok);
+  EXPECT_TRUE(file.audit_ok);
+  EXPECT_EQ(base.contents, mem.contents);
+  EXPECT_EQ(base.contents, file.contents);
+  ExpectSameAccounting(base.stats, mem.stats);
+  ExpectSameAccounting(base.stats, file.stats);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, BackendParity,
+                         ::testing::Values(DenseFile::Policy::kControl2,
+                                           DenseFile::Policy::kControl1,
+                                           DenseFile::Policy::kLocalShift),
+                         [](const auto& param_info) {
+                           switch (param_info.param) {
+                             case DenseFile::Policy::kControl2:
+                               return std::string("Control2");
+                             case DenseFile::Policy::kControl1:
+                               return std::string("Control1");
+                             case DenseFile::Policy::kLocalShift:
+                               return std::string("LocalShift");
+                           }
+                           return std::string("Unknown");
+                         });
+
+// Pooled configuration: physical traffic goes through FlushAll's
+// dirty-order write-back; the backend must see it unchanged.
+TEST(BackendParity, PooledSimulatedVsFile) {
+  const Workload w = MakeWorkload();
+  DenseFile::Options simulated = BaseOptions(/*cache_frames=*/4);
+
+  ScopedTempDir dir("dsf-parity-pool");
+  DenseFile::Options with_file = simulated;
+  FileBackend::Options fb;
+  fb.directory = dir.path();
+  with_file.backend_factory = FileBackend::CreateFactory(fb);
+
+  const ParityRun base = RunParity(w, simulated);
+  const ParityRun file = RunParity(w, with_file);
+  EXPECT_TRUE(base.audit_ok);
+  EXPECT_TRUE(file.audit_ok);
+  EXPECT_EQ(base.contents, file.contents);
+  ExpectSameAccounting(base.stats, file.stats);
+}
+
+// ---------------------------------------------------------------------
+// Reopen round-trip
+
+TEST(FileBackendReopen, RoundTripsThroughOpen) {
+  const Workload w = MakeWorkload();
+  ScopedTempDir dir("dsf-reopen");
+  FileBackend::Options fb;
+  fb.directory = dir.path();
+
+  std::vector<Record> expected;
+  {
+    DenseFile::Options options = BaseOptions();
+    options.backend_factory = FileBackend::CreateFactory(fb);
+    std::unique_ptr<DenseFile> file = *DenseFile::Create(options);
+    Replay(*file, w);
+    expected = *file->ScanAll();
+    FileBackend* backend = static_cast<FileBackend*>(file->storage_backend());
+    ASSERT_NE(backend, nullptr);
+    EXPECT_GT(backend->stats().pwrites, 0);
+    EXPECT_GT(backend->stats().syncs, 0);
+  }  // destructor closes the file pair; commands already synced
+
+  DenseFile::Options options = BaseOptions();
+  options.backend_factory = FileBackend::OpenFactory(fb);
+  StatusOr<std::unique_ptr<DenseFile>> reopened = DenseFile::Open(options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  DenseFile& file = **reopened;
+  EXPECT_TRUE(file.corrupt_pages_at_open().empty());
+  // A clean close needs no content repair — at most calibrator resync
+  // (the in-memory index always dies with the process).
+  EXPECT_FALSE(file.open_repair_report().rewrote_file);
+  EXPECT_EQ(file.open_repair_report().duplicate_records_dropped, 0);
+  EXPECT_EQ(*file.ScanAll(), expected);
+  EXPECT_TRUE(file.Audit().ok());
+
+  // The reopened file must keep working: run the tail of the trace again
+  // (keys shifted so inserts hit fresh ranges are unnecessary — a replay
+  // of the same ops exercises both hit and miss paths).
+  for (const Op& op : w.trace) IgnoreStatus(Apply(file, op));
+  EXPECT_TRUE(file.Audit().ok());
+}
+
+TEST(FileBackendReopen, OpenNeedsFactory) {
+  DenseFile::Options options = BaseOptions();
+  EXPECT_TRUE(DenseFile::Open(options).status().IsInvalidArgument());
+}
+
+TEST(FileBackendReopen, RejectsVersionMismatch) {
+  ScopedTempDir dir("dsf-version");
+  FileBackend::Options fb;
+  fb.directory = dir.path();
+  { ASSERT_TRUE(FileBackend::Create(fb, 32, 21).ok()); }
+  ASSERT_TRUE(
+      FileBackend::OverwriteSuperblockVersionForTesting(dir.path(), 99).ok());
+  const Status open = FileBackend::Open(fb).status();
+  EXPECT_TRUE(open.code() == StatusCode::kFailedPrecondition) << open;
+  // Through the DenseFile::Open plumbing as well.
+  DenseFile::Options options = BaseOptions();
+  options.backend_factory = FileBackend::OpenFactory(fb);
+  EXPECT_TRUE(DenseFile::Open(options).status().code() == StatusCode::kFailedPrecondition);
+}
+
+TEST(FileBackendReopen, RejectsGeometryMismatch) {
+  ScopedTempDir dir("dsf-geometry");
+  FileBackend::Options fb;
+  fb.directory = dir.path();
+  { ASSERT_TRUE(FileBackend::Create(fb, 64, 21).ok()); }
+  // The on-disk pair holds 64 pages; a 32-page file must refuse it.
+  DenseFile::Options options = BaseOptions();
+  options.backend_factory = FileBackend::OpenFactory(fb);
+  EXPECT_TRUE(DenseFile::Open(options).status().code() == StatusCode::kFailedPrecondition);
+}
+
+TEST(FileBackendReopen, RejectsBadMagic) {
+  ScopedTempDir dir("dsf-magic");
+  FileBackend::Options fb;
+  fb.directory = dir.path();
+  { ASSERT_TRUE(FileBackend::Create(fb, 32, 21).ok()); }
+  FILE* f = ::fopen((dir.path() + "/dsf.idx").c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ::fputs("NOTDSF00", f);
+  ::fclose(f);
+  EXPECT_TRUE(FileBackend::Open(fb).status().IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------
+// Torn / corrupt pages
+
+TEST(FileBackendCorruption, ReadPageReturnsTypedIoError) {
+  ScopedTempDir dir("dsf-crc");
+  FileBackend::Options fb;
+  fb.directory = dir.path();
+  std::unique_ptr<FileBackend> backend = *FileBackend::Create(fb, 8, 21);
+  Page page(21);
+  ASSERT_TRUE(page.Insert(Record{10, 100}).ok());
+  ASSERT_TRUE(page.Insert(Record{20, 200}).ok());
+  ASSERT_TRUE(backend->WritePage(3, page).ok());
+  ASSERT_TRUE(backend->SyncBarrier().ok());
+
+  Page out(21);
+  ASSERT_TRUE(backend->ReadPage(3, &out).ok());
+  EXPECT_EQ(out.records(), page.records());
+
+  ASSERT_TRUE(backend->CorruptPageForTesting(3).ok());
+  const Status corrupt = backend->ReadPage(3, &out);
+  EXPECT_TRUE(corrupt.IsIoError()) << corrupt;
+  EXPECT_TRUE(out.empty());  // a corrupt slot never leaks partial records
+  EXPECT_GE(backend->stats().crc_failures, 1);
+  // Untouched pages still read fine; an empty (hole) slot is valid.
+  EXPECT_TRUE(backend->ReadPage(4, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(FileBackendCorruption, OpenRepairsAroundCorruptPage) {
+  const Workload w = MakeWorkload();
+  ScopedTempDir dir("dsf-corrupt-open");
+  FileBackend::Options fb;
+  fb.directory = dir.path();
+
+  std::vector<Record> expected;
+  Address victim = 0;
+  {
+    DenseFile::Options options = BaseOptions();
+    options.backend_factory = FileBackend::CreateFactory(fb);
+    std::unique_ptr<DenseFile> file = *DenseFile::Create(options);
+    Replay(*file, w);
+    expected = *file->ScanAll();
+    // Pick a populated page to corrupt.
+    for (Address a = 1; a <= file->num_pages(); ++a) {
+      if (!file->control().file().Peek(a).empty()) {
+        victim = a;
+        break;
+      }
+    }
+    ASSERT_NE(victim, 0);
+  }
+  {
+    std::unique_ptr<FileBackend> raw = *FileBackend::Open(fb);
+    ASSERT_TRUE(raw->CorruptPageForTesting(victim).ok());
+  }
+
+  DenseFile::Options options = BaseOptions();
+  options.backend_factory = FileBackend::OpenFactory(fb);
+  StatusOr<std::unique_ptr<DenseFile>> reopened = DenseFile::Open(options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  DenseFile& file = **reopened;
+  // The torn page was detected, dropped, and reported...
+  ASSERT_EQ(file.corrupt_pages_at_open().size(), 1u);
+  EXPECT_EQ(file.corrupt_pages_at_open()[0], victim);
+  // ...the repaired file is structurally sound...
+  EXPECT_TRUE(file.Audit().ok()) << file.Audit().ToString();
+  // ...and exactly the surviving records remain: the reopened contents
+  // are the expected set minus the victim page's records (which are a
+  // contiguous key run, so verify by subset + count arithmetic).
+  const std::vector<Record> survivors = *file.ScanAll();
+  std::set<Key> surviving_keys;
+  for (const Record& r : survivors) surviving_keys.insert(r.key);
+  int64_t lost = 0;
+  for (const Record& r : expected) {
+    if (surviving_keys.count(r.key) == 0) ++lost;
+  }
+  EXPECT_EQ(static_cast<int64_t>(expected.size()) - lost,
+            static_cast<int64_t>(survivors.size()));
+  EXPECT_GT(lost, 0);  // the victim page really held records
+  // The durable image now matches the repaired state: a second reopen
+  // is clean.
+  {
+    StatusOr<std::unique_ptr<DenseFile>> again = DenseFile::Open(options);
+    ASSERT_TRUE(again.ok()) << again.status();
+    EXPECT_TRUE((*again)->corrupt_pages_at_open().empty());
+    EXPECT_EQ(*(*again)->ScanAll(), survivors);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Sharded plumbing
+
+TEST(ShardedBackend, RejectsOrdinalBlindFactory) {
+  // Exercised through the compile-time surface only lightly here: the
+  // dedicated error path, because an ordinal-blind factory would hand
+  // every shard the same file pair.
+  ScopedTempDir dir("dsf-shard-reject");
+  FileBackend::Options fb;
+  fb.directory = dir.path();
+  ShardedDenseFile::Options options;
+  options.num_shards = 2;
+  options.shard = BaseOptions();
+  options.key_space = 10000;
+  options.shard.backend_factory = FileBackend::CreateFactory(fb);
+  EXPECT_TRUE(ShardedDenseFile::Create(options).status().IsInvalidArgument());
+}
+
+TEST(ShardedBackend, PerShardDirectoriesRoundTrip) {
+  ScopedTempDir dir("dsf-shard");
+  auto shard_factory = [&dir](bool create) {
+    return [&dir, create](int shard, int64_t num_pages,
+                          int64_t page_capacity)
+               -> StatusOr<std::unique_ptr<StorageBackend>> {
+      FileBackend::Options fb;
+      fb.directory = dir.path() + "/shard" + std::to_string(shard);
+      if (create) {
+        ::mkdir(fb.directory.c_str(), 0755);
+        return FileBackend::CreateFactory(fb)(num_pages, page_capacity);
+      }
+      return FileBackend::OpenFactory(fb)(num_pages, page_capacity);
+    };
+  };
+
+  std::vector<Record> expected;
+  {
+    ShardedDenseFile::Options options;
+    options.num_shards = 2;
+    options.shard = BaseOptions();
+    options.key_space = 10000;
+    options.shard_backend_factory = shard_factory(/*create=*/true);
+    StatusOr<std::unique_ptr<ShardedDenseFile>> created =
+        ShardedDenseFile::Create(options);
+    ASSERT_TRUE(created.ok()) << created.status();
+    ShardedDenseFile& file = **created;
+    for (Key k = 100; k <= 9000; k += 73) {
+      ASSERT_TRUE(file.Insert(k, k * 10).ok());
+    }
+    expected = *file.ScanAll();
+  }
+  // Reopen each shard from its own directory and verify the union.
+  ShardedDenseFile::Options options;
+  options.num_shards = 2;
+  options.shard = BaseOptions();
+  options.key_space = 10000;
+  options.shard_backend_factory = shard_factory(/*create=*/false);
+  StatusOr<std::unique_ptr<ShardedDenseFile>> reopened =
+      ShardedDenseFile::Create(options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  ShardedDenseFile& file = **reopened;
+  StatusOr<RepairReport> report = file.CheckAndRepair();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(*file.ScanAll(), expected);
+}
+
+}  // namespace
+}  // namespace dsf

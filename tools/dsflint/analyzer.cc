@@ -125,6 +125,17 @@ const std::set<std::string>& NakedMutexTypes() {
   return *types;
 }
 
+// The file-I/O syscall surface the raw-syscall-io rule confines to the
+// storage backend. Deliberately NOT read/write/lseek: those names are
+// too common as method identifiers, and the backend only ever uses the
+// positioned forms anyway.
+const std::set<std::string>& RawIoSyscalls() {
+  static const std::set<std::string>* calls = new std::set<std::string>{
+      "open",  "openat", "pread",     "pwrite",    "preadv", "pwritev",
+      "fsync", "fdatasync", "ftruncate", "posix_fallocate"};
+  return *calls;
+}
+
 bool PathContainsAny(const std::string& path,
                      const std::vector<std::string>& needles) {
   for (const std::string& d : needles) {
@@ -928,6 +939,24 @@ void Engine::TokenRules(int file_index) {
       Add(RuleKind::kRawPageIo, f, tok.line,
           "raw page access outside the storage layer; go through the "
           "PageFile read/write API");
+    }
+
+    // raw-syscall-io: a file-I/O syscall called as a free function
+    // outside the durable backend. Member calls (`stream.open(`) are not
+    // syscalls, and neither are declarations (`int open(...)`) — both
+    // have a telltale preceding token (./-> or a type identifier); only
+    // `return` may legitimately precede a flagged call as an identifier.
+    if (strict && RuleEnabled("raw-syscall-io") &&
+        RawIoSyscalls().count(tok.text) != 0 && i + 1 < t.size() &&
+        Is(t[i + 1], "(") &&
+        (i == 0 || (!Is(t[i - 1], ".") && !Is(t[i - 1], "->") &&
+                    !(IsIdent(t[i - 1]) && t[i - 1].text != "return"))) &&
+        !PathContainsAny(f.path, options_.raw_syscall_dirs)) {
+      Add(RuleKind::kRawSyscallIo, f, tok.line,
+          "raw " + tok.text +
+              "() outside src/storage/; durable I/O must go through "
+              "StorageBackend so fault injection and write accounting "
+              "cannot be bypassed");
     }
 
     // check-on-fault-path: DSF_CHECK(...ok()...) in fault-reachable code.

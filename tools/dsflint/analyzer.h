@@ -47,6 +47,13 @@ struct AnalyzerOptions {
   // layer and may touch raw pages.
   std::vector<std::string> raw_page_dirs = {"src/storage/"};
 
+  // Raw-syscall confinement: only the durable backend (and the temp-dir
+  // test helper) may call the file I/O syscalls directly. Everything
+  // else goes through StorageBackend, so fault injection, IoStats and
+  // the kill-test write accounting can't be bypassed.
+  std::vector<std::string> raw_syscall_dirs = {"src/storage/",
+                                               "src/util/temp_dir"};
+
   // check-on-fault-path enforcement set (fault-reachable code).
   std::vector<std::string> fault_dirs = {"src/core/",   "src/storage/",
                                          "src/shard/",  "src/varsize/",

@@ -31,7 +31,7 @@ namespace {
 const char* const kRuleNames[] = {
     "guarded-by",      "lock-order",     "discarded-status",
     "metric-catalog",  "spankind-catalog", "raw-page-io",
-    "check-on-fault-path", "no-naked-mutex",
+    "raw-syscall-io",  "check-on-fault-path", "no-naked-mutex",
 };
 
 bool HasSuffix(const std::string& s, const char* suffix) {

@@ -18,6 +18,8 @@ const char* RuleKindName(RuleKind kind) {
       return "discarded-status";
     case RuleKind::kRawPageIo:
       return "raw-page-io";
+    case RuleKind::kRawSyscallIo:
+      return "raw-syscall-io";
     case RuleKind::kCheckOnFaultPath:
       return "check-on-fault-path";
     case RuleKind::kNakedMutex:

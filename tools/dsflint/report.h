@@ -33,6 +33,9 @@ enum class RuleKind {
   kUnhandledSpanKind,
   // PageFile::RawPage called outside the storage layer.
   kRawPageIo,
+  // A raw I/O syscall (open/pread/pwrite/fsync/...) outside the durable
+  // storage backend.
+  kRawSyscallIo,
   // DSF_CHECK / DSF_DCHECK over a Status .ok() in fault-reachable code.
   kCheckOnFaultPath,
   // Raw std:: mutex/lock types where dsf::Mutex is required.
